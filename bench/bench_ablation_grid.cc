@@ -1,0 +1,113 @@
+// Ablation A1/A4 (DESIGN.md): boundary-node estimator grid granularity and
+// weight mode. Sweeps the g×g partition over {4, 8, 16, 32} for both the
+// paper's distance mode and the travel-time extension, reporting estimate
+// tightness (estimate / true fastest travel time; closer to 1 is better)
+// and the resulting singleFP search effort.
+//
+// Flags: --queries=N (default 10), --seed=S.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/boundary_estimator.h"
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/core/td_astar.h"
+#include "src/network/accessor.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace capefp::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"queries", "seed"});
+  const int queries = static_cast<int>(flags.GetInt("queries", 10));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+
+  const auto sn = MakeBenchNetwork();
+  PrintHeader("Ablation: boundary estimator grid dimension and weight mode",
+              {{"network nodes", std::to_string(sn.network.num_nodes())},
+               {"queries", std::to_string(queries)},
+               {"distance", "6-8 miles"},
+               {"query interval", "07:00-10:00 workday"}});
+
+  network::InMemoryAccessor accessor(&sn.network);
+  const auto pairs = SampleQueryPairs(sn.network, 6.0, 8.0, queries, seed);
+  const double lo = tdf::HhMm(7, 0);
+  const double hi = tdf::HhMm(10, 0);
+
+  // True fastest times at 8:00 for the tightness column.
+  std::vector<double> truth;
+  for (const QueryPair& pair : pairs) {
+    core::ZeroEstimator zero;
+    const auto result = core::TdAStar(&accessor, pair.source, pair.target,
+                                      tdf::HhMm(8, 0), &zero);
+    CAPEFP_CHECK(result.found);
+    truth.push_back(result.travel_time_minutes);
+  }
+
+  std::printf("%6s %6s %12s %12s %14s %12s\n", "grid", "mode", "build(s)",
+              "tightness", "singleFP exp", "allFP exp");
+
+  // naiveLB reference row.
+  {
+    util::Summary tightness;
+    util::Summary single;
+    util::Summary all;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      core::EuclideanEstimator est(&accessor, pairs[i].target);
+      tightness.Add(est.Estimate(pairs[i].source) / truth[i]);
+      core::ProfileSearch search(&accessor, &est);
+      single.Add(static_cast<double>(
+          search.RunSingleFp({pairs[i].source, pairs[i].target, lo, hi})
+              .stats.expansions));
+      core::EuclideanEstimator est2(&accessor, pairs[i].target);
+      core::ProfileSearch search2(&accessor, &est2);
+      all.Add(static_cast<double>(
+          search2.RunAllFp({pairs[i].source, pairs[i].target, lo, hi})
+              .stats.expansions));
+    }
+    std::printf("%6s %6s %12s %12.3f %14.0f %12.0f\n", "-", "naive", "-",
+                tightness.mean(), single.mean(), all.mean());
+  }
+
+  for (const auto mode : {core::BoundaryIndexOptions::Mode::kDistance,
+                          core::BoundaryIndexOptions::Mode::kTravelTime}) {
+    for (int grid : {4, 8, 16, 32}) {
+      util::WallTimer build_timer;
+      const core::BoundaryNodeIndex index(sn.network, {grid, mode});
+      const double build_s = build_timer.ElapsedSeconds();
+      util::Summary tightness;
+      util::Summary single;
+      util::Summary all;
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        core::BoundaryNodeEstimator est(&index, &accessor, pairs[i].target);
+        tightness.Add(est.Estimate(pairs[i].source) / truth[i]);
+        core::ProfileSearch search(&accessor, &est);
+        single.Add(static_cast<double>(
+            search.RunSingleFp({pairs[i].source, pairs[i].target, lo, hi})
+                .stats.expansions));
+        core::BoundaryNodeEstimator est2(&index, &accessor, pairs[i].target);
+        core::ProfileSearch search2(&accessor, &est2);
+        all.Add(static_cast<double>(
+            search2.RunAllFp({pairs[i].source, pairs[i].target, lo, hi})
+                .stats.expansions));
+      }
+      std::printf(
+          "%6d %6s %12.2f %12.3f %14.0f %12.0f\n", grid,
+          mode == core::BoundaryIndexOptions::Mode::kDistance ? "dist"
+                                                              : "time",
+          build_s, tightness.mean(), single.mean(), all.mean());
+    }
+  }
+  std::printf("\n(tightness = mean estimate/true ratio at the source; 1.0 "
+              "would be a perfect oracle)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capefp::bench
+
+int main(int argc, char** argv) { return capefp::bench::Main(argc, argv); }

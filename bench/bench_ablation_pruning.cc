@@ -1,0 +1,113 @@
+// Ablation A2 (DESIGN.md): pruning rules of IntAllFastestPaths.
+//
+// Rows:
+//   paper      — the paper's algorithm: only the scalar bound test
+//                (min key vs border max) and termination rule;
+//   dominance  — plus per-node dominance pruning (library default);
+//   pointwise  — dominance plus pointwise bound pruning.
+//
+// The no-dominance row runs on a reduced network (a few hundred nodes):
+// without dominance the number of queued paths grows combinatorially with
+// network size, which is precisely why the default keeps it on.
+//
+// Flags: --queries=N (default 8), --seed=S.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/network/accessor.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/util/stats.h"
+
+namespace capefp::bench {
+namespace {
+
+struct RowResult {
+  util::Summary expansions;
+  util::Summary pushes;
+  util::Summary ms;
+  int capped = 0;
+};
+
+RowResult RunRow(network::NetworkAccessor* accessor,
+                 const std::vector<QueryPair>& pairs, double lo, double hi,
+                 const core::ProfileSearchOptions& options) {
+  RowResult row;
+  for (const QueryPair& pair : pairs) {
+    util::WallTimer timer;
+    core::EuclideanEstimator est(accessor, pair.target);
+    core::ProfileSearch search(accessor, &est, options);
+    const core::AllFpResult result =
+        search.RunAllFp({pair.source, pair.target, lo, hi});
+    row.ms.Add(timer.ElapsedMillis());
+    row.expansions.Add(static_cast<double>(result.stats.expansions));
+    row.pushes.Add(static_cast<double>(result.stats.pushes));
+    if (result.stats.hit_expansion_cap) ++row.capped;
+  }
+  return row;
+}
+
+void PrintRow(const char* name, const RowResult& row) {
+  std::printf("%-12s %14.0f %14.0f %10.1f %8d\n", name,
+              row.expansions.mean(), row.pushes.mean(), row.ms.mean(),
+              row.capped);
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"queries", "seed"});
+  const int queries = static_cast<int>(flags.GetInt("queries", 8));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+
+  const double lo = tdf::HhMm(7, 0);
+  const double hi = tdf::HhMm(9, 0);
+
+  core::ProfileSearchOptions paper_rules;
+  paper_rules.dominance_pruning = false;
+  paper_rules.max_expansions = 500000;
+  core::ProfileSearchOptions with_dominance;  // Defaults.
+  core::ProfileSearchOptions with_pointwise;
+  with_pointwise.pointwise_bound_pruning = true;
+
+  {
+    const auto small = gen::GenerateSuffolkNetwork(
+        gen::SuffolkOptions::Small());
+    PrintHeader(
+        "Ablation: IntAllFastestPaths pruning rules (reduced network)",
+        {{"network nodes", std::to_string(small.network.num_nodes())},
+         {"queries", std::to_string(queries)},
+         {"query interval", "07:00-09:00 workday"},
+         {"expansion cap (paper row)", "500000"}});
+    network::InMemoryAccessor accessor(&small.network);
+    const auto pairs =
+        SampleQueryPairs(small.network, 1.0, 2.5, queries, seed);
+    std::printf("%-12s %14s %14s %10s %8s\n", "rules", "expansions",
+                "pushes", "ms", "capped");
+    PrintRow("paper", RunRow(&accessor, pairs, lo, hi, paper_rules));
+    PrintRow("dominance", RunRow(&accessor, pairs, lo, hi, with_dominance));
+    PrintRow("pointwise", RunRow(&accessor, pairs, lo, hi, with_pointwise));
+  }
+
+  {
+    const auto full = MakeBenchNetwork();
+    PrintHeader(
+        "Ablation: dominance vs pointwise at full scale (paper rules "
+        "omitted: intractable without dominance)",
+        {{"network nodes", std::to_string(full.network.num_nodes())},
+         {"queries", std::to_string(queries)},
+         {"distance", "5-7 miles"}});
+    network::InMemoryAccessor accessor(&full.network);
+    const auto pairs = SampleQueryPairs(full.network, 5.0, 7.0, queries,
+                                        seed + 1);
+    std::printf("%-12s %14s %14s %10s %8s\n", "rules", "expansions",
+                "pushes", "ms", "capped");
+    PrintRow("dominance", RunRow(&accessor, pairs, lo, hi, with_dominance));
+    PrintRow("pointwise", RunRow(&accessor, pairs, lo, hi, with_pointwise));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace capefp::bench
+
+int main(int argc, char** argv) { return capefp::bench::Main(argc, argv); }

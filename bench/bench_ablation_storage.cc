@@ -1,0 +1,114 @@
+// Ablation A3 (DESIGN.md): CCAM storage parameters.
+//
+// Part 1 sweeps the page size (the paper fixes 2048 bytes) and the buffer
+// pool capacity, reporting file size and page faults per time-dependent A*
+// query through the store.
+// Part 2 isolates CCAM's connectivity clustering against plain
+// Hilbert-order packing at the paper's page size.
+//
+// Flags: --queries=N (default 20), --seed=S.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/core/estimator.h"
+#include "src/core/td_astar.h"
+#include "src/storage/ccam_accessor.h"
+#include "src/storage/ccam_builder.h"
+#include "src/storage/ccam_store.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace capefp::bench {
+namespace {
+
+struct RunStats {
+  util::Summary faults;
+  util::Summary hits;
+};
+
+RunStats RunQueries(storage::CcamStore* store,
+                    const std::vector<QueryPair>& pairs) {
+  RunStats stats;
+  storage::CcamAccessor accessor(store);
+  for (const QueryPair& pair : pairs) {
+    store->ResetStats();
+    core::EuclideanEstimator est(&accessor, pair.target);
+    const auto result = core::TdAStar(&accessor, pair.source, pair.target,
+                                      tdf::HhMm(8, 0), &est);
+    CAPEFP_CHECK(result.found);
+    stats.faults.Add(static_cast<double>(store->stats().pool.faults));
+    stats.hits.Add(static_cast<double>(store->stats().pool.hits));
+  }
+  return stats;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"queries", "seed"});
+  const int queries = static_cast<int>(flags.GetInt("queries", 20));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 9));
+
+  const auto sn = MakeBenchNetwork();
+  PrintHeader("Ablation: CCAM page size, buffer pool, and clustering",
+              {{"network nodes", std::to_string(sn.network.num_nodes())},
+               {"queries", std::to_string(queries) +
+                               " x TdAStar at 08:00, distance 4-8 miles"}});
+  const auto pairs = SampleQueryPairs(sn.network, 4.0, 8.0, queries, seed);
+  const std::string db_path = "/tmp/capefp_storage_ablation.ccam";
+
+  std::printf("%10s %8s %12s %14s %14s %12s\n", "page(B)", "pool",
+              "file pages", "faults/query", "hits/query", "intra-edge");
+  for (uint32_t page_size : {1024u, 2048u, 4096u, 8192u}) {
+    storage::CcamBuildOptions build;
+    build.page_size = page_size;
+    auto report = storage::BuildCcamFile(sn.network, db_path, build);
+    CAPEFP_CHECK(report.ok()) << report.status().ToString();
+    for (size_t pool : {8u, 64u, 512u}) {
+      storage::CcamOpenOptions open;
+      open.buffer_pool_pages = pool;
+      auto store = storage::CcamStore::Open(db_path, open);
+      CAPEFP_CHECK(store.ok()) << store.status().ToString();
+      const RunStats stats = RunQueries(store->get(), pairs);
+      std::printf("%10u %8zu %12u %14.0f %14.0f %11.1f%%\n", page_size, pool,
+                  report->total_pages, stats.faults.mean(),
+                  stats.hits.mean(),
+                  100.0 * report->intra_page_edge_fraction);
+    }
+  }
+
+  std::printf("\nRecord packing policies (2048-byte pages, pool 64):\n");
+  std::printf("%16s %12s %14s %12s\n", "packing", "data pages",
+              "faults/query", "intra-edge");
+  struct Policy {
+    const char* name;
+    bool clustering;
+    bool hilbert;
+  };
+  for (const Policy& policy :
+       {Policy{"conn+hilbert", true, true},
+        Policy{"hilbert-only", false, true},
+        Policy{"conn-only", true, false},
+        Policy{"insertion-order", false, false}}) {
+    storage::CcamBuildOptions build;
+    build.connectivity_clustering = policy.clustering;
+    build.spatial_ordering = policy.hilbert;
+    auto report = storage::BuildCcamFile(sn.network, db_path, build);
+    CAPEFP_CHECK(report.ok()) << report.status().ToString();
+    storage::CcamOpenOptions open;
+    open.buffer_pool_pages = 64;
+    auto store = storage::CcamStore::Open(db_path, open);
+    CAPEFP_CHECK(store.ok()) << store.status().ToString();
+    const RunStats stats = RunQueries(store->get(), pairs);
+    std::printf("%16s %12u %14.0f %11.1f%%\n", policy.name,
+                report->data_pages, stats.faults.mean(),
+                100.0 * report->intra_page_edge_fraction);
+  }
+  std::remove(db_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace capefp::bench
+
+int main(int argc, char** argv) { return capefp::bench::Main(argc, argv); }

@@ -1,0 +1,121 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/geo/point.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace capefp::bench {
+
+Flags::Flags(int argc, char** argv, const std::vector<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    bool ok = false;
+    for (const std::string& k : known) ok = ok || k == key;
+    if (!ok) {
+      std::fprintf(stderr, "unknown flag --%s; known flags:", key.c_str());
+      for (const std::string& k : known) std::fprintf(stderr, " --%s", k.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    values_[key] = value;
+  }
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : std::stoll(it->second);
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : std::stod(it->second);
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::vector<QueryPair> SampleQueryPairs(const network::RoadNetwork& net,
+                                        double lo_miles, double hi_miles,
+                                        int count, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<QueryPair> pairs;
+  const int64_t max_attempts = static_cast<int64_t>(count) * 20000;
+  for (int64_t attempt = 0;
+       attempt < max_attempts && pairs.size() < static_cast<size_t>(count);
+       ++attempt) {
+    const auto s = static_cast<network::NodeId>(
+        rng.NextBounded(net.num_nodes()));
+    const auto t = static_cast<network::NodeId>(
+        rng.NextBounded(net.num_nodes()));
+    if (s == t) continue;
+    const double d =
+        geo::EuclideanDistance(net.location(s), net.location(t));
+    if (d >= lo_miles && d < hi_miles) pairs.push_back({s, t, d});
+  }
+  CAPEFP_CHECK_EQ(pairs.size(), static_cast<size_t>(count))
+      << "could not sample enough pairs in [" << lo_miles << "," << hi_miles
+      << ") miles";
+  return pairs;
+}
+
+std::vector<QueryPair> SampleCommutePairs(const gen::SuffolkNetwork& sn,
+                                          int count, uint64_t seed) {
+  util::Rng rng(seed);
+  const network::RoadNetwork& net = sn.network;
+  std::vector<QueryPair> pairs;
+  const int64_t max_attempts = static_cast<int64_t>(count) * 20000;
+  for (int64_t attempt = 0;
+       attempt < max_attempts && pairs.size() < static_cast<size_t>(count);
+       ++attempt) {
+    const auto s = static_cast<network::NodeId>(
+        rng.NextBounded(net.num_nodes()));
+    const auto t = static_cast<network::NodeId>(
+        rng.NextBounded(net.num_nodes()));
+    if (s == t) continue;
+    const double ds = geo::EuclideanDistance(net.location(s), sn.city_center);
+    const double dt = geo::EuclideanDistance(net.location(t), sn.city_center);
+    if (ds < 1.5 * sn.city_radius_miles || dt > 0.5 * sn.city_radius_miles) {
+      continue;
+    }
+    pairs.push_back(
+        {s, t, geo::EuclideanDistance(net.location(s), net.location(t))});
+  }
+  CAPEFP_CHECK_EQ(pairs.size(), static_cast<size_t>(count))
+      << "could not sample enough commute pairs";
+  return pairs;
+}
+
+gen::SuffolkNetwork MakeBenchNetwork(uint64_t seed) {
+  gen::SuffolkOptions options;
+  options.seed = seed;
+  return gen::GenerateSuffolkNetwork(options);
+}
+
+void PrintHeader(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::string>>& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  for (const auto& [key, value] : config) {
+    std::printf("  %-28s %s\n", (key + ":").c_str(), value.c_str());
+  }
+  std::printf("==============================================================\n");
+}
+
+}  // namespace capefp::bench

@@ -1,0 +1,62 @@
+// Shared plumbing for the paper-reproduction benchmark binaries: flag
+// parsing, the query workload of §6.2 (node pairs sampled by Euclidean
+// distance bucket), and table printing.
+#ifndef CAPEFP_BENCH_BENCH_COMMON_H_
+#define CAPEFP_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/gen/suffolk_generator.h"
+#include "src/network/road_network.h"
+
+namespace capefp::bench {
+
+// Minimal --key=value flag parser. Unknown flags abort with a message
+// listing `known` flags.
+class Flags {
+ public:
+  Flags(int argc, char** argv, const std::vector<std::string>& known);
+
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// One source/target pair whose straight-line separation falls in a bucket.
+struct QueryPair {
+  network::NodeId source = network::kInvalidNode;
+  network::NodeId target = network::kInvalidNode;
+  double euclid_miles = 0.0;
+};
+
+// Samples `count` pairs with Euclidean distance in [lo_miles, hi_miles),
+// deterministically in `seed`. Aborts if the network cannot supply them.
+std::vector<QueryPair> SampleQueryPairs(const network::RoadNetwork& network,
+                                        double lo_miles, double hi_miles,
+                                        int count, uint64_t seed);
+
+// Samples inbound commutes: sources in the suburbs (beyond 1.5x the city
+// radius from the center), targets in the urban core (within half the city
+// radius) — the workload the paper's rush-hour story is about.
+std::vector<QueryPair> SampleCommutePairs(const gen::SuffolkNetwork& sn,
+                                          int count, uint64_t seed);
+
+// The full-scale Suffolk-style network used by all paper benches (seeded,
+// so every bench sees the identical graph).
+gen::SuffolkNetwork MakeBenchNetwork(uint64_t seed = 42);
+
+// Prints "name = value" config lines in a uniform style.
+void PrintHeader(const std::string& title,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     config);
+
+}  // namespace capefp::bench
+
+#endif  // CAPEFP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,150 @@
+// Figure 9 reproduction: effect of the lower-bound estimator on the number
+// of expanded nodes, varying the source-target Euclidean distance from 1 to
+// 8 miles, for singleFP (Fig. 9a) and allFP (Fig. 9b).
+//
+// Setup per §6.2: query interval = the 3-hour morning rush (7am-10am on a
+// workday), Suffolk-scale network, CCAM-backed disk access (page faults are
+// reported alongside the paper's expanded-node metric).
+//
+// Flags:
+//   --queries=N       queries per 1-mile distance bucket (default 8)
+//   --seed=S          workload seed (default 1)
+//   --grid=G          boundary estimator grid dimension (default 32)
+//   --mode=time|dist  boundary estimator weight mode (default time)
+//   --pool=P          buffer-pool pages for the CCAM store (default 256)
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/core/boundary_estimator.h"
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/storage/ccam_accessor.h"
+#include "src/storage/ccam_builder.h"
+#include "src/storage/ccam_store.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace capefp::bench {
+namespace {
+
+struct BucketRow {
+  double distance = 0.0;
+  util::Summary single_naive;
+  util::Summary single_bd;
+  util::Summary all_naive;
+  util::Summary all_bd;
+  util::Summary faults;
+  util::Summary ms_all_bd;
+};
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"queries", "seed", "grid", "mode", "pool"});
+  const int queries = static_cast<int>(flags.GetInt("queries", 8));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int grid = static_cast<int>(flags.GetInt("grid", 32));
+  const std::string mode_name = flags.GetString("mode", "time");
+  const auto pool = static_cast<size_t>(flags.GetInt("pool", 256));
+
+  const auto sn = MakeBenchNetwork();
+  PrintHeader(
+      "Figure 9: expanded nodes vs Euclidean distance (naiveLB vs bdLB)",
+      {{"network nodes", std::to_string(sn.network.num_nodes())},
+       {"network segments", std::to_string(sn.network.num_edges() / 2)},
+       {"query interval", "07:00-10:00 workday (3h morning rush)"},
+       {"queries per bucket", std::to_string(queries)},
+       {"bdLB grid / mode", std::to_string(grid) + " / " + mode_name},
+       {"access method", "CCAM, 2048-byte pages, pool " +
+                             std::to_string(pool) + " pages"}});
+
+  // Disk store.
+  const std::string db_path = "/tmp/capefp_fig9.ccam";
+  auto report = storage::BuildCcamFile(sn.network, db_path, {});
+  CAPEFP_CHECK(report.ok()) << report.status().ToString();
+  storage::CcamOpenOptions open_options;
+  open_options.buffer_pool_pages = pool;
+  auto store = storage::CcamStore::Open(db_path, open_options);
+  CAPEFP_CHECK(store.ok()) << store.status().ToString();
+  storage::CcamAccessor accessor(store->get());
+
+  // Estimator precomputation (offline, in-memory network).
+  core::BoundaryIndexOptions index_options;
+  index_options.grid_dim = grid;
+  index_options.mode = mode_name == "dist"
+                           ? core::BoundaryIndexOptions::Mode::kDistance
+                           : core::BoundaryIndexOptions::Mode::kTravelTime;
+  util::WallTimer index_timer;
+  const core::BoundaryNodeIndex index(sn.network, index_options);
+  std::printf("bdLB precomputation: %.2f s (%zu exit / %zu entry boundary "
+              "nodes)\n\n",
+              index_timer.ElapsedSeconds(), index.num_exit_boundaries(),
+              index.num_entry_boundaries());
+
+  const double lo = tdf::HhMm(7, 0);
+  const double hi = tdf::HhMm(10, 0);
+
+  std::vector<BucketRow> rows;
+  for (int mile = 1; mile <= 8; ++mile) {
+    BucketRow row;
+    row.distance = mile;
+    const auto pairs =
+        SampleQueryPairs(sn.network, mile - 0.5, mile + 0.5, queries,
+                         seed * 1000 + static_cast<uint64_t>(mile));
+    for (const QueryPair& pair : pairs) {
+      const core::ProfileQuery query{pair.source, pair.target, lo, hi};
+
+      core::EuclideanEstimator naive(&accessor, pair.target);
+      core::ProfileSearch naive_search(&accessor, &naive);
+      row.single_naive.Add(static_cast<double>(
+          naive_search.RunSingleFp(query).stats.expansions));
+
+      core::BoundaryNodeEstimator bd1(&index, &accessor, pair.target);
+      core::ProfileSearch bd_single(&accessor, &bd1);
+      row.single_bd.Add(static_cast<double>(
+          bd_single.RunSingleFp(query).stats.expansions));
+
+      core::EuclideanEstimator naive2(&accessor, pair.target);
+      core::ProfileSearch naive_all(&accessor, &naive2);
+      row.all_naive.Add(static_cast<double>(
+          naive_all.RunAllFp(query).stats.expansions));
+
+      (*store)->ResetStats();
+      util::WallTimer query_timer;
+      core::BoundaryNodeEstimator bd2(&index, &accessor, pair.target);
+      core::ProfileSearch bd_all(&accessor, &bd2);
+      const core::AllFpResult result = bd_all.RunAllFp(query);
+      row.ms_all_bd.Add(query_timer.ElapsedMillis());
+      row.all_bd.Add(static_cast<double>(result.stats.expansions));
+      row.faults.Add(static_cast<double>((*store)->stats().pool.faults));
+      CAPEFP_CHECK(result.found);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("Figure 9(a) - singleFP, mean expanded nodes per query\n");
+  std::printf("%8s %12s %12s %8s\n", "miles", "naiveLB", "bdLB",
+              "ratio");
+  for (const BucketRow& row : rows) {
+    std::printf("%8.0f %12.0f %12.0f %7.2fx\n", row.distance,
+                row.single_naive.mean(), row.single_bd.mean(),
+                row.single_naive.mean() / row.single_bd.mean());
+  }
+  std::printf("\nFigure 9(b) - allFP, mean expanded nodes per query\n");
+  std::printf("%8s %12s %12s %8s %14s %10s\n", "miles", "naiveLB", "bdLB",
+              "ratio", "faults(bdLB)", "ms(bdLB)");
+  for (const BucketRow& row : rows) {
+    std::printf("%8.0f %12.0f %12.0f %7.2fx %14.0f %10.1f\n", row.distance,
+                row.all_naive.mean(), row.all_bd.mean(),
+                row.all_naive.mean() / row.all_bd.mean(),
+                row.faults.mean(), row.ms_all_bd.mean());
+  }
+  std::remove(db_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace capefp::bench
+
+int main(int argc, char** argv) { return capefp::bench::Main(argc, argv); }

@@ -1,0 +1,121 @@
+// Extension bench: two-level hierarchical search (the scaling strategy
+// §6.1 sketches) vs the flat IntAllFastestPaths, on a mid-size city.
+//
+// The hierarchical index precomputes within-fragment transit functions
+// once; each query then explores the boundary-node overlay instead of the
+// full road graph. Borders are identical (property-tested); this bench
+// measures what that costs and saves.
+//
+// Flags: --queries=N (default 10), --seed=S, --grid=G (default 4).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/estimator.h"
+#include "src/core/hierarchical.h"
+#include "src/core/profile_search.h"
+#include "src/network/accessor.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace capefp::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"queries", "seed", "grid"});
+  const int queries = static_cast<int>(flags.GetInt("queries", 10));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 13));
+  const int grid = static_cast<int>(flags.GetInt("grid", 4));
+
+  gen::SuffolkOptions options;
+  options.seed = 7;
+  options.extent_miles = 7.0;
+  options.city_radius_miles = 1.6;
+  options.suburb_spacing_miles = 0.2;
+  options.target_segments = 0;
+  options.num_highways = 6;
+  const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(options);
+
+  PrintHeader("Extension: hierarchical (two-level) vs flat profile search",
+              {{"network nodes", std::to_string(sn.network.num_nodes())},
+               {"fragment grid", std::to_string(grid) + "x" +
+                                     std::to_string(grid)},
+               {"queries", std::to_string(queries)},
+               {"query interval", "07:00-09:00 workday"}});
+
+  network::InMemoryAccessor accessor(&sn.network);
+  core::HierarchicalOptions hier_options;
+  hier_options.grid_dim = grid;
+  // Cover the morning query window plus generous arrival slack; a narrower
+  // window makes both the precompute and the per-query stubs cheaper.
+  hier_options.window_lo = tdf::HhMm(6, 0);
+  hier_options.window_hi = tdf::HhMm(13, 0);
+  core::HierarchicalIndex index(&sn.network, hier_options);
+  const auto& build = index.build_stats();
+  std::printf("precompute: %.2f s, %d fragments, %zu transit functions "
+              "(%zu breakpoints, ~%.1f per function)\n\n",
+              build.build_seconds, build.fragments_used,
+              build.transit_functions, build.transit_breakpoints,
+              static_cast<double>(build.transit_breakpoints) /
+                  static_cast<double>(build.transit_functions));
+
+  const auto pairs = SampleQueryPairs(
+      sn.network, 0.35 * options.extent_miles, 0.8 * options.extent_miles,
+      queries, seed);
+  const double lo = tdf::HhMm(7, 0);
+  const double hi = tdf::HhMm(9, 0);
+
+  util::Summary flat_exp;
+  util::Summary hier_exp;
+  util::Summary flat_ms;
+  util::Summary hier_ms;
+  util::Summary flat_single_ms;
+  util::Summary hier_single_ms;
+  for (const QueryPair& pair : pairs) {
+    const core::ProfileQuery query{pair.source, pair.target, lo, hi};
+    util::WallTimer timer;
+    core::EuclideanEstimator flat_est(&accessor, pair.target);
+    core::ProfileSearch flat(&accessor, &flat_est);
+    const core::AllFpResult expected = flat.RunAllFp(query);
+    flat_ms.Add(timer.ElapsedMillis());
+    flat_exp.Add(static_cast<double>(expected.stats.expansions));
+
+    timer.Restart();
+    core::EuclideanEstimator hier_est(&accessor, pair.target);
+    auto actual = index.RunAllFp(query, &hier_est);
+    hier_ms.Add(timer.ElapsedMillis());
+    CAPEFP_CHECK(actual.ok()) << actual.status().ToString();
+    CAPEFP_CHECK_EQ(actual->found, expected.found);
+    if (expected.found) {
+      CAPEFP_CHECK(tdf::PwlFunction::ApproxEqual(*actual->border,
+                                                 *expected.border, 1e-6));
+    }
+    hier_exp.Add(static_cast<double>(actual->stats.expansions));
+
+    timer.Restart();
+    core::EuclideanEstimator flat_est2(&accessor, pair.target);
+    core::ProfileSearch flat2(&accessor, &flat_est2);
+    (void)flat2.RunSingleFp(query);
+    flat_single_ms.Add(timer.ElapsedMillis());
+    timer.Restart();
+    core::EuclideanEstimator hier_est2(&accessor, pair.target);
+    (void)index.RunSingleFp(query, &hier_est2);
+    hier_single_ms.Add(timer.ElapsedMillis());
+  }
+
+  std::printf("%-24s %14s %12s\n", "metric", "flat", "hierarchical");
+  std::printf("%-24s %14.0f %12.0f\n", "allFP expansions (mean)",
+              flat_exp.mean(), hier_exp.mean());
+  std::printf("%-24s %14.1f %12.1f\n", "allFP ms (mean)", flat_ms.mean(),
+              hier_ms.mean());
+  std::printf("%-24s %14.1f %12.1f\n", "singleFP ms (mean)",
+              flat_single_ms.mean(), hier_single_ms.mean());
+  std::printf("\n(identical lower borders asserted per query; hierarchical "
+              "query cost includes the per-query source/target stubs)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capefp::bench
+
+int main(int argc, char** argv) { return capefp::bench::Main(argc, argv); }

@@ -1,0 +1,123 @@
+// Microbenchmarks for the piecewise-linear function algebra — the inner
+// loop of IntAllFastestPaths (every expansion composes functions; every
+// border update takes an envelope).
+#include <benchmark/benchmark.h>
+
+#include "src/core/lower_border.h"
+#include "src/tdf/pwl_function.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/tdf/travel_time.h"
+#include "src/util/random.h"
+
+namespace capefp {
+namespace {
+
+tdf::PwlFunction RandomFunction(util::Rng& rng, double lo, double hi,
+                                int pieces) {
+  std::vector<tdf::Breakpoint> pts;
+  const double step = (hi - lo) / pieces;
+  for (int i = 0; i <= pieces; ++i) {
+    pts.push_back({lo + i * step, rng.NextDouble(5.0, 40.0)});
+  }
+  return tdf::PwlFunction(std::move(pts));
+}
+
+void BM_PwlValue(benchmark::State& state) {
+  util::Rng rng(1);
+  const tdf::PwlFunction f =
+      RandomFunction(rng, 0.0, 180.0, static_cast<int>(state.range(0)));
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1.37;
+    if (x > 180.0) x -= 180.0;
+    benchmark::DoNotOptimize(f.Value(x));
+  }
+}
+BENCHMARK(BM_PwlValue)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PwlSum(benchmark::State& state) {
+  util::Rng rng(2);
+  const tdf::PwlFunction f =
+      RandomFunction(rng, 0.0, 180.0, static_cast<int>(state.range(0)));
+  const tdf::PwlFunction g =
+      RandomFunction(rng, 0.0, 180.0, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tdf::PwlFunction::Sum(f, g));
+  }
+}
+BENCHMARK(BM_PwlSum)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PwlMinEnvelope(benchmark::State& state) {
+  util::Rng rng(3);
+  const tdf::PwlFunction f =
+      RandomFunction(rng, 0.0, 180.0, static_cast<int>(state.range(0)));
+  const tdf::PwlFunction g =
+      RandomFunction(rng, 0.0, 180.0, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tdf::PwlFunction::Min(f, g));
+  }
+}
+BENCHMARK(BM_PwlMinEnvelope)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EdgeTravelTimeFunction(benchmark::State& state) {
+  const tdf::Calendar cal = tdf::Calendar::SingleCategory();
+  const tdf::CapeCodPattern pat({tdf::DailySpeedPattern(
+      {{0.0, 1.0}, {tdf::HhMm(7, 0), 0.3}, {tdf::HhMm(10, 0), 1.0},
+       {tdf::HhMm(16, 0), 0.5}, {tdf::HhMm(19, 0), 1.0}})});
+  const tdf::EdgeSpeedView view(&pat, &cal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tdf::EdgeTravelTimeFunction(
+        view, 2.0, tdf::HhMm(6, 30), tdf::HhMm(9, 30)));
+  }
+}
+BENCHMARK(BM_EdgeTravelTimeFunction);
+
+void BM_ExpandPath(benchmark::State& state) {
+  const tdf::Calendar cal = tdf::Calendar::SingleCategory();
+  const tdf::CapeCodPattern pat({tdf::DailySpeedPattern(
+      {{0.0, 1.0}, {tdf::HhMm(7, 0), 0.3}, {tdf::HhMm(10, 0), 1.0}})});
+  const tdf::EdgeSpeedView view(&pat, &cal);
+  const tdf::PwlFunction path = tdf::EdgeTravelTimeFunction(
+      view, 3.0, tdf::HhMm(6, 30), tdf::HhMm(9, 30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tdf::ExpandPath(path, view, 1.5));
+  }
+}
+BENCHMARK(BM_ExpandPath);
+
+void BM_LowerBorderMerge(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<tdf::PwlFunction> candidates;
+  for (int i = 0; i < 64; ++i) {
+    candidates.push_back(RandomFunction(rng, 0.0, 180.0, 12));
+  }
+  for (auto _ : state) {
+    core::LowerBorder border(0.0, 180.0);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      border.Merge(candidates[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(border.pieces().size());
+  }
+}
+BENCHMARK(BM_LowerBorderMerge);
+
+void BM_TravelTimePointQuery(benchmark::State& state) {
+  const tdf::Calendar cal = tdf::Calendar::StandardWeek(0, 1);
+  const tdf::CapeCodPattern pat(
+      {tdf::DailySpeedPattern({{0.0, 1.0}, {tdf::HhMm(7, 0), 0.3},
+                               {tdf::HhMm(10, 0), 1.0}}),
+       tdf::DailySpeedPattern::Constant(1.0)});
+  const tdf::EdgeSpeedView view(&pat, &cal);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 11.7;
+    if (t > 7.0 * tdf::kMinutesPerDay) t = 0.0;
+    benchmark::DoNotOptimize(tdf::TravelTime(view, 2.5, t));
+  }
+}
+BENCHMARK(BM_TravelTimePointQuery);
+
+}  // namespace
+}  // namespace capefp
+
+BENCHMARK_MAIN();

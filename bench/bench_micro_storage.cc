@@ -1,0 +1,128 @@
+// Microbenchmarks for the storage substrate: B+-tree point ops, buffer
+// pool hits, CCAM record fetches, and the Hilbert curve.
+#include <cstdio>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "src/geo/hilbert.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/storage/bplus_tree.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/ccam_builder.h"
+#include "src/storage/ccam_store.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace capefp {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string("/tmp/capefp_micro_") + name + ".db";
+}
+
+void BM_BPlusTreePut(benchmark::State& state) {
+  const std::string path = TempPath("btree_put");
+  auto pager = storage::Pager::Create(path, 2048);
+  CAPEFP_CHECK(pager.ok());
+  storage::BufferPool pool(pager->get(), 512);
+  storage::BPlusTree tree(&pool, storage::kInvalidPage);
+  CAPEFP_CHECK(tree.Init().ok());
+  util::Rng rng(1);
+  for (auto _ : state) {
+    CAPEFP_CHECK(tree.Put(rng.Next() % 1000000, 42).ok());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_BPlusTreePut);
+
+void BM_BPlusTreeGet(benchmark::State& state) {
+  const std::string path = TempPath("btree_get");
+  auto pager = storage::Pager::Create(path, 2048);
+  CAPEFP_CHECK(pager.ok());
+  storage::BufferPool pool(pager->get(), 512);
+  storage::BPlusTree tree(&pool, storage::kInvalidPage);
+  CAPEFP_CHECK(tree.Init().ok());
+  for (uint64_t k = 0; k < 100000; ++k) {
+    CAPEFP_CHECK(tree.Put(k, k).ok());
+  }
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(rng.NextBounded(100000)));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_BPlusTreeGet);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  const std::string path = TempPath("pool_hit");
+  auto pager = storage::Pager::Create(path, 2048);
+  CAPEFP_CHECK(pager.ok());
+  storage::BufferPool pool(pager->get(), 16);
+  auto handle = pool.AllocateAndAcquire();
+  CAPEFP_CHECK(handle.ok());
+  const storage::PageId id = handle->page_id();
+  handle->Release();
+  for (auto _ : state) {
+    auto h = pool.Acquire(id);
+    benchmark::DoNotOptimize(h->data());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+// Shared CCAM fixture for record-fetch benchmarks.
+struct CcamFixture {
+  CcamFixture() {
+    const auto sn =
+        gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+    num_nodes = sn.network.num_nodes();
+    path = TempPath("ccam");
+    CAPEFP_CHECK(storage::BuildCcamFile(sn.network, path, {}).ok());
+    auto opened = storage::CcamStore::Open(path);
+    CAPEFP_CHECK(opened.ok());
+    store = std::move(*opened);
+  }
+  ~CcamFixture() { std::remove(path.c_str()); }
+  std::string path;
+  size_t num_nodes = 0;
+  std::unique_ptr<storage::CcamStore> store;
+};
+
+void BM_CcamFindNodeWarm(benchmark::State& state) {
+  static CcamFixture* fixture = new CcamFixture();
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto node =
+        static_cast<network::NodeId>(rng.NextBounded(fixture->num_nodes));
+    benchmark::DoNotOptimize(fixture->store->FindNode(node));
+  }
+}
+BENCHMARK(BM_CcamFindNodeWarm);
+
+void BM_HilbertXy2D(benchmark::State& state) {
+  util::Rng rng(4);
+  uint32_t x = 0;
+  uint32_t y = 0;
+  for (auto _ : state) {
+    x = (x + 7919) & 0xffff;
+    y = (y + 104729) & 0xffff;
+    benchmark::DoNotOptimize(geo::HilbertXy2D(16, x, y));
+  }
+}
+BENCHMARK(BM_HilbertXy2D);
+
+void BM_CcamBuildSmall(benchmark::State& state) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  const std::string path = TempPath("ccam_build");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::BuildCcamFile(sn.network, path, {}));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CcamBuildSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace capefp
+
+BENCHMARK_MAIN();

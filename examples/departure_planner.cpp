@@ -1,0 +1,112 @@
+// Arrival-interval planning: "I must be at work between 8:45 and 9:00 —
+// when should I leave, and which way should I go?"
+//
+// Demonstrates the reverse (arrival-anchored) variant of the allFP query
+// (§2.1 allows the query interval to constrain the arrival at e), which
+// runs backwards from the target with inverse edge functions.
+//
+//   $ ./examples/departure_planner [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/boundary_estimator.h"
+#include "src/core/reverse_profile_search.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/network/accessor.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace {
+
+using namespace capefp;  // Example code; the library itself never does this.
+
+std::string ClockTime(double minutes) {
+  const int total_seconds = static_cast<int>(minutes * 60.0 + 0.5);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d:%02d:%02d", total_seconds / 3600,
+                (total_seconds / 60) % 60, total_seconds % 60);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21;
+  gen::SuffolkOptions options;
+  options.seed = seed;
+  options.extent_miles = 7.0;
+  options.city_radius_miles = 1.6;
+  options.suburb_spacing_miles = 0.2;
+  options.target_segments = 0;
+  options.num_highways = 6;
+  const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(options);
+  const network::RoadNetwork& net = sn.network;
+
+  // Suburban home, downtown office.
+  util::Rng rng(seed ^ 0x5a5a);
+  network::NodeId home = network::kInvalidNode;
+  network::NodeId office = network::kInvalidNode;
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const auto a = static_cast<network::NodeId>(
+        rng.NextBounded(net.num_nodes()));
+    const double d = geo::EuclideanDistance(net.location(a), sn.city_center);
+    if (home == network::kInvalidNode && d > 1.3 * sn.city_radius_miles) {
+      home = a;
+    } else if (office == network::kInvalidNode &&
+               d < 0.35 * sn.city_radius_miles) {
+      office = a;
+    }
+    if (home != network::kInvalidNode && office != network::kInvalidNode) {
+      break;
+    }
+  }
+  CAPEFP_CHECK(home != network::kInvalidNode &&
+               office != network::kInvalidNode);
+
+  network::InMemoryAccessor accessor(&net);
+  // Reverse searches estimate travel *from the source*, so the estimator is
+  // anchored at `home` with kFromAnchor semantics.
+  const core::BoundaryNodeIndex index(
+      net, {.grid_dim = 8,
+            .mode = core::BoundaryIndexOptions::Mode::kTravelTime});
+  core::BoundaryNodeEstimator estimator(
+      &index, &accessor, home,
+      core::BoundaryNodeEstimator::Direction::kFromAnchor);
+
+  core::ReverseProfileSearch search(&net, &estimator);
+  const double arrive_lo = tdf::HhMm(8, 45);
+  const double arrive_hi = tdf::HhMm(9, 0);
+  std::printf("must arrive at node %d between %s and %s (workday)\n\n",
+              office, ClockTime(arrive_lo).c_str(),
+              ClockTime(arrive_hi).c_str());
+
+  const core::ReverseAllFpResult all =
+      search.RunAllFp({home, office, arrive_lo, arrive_hi});
+  CAPEFP_CHECK(all.found) << "no route found";
+  std::printf("%zu fastest path(s) across the arrival window:\n",
+              all.pieces.size());
+  for (const core::ReverseAllFpPiece& piece : all.pieces) {
+    const double mid = 0.5 * (piece.arrive_lo + piece.arrive_hi);
+    const double travel = all.border->Value(mid);
+    std::printf(
+        "  arrive in [%s, %s]: %2zu-hop route; e.g. arrive %s by leaving "
+        "%s (%.1f min on the road)\n",
+        ClockTime(piece.arrive_lo).c_str(),
+        ClockTime(piece.arrive_hi).c_str(), piece.path.size() - 1,
+        ClockTime(mid).c_str(), ClockTime(mid - travel).c_str(), travel);
+  }
+
+  const core::ReverseSingleFpResult best =
+      search.RunSingleFp({home, office, arrive_lo, arrive_hi});
+  std::printf(
+      "\ncheapest commute in the window: leave %s, arrive %s "
+      "(%.1f min, %lld paths expanded)\n",
+      ClockTime(best.best_leave_time).c_str(),
+      ClockTime(best.best_arrive_time).c_str(), best.best_travel_minutes,
+      static_cast<long long>(best.stats.expansions));
+  std::printf("latest viable departure (arrive %s): leave %s\n",
+              ClockTime(arrive_hi).c_str(),
+              ClockTime(arrive_hi - all.border->Value(arrive_hi)).c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Rush-hour commute planning on a synthetic metropolitan network.
+//
+// Generates a Suffolk-style city (see src/gen), picks a suburb-to-downtown
+// commute, and answers the question of the paper's introduction: "I may
+// leave for work any time between 6am and 8am; please suggest all fastest
+// paths". Also shows what a speed-limit-only navigation system would have
+// recommended and how much that route costs at 8am.
+//
+//   $ ./examples/rush_hour_commute [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/analysis.h"
+#include "src/core/boundary_estimator.h"
+#include "src/core/constant_speed_solver.h"
+#include "src/core/profile_search.h"
+#include "src/core/td_astar.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/network/accessor.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace {
+
+using namespace capefp;  // Example code; the library itself never does this.
+
+std::string ClockTime(double minutes) {
+  const int total_seconds = static_cast<int>(minutes * 60.0 + 0.5);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d:%02d:%02d", total_seconds / 3600,
+                (total_seconds / 60) % 60, total_seconds % 60);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  // A mid-size city (a few thousand nodes) so the example runs in about a
+  // second; use gen::SuffolkOptions{} for the full 14k-node network.
+  gen::SuffolkOptions options;
+  options.seed = seed;
+  options.extent_miles = 7.0;
+  options.city_radius_miles = 1.6;
+  options.suburb_spacing_miles = 0.2;
+  options.target_segments = 0;
+  options.num_highways = 6;
+  const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(options);
+  const network::RoadNetwork& net = sn.network;
+  std::printf("generated city: %zu nodes, %zu road segments\n",
+              net.num_nodes(), net.num_edges() / 2);
+
+  // Pick a commute: a far suburban node to a downtown node.
+  util::Rng rng(seed);
+  network::NodeId home = network::kInvalidNode;
+  network::NodeId work = network::kInvalidNode;
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const auto a = static_cast<network::NodeId>(
+        rng.NextBounded(net.num_nodes()));
+    const double d = geo::EuclideanDistance(net.location(a), sn.city_center);
+    if (home == network::kInvalidNode && d > 1.4 * sn.city_radius_miles) {
+      home = a;
+    } else if (work == network::kInvalidNode &&
+               d < 0.3 * sn.city_radius_miles) {
+      work = a;
+    }
+    if (home != network::kInvalidNode && work != network::kInvalidNode) break;
+  }
+  CAPEFP_CHECK(home != network::kInvalidNode &&
+               work != network::kInvalidNode);
+  std::printf("commute: node %d (suburbs) -> node %d (downtown), %.1f miles "
+              "apart\n\n",
+              home, work,
+              geo::EuclideanDistance(net.location(home), net.location(work)));
+
+  network::InMemoryAccessor accessor(&net);
+
+  // The boundary-node estimator (§5) with travel-time weights.
+  const core::BoundaryNodeIndex index(
+      net, {.grid_dim = 8,
+            .mode = core::BoundaryIndexOptions::Mode::kTravelTime});
+  core::BoundaryNodeEstimator estimator(&index, &accessor, work);
+
+  // allFP: all fastest paths for leaving times 6am-8am on a workday
+  // (spanning the 7:00 rush onset, where the best route changes).
+  core::ProfileSearch search(&accessor, &estimator);
+  const core::AllFpResult all = search.RunAllFp(
+      {home, work, tdf::HhMm(6, 0), tdf::HhMm(8, 0)});
+  CAPEFP_CHECK(all.found);
+  std::printf("allFP 6:00-8:00 (workday): %zu alternative fastest paths, "
+              "%lld paths expanded\n",
+              all.pieces.size(),
+              static_cast<long long>(all.stats.expansions));
+  for (const core::AllFpPiece& piece : all.pieces) {
+    std::printf("  leave [%s, %s): %2zu-hop route, travel %.1f-%.1f min\n",
+                ClockTime(piece.leave_lo).c_str(),
+                ClockTime(piece.leave_hi).c_str(), piece.path.size() - 1,
+                all.border->Restricted(piece.leave_lo, piece.leave_hi)
+                    .MinValue(),
+                all.border->Restricted(piece.leave_lo, piece.leave_hi)
+                    .MaxValue());
+  }
+
+  const core::SingleFpResult single = search.RunSingleFp(
+      {home, work, tdf::HhMm(6, 0), tdf::HhMm(8, 0)});
+  std::printf("\nbest single departure: %s (travel %.1f min)\n",
+              ClockTime(single.best_leave_time).c_str(),
+              single.best_travel_minutes);
+
+  // When is leaving still "almost as good"? (within 10% of the optimum)
+  for (const core::DepartureWindow& window :
+       core::RecommendDepartures(*all.border, 0.10)) {
+    std::printf("  good window: [%s, %s] (worst case %.1f min)\n",
+                ClockTime(window.leave_lo).c_str(),
+                ClockTime(window.leave_hi).c_str(),
+                window.worst_travel_minutes);
+  }
+
+  // What a speed-limit navigation system would do, evaluated at 8:00.
+  const core::ConstantSpeedResult naive_route =
+      core::ConstantSpeedRoute(&accessor, home, work);
+  CAPEFP_CHECK(naive_route.found);
+  const double naive_at_8 =
+      core::EvaluatePathTravelTime(&accessor, naive_route.path,
+                                   tdf::HhMm(8, 0));
+  core::ZeroEstimator zero;
+  const core::TdAStarResult aware_at_8 =
+      core::TdAStar(&accessor, home, work, tdf::HhMm(8, 0), &zero);
+  std::printf("\nat 8:00 sharp: speed-limit route takes %.1f min, "
+              "CapeCod-aware route %.1f min (%.0f%% saved)\n",
+              naive_at_8, aware_at_8.travel_time_minutes,
+              100.0 * (naive_at_8 - aware_at_8.travel_time_minutes) /
+                  naive_at_8);
+  return 0;
+}

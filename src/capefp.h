@@ -1,0 +1,30 @@
+// Umbrella header: the full public API of capefp.
+//
+// Most applications only need this header plus, for custom data,
+// src/network/network_io.h. See README.md for a walkthrough and
+// examples/ for runnable programs.
+#ifndef CAPEFP_CAPEFP_H_
+#define CAPEFP_CAPEFP_H_
+
+#include "src/core/boundary_estimator.h"    // §5 estimator
+#include "src/core/constant_speed_solver.h" // speed-limit baseline
+#include "src/core/discrete_solver.h"       // discrete-time baseline
+#include "src/core/engine.h"                // FastestPathEngine façade
+#include "src/core/estimator.h"             // naive estimator
+#include "src/core/analysis.h"              // departure windows, isochrones
+#include "src/core/hierarchical.h"          // two-level search (§6.1)
+#include "src/core/profile_envelope.h"      // single-source/target profiles
+#include "src/core/profile_search.h"        // IntAllFastestPaths (§4)
+#include "src/core/reverse_profile_search.h"// arrival-interval queries
+#include "src/core/td_astar.h"              // fixed-departure search
+#include "src/gen/random_network.h"         // random test networks
+#include "src/gen/suffolk_generator.h"      // synthetic metropolitan data
+#include "src/gen/table1_schema.h"          // the paper's speed schema
+#include "src/network/network_io.h"         // text interchange format
+#include "src/network/road_network.h"       // the CapeCod network model
+#include "src/storage/ccam_builder.h"       // CCAM page-file builder
+#include "src/storage/ccam_store.h"         // disk store (§2.2)
+#include "src/tdf/speed_pattern.h"          // CapeCod patterns (§2.1)
+#include "src/tdf/travel_time.h"            // travel-time functions (§4.1)
+
+#endif  // CAPEFP_CAPEFP_H_

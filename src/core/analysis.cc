@@ -1,0 +1,76 @@
+#include "src/core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/profile_envelope.h"
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+std::vector<DepartureWindow> RecommendDepartures(
+    const tdf::PwlFunction& border, double slack_fraction) {
+  CAPEFP_CHECK_GE(slack_fraction, 0.0);
+  const double threshold = border.MinValue() * (1.0 + slack_fraction) +
+                           tdf::kTimeEps;
+
+  // Walk the border pieces, cutting at threshold crossings.
+  std::vector<DepartureWindow> windows;
+  const auto& pts = border.breakpoints();
+  auto open_or_extend = [&windows](double lo, double hi, double worst) {
+    if (!windows.empty() &&
+        std::fabs(windows.back().leave_hi - lo) <= tdf::kTimeEps) {
+      windows.back().leave_hi = hi;
+      windows.back().worst_travel_minutes =
+          std::max(windows.back().worst_travel_minutes, worst);
+    } else {
+      windows.push_back({lo, hi, worst});
+    }
+  };
+  if (pts.size() == 1) {
+    if (pts[0].y <= threshold) {
+      windows.push_back({pts[0].x, pts[0].x, pts[0].y});
+    }
+    return windows;
+  }
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const tdf::Breakpoint& a = pts[i];
+    const tdf::Breakpoint& b = pts[i + 1];
+    const bool a_in = a.y <= threshold;
+    const bool b_in = b.y <= threshold;
+    if (a_in && b_in) {
+      open_or_extend(a.x, b.x, std::max(a.y, b.y));
+    } else if (a_in != b_in) {
+      // One threshold crossing inside the piece.
+      const double t = (threshold - a.y) / (b.y - a.y);
+      const double cross = a.x + t * (b.x - a.x);
+      if (a_in) {
+        open_or_extend(a.x, cross, threshold);
+      } else {
+        open_or_extend(cross, b.x, threshold);
+      }
+    }
+  }
+  return windows;
+}
+
+Isochrone ComputeIsochrone(const network::RoadNetwork& network,
+                           network::NodeId source, double window_lo,
+                           double window_hi, double budget_minutes) {
+  CAPEFP_CHECK_GE(budget_minutes, 0.0);
+  const auto envelopes =
+      SingleSourceProfile(network, source, window_lo, window_hi);
+  Isochrone result;
+  for (const auto& [node, envelope] : envelopes) {
+    if (envelope.MaxValue() <= budget_minutes + tdf::kTimeEps) {
+      result.always.push_back(node);
+    } else if (envelope.MinValue() <= budget_minutes + tdf::kTimeEps) {
+      result.sometimes.push_back(node);
+    }
+  }
+  std::sort(result.always.begin(), result.always.end());
+  std::sort(result.sometimes.begin(), result.sometimes.end());
+  return result;
+}
+
+}  // namespace capefp::core

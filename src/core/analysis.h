@@ -1,0 +1,47 @@
+// Decision-support helpers on top of the profile queries — the answers an
+// application actually shows a driver once it has the lower border.
+#ifndef CAPEFP_CORE_ANALYSIS_H_
+#define CAPEFP_CORE_ANALYSIS_H_
+
+#include <vector>
+
+#include "src/network/road_network.h"
+#include "src/tdf/pwl_function.h"
+
+namespace capefp::core {
+
+// A maximal stretch of departure times whose travel time stays within a
+// tolerance of the global optimum.
+struct DepartureWindow {
+  double leave_lo = 0.0;
+  double leave_hi = 0.0;
+  // Worst travel time inside the window, in minutes.
+  double worst_travel_minutes = 0.0;
+};
+
+// Given an allFP lower border, returns the maximal sub-intervals where the
+// travel time is within `slack_fraction` of the border minimum (e.g. 0.1 =
+// at most 10% slower than the best possible departure). Windows are
+// disjoint, ordered, and non-empty (the ArgMin always qualifies).
+std::vector<DepartureWindow> RecommendDepartures(
+    const tdf::PwlFunction& border, double slack_fraction);
+
+// Reachability classification for an isochrone query.
+struct Isochrone {
+  // Nodes whose fastest travel time is <= budget for EVERY departure in
+  // the window (guaranteed reachable in time).
+  std::vector<network::NodeId> always;
+  // Nodes reachable within budget for SOME departure but not all.
+  std::vector<network::NodeId> sometimes;
+};
+
+// "Where can I be within `budget_minutes`, leaving between window_lo and
+// window_hi?" — classifies every node of `network` using single-source
+// profile envelopes. Both vectors are sorted by node id.
+Isochrone ComputeIsochrone(const network::RoadNetwork& network,
+                           network::NodeId source, double window_lo,
+                           double window_hi, double budget_minutes);
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_ANALYSIS_H_

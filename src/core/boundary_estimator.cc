@@ -1,0 +1,234 @@
+#include "src/core/boundary_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using network::EdgeId;
+using network::NodeId;
+using network::RoadNetwork;
+
+// Min-heap entry for the Dijkstra sweeps.
+struct HeapEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const HeapEntry& o) const { return dist > o.dist; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+double BoundaryNodeIndex::EdgeWeight(const RoadNetwork& net,
+                                     EdgeId edge) const {
+  return options_.mode == BoundaryIndexOptions::Mode::kDistance
+             ? net.edge(edge).distance_miles
+             : net.MinEdgeTravelTime(edge);
+}
+
+BoundaryNodeIndex::BoundaryNodeIndex(const RoadNetwork& net,
+                                     const BoundaryIndexOptions& options)
+    : options_(options), vmax_(net.max_speed()) {
+  CAPEFP_CHECK_GE(options.grid_dim, 1);
+  const size_t n = net.num_nodes();
+  CAPEFP_CHECK_GT(n, 0u);
+  const int g = options_.grid_dim;
+  num_cells_ = g * g;
+
+  // --- Cell assignment.
+  cell_of_.resize(n);
+  const geo::BoundingBox& box = net.bounding_box();
+  const double w = std::max(box.width(), 1e-12);
+  const double h = std::max(box.height(), 1e-12);
+  for (size_t i = 0; i < n; ++i) {
+    const geo::Point& p = net.location(static_cast<NodeId>(i));
+    const int cx = std::clamp(
+        static_cast<int>((p.x - box.lo().x) / w * g), 0, g - 1);
+    const int cy = std::clamp(
+        static_cast<int>((p.y - box.lo().y) / h * g), 0, g - 1);
+    cell_of_[i] = cy * g + cx;
+  }
+
+  // --- Boundary detection.
+  std::vector<bool> is_exit(n, false);
+  std::vector<bool> is_entry(n, false);
+  for (size_t e = 0; e < net.num_edges(); ++e) {
+    const network::Edge& edge = net.edge(static_cast<EdgeId>(e));
+    if (cell_of_[static_cast<size_t>(edge.from)] !=
+        cell_of_[static_cast<size_t>(edge.to)]) {
+      is_exit[static_cast<size_t>(edge.from)] = true;
+      is_entry[static_cast<size_t>(edge.to)] = true;
+    }
+  }
+  std::vector<std::vector<NodeId>> exits(static_cast<size_t>(num_cells_));
+  std::vector<std::vector<NodeId>> entries(static_cast<size_t>(num_cells_));
+  for (size_t i = 0; i < n; ++i) {
+    if (is_exit[i]) {
+      exits[static_cast<size_t>(cell_of_[i])].push_back(
+          static_cast<NodeId>(i));
+      ++num_exit_boundaries_;
+    }
+    if (is_entry[i]) {
+      entries[static_cast<size_t>(cell_of_[i])].push_back(
+          static_cast<NodeId>(i));
+      ++num_entry_boundaries_;
+    }
+  }
+
+  // --- (3) Within-cell multi-source sweeps.
+  to_exit_.assign(n, kInf);
+  from_entry_.assign(n, kInf);
+  {
+    // to_exit_: Dijkstra over reversed within-cell edges from all exits.
+    MinHeap heap;
+    for (size_t i = 0; i < n; ++i) {
+      if (is_exit[i]) {
+        to_exit_[i] = 0.0;
+        heap.push({0.0, static_cast<NodeId>(i)});
+      }
+    }
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      if (top.dist > to_exit_[static_cast<size_t>(top.node)]) continue;
+      for (EdgeId e : net.InEdges(top.node)) {
+        const network::Edge& edge = net.edge(e);
+        if (cell_of_[static_cast<size_t>(edge.from)] !=
+            cell_of_[static_cast<size_t>(edge.to)]) {
+          continue;  // Within-cell restriction.
+        }
+        const double nd = top.dist + EdgeWeight(net, e);
+        if (nd < to_exit_[static_cast<size_t>(edge.from)]) {
+          to_exit_[static_cast<size_t>(edge.from)] = nd;
+          heap.push({nd, edge.from});
+        }
+      }
+    }
+  }
+  {
+    // from_entry_: forward within-cell Dijkstra from all entries.
+    MinHeap heap;
+    for (size_t i = 0; i < n; ++i) {
+      if (is_entry[i]) {
+        from_entry_[i] = 0.0;
+        heap.push({0.0, static_cast<NodeId>(i)});
+      }
+    }
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      if (top.dist > from_entry_[static_cast<size_t>(top.node)]) continue;
+      for (EdgeId e : net.OutEdges(top.node)) {
+        const network::Edge& edge = net.edge(e);
+        if (cell_of_[static_cast<size_t>(edge.from)] !=
+            cell_of_[static_cast<size_t>(edge.to)]) {
+          continue;
+        }
+        const double nd = top.dist + EdgeWeight(net, e);
+        if (nd < from_entry_[static_cast<size_t>(edge.to)]) {
+          from_entry_[static_cast<size_t>(edge.to)] = nd;
+          heap.push({nd, edge.to});
+        }
+      }
+    }
+  }
+
+  // --- (2) Cell-pair table: one full-graph multi-source Dijkstra per cell
+  // with exit boundaries.
+  cell_pair_.assign(static_cast<size_t>(num_cells_) * num_cells_, kInf);
+  std::vector<double> dist(n);
+  for (int c = 0; c < num_cells_; ++c) {
+    const auto& sources = exits[static_cast<size_t>(c)];
+    if (sources.empty()) continue;
+    std::fill(dist.begin(), dist.end(), kInf);
+    MinHeap heap;
+    for (NodeId s : sources) {
+      dist[static_cast<size_t>(s)] = 0.0;
+      heap.push({0.0, s});
+    }
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      if (top.dist > dist[static_cast<size_t>(top.node)]) continue;
+      for (EdgeId e : net.OutEdges(top.node)) {
+        const network::Edge& edge = net.edge(e);
+        const double nd = top.dist + EdgeWeight(net, e);
+        if (nd < dist[static_cast<size_t>(edge.to)]) {
+          dist[static_cast<size_t>(edge.to)] = nd;
+          heap.push({nd, edge.to});
+        }
+      }
+    }
+    double* row = &cell_pair_[static_cast<size_t>(c) * num_cells_];
+    for (size_t i = 0; i < n; ++i) {
+      if (is_entry[i] && dist[i] < row[cell_of_[i]]) {
+        row[cell_of_[i]] = dist[i];
+      }
+    }
+  }
+}
+
+int BoundaryNodeIndex::CellOf(NodeId node) const {
+  CAPEFP_CHECK_GE(node, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(node), cell_of_.size());
+  return cell_of_[static_cast<size_t>(node)];
+}
+
+double BoundaryNodeIndex::LowerBoundMinutes(NodeId from, NodeId to) const {
+  const int c_from = CellOf(from);
+  const int c_to = CellOf(to);
+  if (c_from == c_to) return 0.0;
+  const double head = to_exit_[static_cast<size_t>(from)];
+  const double middle =
+      cell_pair_[static_cast<size_t>(c_from) * num_cells_ + c_to];
+  const double tail = from_entry_[static_cast<size_t>(to)];
+  if (std::isinf(head) || std::isinf(middle) || std::isinf(tail)) {
+    // Unreachable under the bound's assumptions (e.g. isolated cell);
+    // fall back to the trivial bound.
+    return 0.0;
+  }
+  const double bound = head + middle + tail;
+  return options_.mode == BoundaryIndexOptions::Mode::kDistance
+             ? bound / vmax_
+             : bound;
+}
+
+BoundaryNodeEstimator::BoundaryNodeEstimator(const BoundaryNodeIndex* index,
+                                             network::NetworkAccessor* accessor,
+                                             network::NodeId anchor,
+                                             Direction direction)
+    : index_(index),
+      accessor_(accessor),
+      anchor_(anchor),
+      direction_(direction),
+      anchor_location_(accessor->Location(anchor)),
+      vmax_(accessor->max_speed()) {
+  CAPEFP_CHECK(index != nullptr);
+  CAPEFP_CHECK_GT(vmax_, 0.0);
+}
+
+double BoundaryNodeEstimator::Estimate(network::NodeId node) {
+  const auto it = cache_.find(node);
+  if (it != cache_.end()) return it->second;
+  const double euclid =
+      geo::EuclideanDistance(accessor_->Location(node), anchor_location_) /
+      vmax_;
+  const double boundary = direction_ == Direction::kToAnchor
+                              ? index_->LowerBoundMinutes(node, anchor_)
+                              : index_->LowerBoundMinutes(anchor_, node);
+  const double estimate = std::max(euclid, boundary);
+  cache_.emplace(node, estimate);
+  return estimate;
+}
+
+}  // namespace capefp::core

@@ -1,0 +1,113 @@
+// The boundary-node lower-bound estimator of §5.
+//
+// Precomputation over a g×g spatial grid (the "non-overlapping cells"):
+//  (1) boundary nodes: nodes incident to an edge crossing cells — split
+//      into exit boundaries (tail of a crossing out-edge) and entry
+//      boundaries (head of a crossing in-edge) for a directed-graph-tight
+//      bound;
+//  (2) per cell pair (C1, C2): the smallest shortest-path weight from any
+//      exit boundary of C1 to any entry boundary of C2 (full-graph
+//      multi-source Dijkstra per cell);
+//  (3) per node: weight to its cell's nearest exit boundary and from its
+//      cell's nearest entry boundary, computed with Dijkstras restricted to
+//      within-cell edges (valid: the prefix of any escaping path up to its
+//      first exit boundary stays inside the cell, and symmetrically for the
+//      suffix).
+// Query (Theorem 1):  lb(n, e) = toExit(n) + cellPair(C_n, C_e) + fromEntry(e),
+// with a fallback to 0 when the nodes share a cell.
+//
+// Edge weights are either distances in miles (kDistance — the paper's
+// presentation; converted to time by dividing by v_max) or per-edge minimum
+// travel times in minutes (kTravelTime — the "extension to travel time" the
+// paper omits for space; tighter because each edge uses its own best
+// speed).
+//
+// The final estimate is max(boundary bound, Euclidean bound): a max of
+// lower bounds is a lower bound.
+#ifndef CAPEFP_CORE_BOUNDARY_ESTIMATOR_H_
+#define CAPEFP_CORE_BOUNDARY_ESTIMATOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/network/road_network.h"
+
+namespace capefp::core {
+
+struct BoundaryIndexOptions {
+  // Grid dimension g (g*g cells over the network bounding box).
+  int grid_dim = 16;
+  enum class Mode {
+    kDistance,    // Miles; estimate = bound / v_max.
+    kTravelTime,  // Minutes; estimate = bound directly.
+  };
+  Mode mode = Mode::kDistance;
+};
+
+// Precomputed per-network structure; build once, share across queries
+// (thread-safe reads).
+class BoundaryNodeIndex {
+ public:
+  BoundaryNodeIndex(const network::RoadNetwork& network,
+                    const BoundaryIndexOptions& options = {});
+
+  // Lower bound (in minutes) on the fastest travel time from `from` to
+  // `to`, at any departure instant. Returns 0 when the nodes share a cell.
+  double LowerBoundMinutes(network::NodeId from, network::NodeId to) const;
+
+  int CellOf(network::NodeId node) const;
+  size_t num_exit_boundaries() const { return num_exit_boundaries_; }
+  size_t num_entry_boundaries() const { return num_entry_boundaries_; }
+  int grid_dim() const { return options_.grid_dim; }
+  BoundaryIndexOptions::Mode mode() const { return options_.mode; }
+
+ private:
+  double EdgeWeight(const network::RoadNetwork& network,
+                    network::EdgeId edge) const;
+
+  BoundaryIndexOptions options_;
+  double vmax_;
+  std::vector<int> cell_of_;
+  // to_exit_[n]: weight of n -> nearest exit boundary of n's cell.
+  std::vector<double> to_exit_;
+  // from_entry_[n]: weight of nearest entry boundary of n's cell -> n.
+  std::vector<double> from_entry_;
+  // cell_pair_[c1 * cells + c2]: min weight exit(c1) -> entry(c2).
+  std::vector<double> cell_pair_;
+  int num_cells_ = 0;
+  size_t num_exit_boundaries_ = 0;
+  size_t num_entry_boundaries_ = 0;
+};
+
+// Per-query estimator combining the boundary bound with the Euclidean one
+// (bdLB in the experiments).
+class BoundaryNodeEstimator : public TravelTimeEstimator {
+ public:
+  enum class Direction {
+    kToAnchor,    // Estimate(node) bounds node ⇒ anchor (forward search).
+    kFromAnchor,  // Estimate(node) bounds anchor ⇒ node (reverse search).
+  };
+
+  // `index` and `accessor` must outlive the estimator.
+  BoundaryNodeEstimator(const BoundaryNodeIndex* index,
+                        network::NetworkAccessor* accessor,
+                        network::NodeId anchor,
+                        Direction direction = Direction::kToAnchor);
+
+  double Estimate(network::NodeId node) override;
+
+ private:
+  const BoundaryNodeIndex* index_;
+  network::NetworkAccessor* accessor_;
+  network::NodeId anchor_;
+  Direction direction_;
+  geo::Point anchor_location_;
+  double vmax_;
+  std::unordered_map<network::NodeId, double> cache_;
+};
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_BOUNDARY_ESTIMATOR_H_

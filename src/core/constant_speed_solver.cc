@@ -1,0 +1,85 @@
+#include "src/core/constant_speed_solver.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+namespace {
+
+using network::NeighborEdge;
+using network::NodeId;
+
+struct QueueEntry {
+  double priority;
+  double cost;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+};
+
+}  // namespace
+
+ConstantSpeedResult ConstantSpeedRoute(network::NetworkAccessor* accessor,
+                                       NodeId source, NodeId target,
+                                       EdgeSpeedAssumption assumption) {
+  CAPEFP_CHECK(accessor != nullptr);
+  if (!assumption) {
+    assumption = [accessor](const NeighborEdge& edge) {
+      return accessor->Pattern(edge.pattern).max_speed();
+    };
+  }
+  ConstantSpeedResult result;
+  const double vmax = accessor->max_speed();
+  const geo::Point target_loc = accessor->Location(target);
+
+  std::unordered_map<NodeId, double> best;
+  std::unordered_map<NodeId, NodeId> parent;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  best[source] = 0.0;
+  queue.push({geo::EuclideanDistance(accessor->Location(source), target_loc) /
+                  vmax,
+              0.0, source});
+
+  std::vector<NeighborEdge> neighbors;
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    auto it = best.find(top.node);
+    if (it != best.end() && top.cost > it->second + 1e-12) continue;
+    ++result.expanded_nodes;
+    if (top.node == target) {
+      result.found = true;
+      result.assumed_travel_minutes = top.cost;
+      NodeId at = target;
+      result.path.push_back(at);
+      while (at != source) {
+        at = parent.at(at);
+        result.path.push_back(at);
+      }
+      std::reverse(result.path.begin(), result.path.end());
+      return result;
+    }
+    accessor->GetSuccessors(top.node, &neighbors);
+    for (const NeighborEdge& edge : neighbors) {
+      const double speed = assumption(edge);
+      CAPEFP_CHECK_GT(speed, 0.0);
+      const double cost = top.cost + edge.distance_miles / speed;
+      auto b = best.find(edge.to);
+      if (b == best.end() || cost < b->second - 1e-12) {
+        best[edge.to] = cost;
+        parent[edge.to] = top.node;
+        const double estimate =
+            geo::EuclideanDistance(accessor->Location(edge.to), target_loc) /
+            vmax;
+        queue.push({cost + estimate, cost, edge.to});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace capefp::core

@@ -1,0 +1,41 @@
+// The "commercial navigation system" baseline of §6.
+//
+// MapQuest-style routing assumes every segment moves at its speed limit,
+// so the route ignores the departure time. This solver computes that
+// static route (A* over constant per-edge costs) and exposes it so callers
+// can evaluate its *actual* travel time under the true CapeCod patterns —
+// the comparison behind the paper's "CapeCod gives ≈50% travel-time
+// improvement during rush hours" claim.
+#ifndef CAPEFP_CORE_CONSTANT_SPEED_SOLVER_H_
+#define CAPEFP_CORE_CONSTANT_SPEED_SOLVER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/network/accessor.h"
+
+namespace capefp::core {
+
+// Assumed constant speed (miles/minute) for an edge; must be positive.
+// The default uses the edge pattern's maximum speed — the "speed limit".
+using EdgeSpeedAssumption =
+    std::function<double(const network::NeighborEdge&)>;
+
+struct ConstantSpeedResult {
+  bool found = false;
+  std::vector<network::NodeId> path;
+  // Travel time predicted by the constant-speed assumption (minutes).
+  double assumed_travel_minutes = 0.0;
+  int64_t expanded_nodes = 0;
+};
+
+// Static fastest path under `assumption` (nullptr → pattern max speed).
+ConstantSpeedResult ConstantSpeedRoute(network::NetworkAccessor* accessor,
+                                       network::NodeId source,
+                                       network::NodeId target,
+                                       EdgeSpeedAssumption assumption =
+                                           nullptr);
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_CONSTANT_SPEED_SOLVER_H_

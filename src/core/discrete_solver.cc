@@ -1,0 +1,69 @@
+#include "src/core/discrete_solver.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+namespace {
+
+// "Pose a query every step_minutes" (§6.3): instants lo, lo+step, ... in
+// the half-open interval [lo, hi). This is what makes the discrete model
+// inaccurate — the fastest departure can fall between (or after) the
+// samples. A degenerate interval yields the single instant lo.
+std::vector<double> SampleInstants(const DiscreteQuery& query) {
+  CAPEFP_CHECK_GT(query.step_minutes, 0.0);
+  CAPEFP_CHECK_LE(query.leave_lo, query.leave_hi);
+  std::vector<double> instants;
+  if (query.leave_hi - query.leave_lo <= 1e-9) {
+    instants.push_back(query.leave_lo);
+    return instants;
+  }
+  for (double t = query.leave_lo; t < query.leave_hi - 1e-9;
+       t += query.step_minutes) {
+    instants.push_back(t);
+  }
+  return instants;
+}
+
+}  // namespace
+
+DiscreteSingleFpResult DiscreteSingleFp(network::NetworkAccessor* accessor,
+                                        TravelTimeEstimator* estimator,
+                                        const DiscreteQuery& query) {
+  DiscreteSingleFpResult result;
+  for (double t : SampleInstants(query)) {
+    TdAStarResult probe =
+        TdAStar(accessor, query.source, query.target, t, estimator);
+    ++result.num_probes;
+    result.expanded_nodes += probe.expanded_nodes;
+    if (!probe.found) continue;
+    if (!result.found ||
+        probe.travel_time_minutes < result.best_travel_minutes) {
+      result.found = true;
+      result.best_travel_minutes = probe.travel_time_minutes;
+      result.best_leave_time = t;
+      result.path = std::move(probe.path);
+    }
+  }
+  return result;
+}
+
+DiscreteAllFpResult DiscreteAllFp(network::NetworkAccessor* accessor,
+                                  TravelTimeEstimator* estimator,
+                                  const DiscreteQuery& query) {
+  DiscreteAllFpResult result;
+  for (double t : SampleInstants(query)) {
+    TdAStarResult probe =
+        TdAStar(accessor, query.source, query.target, t, estimator);
+    result.expanded_nodes += probe.expanded_nodes;
+    if (!probe.found) continue;
+    result.found = true;
+    result.probes.push_back(
+        {t, probe.travel_time_minutes, std::move(probe.path)});
+  }
+  return result;
+}
+
+}  // namespace capefp::core

@@ -1,0 +1,67 @@
+// The discrete-time baseline of §3 / §6.3.
+//
+// Discretizes the query interval into instants `step_minutes` apart and
+// runs one time-dependent A* per instant. Its singleFP answer converges to
+// the continuous one as the step shrinks, but the query cost grows in
+// 1/step — the trade-off Figure 10 quantifies.
+#ifndef CAPEFP_CORE_DISCRETE_SOLVER_H_
+#define CAPEFP_CORE_DISCRETE_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/core/td_astar.h"
+#include "src/network/accessor.h"
+
+namespace capefp::core {
+
+struct DiscreteQuery {
+  network::NodeId source = network::kInvalidNode;
+  network::NodeId target = network::kInvalidNode;
+  double leave_lo = 0.0;
+  double leave_hi = 0.0;
+  // Discretization step (the paper sweeps 1 h, 10 min, 1 min, 10 s).
+  double step_minutes = 1.0;
+};
+
+struct DiscreteSingleFpResult {
+  bool found = false;
+  std::vector<network::NodeId> path;
+  double best_leave_time = 0.0;
+  double best_travel_minutes = 0.0;
+  // Number of A* invocations (time instants probed).
+  int64_t num_probes = 0;
+  // Total expanded nodes across all probes.
+  int64_t expanded_nodes = 0;
+};
+
+// One sampled instant of the discrete allFP approximation.
+struct DiscreteProbe {
+  double leave_time = 0.0;
+  double travel_minutes = 0.0;
+  std::vector<network::NodeId> path;
+};
+
+struct DiscreteAllFpResult {
+  bool found = false;
+  std::vector<DiscreteProbe> probes;
+  int64_t expanded_nodes = 0;
+};
+
+// Best single departure among the sampled instants lo, lo+step, ... in the
+// half-open interval [lo, hi) — "pose a query every step" (§6.3).
+// `estimator` must be anchored at query.target and is shared across probes.
+DiscreteSingleFpResult DiscreteSingleFp(network::NetworkAccessor* accessor,
+                                        TravelTimeEstimator* estimator,
+                                        const DiscreteQuery& query);
+
+// Fastest path per sampled instant — the discrete allFP approximation
+// (what happens between samples is unknown, §3).
+DiscreteAllFpResult DiscreteAllFp(network::NetworkAccessor* accessor,
+                                  TravelTimeEstimator* estimator,
+                                  const DiscreteQuery& query);
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_DISCRETE_SOLVER_H_

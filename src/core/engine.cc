@@ -1,0 +1,106 @@
+#include "src/core/engine.h"
+
+#include <utility>
+
+#include "src/storage/ccam_builder.h"
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+FastestPathEngine::FastestPathEngine(const network::RoadNetwork* network,
+                                     const EngineOptions& options)
+    : network_(network), options_(options) {
+  memory_accessor_.emplace(network);
+}
+
+util::StatusOr<std::unique_ptr<FastestPathEngine>> FastestPathEngine::Create(
+    const network::RoadNetwork* network, const EngineOptions& options) {
+  CAPEFP_CHECK(network != nullptr);
+  auto engine = std::unique_ptr<FastestPathEngine>(
+      new FastestPathEngine(network, options));
+
+  if (options.estimator != EngineOptions::EstimatorKind::kNaive) {
+    BoundaryIndexOptions index_options;
+    index_options.grid_dim = options.boundary_grid_dim;
+    index_options.mode =
+        options.estimator == EngineOptions::EstimatorKind::kBoundaryDistance
+            ? BoundaryIndexOptions::Mode::kDistance
+            : BoundaryIndexOptions::Mode::kTravelTime;
+    engine->boundary_index_.emplace(*network, index_options);
+  }
+
+  if (!options.ccam_path.empty()) {
+    storage::CcamBuildOptions build;
+    build.page_size = options.ccam_page_size;
+    auto report =
+        storage::BuildCcamFile(*network, options.ccam_path, build);
+    if (!report.ok()) return report.status();
+    storage::CcamOpenOptions open;
+    open.buffer_pool_pages = options.ccam_buffer_pool_pages;
+    auto store = storage::CcamStore::Open(options.ccam_path, open);
+    if (!store.ok()) return store.status();
+    engine->store_ = std::move(*store);
+    engine->disk_accessor_.emplace(engine->store_.get());
+  }
+  return engine;
+}
+
+std::unique_ptr<TravelTimeEstimator> FastestPathEngine::MakeEstimator(
+    network::NodeId anchor, BoundaryNodeEstimator::Direction direction) {
+  if (boundary_index_.has_value()) {
+    return std::make_unique<BoundaryNodeEstimator>(&*boundary_index_,
+                                                   accessor(), anchor,
+                                                   direction);
+  }
+  return std::make_unique<EuclideanEstimator>(accessor(), anchor);
+}
+
+AllFpResult FastestPathEngine::AllFastestPaths(const ProfileQuery& query) {
+  auto estimator =
+      MakeEstimator(query.target, BoundaryNodeEstimator::Direction::kToAnchor);
+  ProfileSearch search(accessor(), estimator.get(), options_.search);
+  return search.RunAllFp(query);
+}
+
+SingleFpResult FastestPathEngine::SingleFastestPath(
+    const ProfileQuery& query) {
+  auto estimator =
+      MakeEstimator(query.target, BoundaryNodeEstimator::Direction::kToAnchor);
+  ProfileSearch search(accessor(), estimator.get(), options_.search);
+  return search.RunSingleFp(query);
+}
+
+ReverseAllFpResult FastestPathEngine::ArrivalAllFastestPaths(
+    const ReverseProfileQuery& query) {
+  auto estimator = MakeEstimator(
+      query.source, BoundaryNodeEstimator::Direction::kFromAnchor);
+  ReverseProfileSearch search(network_, estimator.get(), options_.search);
+  return search.RunAllFp(query);
+}
+
+ReverseSingleFpResult FastestPathEngine::ArrivalSingleFastestPath(
+    const ReverseProfileQuery& query) {
+  auto estimator = MakeEstimator(
+      query.source, BoundaryNodeEstimator::Direction::kFromAnchor);
+  ReverseProfileSearch search(network_, estimator.get(), options_.search);
+  return search.RunSingleFp(query);
+}
+
+TdAStarResult FastestPathEngine::FastestPathAt(network::NodeId source,
+                                               network::NodeId target,
+                                               double leave_time) {
+  auto estimator =
+      MakeEstimator(target, BoundaryNodeEstimator::Direction::kToAnchor);
+  return TdAStar(accessor(), source, target, leave_time, estimator.get());
+}
+
+std::optional<storage::CcamStats> FastestPathEngine::storage_stats() const {
+  if (store_ == nullptr) return std::nullopt;
+  return store_->stats();
+}
+
+void FastestPathEngine::ResetStorageStats() {
+  if (store_ != nullptr) store_->ResetStats();
+}
+
+}  // namespace capefp::core

@@ -1,0 +1,101 @@
+// FastestPathEngine — the batteries-included entry point.
+//
+// Bundles the pieces a downstream application needs for the paper's
+// queries: estimator precomputation, the profile searches (forward and
+// arrival-anchored), fixed-departure A*, and optionally a CCAM page file so
+// queries run disk-backed with I/O accounting. Lower-level control remains
+// available through the individual headers; the engine only composes them.
+//
+//   auto engine = core::FastestPathEngine::Create(&network, {});
+//   auto all = (*engine)->AllFastestPaths({s, t, HhMm(7,0), HhMm(9,0)});
+#ifndef CAPEFP_CORE_ENGINE_H_
+#define CAPEFP_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/boundary_estimator.h"
+#include "src/core/profile_search.h"
+#include "src/core/reverse_profile_search.h"
+#include "src/core/td_astar.h"
+#include "src/network/accessor.h"
+#include "src/storage/ccam_accessor.h"
+#include "src/storage/ccam_store.h"
+#include "src/util/status.h"
+
+namespace capefp::core {
+
+struct EngineOptions {
+  enum class EstimatorKind {
+    kNaive,                // Euclidean / v_max (§4).
+    kBoundaryDistance,     // §5, distance weights.
+    kBoundaryTravelTime,   // §5, per-edge min-travel-time weights (default).
+  };
+  EstimatorKind estimator = EstimatorKind::kBoundaryTravelTime;
+  int boundary_grid_dim = 32;
+
+  ProfileSearchOptions search;
+
+  // When non-empty, a CCAM page file is built at this path (overwriting)
+  // and forward queries run through it; page-fault statistics become
+  // available via storage_stats().
+  std::string ccam_path;
+  uint32_t ccam_page_size = 2048;
+  size_t ccam_buffer_pool_pages = 256;
+};
+
+class FastestPathEngine {
+ public:
+  // `network` must outlive the engine. Builds the estimator index (and the
+  // CCAM file if requested) eagerly.
+  static util::StatusOr<std::unique_ptr<FastestPathEngine>> Create(
+      const network::RoadNetwork* network, const EngineOptions& options = {});
+
+  // Time-interval queries (§4). Leaving times in minutes from midnight of
+  // day 0 of the network calendar.
+  AllFpResult AllFastestPaths(const ProfileQuery& query);
+  SingleFpResult SingleFastestPath(const ProfileQuery& query);
+
+  // Arrival-interval variants (§2.1). Always in-memory (the CCAM store has
+  // no predecessor lists).
+  ReverseAllFpResult ArrivalAllFastestPaths(const ReverseProfileQuery& query);
+  ReverseSingleFpResult ArrivalSingleFastestPath(
+      const ReverseProfileQuery& query);
+
+  // Fixed-departure fastest path (the degenerate single-instant case).
+  TdAStarResult FastestPathAt(network::NodeId source, network::NodeId target,
+                              double leave_time);
+
+  // Storage statistics; nullopt when running purely in memory.
+  std::optional<storage::CcamStats> storage_stats() const;
+  void ResetStorageStats();
+
+  bool disk_backed() const { return store_ != nullptr; }
+  const network::RoadNetwork& road_network() const { return *network_; }
+
+ private:
+  FastestPathEngine(const network::RoadNetwork* network,
+                    const EngineOptions& options);
+
+  // Builds the per-query estimator anchored at `anchor`.
+  std::unique_ptr<TravelTimeEstimator> MakeEstimator(
+      network::NodeId anchor, BoundaryNodeEstimator::Direction direction);
+
+  network::NetworkAccessor* accessor() {
+    return store_ != nullptr
+               ? static_cast<network::NetworkAccessor*>(&*disk_accessor_)
+               : &*memory_accessor_;
+  }
+
+  const network::RoadNetwork* network_;
+  EngineOptions options_;
+  std::optional<network::InMemoryAccessor> memory_accessor_;
+  std::optional<BoundaryNodeIndex> boundary_index_;
+  std::unique_ptr<storage::CcamStore> store_;
+  std::optional<storage::CcamAccessor> disk_accessor_;
+};
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_ENGINE_H_

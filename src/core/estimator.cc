@@ -1,0 +1,25 @@
+#include "src/core/estimator.h"
+
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+EuclideanEstimator::EuclideanEstimator(network::NetworkAccessor* accessor,
+                                       network::NodeId anchor)
+    : accessor_(accessor),
+      anchor_location_(accessor->Location(anchor)),
+      vmax_(accessor->max_speed()) {
+  CAPEFP_CHECK_GT(vmax_, 0.0);
+}
+
+double EuclideanEstimator::Estimate(network::NodeId node) {
+  const auto it = cache_.find(node);
+  if (it != cache_.end()) return it->second;
+  const double estimate =
+      geo::EuclideanDistance(accessor_->Location(node), anchor_location_) /
+      vmax_;
+  cache_.emplace(node, estimate);
+  return estimate;
+}
+
+}  // namespace capefp::core

@@ -1,0 +1,59 @@
+// Lower-bound travel-time estimators (§4 naive, §5 boundary-node).
+//
+// A* correctness requires the estimate to lower-bound the true travel time
+// for every leaving instant (§1). Both estimators here are time-independent
+// scalars per node: the naive one divides the Euclidean distance by the
+// network's maximum speed; the boundary-node one (boundary_estimator.h)
+// adds a precomputed graph-distance bound.
+#ifndef CAPEFP_CORE_ESTIMATOR_H_
+#define CAPEFP_CORE_ESTIMATOR_H_
+
+#include <unordered_map>
+
+#include "src/network/accessor.h"
+
+namespace capefp::core {
+
+// Estimates, for a fixed anchor node, a lower bound on the travel time (in
+// minutes) between `node` and the anchor, valid for every departure
+// instant. Forward searches anchor at the query target (estimate of
+// node ⇒ target); reverse searches anchor at the source (source ⇒ node).
+//
+// Implementations may cache per-node results; one estimator instance serves
+// one query.
+class TravelTimeEstimator {
+ public:
+  virtual ~TravelTimeEstimator() = default;
+
+  // Must return 0 for the anchor itself and never exceed the true fastest
+  // travel time.
+  virtual double Estimate(network::NodeId node) = 0;
+};
+
+// The paper's naive estimator (naiveLB): Euclidean distance to the anchor
+// divided by the maximum speed in the network.
+class EuclideanEstimator : public TravelTimeEstimator {
+ public:
+  // `accessor` must outlive the estimator.
+  EuclideanEstimator(network::NetworkAccessor* accessor,
+                     network::NodeId anchor);
+
+  double Estimate(network::NodeId node) override;
+
+ private:
+  network::NetworkAccessor* accessor_;
+  geo::Point anchor_location_;
+  double vmax_;
+  std::unordered_map<network::NodeId, double> cache_;
+};
+
+// Trivial estimator (always 0) — degrades A* to Dijkstra; used as an
+// ablation baseline and by tests.
+class ZeroEstimator : public TravelTimeEstimator {
+ public:
+  double Estimate(network::NodeId) override { return 0.0; }
+};
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_ESTIMATOR_H_

@@ -1,0 +1,334 @@
+#include "src/core/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "src/core/profile_envelope.h"
+#include "src/tdf/travel_time.h"
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace capefp::core {
+
+namespace {
+
+using network::EdgeId;
+using network::NodeId;
+using tdf::PwlFunction;
+
+struct QueueEntry {
+  double key;
+  int64_t label;
+  bool operator>(const QueueEntry& o) const { return key > o.key; }
+};
+
+struct Label {
+  PwlFunction fn;
+  NodeId node;
+  int64_t parent;
+};
+
+}  // namespace
+
+HierarchicalIndex::HierarchicalIndex(const network::RoadNetwork* network,
+                                     const HierarchicalOptions& options)
+    : network_(network), options_(options) {
+  CAPEFP_CHECK(network != nullptr);
+  CAPEFP_CHECK_GE(options.grid_dim, 1);
+  CAPEFP_CHECK_LT(options.window_lo, options.window_hi);
+  util::WallTimer timer;
+
+  const size_t n = network->num_nodes();
+  const int g = options.grid_dim;
+  const int num_fragments = g * g;
+  fragment_of_.resize(n);
+  const geo::BoundingBox& box = network->bounding_box();
+  const double w = std::max(box.width(), 1e-12);
+  const double h = std::max(box.height(), 1e-12);
+  for (size_t i = 0; i < n; ++i) {
+    const geo::Point& p = network->location(static_cast<NodeId>(i));
+    const int cx =
+        std::clamp(static_cast<int>((p.x - box.lo().x) / w * g), 0, g - 1);
+    const int cy =
+        std::clamp(static_cast<int>((p.y - box.lo().y) / h * g), 0, g - 1);
+    fragment_of_[i] = cy * g + cx;
+  }
+
+  entries_.resize(static_cast<size_t>(num_fragments));
+  exits_.resize(static_cast<size_t>(num_fragments));
+  fragment_mask_.assign(static_cast<size_t>(num_fragments),
+                        std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    fragment_mask_[static_cast<size_t>(fragment_of_[i])][i] = true;
+  }
+  std::vector<bool> is_entry(n, false);
+  std::vector<bool> is_exit(n, false);
+  for (size_t e = 0; e < network->num_edges(); ++e) {
+    const network::Edge& edge = network->edge(static_cast<EdgeId>(e));
+    const int ffrom = fragment_of_[static_cast<size_t>(edge.from)];
+    const int fto = fragment_of_[static_cast<size_t>(edge.to)];
+    if (ffrom == fto) continue;
+    // Crossing edge: part of the overlay as-is.
+    overlay_[edge.from].push_back(
+        {edge.to, nullptr, edge.pattern, edge.distance_miles});
+    if (!is_exit[static_cast<size_t>(edge.from)]) {
+      is_exit[static_cast<size_t>(edge.from)] = true;
+      exits_[static_cast<size_t>(ffrom)].push_back(edge.from);
+    }
+    if (!is_entry[static_cast<size_t>(edge.to)]) {
+      is_entry[static_cast<size_t>(edge.to)] = true;
+      entries_[static_cast<size_t>(fto)].push_back(edge.to);
+    }
+  }
+
+  // Transit functions: per fragment, per entry, the within-fragment
+  // envelope to each exit.
+  for (int f = 0; f < num_fragments; ++f) {
+    const auto& entry_nodes = entries_[static_cast<size_t>(f)];
+    const auto& exit_nodes = exits_[static_cast<size_t>(f)];
+    if (entry_nodes.empty() || exit_nodes.empty()) continue;
+    ++build_stats_.fragments_used;
+    EnvelopeOptions envelope_options;
+    envelope_options.allowed = &fragment_mask_[static_cast<size_t>(f)];
+    for (NodeId entry : entry_nodes) {
+      const auto envelope =
+          SingleSourceProfile(*network, entry, options.window_lo,
+                              options.window_hi, envelope_options);
+      for (NodeId exit : exit_nodes) {
+        if (exit == entry) continue;
+        const auto it = envelope.find(exit);
+        if (it == envelope.end()) continue;  // Unreachable within fragment.
+        transit_.push_back(std::make_unique<PwlFunction>(it->second));
+        build_stats_.transit_breakpoints +=
+            transit_.back()->breakpoints().size();
+        overlay_[entry].push_back({exit, transit_.back().get(), 0, 0.0});
+        ++build_stats_.transit_functions;
+      }
+    }
+  }
+  build_stats_.build_seconds = timer.ElapsedSeconds();
+}
+
+int HierarchicalIndex::FragmentOf(NodeId node) const {
+  CAPEFP_CHECK_GE(node, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(node), fragment_of_.size());
+  return fragment_of_[static_cast<size_t>(node)];
+}
+
+util::StatusOr<HierarchicalIndex::RunOutput> HierarchicalIndex::Run(
+    const ProfileQuery& query, TravelTimeEstimator* estimator,
+    bool stop_at_first_target) {
+  CAPEFP_CHECK(estimator != nullptr);
+  CAPEFP_CHECK_LE(query.leave_lo, query.leave_hi);
+  if (query.leave_lo < options_.window_lo - tdf::kTimeEps ||
+      query.leave_hi > options_.window_hi + tdf::kTimeEps) {
+    return util::Status::OutOfRange(
+        "query interval outside the index build window");
+  }
+
+  RunOutput out{LowerBorder(query.leave_lo, query.leave_hi), {}, {}, false,
+                0.0, 0.0, {}};
+  const NodeId s = query.source;
+  const NodeId t = query.target;
+
+  // --- Query-specific stub edges. ---
+  // Functions created here must outlive the labels; owned locally.
+  std::vector<std::unique_ptr<PwlFunction>> local_functions;
+  std::unordered_map<NodeId, std::vector<OverlayEdge>> stubs;
+  if (s != t) {
+    const int fs = FragmentOf(s);
+    EnvelopeOptions s_options;
+    s_options.allowed = &fragment_mask_[static_cast<size_t>(fs)];
+    const auto s_envelope = SingleSourceProfile(
+        *network_, s, query.leave_lo, query.leave_hi, s_options);
+    auto add_stub = [&](NodeId from, NodeId to, const PwlFunction& fn) {
+      local_functions.push_back(std::make_unique<PwlFunction>(fn));
+      stubs[from].push_back({to, local_functions.back().get(), 0, 0.0});
+    };
+    for (NodeId exit : exits_[static_cast<size_t>(fs)]) {
+      if (exit == s) continue;
+      const auto it = s_envelope.find(exit);
+      if (it != s_envelope.end()) add_stub(s, exit, it->second);
+    }
+    if (FragmentOf(t) == fs) {
+      const auto it = s_envelope.find(t);
+      if (it != s_envelope.end()) add_stub(s, t, it->second);
+    }
+    const int ft = FragmentOf(t);
+    EnvelopeOptions t_options;
+    t_options.allowed = &fragment_mask_[static_cast<size_t>(ft)];
+    const auto t_envelope = SingleTargetProfile(
+        *network_, t, options_.window_lo, options_.window_hi, t_options);
+    for (NodeId entry : entries_[static_cast<size_t>(ft)]) {
+      if (entry == t || entry == s) continue;
+      const auto it = t_envelope.find(entry);
+      if (it == t_envelope.end()) continue;
+      const auto departure_fn = DepartureFunctionFromArrival(it->second);
+      if (departure_fn.has_value()) add_stub(entry, t, *departure_fn);
+    }
+  }
+
+  // --- Profile search over the overlay. ---
+  std::vector<Label> labels;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  std::unordered_map<NodeId, PwlFunction> expanded_envelope;
+  std::unordered_set<NodeId> distinct;
+  labels.push_back({PwlFunction::Constant(query.leave_lo, query.leave_hi,
+                                          0.0),
+                    s, -1});
+  queue.push({estimator->Estimate(s), 0});
+  ++out.stats.pushes;
+  int64_t first_target = -1;
+
+  auto reconstruct = [&](int64_t index) {
+    std::vector<NodeId> waypoints;
+    for (int64_t at = index; at >= 0;
+         at = labels[static_cast<size_t>(at)].parent) {
+      waypoints.push_back(labels[static_cast<size_t>(at)].node);
+    }
+    std::reverse(waypoints.begin(), waypoints.end());
+    return waypoints;
+  };
+
+  util::Status failure = util::Status::Ok();
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (!out.border.empty() &&
+        top.key >= out.border.MaxValue() - tdf::kTimeEps) {
+      break;
+    }
+    const NodeId node = labels[static_cast<size_t>(top.label)].node;
+    if (node == t) {
+      out.border.Merge(labels[static_cast<size_t>(top.label)].fn, top.label);
+      if (first_target < 0) {
+        first_target = top.label;
+        out.found = true;
+        out.best_leave = labels[static_cast<size_t>(top.label)].fn.ArgMin();
+        out.best_travel =
+            labels[static_cast<size_t>(top.label)].fn.MinValue();
+        out.first_waypoints = reconstruct(top.label);
+      }
+      if (stop_at_first_target) break;
+      continue;
+    }
+    {
+      const PwlFunction& fn = labels[static_cast<size_t>(top.label)].fn;
+      auto env = expanded_envelope.find(node);
+      if (env != expanded_envelope.end()) {
+        if (PwlFunction::DominatesOrEqual(fn, env->second)) {
+          ++out.stats.pruned_dominated;
+          continue;
+        }
+        env->second = PwlFunction::Min(env->second, fn);
+      } else {
+        expanded_envelope.emplace(node, fn);
+      }
+    }
+    ++out.stats.expansions;
+    distinct.insert(node);
+
+    auto relax = [&](const OverlayEdge& edge) {
+      const PwlFunction& fn = labels[static_cast<size_t>(top.label)].fn;
+      PwlFunction combined = fn;  // Replaced below.
+      if (edge.transit != nullptr) {
+        const double a_lo = fn.domain_lo() + fn.Value(fn.domain_lo());
+        const double a_hi = fn.domain_hi() + fn.Value(fn.domain_hi());
+        if (a_lo < edge.transit->domain_lo() - 1e-6 ||
+            a_hi > edge.transit->domain_hi() + 1e-6) {
+          failure = util::Status::OutOfRange(
+              "arrival time left the index build window; rebuild with a "
+              "wider window");
+          return;
+        }
+        const PwlFunction restricted = edge.transit->Restricted(
+            std::max(a_lo, edge.transit->domain_lo()),
+            std::min(a_hi, edge.transit->domain_hi()));
+        combined = tdf::ComposePathWithEdge(fn, restricted);
+      } else {
+        const tdf::EdgeSpeedView speed(&network_->pattern(edge.pattern),
+                                       &network_->calendar());
+        combined = tdf::ExpandPath(fn, speed, edge.distance_miles);
+      }
+      const double key =
+          combined.MinValue() + estimator->Estimate(edge.to);
+      if (!out.border.empty() &&
+          key >= out.border.MaxValue() - tdf::kTimeEps) {
+        ++out.stats.pruned_bound;
+        return;
+      }
+      labels.push_back({std::move(combined), edge.to, top.label});
+      queue.push({key, static_cast<int64_t>(labels.size()) - 1});
+      ++out.stats.pushes;
+    };
+
+    const auto static_it = overlay_.find(node);
+    if (static_it != overlay_.end()) {
+      for (const OverlayEdge& edge : static_it->second) {
+        relax(edge);
+        if (!failure.ok()) return failure;
+      }
+    }
+    const auto stub_it = stubs.find(node);
+    if (stub_it != stubs.end()) {
+      for (const OverlayEdge& edge : stub_it->second) {
+        relax(edge);
+        if (!failure.ok()) return failure;
+      }
+    }
+  }
+  out.stats.distinct_nodes = static_cast<int64_t>(distinct.size());
+  if (s == t) {
+    // Degenerate query: zero-travel staying put.
+    out.found = true;
+    out.best_leave = query.leave_lo;
+    out.best_travel = 0.0;
+    out.first_waypoints = {s};
+    out.border.Merge(
+        PwlFunction::Constant(query.leave_lo, query.leave_hi, 0.0), 0);
+  }
+  if (!out.found && !out.border.empty()) out.found = true;
+  for (const LowerBorder::Piece& piece : out.border.empty()
+           ? std::vector<LowerBorder::Piece>{}
+           : out.border.pieces()) {
+    out.piece_waypoints.push_back(s == t ? std::vector<NodeId>{s}
+                                         : reconstruct(piece.tag));
+  }
+  return out;
+}
+
+util::StatusOr<HierarchicalAllFpResult> HierarchicalIndex::RunAllFp(
+    const ProfileQuery& query, TravelTimeEstimator* estimator) {
+  auto run = Run(query, estimator, /*stop_at_first_target=*/false);
+  if (!run.ok()) return run.status();
+  HierarchicalAllFpResult result;
+  result.stats = run->stats;
+  if (!run->found) return result;
+  result.found = true;
+  result.border = run->border.function();
+  const auto& pieces = run->border.pieces();
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    result.pieces.push_back(
+        {pieces[i].lo, pieces[i].hi, run->piece_waypoints[i]});
+  }
+  return result;
+}
+
+util::StatusOr<HierarchicalSingleFpResult> HierarchicalIndex::RunSingleFp(
+    const ProfileQuery& query, TravelTimeEstimator* estimator) {
+  auto run = Run(query, estimator, /*stop_at_first_target=*/true);
+  if (!run.ok()) return run.status();
+  HierarchicalSingleFpResult result;
+  result.stats = run->stats;
+  if (!run->found) return result;
+  result.found = true;
+  result.waypoints = run->first_waypoints;
+  result.best_leave_time = run->best_leave;
+  result.best_travel_minutes = run->best_travel;
+  return result;
+}
+
+}  // namespace capefp::core

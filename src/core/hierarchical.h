@@ -1,0 +1,143 @@
+// Two-level hierarchical fastest-path search.
+//
+// §6.1 of the paper: "our fastest path algorithm can easily scale in larger
+// networks by employing hierarchical network partitioning [9, 7, 8, 16]".
+// This module implements that sketch for two levels:
+//
+//  * The plane is cut into a g×g grid of fragments (reusing the §5
+//    partitioning notions: an *entry* boundary node heads a crossing edge,
+//    an *exit* boundary node tails one).
+//  * For every fragment and every entry node, a within-fragment profile
+//    search precomputes the travel-time envelope to each exit node over a
+//    build window — the *transit functions*.
+//  * A query runs IntAllFastestPaths over the much smaller overlay graph
+//    whose nodes are boundary nodes (plus s and t) and whose edges are the
+//    original crossing edges plus the transit functions; s- and t-side
+//    stubs are computed per query with SingleSourceProfile /
+//    SingleTargetProfile restricted to their fragments.
+//
+// Correctness: any road path decomposes at its crossing edges into maximal
+// within-fragment segments whose endpoints are boundary nodes, so the
+// overlay border equals the flat IntAllFastestPaths border exactly
+// (property-tested against the flat search).
+//
+// The index trades memory for query effort (|entries|·|exits| functions per
+// fragment); it targets mid-size networks or fragment sizes tuned so each
+// fragment stays small — see bench_hierarchical.
+#ifndef CAPEFP_CORE_HIERARCHICAL_H_
+#define CAPEFP_CORE_HIERARCHICAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/network/road_network.h"
+#include "src/tdf/pwl_function.h"
+#include "src/util/status.h"
+
+namespace capefp::core {
+
+struct HierarchicalOptions {
+  // Fragment grid dimension (g×g fragments).
+  int grid_dim = 4;
+  // Leaving-time window the transit functions cover. Queries must satisfy
+  // [leave_lo, leave_hi + worst in-query arrival slack] ⊆ window; a query
+  // needing more returns OutOfRange.
+  double window_lo = 0.0;
+  double window_hi = 2.0 * tdf::kMinutesPerDay;
+};
+
+struct HierarchicalBuildStats {
+  int fragments_used = 0;
+  size_t transit_functions = 0;
+  size_t transit_breakpoints = 0;
+  double build_seconds = 0.0;
+};
+
+// allFP answer at the overlay level: the exact border plus, per piece, the
+// boundary-node waypoints of the winning route (s, boundary..., t).
+struct HierarchicalPiece {
+  double leave_lo = 0.0;
+  double leave_hi = 0.0;
+  std::vector<network::NodeId> waypoints;
+};
+
+struct HierarchicalAllFpResult {
+  bool found = false;
+  std::vector<HierarchicalPiece> pieces;
+  std::optional<tdf::PwlFunction> border;
+  SearchStats stats;
+};
+
+struct HierarchicalSingleFpResult {
+  bool found = false;
+  std::vector<network::NodeId> waypoints;
+  double best_leave_time = 0.0;
+  double best_travel_minutes = 0.0;
+  SearchStats stats;
+};
+
+class HierarchicalIndex {
+ public:
+  // Precomputes fragments and transit functions. `network` must outlive
+  // the index.
+  HierarchicalIndex(const network::RoadNetwork* network,
+                    const HierarchicalOptions& options = {});
+
+  const HierarchicalBuildStats& build_stats() const { return build_stats_; }
+  int FragmentOf(network::NodeId node) const;
+
+  // Exact allFP border over the overlay. `estimator` must be anchored at
+  // query.target (any admissible TravelTimeEstimator; pass ZeroEstimator to
+  // disable guidance). Returns OutOfRange if the query needs leaving times
+  // outside the build window.
+  util::StatusOr<HierarchicalAllFpResult> RunAllFp(
+      const ProfileQuery& query, TravelTimeEstimator* estimator);
+
+  // Stops at the first target pop, as in §4.5.
+  util::StatusOr<HierarchicalSingleFpResult> RunSingleFp(
+      const ProfileQuery& query, TravelTimeEstimator* estimator);
+
+ private:
+  struct OverlayEdge {
+    network::NodeId to = network::kInvalidNode;
+    // Transit edges carry a precomputed function; crossing edges carry the
+    // original pattern/distance.
+    const tdf::PwlFunction* transit = nullptr;  // Borrowed from transit_.
+    network::PatternId pattern = 0;
+    double distance_miles = 0.0;
+  };
+
+  struct RunOutput {
+    LowerBorder border;
+    std::vector<std::vector<network::NodeId>> piece_waypoints;
+    SearchStats stats;
+    bool found = false;
+    double best_leave = 0.0;
+    double best_travel = 0.0;
+    std::vector<network::NodeId> first_waypoints;
+  };
+
+  util::StatusOr<RunOutput> Run(const ProfileQuery& query,
+                                TravelTimeEstimator* estimator,
+                                bool stop_at_first_target);
+
+  const network::RoadNetwork* network_;
+  HierarchicalOptions options_;
+  HierarchicalBuildStats build_stats_;
+  std::vector<int> fragment_of_;
+  std::vector<std::vector<network::NodeId>> entries_;  // Per fragment.
+  std::vector<std::vector<network::NodeId>> exits_;
+  std::vector<std::vector<bool>> fragment_mask_;       // Per fragment.
+  // Static overlay adjacency: transit + crossing edges per boundary node.
+  std::unordered_map<network::NodeId, std::vector<OverlayEdge>> overlay_;
+  // Owns the transit functions the overlay points into.
+  std::vector<std::unique_ptr<tdf::PwlFunction>> transit_;
+};
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_HIERARCHICAL_H_

@@ -1,0 +1,68 @@
+#include "src/core/lower_border.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+using tdf::kTimeEps;
+using tdf::PwlFunction;
+
+LowerBorder::LowerBorder(double lo, double hi) : lo_(lo), hi_(hi) {
+  CAPEFP_CHECK_LE(lo, hi);
+}
+
+const PwlFunction& LowerBorder::function() const {
+  CAPEFP_CHECK(!empty());
+  return *border_;
+}
+
+double LowerBorder::MaxValue() const { return function().MaxValue(); }
+
+double LowerBorder::Value(double l) const { return function().Value(l); }
+
+void LowerBorder::Merge(const PwlFunction& f, int64_t tag) {
+  CAPEFP_CHECK(std::fabs(f.domain_lo() - lo_) <= kTimeEps &&
+               std::fabs(f.domain_hi() - hi_) <= kTimeEps)
+      << "merged function must cover the query interval";
+  if (empty()) {
+    border_ = f;
+    pieces_ = {{lo_, hi_, tag}};
+    return;
+  }
+
+  // Tag of the existing partition at leaving time `l`.
+  auto old_tag_at = [this](double l) {
+    for (const Piece& p : pieces_) {
+      if (l <= p.hi) return p.tag;
+    }
+    return pieces_.back().tag;
+  };
+
+  const std::vector<double> grid = tdf::MergedGrid(*border_, f);
+  std::vector<Piece> merged;
+  for (size_t i = 0; i + 1 < grid.size(); ++i) {
+    const double a = grid[i];
+    const double b = grid[i + 1];
+    const double mid = 0.5 * (a + b);
+    // Strictly-below wins; ties keep the earlier path.
+    const bool takes_over = f.Value(mid) < border_->Value(mid) - kTimeEps;
+    const int64_t winner = takes_over ? tag : old_tag_at(mid);
+    if (!merged.empty() && merged.back().tag == winner) {
+      merged.back().hi = b;
+    } else {
+      merged.push_back({a, b, winner});
+    }
+  }
+  if (merged.empty()) {
+    // Degenerate single-instant interval.
+    const bool takes_over = f.Value(lo_) < border_->Value(lo_) - kTimeEps;
+    merged.push_back({lo_, hi_, takes_over ? tag : pieces_.front().tag});
+  }
+  pieces_ = std::move(merged);
+  border_ = PwlFunction::Min(*border_, f);
+}
+
+}  // namespace capefp::core

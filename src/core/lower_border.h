@@ -1,0 +1,60 @@
+// The lower border function of §4.6.
+//
+// The running lower envelope of the travel-time functions of all paths to
+// the end node identified so far, with each linear stretch annotated by the
+// path (tag) that realizes it. Its maximum drives the IntAllFastestPaths
+// termination test; its annotated pieces are the allFP answer: the
+// partition I_1..I_k of the query interval (Definition 4).
+#ifndef CAPEFP_CORE_LOWER_BORDER_H_
+#define CAPEFP_CORE_LOWER_BORDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/tdf/pwl_function.h"
+
+namespace capefp::core {
+
+class LowerBorder {
+ public:
+  // The border will live on the leaving-time interval [lo, hi].
+  LowerBorder(double lo, double hi);
+
+  bool empty() const { return !border_.has_value(); }
+
+  // Current border function. Requires !empty().
+  const tdf::PwlFunction& function() const;
+
+  // Max over the interval of the current border. Requires !empty().
+  double MaxValue() const;
+
+  // Border value at leaving time `l`. Requires !empty().
+  double Value(double l) const;
+
+  // Merges a newly identified end-node path: wherever `f` is strictly
+  // below the current border (beyond tdf::kTimeEps), `tag` takes over.
+  // Ties keep the earlier path (identified-first wins, as in the paper's
+  // example where the earlier path keeps the boundary instant).
+  void Merge(const tdf::PwlFunction& f, int64_t tag);
+
+  // One maximal sub-interval of the partition with its winning tag.
+  struct Piece {
+    double lo = 0.0;
+    double hi = 0.0;
+    int64_t tag = -1;
+  };
+
+  // The partition of [lo, hi], adjacent same-tag pieces merged, in order.
+  const std::vector<Piece>& pieces() const { return pieces_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::optional<tdf::PwlFunction> border_;
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_LOWER_BORDER_H_

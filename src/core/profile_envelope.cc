@@ -1,0 +1,129 @@
+#include "src/core/profile_envelope.h"
+
+#include <queue>
+#include <utility>
+
+#include "src/tdf/travel_time.h"
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+namespace {
+
+using network::EdgeId;
+using network::NodeId;
+using network::RoadNetwork;
+using tdf::PwlFunction;
+
+struct QueueEntry {
+  double key;
+  size_t label;
+  bool operator>(const QueueEntry& o) const { return key > o.key; }
+};
+
+struct Label {
+  PwlFunction fn;
+  NodeId node;
+};
+
+// Shared engine for both directions. `Expand` produces the function of the
+// extended label; `NextEdges` enumerates the edges to relax.
+template <typename NextEdges, typename Expand>
+std::unordered_map<NodeId, PwlFunction> RunEnvelope(
+    const RoadNetwork& net, NodeId origin, double window_lo,
+    double window_hi, const EnvelopeOptions& options, NextEdges next_edges,
+    Expand expand) {
+  CAPEFP_CHECK_LE(window_lo, window_hi);
+  if (options.allowed != nullptr) {
+    CAPEFP_CHECK_EQ(options.allowed->size(), net.num_nodes());
+    CAPEFP_CHECK((*options.allowed)[static_cast<size_t>(origin)]);
+  }
+  auto node_allowed = [&](NodeId node) {
+    return options.allowed == nullptr ||
+           (*options.allowed)[static_cast<size_t>(node)];
+  };
+
+  std::unordered_map<NodeId, PwlFunction> envelope;
+  std::vector<Label> labels;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  labels.push_back({PwlFunction::Constant(window_lo, window_hi, 0.0),
+                    origin});
+  queue.push({0.0, 0});
+
+  int64_t expansions = 0;
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const NodeId node = labels[top.label].node;
+    {
+      const PwlFunction& fn = labels[top.label].fn;
+      auto it = envelope.find(node);
+      if (it != envelope.end()) {
+        if (PwlFunction::DominatesOrEqual(fn, it->second)) continue;
+        it->second = PwlFunction::Min(it->second, fn);
+      } else {
+        envelope.emplace(node, fn);
+      }
+    }
+    if (options.max_expansions > 0 &&
+        ++expansions >= options.max_expansions) {
+      break;
+    }
+    for (EdgeId edge_id : next_edges(node)) {
+      const network::Edge& edge = net.edge(edge_id);
+      const NodeId neighbor = edge.from == node ? edge.to : edge.from;
+      if (!node_allowed(neighbor)) continue;
+      PwlFunction extended = expand(labels[top.label].fn, edge_id);
+      const double key = extended.MinValue();
+      labels.push_back({std::move(extended), neighbor});
+      queue.push({key, labels.size() - 1});
+    }
+  }
+  return envelope;
+}
+
+}  // namespace
+
+std::unordered_map<NodeId, PwlFunction> SingleSourceProfile(
+    const RoadNetwork& net, NodeId source, double window_lo,
+    double window_hi, const EnvelopeOptions& options) {
+  return RunEnvelope(
+      net, source, window_lo, window_hi, options,
+      [&net](NodeId node) { return net.OutEdges(node); },
+      [&net](const PwlFunction& fn, EdgeId edge_id) {
+        return tdf::ExpandPath(fn, net.SpeedView(edge_id),
+                               net.edge(edge_id).distance_miles);
+      });
+}
+
+std::unordered_map<NodeId, PwlFunction> SingleTargetProfile(
+    const RoadNetwork& net, NodeId target, double window_lo,
+    double window_hi, const EnvelopeOptions& options) {
+  return RunEnvelope(
+      net, target, window_lo, window_hi, options,
+      [&net](NodeId node) { return net.InEdges(node); },
+      [&net](const PwlFunction& fn, EdgeId edge_id) {
+        return tdf::ExpandPathReverse(fn, net.SpeedView(edge_id),
+                                      net.edge(edge_id).distance_miles);
+      });
+}
+
+std::optional<tdf::PwlFunction> DepartureFunctionFromArrival(
+    const tdf::PwlFunction& arrival_fn) {
+  std::vector<tdf::Breakpoint> points;
+  points.reserve(arrival_fn.breakpoints().size());
+  for (const tdf::Breakpoint& bp : arrival_fn.breakpoints()) {
+    const double departure = bp.x - bp.y;  // l = a − R(a), non-decreasing.
+    if (!points.empty() && departure <= points.back().x + tdf::kTimeEps) {
+      // A flat stretch of the departure map; keep the smaller travel time.
+      if (bp.y < points.back().y) points.back().y = bp.y;
+      continue;
+    }
+    points.push_back({departure, bp.y});
+  }
+  if (points.size() < 2) return std::nullopt;
+  return tdf::PwlFunction(std::move(points));
+}
+
+}  // namespace capefp::core

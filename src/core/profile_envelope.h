@@ -1,0 +1,55 @@
+// Single-source / single-target travel-time profiles.
+//
+// A label-correcting profile search (Dijkstra with piecewise-linear labels
+// and per-node lower envelopes) that computes, for EVERY reachable node,
+// the fastest-travel-time function from a source (or to a target) over a
+// leaving-time window — optionally restricted to a node subset.
+//
+// These are the building blocks of the hierarchical index (§6.1 of the
+// paper sketches scaling via hierarchical network partitioning): the
+// envelope from a fragment entry to each fragment exit, restricted to the
+// fragment, is exactly the overlay edge function. They also serve as an
+// independent oracle for cross-validating ProfileSearch in tests.
+#ifndef CAPEFP_CORE_PROFILE_ENVELOPE_H_
+#define CAPEFP_CORE_PROFILE_ENVELOPE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/network/road_network.h"
+#include "src/tdf/pwl_function.h"
+
+namespace capefp::core {
+
+struct EnvelopeOptions {
+  // If set, only nodes with allowed[node] == true participate (edges must
+  // have both endpoints allowed). Size must equal the network node count.
+  const std::vector<bool>* allowed = nullptr;
+  // Safety cap on label expansions (<= 0: unlimited).
+  int64_t max_expansions = 0;
+};
+
+// For every node reachable from `source`, the lower envelope of travel-time
+// functions over leaving times [window_lo, window_hi] at `source`.
+// The source itself maps to the zero function.
+std::unordered_map<network::NodeId, tdf::PwlFunction> SingleSourceProfile(
+    const network::RoadNetwork& network, network::NodeId source,
+    double window_lo, double window_hi, const EnvelopeOptions& options = {});
+
+// For every node that can reach `target`, the lower envelope of travel-time
+// functions *of the arrival time at target* over [window_lo, window_hi].
+std::unordered_map<network::NodeId, tdf::PwlFunction> SingleTargetProfile(
+    const network::RoadNetwork& network, network::NodeId target,
+    double window_lo, double window_hi, const EnvelopeOptions& options = {});
+
+// Converts an arrival-anchored profile R (travel time as a function of the
+// arrival time a at the target) into the equivalent departure-anchored
+// function τ(l) with l = a − R(a). Returns nullopt if the departure domain
+// degenerates to a point.
+std::optional<tdf::PwlFunction> DepartureFunctionFromArrival(
+    const tdf::PwlFunction& arrival_fn);
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_PROFILE_ENVELOPE_H_

@@ -1,0 +1,185 @@
+#include "src/core/profile_search.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/tdf/travel_time.h"
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+namespace {
+
+using network::NeighborEdge;
+using network::NodeId;
+using tdf::PwlFunction;
+
+struct QueueEntry {
+  double key;  // min over I of (travel time + estimate).
+  int64_t label;
+  bool operator>(const QueueEntry& o) const { return key > o.key; }
+};
+
+using MinHeap =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+}  // namespace
+
+ProfileSearch::ProfileSearch(network::NetworkAccessor* accessor,
+                             TravelTimeEstimator* estimator,
+                             const ProfileSearchOptions& options)
+    : accessor_(accessor), estimator_(estimator), options_(options) {
+  CAPEFP_CHECK(accessor != nullptr);
+  CAPEFP_CHECK(estimator != nullptr);
+}
+
+std::vector<NodeId> ProfileSearch::ReconstructPath(
+    const std::vector<Label>& labels, int64_t label_index) const {
+  std::vector<NodeId> path;
+  for (int64_t at = label_index; at >= 0; at = labels[static_cast<size_t>(at)].parent) {
+    path.push_back(labels[static_cast<size_t>(at)].node);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+LowerBorder ProfileSearch::Run(const ProfileQuery& query,
+                               bool stop_at_first_target,
+                               std::vector<Label>* labels, SearchStats* stats,
+                               int64_t* first_target_label) {
+  CAPEFP_CHECK_LE(query.leave_lo, query.leave_hi);
+  CAPEFP_CHECK_GE(query.source, 0);
+  CAPEFP_CHECK_GE(query.target, 0);
+  *first_target_label = -1;
+
+  LowerBorder border(query.leave_lo, query.leave_hi);
+  MinHeap queue;
+  // Lower envelope of expanded (popped) functions per node, for dominance.
+  std::unordered_map<NodeId, PwlFunction> expanded_envelope;
+  std::unordered_set<NodeId> distinct_nodes;
+
+  labels->push_back({PwlFunction::Constant(query.leave_lo, query.leave_hi,
+                                           0.0),
+                     query.source, -1});
+  queue.push({estimator_->Estimate(query.source), 0});
+  ++stats->pushes;
+
+  std::vector<NeighborEdge> neighbors;
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    // Termination (§4.6 step 5): the cheapest remaining path cannot improve
+    // the border anywhere.
+    if (!border.empty() && top.key >= border.MaxValue() - tdf::kTimeEps) {
+      break;
+    }
+    const Label& label = (*labels)[static_cast<size_t>(top.label)];
+    const NodeId node = label.node;
+
+    if (node == query.target) {
+      // An identified end-node path: merge into the border (§4.6).
+      border.Merge(label.travel_time, top.label);
+      if (*first_target_label < 0) *first_target_label = top.label;
+      if (stop_at_first_target) break;
+      continue;  // End-node paths are not expanded further (FIFO).
+    }
+
+    // Dominance pruning against already-expanded paths at this node.
+    if (options_.dominance_pruning) {
+      auto env = expanded_envelope.find(node);
+      if (env != expanded_envelope.end()) {
+        if (PwlFunction::DominatesOrEqual(label.travel_time, env->second)) {
+          ++stats->pruned_dominated;
+          continue;
+        }
+        env->second = PwlFunction::Min(env->second, label.travel_time);
+      } else {
+        expanded_envelope.emplace(node, label.travel_time);
+      }
+    }
+
+    ++stats->expansions;
+    distinct_nodes.insert(node);
+    if (options_.max_expansions > 0 &&
+        stats->expansions >= options_.max_expansions) {
+      stats->hit_expansion_cap = true;
+      break;
+    }
+
+    accessor_->GetSuccessors(node, &neighbors);
+    for (const NeighborEdge& edge : neighbors) {
+      const tdf::EdgeSpeedView speed = accessor_->SpeedView(edge.pattern);
+      // NOTE: label may dangle after labels->push_back below; copy first.
+      const PwlFunction& path_tt =
+          (*labels)[static_cast<size_t>(top.label)].travel_time;
+      PwlFunction combined =
+          tdf::ExpandPath(path_tt, speed, edge.distance_miles);
+      const double estimate = estimator_->Estimate(edge.to);
+      const double key = combined.MinValue() + estimate;
+      if (!border.empty() && key >= border.MaxValue() - tdf::kTimeEps) {
+        ++stats->pruned_bound;
+        continue;
+      }
+      if (options_.pointwise_bound_pruning && !border.empty() &&
+          PwlFunction::DominatesOrEqual(combined.Shifted(estimate),
+                                        border.function())) {
+        ++stats->pruned_bound;
+        continue;
+      }
+      labels->push_back({std::move(combined), edge.to, top.label});
+      queue.push({key, static_cast<int64_t>(labels->size()) - 1});
+      ++stats->pushes;
+    }
+  }
+  stats->distinct_nodes = static_cast<int64_t>(distinct_nodes.size());
+  return border;
+}
+
+SingleFpResult ProfileSearch::RunSingleFp(const ProfileQuery& query) {
+  SingleFpResult result;
+  std::vector<Label> labels;
+  int64_t first_target = -1;
+  (void)Run(query, /*stop_at_first_target=*/true, &labels, &result.stats,
+            &first_target);
+  if (first_target < 0) return result;
+  result.found = true;
+  const Label& label = labels[static_cast<size_t>(first_target)];
+  result.path = ReconstructPath(labels, first_target);
+  result.travel_time = label.travel_time;
+  result.best_leave_time = label.travel_time.ArgMin();
+  result.best_travel_minutes = label.travel_time.MinValue();
+  return result;
+}
+
+AllFpResult ProfileSearch::RunAllFp(const ProfileQuery& query) {
+  AllFpResult result;
+  std::vector<Label> labels;
+  int64_t first_target = -1;
+  const LowerBorder border = Run(query, /*stop_at_first_target=*/false,
+                                 &labels, &result.stats, &first_target);
+  if (border.empty()) return result;
+  result.found = true;
+  result.border = border.function();
+  for (const LowerBorder::Piece& piece : border.pieces()) {
+    result.pieces.push_back(
+        {piece.lo, piece.hi, ReconstructPath(labels, piece.tag)});
+  }
+  // Merge adjacent pieces whose *paths* coincide (distinct labels can
+  // describe the same node sequence only via different parents, so this is
+  // rare but keeps Definition 4's "adjacent sub-intervals have different
+  // fastest paths" exact).
+  std::vector<AllFpPiece> merged;
+  for (AllFpPiece& piece : result.pieces) {
+    if (!merged.empty() && merged.back().path == piece.path) {
+      merged.back().leave_hi = piece.leave_hi;
+    } else {
+      merged.push_back(std::move(piece));
+    }
+  }
+  result.pieces = std::move(merged);
+  return result;
+}
+
+}  // namespace capefp::core

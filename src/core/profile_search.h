@@ -1,0 +1,136 @@
+// IntAllFastestPaths (§4): the paper's primary contribution.
+//
+// An A*-style best-first search whose priority-queue entries are *paths*
+// carrying piecewise-linear travel-time functions of the leaving time
+// l ∈ I, ordered by min_l [ T(l, s⇒n) + T_est(n⇒e) ]. Expanding a path
+// composes its function with the edge travel-time function over the arrival
+// interval (§4.4). Paths reaching the end node feed the lower border
+// (§4.6); the search stops when the next path's key cannot beat the
+// border's maximum. The first end-node path popped answers the singleFP
+// query (§4.5); the final border partition answers allFP.
+//
+// Beyond the paper, an optional per-node dominance rule prunes a popped
+// path whose function is pointwise >= the lower envelope of functions
+// already expanded at that node. Under FIFO any extension of a dominated
+// path stays dominated, so pruning preserves both query answers; it also
+// suppresses cyclic paths. It is on by default and benchmarked by
+// bench_ablation_pruning.
+#ifndef CAPEFP_CORE_PROFILE_SEARCH_H_
+#define CAPEFP_CORE_PROFILE_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/core/lower_border.h"
+#include "src/network/accessor.h"
+#include "src/tdf/pwl_function.h"
+
+namespace capefp::core {
+
+struct ProfileQuery {
+  network::NodeId source = network::kInvalidNode;
+  network::NodeId target = network::kInvalidNode;
+  // Leaving-time interval I = [leave_lo, leave_hi], minutes from the
+  // reference midnight.
+  double leave_lo = 0.0;
+  double leave_hi = 0.0;
+};
+
+struct ProfileSearchOptions {
+  // Per-node dominance pruning (see file comment).
+  bool dominance_pruning = true;
+  // Extension beyond the paper: discard a candidate label whose function
+  // T(l) + T_est is >= the lower border *pointwise* (it can improve the
+  // answer nowhere), instead of only comparing min(T + T_est) against
+  // max(border) as the paper does. Off by default so the headline
+  // experiments use the paper's rule; bench_ablation_pruning measures it.
+  bool pointwise_bound_pruning = false;
+  // Hard cap on path expansions; guards against pathological inputs when
+  // pruning is disabled. <= 0 means unlimited.
+  int64_t max_expansions = 0;
+};
+
+struct SearchStats {
+  // Paths popped and expanded (the paper's "expanded nodes" measure).
+  int64_t expansions = 0;
+  // Distinct nodes among the expansions.
+  int64_t distinct_nodes = 0;
+  // Labels pushed into the queue.
+  int64_t pushes = 0;
+  // Labels discarded by dominance pruning.
+  int64_t pruned_dominated = 0;
+  // Labels discarded because they could not beat the border.
+  int64_t pruned_bound = 0;
+  bool hit_expansion_cap = false;
+};
+
+struct SingleFpResult {
+  bool found = false;
+  // Node sequence source..target.
+  std::vector<network::NodeId> path;
+  // Travel time as a function of leaving time for that path.
+  std::optional<tdf::PwlFunction> travel_time;
+  // Optimal leaving instant (leftmost if a whole stretch is optimal) and
+  // its travel time.
+  double best_leave_time = 0.0;
+  double best_travel_minutes = 0.0;
+  SearchStats stats;
+};
+
+struct AllFpPiece {
+  // Sub-interval of I on which `path` is the fastest.
+  double leave_lo = 0.0;
+  double leave_hi = 0.0;
+  std::vector<network::NodeId> path;
+};
+
+struct AllFpResult {
+  bool found = false;
+  // The partition I_1..I_k in order; adjacent pieces have distinct paths.
+  std::vector<AllFpPiece> pieces;
+  // The lower border: fastest achievable travel time per leaving instant.
+  std::optional<tdf::PwlFunction> border;
+  SearchStats stats;
+};
+
+// Runs IntAllFastestPaths. `estimator` must be anchored at query.target.
+// Both calls are independent (no shared state between invocations).
+class ProfileSearch {
+ public:
+  ProfileSearch(network::NetworkAccessor* accessor,
+                TravelTimeEstimator* estimator,
+                const ProfileSearchOptions& options = {});
+
+  // Stops at the first end-node path (§4.5).
+  SingleFpResult RunSingleFp(const ProfileQuery& query);
+
+  // Full run: lower border + partition (§4.6).
+  AllFpResult RunAllFp(const ProfileQuery& query);
+
+ private:
+  struct Label {
+    tdf::PwlFunction travel_time;
+    network::NodeId node;
+    int64_t parent;  // Label index, -1 for the source label.
+  };
+
+  // Shared engine; `stop_at_first_target` selects singleFP behaviour.
+  // Returns the final border (empty if the target was never reached) and
+  // the label arena for path reconstruction.
+  LowerBorder Run(const ProfileQuery& query, bool stop_at_first_target,
+                  std::vector<Label>* labels, SearchStats* stats,
+                  int64_t* first_target_label);
+
+  std::vector<network::NodeId> ReconstructPath(
+      const std::vector<Label>& labels, int64_t label_index) const;
+
+  network::NetworkAccessor* accessor_;
+  TravelTimeEstimator* estimator_;
+  ProfileSearchOptions options_;
+};
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_PROFILE_SEARCH_H_

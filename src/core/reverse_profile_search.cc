@@ -1,0 +1,180 @@
+#include "src/core/reverse_profile_search.h"
+
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/tdf/travel_time.h"
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+namespace {
+
+using network::EdgeId;
+using network::NodeId;
+using tdf::PwlFunction;
+
+struct QueueEntry {
+  double key;
+  int64_t label;
+  bool operator>(const QueueEntry& o) const { return key > o.key; }
+};
+
+using MinHeap =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+}  // namespace
+
+ReverseProfileSearch::ReverseProfileSearch(
+    const network::RoadNetwork* network, TravelTimeEstimator* estimator,
+    const ProfileSearchOptions& options)
+    : network_(network), estimator_(estimator), options_(options) {
+  CAPEFP_CHECK(network != nullptr);
+  CAPEFP_CHECK(estimator != nullptr);
+}
+
+std::vector<NodeId> ReverseProfileSearch::ReconstructPath(
+    const std::vector<Label>& labels, int64_t label_index) const {
+  // Parents point towards the target, so walking them yields the path in
+  // source..target order already.
+  std::vector<NodeId> path;
+  for (int64_t at = label_index; at >= 0;
+       at = labels[static_cast<size_t>(at)].parent) {
+    path.push_back(labels[static_cast<size_t>(at)].node);
+  }
+  return path;
+}
+
+LowerBorder ReverseProfileSearch::Run(const ReverseProfileQuery& query,
+                                      bool stop_at_source,
+                                      std::vector<Label>* labels,
+                                      SearchStats* stats,
+                                      int64_t* first_source_label) {
+  CAPEFP_CHECK_LE(query.arrive_lo, query.arrive_hi);
+  CAPEFP_CHECK_GE(query.source, 0);
+  CAPEFP_CHECK_GE(query.target, 0);
+  *first_source_label = -1;
+
+  LowerBorder border(query.arrive_lo, query.arrive_hi);
+  MinHeap queue;
+  std::unordered_map<NodeId, PwlFunction> expanded_envelope;
+  std::unordered_set<NodeId> distinct_nodes;
+
+  labels->push_back({PwlFunction::Constant(query.arrive_lo, query.arrive_hi,
+                                           0.0),
+                     query.target, -1});
+  queue.push({estimator_->Estimate(query.target), 0});
+  ++stats->pushes;
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (!border.empty() && top.key >= border.MaxValue() - tdf::kTimeEps) {
+      break;
+    }
+    const NodeId node = (*labels)[static_cast<size_t>(top.label)].node;
+
+    if (node == query.source) {
+      border.Merge((*labels)[static_cast<size_t>(top.label)].travel_time,
+                   top.label);
+      if (*first_source_label < 0) *first_source_label = top.label;
+      if (stop_at_source) break;
+      continue;
+    }
+
+    if (options_.dominance_pruning) {
+      const PwlFunction& tt =
+          (*labels)[static_cast<size_t>(top.label)].travel_time;
+      auto env = expanded_envelope.find(node);
+      if (env != expanded_envelope.end()) {
+        if (PwlFunction::DominatesOrEqual(tt, env->second)) {
+          ++stats->pruned_dominated;
+          continue;
+        }
+        env->second = PwlFunction::Min(env->second, tt);
+      } else {
+        expanded_envelope.emplace(node, tt);
+      }
+    }
+
+    ++stats->expansions;
+    distinct_nodes.insert(node);
+    if (options_.max_expansions > 0 &&
+        stats->expansions >= options_.max_expansions) {
+      stats->hit_expansion_cap = true;
+      break;
+    }
+
+    for (EdgeId edge_id : network_->InEdges(node)) {
+      const network::Edge& edge = network_->edge(edge_id);
+      const PwlFunction& path_rt =
+          (*labels)[static_cast<size_t>(top.label)].travel_time;
+      PwlFunction combined = tdf::ExpandPathReverse(
+          path_rt, network_->SpeedView(edge_id), edge.distance_miles);
+      const double estimate = estimator_->Estimate(edge.from);
+      const double key = combined.MinValue() + estimate;
+      if (!border.empty() && key >= border.MaxValue() - tdf::kTimeEps) {
+        ++stats->pruned_bound;
+        continue;
+      }
+      if (options_.pointwise_bound_pruning && !border.empty() &&
+          PwlFunction::DominatesOrEqual(combined.Shifted(estimate),
+                                        border.function())) {
+        ++stats->pruned_bound;
+        continue;
+      }
+      labels->push_back({std::move(combined), edge.from, top.label});
+      queue.push({key, static_cast<int64_t>(labels->size()) - 1});
+      ++stats->pushes;
+    }
+  }
+  stats->distinct_nodes = static_cast<int64_t>(distinct_nodes.size());
+  return border;
+}
+
+ReverseSingleFpResult ReverseProfileSearch::RunSingleFp(
+    const ReverseProfileQuery& query) {
+  ReverseSingleFpResult result;
+  std::vector<Label> labels;
+  int64_t first_source = -1;
+  (void)Run(query, /*stop_at_source=*/true, &labels, &result.stats,
+            &first_source);
+  if (first_source < 0) return result;
+  result.found = true;
+  const Label& label = labels[static_cast<size_t>(first_source)];
+  result.path = ReconstructPath(labels, first_source);
+  result.travel_time = label.travel_time;
+  result.best_arrive_time = label.travel_time.ArgMin();
+  result.best_travel_minutes = label.travel_time.MinValue();
+  result.best_leave_time = result.best_arrive_time - result.best_travel_minutes;
+  return result;
+}
+
+ReverseAllFpResult ReverseProfileSearch::RunAllFp(
+    const ReverseProfileQuery& query) {
+  ReverseAllFpResult result;
+  std::vector<Label> labels;
+  int64_t first_source = -1;
+  const LowerBorder border = Run(query, /*stop_at_source=*/false, &labels,
+                                 &result.stats, &first_source);
+  if (border.empty()) return result;
+  result.found = true;
+  result.border = border.function();
+  for (const LowerBorder::Piece& piece : border.pieces()) {
+    result.pieces.push_back(
+        {piece.lo, piece.hi, ReconstructPath(labels, piece.tag)});
+  }
+  std::vector<ReverseAllFpPiece> merged;
+  for (ReverseAllFpPiece& piece : result.pieces) {
+    if (!merged.empty() && merged.back().path == piece.path) {
+      merged.back().arrive_hi = piece.arrive_hi;
+    } else {
+      merged.push_back(std::move(piece));
+    }
+  }
+  result.pieces = std::move(merged);
+  return result;
+}
+
+}  // namespace capefp::core

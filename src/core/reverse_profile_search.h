@@ -1,0 +1,95 @@
+// Arrival-interval fastest-path queries (§2.1: "a leaving time interval at
+// s (or e)").
+//
+// The mirror image of ProfileSearch: the user fixes an interval of arrival
+// times at the target (e.g. "I must be at work between 8:45 and 9:00") and
+// asks for the fastest path per arrival sub-interval. Labels grow backwards
+// from the target and carry travel time as a piecewise-linear function of
+// the *arrival* time at the target; expansion uses the inverse
+// (departure-for-arrival) edge functions.
+//
+// Reverse expansion needs predecessor lists, which the CCAM store does not
+// materialize (it mirrors the paper's successor-only records), so this
+// search runs on the in-memory RoadNetwork.
+#ifndef CAPEFP_CORE_REVERSE_PROFILE_SEARCH_H_
+#define CAPEFP_CORE_REVERSE_PROFILE_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/core/lower_border.h"
+#include "src/core/profile_search.h"
+#include "src/network/road_network.h"
+
+namespace capefp::core {
+
+struct ReverseProfileQuery {
+  network::NodeId source = network::kInvalidNode;
+  network::NodeId target = network::kInvalidNode;
+  // Arrival-time interval at `target`, minutes from the reference midnight.
+  double arrive_lo = 0.0;
+  double arrive_hi = 0.0;
+};
+
+struct ReverseSingleFpResult {
+  bool found = false;
+  std::vector<network::NodeId> path;  // source..target.
+  // Travel time as a function of the arrival time at the target.
+  std::optional<tdf::PwlFunction> travel_time;
+  double best_arrive_time = 0.0;
+  double best_travel_minutes = 0.0;
+  // Implied departure: best_arrive_time − best_travel_minutes.
+  double best_leave_time = 0.0;
+  SearchStats stats;
+};
+
+struct ReverseAllFpPiece {
+  double arrive_lo = 0.0;
+  double arrive_hi = 0.0;
+  std::vector<network::NodeId> path;  // source..target.
+};
+
+struct ReverseAllFpResult {
+  bool found = false;
+  std::vector<ReverseAllFpPiece> pieces;
+  // Fastest achievable travel time per arrival instant.
+  std::optional<tdf::PwlFunction> border;
+  SearchStats stats;
+};
+
+class ReverseProfileSearch {
+ public:
+  // `estimator` must be anchored at query.source with
+  // Direction::kFromAnchor semantics: Estimate(n) lower-bounds the travel
+  // time source ⇒ n.
+  ReverseProfileSearch(const network::RoadNetwork* network,
+                       TravelTimeEstimator* estimator,
+                       const ProfileSearchOptions& options = {});
+
+  ReverseSingleFpResult RunSingleFp(const ReverseProfileQuery& query);
+  ReverseAllFpResult RunAllFp(const ReverseProfileQuery& query);
+
+ private:
+  struct Label {
+    tdf::PwlFunction travel_time;  // Function of arrival time at target.
+    network::NodeId node;
+    int64_t parent;  // Label nearer the target; -1 for the target label.
+  };
+
+  LowerBorder Run(const ReverseProfileQuery& query, bool stop_at_source,
+                  std::vector<Label>* labels, SearchStats* stats,
+                  int64_t* first_source_label);
+
+  std::vector<network::NodeId> ReconstructPath(
+      const std::vector<Label>& labels, int64_t label_index) const;
+
+  const network::RoadNetwork* network_;
+  TravelTimeEstimator* estimator_;
+  ProfileSearchOptions options_;
+};
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_REVERSE_PROFILE_SEARCH_H_

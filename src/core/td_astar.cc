@@ -1,0 +1,109 @@
+#include "src/core/td_astar.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "src/tdf/travel_time.h"
+#include "src/util/check.h"
+
+namespace capefp::core {
+
+namespace {
+
+using network::NeighborEdge;
+using network::NodeId;
+
+struct QueueEntry {
+  double priority;  // arrival + estimate.
+  double arrival;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+};
+
+}  // namespace
+
+TdAStarResult TdAStar(network::NetworkAccessor* accessor, NodeId source,
+                      NodeId target, double leave_time,
+                      TravelTimeEstimator* estimator) {
+  CAPEFP_CHECK(accessor != nullptr);
+  CAPEFP_CHECK(estimator != nullptr);
+  TdAStarResult result;
+
+  std::unordered_map<NodeId, double> best_arrival;
+  std::unordered_map<NodeId, NodeId> parent;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  best_arrival[source] = leave_time;
+  queue.push({leave_time + estimator->Estimate(source), leave_time, source});
+
+  std::vector<NeighborEdge> neighbors;
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    auto it = best_arrival.find(top.node);
+    if (it != best_arrival.end() && top.arrival > it->second + 1e-12) {
+      continue;  // Stale entry.
+    }
+    ++result.expanded_nodes;
+    if (top.node == target) {
+      result.found = true;
+      result.arrival_time = top.arrival;
+      result.travel_time_minutes = top.arrival - leave_time;
+      // Reconstruct source..target.
+      NodeId at = target;
+      result.path.push_back(at);
+      while (at != source) {
+        at = parent.at(at);
+        result.path.push_back(at);
+      }
+      std::reverse(result.path.begin(), result.path.end());
+      return result;
+    }
+    accessor->GetSuccessors(top.node, &neighbors);
+    for (const NeighborEdge& edge : neighbors) {
+      const tdf::EdgeSpeedView speed = accessor->SpeedView(edge.pattern);
+      const double arrival =
+          top.arrival +
+          tdf::TravelTime(speed, edge.distance_miles, top.arrival);
+      auto best = best_arrival.find(edge.to);
+      if (best == best_arrival.end() || arrival < best->second - 1e-12) {
+        best_arrival[edge.to] = arrival;
+        parent[edge.to] = top.node;
+        queue.push({arrival + estimator->Estimate(edge.to), arrival,
+                    edge.to});
+      }
+    }
+  }
+  return result;  // Not found.
+}
+
+double EvaluatePathTravelTime(network::NetworkAccessor* accessor,
+                              const std::vector<NodeId>& path,
+                              double leave_time) {
+  CAPEFP_CHECK(!path.empty());
+  double now = leave_time;
+  std::vector<NeighborEdge> neighbors;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    accessor->GetSuccessors(path[i], &neighbors);
+    const NeighborEdge* chosen = nullptr;
+    double best = std::numeric_limits<double>::infinity();
+    for (const NeighborEdge& edge : neighbors) {
+      if (edge.to != path[i + 1]) continue;
+      // Parallel edges: take the one fastest right now.
+      const double tt = tdf::TravelTime(accessor->SpeedView(edge.pattern),
+                                        edge.distance_miles, now);
+      if (tt < best) {
+        best = tt;
+        chosen = &edge;
+      }
+    }
+    CAPEFP_CHECK(chosen != nullptr)
+        << "path edge " << path[i] << "->" << path[i + 1] << " not in network";
+    now += best;
+  }
+  return now - leave_time;
+}
+
+}  // namespace capefp::core

@@ -1,0 +1,45 @@
+// Time-dependent A* for a fixed leaving instant.
+//
+// The "special case" of §1-§2: when the departure time is a single instant,
+// arrival times per edge are fixed and the fastest-path problem degrades to
+// a shortest-path search. Under FIFO (guaranteed by the flow-speed model)
+// label-setting A* with an admissible estimator is exact. This is also the
+// building block of the discrete-time baseline (§3, §6.3).
+#ifndef CAPEFP_CORE_TD_ASTAR_H_
+#define CAPEFP_CORE_TD_ASTAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/network/accessor.h"
+
+namespace capefp::core {
+
+struct TdAStarResult {
+  bool found = false;
+  double travel_time_minutes = 0.0;
+  double arrival_time = 0.0;
+  // Node sequence source..target (empty if not found).
+  std::vector<network::NodeId> path;
+  // Nodes popped from the priority queue (the paper's "expanded nodes").
+  int64_t expanded_nodes = 0;
+};
+
+// Fastest path from `source` leaving at `leave_time` to `target`.
+// `estimator` must be anchored at `target` (pass a ZeroEstimator for plain
+// time-dependent Dijkstra).
+TdAStarResult TdAStar(network::NetworkAccessor* accessor,
+                      network::NodeId source, network::NodeId target,
+                      double leave_time, TravelTimeEstimator* estimator);
+
+// Travel time along the explicit `path` (node sequence) leaving the first
+// node at `leave_time`, evaluated under the accessor's true CapeCod
+// patterns. Aborts if consecutive nodes are not connected.
+double EvaluatePathTravelTime(network::NetworkAccessor* accessor,
+                              const std::vector<network::NodeId>& path,
+                              double leave_time);
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_TD_ASTAR_H_

@@ -1,0 +1,84 @@
+#include "src/gen/random_network.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/tdf/speed_pattern.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace capefp::gen {
+
+namespace {
+
+tdf::DailySpeedPattern RandomDaily(util::Rng& rng, double max_speed) {
+  std::vector<tdf::SpeedPiece> pieces;
+  pieces.push_back({0.0, rng.NextDouble(0.15, 1.0) * max_speed});
+  const int extra = static_cast<int>(rng.NextInt(0, 4));
+  double start = 0.0;
+  for (int i = 0; i < extra; ++i) {
+    start += rng.NextDouble(60.0, 400.0);
+    if (start >= tdf::kMinutesPerDay - 1.0) break;
+    pieces.push_back({start, rng.NextDouble(0.15, 1.0) * max_speed});
+  }
+  return tdf::DailySpeedPattern(std::move(pieces));
+}
+
+}  // namespace
+
+network::RoadNetwork MakeRandomNetwork(const RandomNetworkOptions& options) {
+  CAPEFP_CHECK_GE(options.num_nodes, 2);
+  CAPEFP_CHECK_GE(options.num_patterns, 1);
+  util::Rng rng(options.seed);
+
+  network::RoadNetwork net{tdf::Calendar::StandardWeek(0, 1)};
+  for (int p = 0; p < options.num_patterns; ++p) {
+    net.AddPattern(tdf::CapeCodPattern(
+        {RandomDaily(rng, options.max_speed_mpm),
+         RandomDaily(rng, options.max_speed_mpm)}));
+  }
+  // Make sure max_speed() equals options.max_speed_mpm exactly so Euclidean
+  // admissibility arguments are tight and deterministic. Both calendar
+  // categories must be covered.
+  net.AddPattern(tdf::CapeCodPattern(
+      {tdf::DailySpeedPattern::Constant(options.max_speed_mpm),
+       tdf::DailySpeedPattern::Constant(options.max_speed_mpm)}));
+
+  for (int i = 0; i < options.num_nodes; ++i) {
+    net.AddNode({rng.NextDouble(0.0, options.extent_miles),
+                 rng.NextDouble(0.0, options.extent_miles)});
+  }
+
+  auto random_pattern = [&] {
+    return static_cast<network::PatternId>(
+        rng.NextBounded(static_cast<uint64_t>(options.num_patterns) + 1));
+  };
+  auto random_class = [&] {
+    return static_cast<network::RoadClass>(rng.NextBounded(4));
+  };
+  auto add_edge = [&](network::NodeId a, network::NodeId b) {
+    if (a == b) return;
+    const double euclid =
+        geo::EuclideanDistance(net.location(a), net.location(b));
+    const double dist = std::max(euclid * rng.NextDouble(1.0, 1.3), 1e-4);
+    net.AddBidirectionalEdge(a, b, dist, random_pattern(), random_class());
+  };
+
+  // Random spanning tree: node i attaches to a random predecessor.
+  for (int i = 1; i < options.num_nodes; ++i) {
+    add_edge(static_cast<network::NodeId>(i),
+             static_cast<network::NodeId>(rng.NextBounded(
+                 static_cast<uint64_t>(i))));
+  }
+  const int extras = static_cast<int>(options.extra_edge_fraction *
+                                      options.num_nodes);
+  for (int i = 0; i < extras; ++i) {
+    add_edge(static_cast<network::NodeId>(
+                 rng.NextBounded(static_cast<uint64_t>(options.num_nodes))),
+             static_cast<network::NodeId>(
+                 rng.NextBounded(static_cast<uint64_t>(options.num_nodes))));
+  }
+  return net;
+}
+
+}  // namespace capefp::gen

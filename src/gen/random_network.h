@@ -1,0 +1,36 @@
+// Small random connected networks for tests and micro-benchmarks.
+#ifndef CAPEFP_GEN_RANDOM_NETWORK_H_
+#define CAPEFP_GEN_RANDOM_NETWORK_H_
+
+#include <cstdint>
+
+#include "src/network/road_network.h"
+
+namespace capefp::gen {
+
+struct RandomNetworkOptions {
+  uint64_t seed = 1;
+  int num_nodes = 50;
+  // Extra bidirectional edges beyond the random spanning tree, as a
+  // fraction of num_nodes.
+  double extra_edge_fraction = 0.6;
+  // Number of distinct random CapeCod patterns to intern.
+  int num_patterns = 3;
+  // Maximum speed appearing in any generated pattern (mpm).
+  double max_speed_mpm = 1.0;
+  // Spatial extent (square side, miles).
+  double extent_miles = 10.0;
+};
+
+// Generates a strongly connected network: random node locations, a random
+// spanning tree plus extra edges (all bidirectional), random multi-piece
+// speed patterns over a two-category week. Deterministic in the seed.
+//
+// Edge distances are Euclidean scaled by a random detour factor in
+// [1, 1.3], so the triangle inequality in *distance* holds w.r.t. the
+// Euclidean lower bound, as the estimators require.
+network::RoadNetwork MakeRandomNetwork(const RandomNetworkOptions& options);
+
+}  // namespace capefp::gen
+
+#endif  // CAPEFP_GEN_RANDOM_NETWORK_H_

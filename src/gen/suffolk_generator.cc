@@ -1,0 +1,333 @@
+#include "src/gen/suffolk_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/gen/table1_schema.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace capefp::gen {
+
+namespace {
+
+using network::NodeId;
+using network::RoadClass;
+
+// Disjoint-set forest for the spanning-tree edge selection.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[static_cast<size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+struct LatticeKey {
+  int x;
+  int y;
+  bool operator==(const LatticeKey& o) const { return x == o.x && y == o.y; }
+};
+
+struct LatticeKeyHash {
+  size_t operator()(const LatticeKey& k) const {
+    return static_cast<size_t>(k.x) * 1000003u ^ static_cast<size_t>(k.y);
+  }
+};
+
+struct CandidateNode {
+  geo::Point pos;
+  int lx = 0;  // Lattice coordinates at half-suburb-spacing resolution.
+  int ly = 0;
+};
+
+struct CandidateEdge {
+  int a = 0;
+  int b = 0;
+};
+
+}  // namespace
+
+SuffolkOptions SuffolkOptions::Small() {
+  SuffolkOptions o;
+  o.extent_miles = 3.2;
+  o.city_radius_miles = 0.8;
+  o.suburb_spacing_miles = 0.3;
+  o.target_segments = 0;  // Keep a fixed fraction of extra edges.
+  o.num_highways = 4;
+  o.highway_node_spacing_miles = 0.35;
+  o.highway_inner_radius_miles = 0.25;
+  return o;
+}
+
+SuffolkNetwork GenerateSuffolkNetwork(const SuffolkOptions& options) {
+  CAPEFP_CHECK_GT(options.extent_miles, 0.0);
+  CAPEFP_CHECK_GT(options.suburb_spacing_miles, 0.0);
+  CAPEFP_CHECK_GT(options.city_radius_miles, 0.0);
+  CAPEFP_CHECK_LT(options.city_radius_miles, options.extent_miles / 2.0);
+  CAPEFP_CHECK_GE(options.num_highways, 0);
+
+  util::Rng rng(options.seed);
+  const geo::Point center{options.extent_miles / 2.0,
+                          options.extent_miles / 2.0};
+  const double h = options.suburb_spacing_miles / 2.0;  // Lattice resolution.
+  const int lattice_dim = static_cast<int>(options.extent_miles / h) + 1;
+
+  auto in_city = [&](const geo::Point& p) {
+    return geo::EuclideanDistance(p, center) <= options.city_radius_miles;
+  };
+
+  // --- 1. Lattice nodes: fine inside the city (every lattice point), coarse
+  // outside (even lattice points only), each kept with node_keep_prob and
+  // jittered off the exact lattice.
+  std::vector<CandidateNode> nodes;
+  std::unordered_map<LatticeKey, int, LatticeKeyHash> by_lattice;
+  for (int ly = 0; ly <= lattice_dim; ++ly) {
+    for (int lx = 0; lx <= lattice_dim; ++lx) {
+      const geo::Point ideal{lx * h, ly * h};
+      if (ideal.x > options.extent_miles || ideal.y > options.extent_miles) {
+        continue;
+      }
+      const bool fine = in_city(ideal);
+      if (!fine && ((lx | ly) & 1) != 0) continue;  // Coarse grid only.
+      if (!rng.NextBool(options.node_keep_prob)) continue;
+      const double jitter = 0.18 * h;
+      geo::Point pos{ideal.x + rng.NextDouble(-jitter, jitter),
+                     ideal.y + rng.NextDouble(-jitter, jitter)};
+      pos.x = std::clamp(pos.x, 0.0, options.extent_miles);
+      pos.y = std::clamp(pos.y, 0.0, options.extent_miles);
+      const int id = static_cast<int>(nodes.size());
+      nodes.push_back({pos, lx, ly});
+      by_lattice[{lx, ly}] = id;
+    }
+  }
+  CAPEFP_CHECK_GT(nodes.size(), 2u) << "degenerate generator options";
+
+  // --- 2. Candidate grid edges: each node connects to the nearest existing
+  // node in +x and +y (1 or 2 lattice steps away, bridging fine/coarse).
+  std::vector<CandidateEdge> candidates;
+  auto find_at = [&](int lx, int ly) -> int {
+    auto it = by_lattice.find({lx, ly});
+    return it == by_lattice.end() ? -1 : it->second;
+  };
+  for (int id = 0; id < static_cast<int>(nodes.size()); ++id) {
+    const CandidateNode& n = nodes[static_cast<size_t>(id)];
+    for (int axis = 0; axis < 2; ++axis) {
+      for (int step = 1; step <= 2; ++step) {
+        const int lx = n.lx + (axis == 0 ? step : 0);
+        const int ly = n.ly + (axis == 1 ? step : 0);
+        const int other = find_at(lx, ly);
+        if (other >= 0) {
+          candidates.push_back({id, other});
+          break;
+        }
+      }
+    }
+  }
+
+  // --- 3. Highways: radial chains of dedicated nodes with periodic ramps
+  // onto the grid.
+  struct HighwaySegment {
+    int a;
+    int b;          // b is closer to the center than a.
+  };
+  std::vector<HighwaySegment> highway_segments;
+  std::vector<CandidateEdge> ramp_edges;
+  std::vector<bool> is_highway_node(nodes.size(), false);
+  const double max_radius = options.extent_miles / 2.0 - h;
+  for (int hw = 0; hw < options.num_highways; ++hw) {
+    const double angle =
+        (2.0 * std::numbers::pi * hw) / options.num_highways +
+        rng.NextDouble(-0.08, 0.08);
+    int prev = -1;
+    int steps_since_ramp = 0;
+    for (double r = options.highway_inner_radius_miles; r <= max_radius;
+         r += options.highway_node_spacing_miles) {
+      const geo::Point pos{center.x + r * std::cos(angle),
+                           center.y + r * std::sin(angle)};
+      const int id = static_cast<int>(nodes.size());
+      nodes.push_back(
+          {pos, static_cast<int>(pos.x / h), static_cast<int>(pos.y / h)});
+      is_highway_node.push_back(true);
+      if (prev >= 0) highway_segments.push_back({id, prev});
+      // Ramp: connect to the nearest grid node every ~2 highway nodes.
+      if (++steps_since_ramp >= 2 || prev < 0) {
+        steps_since_ramp = 0;
+        int best = -1;
+        double best_d = 3.0 * h;
+        const int clx = static_cast<int>(pos.x / h);
+        const int cly = static_cast<int>(pos.y / h);
+        for (int dy = -2; dy <= 2; ++dy) {
+          for (int dx = -2; dx <= 2; ++dx) {
+            const int cand = find_at(clx + dx, cly + dy);
+            if (cand < 0) continue;
+            const double d = geo::EuclideanDistance(
+                pos, nodes[static_cast<size_t>(cand)].pos);
+            if (d < best_d && d > 1e-6) {
+              best_d = d;
+              best = cand;
+            }
+          }
+        }
+        if (best >= 0) ramp_edges.push_back({id, best});
+      }
+      prev = id;
+    }
+  }
+
+  // --- 4. Connectivity: BFS over all candidate edges, keep the largest
+  // component.
+  std::vector<std::vector<int>> adj(nodes.size());
+  auto add_adj = [&](int a, int b) {
+    adj[static_cast<size_t>(a)].push_back(b);
+    adj[static_cast<size_t>(b)].push_back(a);
+  };
+  for (const CandidateEdge& e : candidates) add_adj(e.a, e.b);
+  for (const CandidateEdge& e : ramp_edges) add_adj(e.a, e.b);
+  for (const HighwaySegment& s : highway_segments) add_adj(s.a, s.b);
+
+  std::vector<int> component(nodes.size(), -1);
+  int best_component = -1;
+  size_t best_size = 0;
+  int num_components = 0;
+  for (int start = 0; start < static_cast<int>(nodes.size()); ++start) {
+    if (component[static_cast<size_t>(start)] >= 0) continue;
+    const int comp = num_components++;
+    std::vector<int> queue = {start};
+    component[static_cast<size_t>(start)] = comp;
+    size_t size = 0;
+    while (!queue.empty()) {
+      const int u = queue.back();
+      queue.pop_back();
+      ++size;
+      for (int v : adj[static_cast<size_t>(u)]) {
+        if (component[static_cast<size_t>(v)] < 0) {
+          component[static_cast<size_t>(v)] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+    if (size > best_size) {
+      best_size = size;
+      best_component = comp;
+    }
+  }
+
+  // Renumber surviving nodes.
+  std::vector<NodeId> new_id(nodes.size(), network::kInvalidNode);
+  tdf::Calendar calendar = tdf::Calendar::StandardWeek(kWorkday, kNonWorkday);
+  SuffolkNetwork result{network::RoadNetwork(std::move(calendar)), center,
+                        options.city_radius_miles};
+  RegisterTable1Patterns(&result.network);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (component[i] == best_component) {
+      new_id[i] = result.network.AddNode(nodes[i].pos);
+    }
+  }
+
+  // --- 5. Edge selection: spanning tree always; extras up to the segment
+  // budget; highway chains and ramps always.
+  auto alive = [&](const CandidateEdge& e) {
+    return new_id[static_cast<size_t>(e.a)] != network::kInvalidNode &&
+           new_id[static_cast<size_t>(e.b)] != network::kInvalidNode;
+  };
+  // Shuffle so the kept extras are an unbiased sample.
+  for (size_t i = candidates.size(); i > 1; --i) {
+    std::swap(candidates[i - 1], candidates[rng.NextBounded(i)]);
+  }
+  UnionFind uf(nodes.size());
+  // Highway/ramp edges claim their tree slots first so chains stay intact.
+  std::vector<CandidateEdge> always;
+  for (const HighwaySegment& s : highway_segments) {
+    always.push_back({s.a, s.b});
+  }
+  for (const CandidateEdge& e : ramp_edges) always.push_back(e);
+  for (const CandidateEdge& e : always) {
+    if (alive(e)) uf.Union(e.a, e.b);
+  }
+  std::vector<CandidateEdge> tree;
+  std::vector<CandidateEdge> extra;
+  for (const CandidateEdge& e : candidates) {
+    if (!alive(e)) continue;
+    if (uf.Union(e.a, e.b)) {
+      tree.push_back(e);
+    } else {
+      extra.push_back(e);
+    }
+  }
+  size_t extras_to_keep;
+  if (options.target_segments > 0) {
+    const size_t base = tree.size() + always.size();
+    extras_to_keep =
+        static_cast<size_t>(options.target_segments) > base
+            ? std::min(extra.size(),
+                       static_cast<size_t>(options.target_segments) - base)
+            : 0;
+  } else {
+    extras_to_keep = static_cast<size_t>(0.45 * static_cast<double>(extra.size()));
+  }
+
+  auto class_for_local = [&](const geo::Point& a, const geo::Point& b) {
+    const geo::Point mid{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+    return in_city(mid) ? RoadClass::kLocalInCity
+                        : RoadClass::kLocalOutsideCity;
+  };
+  auto add_local = [&](const CandidateEdge& e) {
+    const NodeId a = new_id[static_cast<size_t>(e.a)];
+    const NodeId b = new_id[static_cast<size_t>(e.b)];
+    const geo::Point& pa = result.network.location(a);
+    const geo::Point& pb = result.network.location(b);
+    const double dist = geo::EuclideanDistance(pa, pb);
+    if (dist <= 1e-9) return;
+    const RoadClass rc = class_for_local(pa, pb);
+    result.network.AddBidirectionalEdge(
+        a, b, dist, static_cast<network::PatternId>(rc), rc);
+  };
+  for (const CandidateEdge& e : tree) add_local(e);
+  for (size_t i = 0; i < extras_to_keep; ++i) add_local(extra[i]);
+  for (const CandidateEdge& e : ramp_edges) {
+    if (alive(e)) add_local(e);
+  }
+  for (const HighwaySegment& s : highway_segments) {
+    if (!alive({s.a, s.b})) continue;
+    const NodeId outer = new_id[static_cast<size_t>(s.a)];
+    const NodeId inner = new_id[static_cast<size_t>(s.b)];
+    const double dist = geo::EuclideanDistance(
+        result.network.location(outer), result.network.location(inner));
+    if (dist <= 1e-9) continue;
+    // Towards the center: inbound; away: outbound.
+    result.network.AddEdge(
+        outer, inner, dist,
+        static_cast<network::PatternId>(RoadClass::kInboundHighway),
+        RoadClass::kInboundHighway);
+    result.network.AddEdge(
+        inner, outer, dist,
+        static_cast<network::PatternId>(RoadClass::kOutboundHighway),
+        RoadClass::kOutboundHighway);
+  }
+  return result;
+}
+
+}  // namespace capefp::gen

@@ -1,0 +1,62 @@
+// Synthetic metropolitan road network approximating the paper's dataset.
+//
+// The paper evaluates on the 2003 TIGER/Line roads of Suffolk County, MA
+// (14,456 nodes / 20,461 road segments, §6.1) — data we cannot ship. This
+// generator builds a structurally equivalent network (see DESIGN.md,
+// "Data substitutions"): a dense urban grid inside a circular city, a
+// sparser suburban grid outside, and radial dual-carriageway highways whose
+// towards-center lanes are inbound and away-from-center lanes outbound.
+// Edges carry the Table 1 CapeCod patterns keyed by road class.
+//
+// All randomness is seeded; the same options always yield the same network.
+#ifndef CAPEFP_GEN_SUFFOLK_GENERATOR_H_
+#define CAPEFP_GEN_SUFFOLK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/geo/point.h"
+#include "src/network/road_network.h"
+
+namespace capefp::gen {
+
+struct SuffolkOptions {
+  uint64_t seed = 42;
+
+  // Square world [0, extent]², city disk in the middle.
+  double extent_miles = 12.0;
+  double city_radius_miles = 2.5;
+
+  // Suburban grid spacing; the city grid is twice as fine.
+  double suburb_spacing_miles = 0.114;
+
+  // Probability a lattice node exists (irregularity of real road networks).
+  double node_keep_prob = 0.93;
+
+  // Undirected segment budget: spanning-tree edges are always kept and
+  // random extra grid edges are added up to this count (the paper's
+  // dataset has 20,461 segments). <= 0 keeps a fixed 45% of extras instead.
+  int target_segments = 20461;
+
+  // Radial highways.
+  int num_highways = 8;
+  double highway_node_spacing_miles = 0.4;
+  double highway_inner_radius_miles = 0.5;
+
+  // A small network (a few hundred nodes) for unit tests.
+  static SuffolkOptions Small();
+};
+
+struct SuffolkNetwork {
+  network::RoadNetwork network;
+  geo::Point city_center;
+  double city_radius_miles = 0.0;
+};
+
+// Generates the network. The result is strongly connected (every segment is
+// a directed pair) and uses pattern ids equal to RoadClass values
+// (RegisterTable1Patterns). Aborts on nonsensical options.
+SuffolkNetwork GenerateSuffolkNetwork(const SuffolkOptions& options);
+
+}  // namespace capefp::gen
+
+#endif  // CAPEFP_GEN_SUFFOLK_GENERATOR_H_

@@ -1,0 +1,68 @@
+#include "src/gen/table1_schema.h"
+
+#include <vector>
+
+namespace capefp::gen {
+
+namespace {
+
+using tdf::DailySpeedPattern;
+using tdf::HhMm;
+using tdf::MphToMpm;
+using tdf::SpeedPiece;
+
+DailySpeedPattern MorningRush(double normal_mph, double rush_mph) {
+  return DailySpeedPattern({{0.0, MphToMpm(normal_mph)},
+                            {HhMm(7, 0), MphToMpm(rush_mph)},
+                            {HhMm(10, 0), MphToMpm(normal_mph)}});
+}
+
+DailySpeedPattern EveningRush(double normal_mph, double rush_mph) {
+  return DailySpeedPattern({{0.0, MphToMpm(normal_mph)},
+                            {HhMm(16, 0), MphToMpm(rush_mph)},
+                            {HhMm(19, 0), MphToMpm(normal_mph)}});
+}
+
+DailySpeedPattern DoubleRush(double normal_mph, double rush_mph) {
+  return DailySpeedPattern({{0.0, MphToMpm(normal_mph)},
+                            {HhMm(7, 0), MphToMpm(rush_mph)},
+                            {HhMm(10, 0), MphToMpm(normal_mph)},
+                            {HhMm(16, 0), MphToMpm(rush_mph)},
+                            {HhMm(19, 0), MphToMpm(normal_mph)}});
+}
+
+DailySpeedPattern Flat(double mph) {
+  return DailySpeedPattern::Constant(MphToMpm(mph));
+}
+
+}  // namespace
+
+Table1Schema MakeTable1Schema() {
+  return Table1Schema{{
+      // kInboundHighway: 20 MPH 7-10am on workdays, 65 otherwise.
+      tdf::CapeCodPattern({MorningRush(65.0, 20.0), Flat(65.0)}),
+      // kOutboundHighway: 30 MPH 4-7pm on workdays, 65 otherwise.
+      tdf::CapeCodPattern({EveningRush(65.0, 30.0), Flat(65.0)}),
+      // kLocalInCity: 20 MPH in both rush windows on workdays, 40 otherwise.
+      tdf::CapeCodPattern({DoubleRush(40.0, 20.0), Flat(40.0)}),
+      // kLocalOutsideCity: 40 MPH always.
+      tdf::CapeCodPattern({Flat(40.0), Flat(40.0)}),
+  }};
+}
+
+Table1Schema MakeSpeedLimitSchema() {
+  return Table1Schema{{
+      tdf::CapeCodPattern({Flat(65.0), Flat(65.0)}),
+      tdf::CapeCodPattern({Flat(65.0), Flat(65.0)}),
+      tdf::CapeCodPattern({Flat(40.0), Flat(40.0)}),
+      tdf::CapeCodPattern({Flat(40.0), Flat(40.0)}),
+  }};
+}
+
+void RegisterTable1Patterns(network::RoadNetwork* network) {
+  for (tdf::CapeCodPattern& pattern : MakeTable1Schema().patterns) {
+    network->AddPattern(std::move(pattern));
+  }
+}
+
+}  // namespace capefp::gen

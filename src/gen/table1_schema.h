@@ -1,0 +1,45 @@
+// The CapeCod pattern schema of Table 1 (§6.1).
+//
+//                Inbound Hwy   Outbound Hwy  Local in Boston       Local outside
+//  Non-workday   65 MPH        65 MPH        40 MPH                40 MPH
+//  Workday       20 MPH 7-10a  30 MPH 4-7p   20 MPH 7-10a & 4-7p   40 MPH
+//                65 otherwise  65 otherwise  40 otherwise
+#ifndef CAPEFP_GEN_TABLE1_SCHEMA_H_
+#define CAPEFP_GEN_TABLE1_SCHEMA_H_
+
+#include <array>
+
+#include "src/network/road_network.h"
+#include "src/tdf/speed_pattern.h"
+
+namespace capefp::gen {
+
+// Day-category ids used by the schema.
+inline constexpr tdf::DayCategoryId kWorkday = 0;
+inline constexpr tdf::DayCategoryId kNonWorkday = 1;
+
+// One CapeCod pattern per road class, workday category first.
+struct Table1Schema {
+  std::array<tdf::CapeCodPattern, network::kNumRoadClasses> patterns;
+
+  const tdf::CapeCodPattern& pattern_for(network::RoadClass rc) const {
+    return patterns[static_cast<size_t>(rc)];
+  }
+};
+
+// Builds the four patterns of Table 1.
+Table1Schema MakeTable1Schema();
+
+// Registers the schema's patterns on `network` in RoadClass order, so that
+// PatternId == static_cast<int>(RoadClass). The network's calendar should
+// map days to {kWorkday, kNonWorkday} (see Calendar::StandardWeek).
+void RegisterTable1Patterns(network::RoadNetwork* network);
+
+// A variant of the schema where every class moves at its speed limit all
+// day (the "commercial navigation system" assumption of §6): inbound and
+// outbound highways at 65 MPH, local roads at 40 MPH.
+Table1Schema MakeSpeedLimitSchema();
+
+}  // namespace capefp::gen
+
+#endif  // CAPEFP_GEN_TABLE1_SCHEMA_H_

@@ -1,0 +1,72 @@
+#include "src/geo/hilbert.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace capefp::geo {
+
+namespace {
+
+// Rotates/flips the quadrant-local coordinates per the classic iterative
+// Hilbert construction (Warren, Hacker's Delight style).
+void Rotate(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertXy2D(int order, uint32_t x, uint32_t y) {
+  CAPEFP_CHECK(order >= 1 && order <= 31);
+  const uint32_t n = 1u << order;
+  CAPEFP_CHECK_LT(x, n);
+  CAPEFP_CHECK_LT(y, n);
+  uint64_t d = 0;
+  for (uint32_t s = n / 2; s > 0; s /= 2) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rotate(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertD2Xy(int order, uint64_t d, uint32_t* x, uint32_t* y) {
+  CAPEFP_CHECK(order >= 1 && order <= 31);
+  const uint32_t n = 1u << order;
+  CAPEFP_CHECK_LT(d, static_cast<uint64_t>(n) * n);
+  *x = 0;
+  *y = 0;
+  uint64_t t = d;
+  for (uint32_t s = 1; s < n; s *= 2) {
+    const uint32_t rx = 1 & static_cast<uint32_t>(t / 2);
+    const uint32_t ry = 1 & static_cast<uint32_t>(t ^ rx);
+    Rotate(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+uint64_t HilbertValue(const Point& p, const BoundingBox& box, int order) {
+  CAPEFP_CHECK(!box.empty());
+  const uint32_t n = 1u << order;
+  auto discretize = [n](double v, double lo, double extent) {
+    if (extent <= 0.0) return 0u;
+    const double frac = (v - lo) / extent;
+    auto cell = static_cast<int64_t>(frac * n);
+    cell = std::clamp<int64_t>(cell, 0, n - 1);
+    return static_cast<uint32_t>(cell);
+  };
+  const uint32_t gx = discretize(p.x, box.lo().x, box.width());
+  const uint32_t gy = discretize(p.y, box.lo().y, box.height());
+  return HilbertXy2D(order, gx, gy);
+}
+
+}  // namespace capefp::geo

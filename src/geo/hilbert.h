@@ -1,0 +1,28 @@
+// Hilbert space-filling curve.
+//
+// CCAM (Shekhar & Liu, TKDE'97) orders node records one-dimensionally by
+// the Hilbert value of their spatial location before connectivity-aware
+// page packing; the B+-tree over node ids then inherits spatial locality.
+#ifndef CAPEFP_GEO_HILBERT_H_
+#define CAPEFP_GEO_HILBERT_H_
+
+#include <cstdint>
+
+#include "src/geo/point.h"
+
+namespace capefp::geo {
+
+// Maps grid cell (x, y), each in [0, 2^order), to its distance along the
+// Hilbert curve of the given order (order in [1, 31]).
+uint64_t HilbertXy2D(int order, uint32_t x, uint32_t y);
+
+// Inverse of HilbertXy2D.
+void HilbertD2Xy(int order, uint64_t d, uint32_t* x, uint32_t* y);
+
+// Hilbert value of a point within `box`, discretized to a 2^order grid.
+// Points on the box border are clamped into range.
+uint64_t HilbertValue(const Point& p, const BoundingBox& box, int order = 16);
+
+}  // namespace capefp::geo
+
+#endif  // CAPEFP_GEO_HILBERT_H_

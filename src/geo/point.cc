@@ -1,0 +1,45 @@
+#include "src/geo/point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace capefp::geo {
+
+double EuclideanDistance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+BoundingBox::BoundingBox(Point lo, Point hi) : empty_(false), lo_(lo), hi_(hi) {
+  CAPEFP_CHECK_LE(lo.x, hi.x);
+  CAPEFP_CHECK_LE(lo.y, hi.y);
+}
+
+void BoundingBox::Extend(const Point& p) {
+  if (empty_) {
+    lo_ = hi_ = p;
+    empty_ = false;
+    return;
+  }
+  lo_.x = std::min(lo_.x, p.x);
+  lo_.y = std::min(lo_.y, p.y);
+  hi_.x = std::max(hi_.x, p.x);
+  hi_.y = std::max(hi_.y, p.y);
+}
+
+bool BoundingBox::Contains(const Point& p) const {
+  return !empty_ && p.x >= lo_.x && p.x <= hi_.x && p.y >= lo_.y &&
+         p.y <= hi_.y;
+}
+
+std::string BoundingBox::ToString() const {
+  if (empty_) return "[empty]";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[(%.3f,%.3f)-(%.3f,%.3f)]", lo_.x, lo_.y,
+                hi_.x, hi_.y);
+  return buf;
+}
+
+}  // namespace capefp::geo

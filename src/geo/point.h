@@ -1,0 +1,52 @@
+// Planar geometry primitives.
+//
+// Road-network coordinates are planar miles (the paper's Suffolk-county
+// dataset spans a few miles; we keep the unit so speeds in miles/minute
+// combine directly with distances).
+#ifndef CAPEFP_GEO_POINT_H_
+#define CAPEFP_GEO_POINT_H_
+
+#include <string>
+
+namespace capefp::geo {
+
+// A point in the plane, coordinates in miles.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+// Euclidean distance between `a` and `b`, in miles.
+double EuclideanDistance(const Point& a, const Point& b);
+
+// Axis-aligned bounding box. A default-constructed box is empty.
+class BoundingBox {
+ public:
+  BoundingBox() = default;
+  BoundingBox(Point lo, Point hi);
+
+  // Grows the box to contain `p`.
+  void Extend(const Point& p);
+
+  bool empty() const { return empty_; }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+  double width() const { return hi_.x - lo_.x; }
+  double height() const { return hi_.y - lo_.y; }
+  bool Contains(const Point& p) const;
+
+  std::string ToString() const;
+
+ private:
+  bool empty_ = true;
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace capefp::geo
+
+#endif  // CAPEFP_GEO_POINT_H_

@@ -1,0 +1,37 @@
+#include "src/network/accessor.h"
+
+#include "src/util/check.h"
+
+namespace capefp::network {
+
+InMemoryAccessor::InMemoryAccessor(const RoadNetwork* network)
+    : network_(network), max_speed_(network->max_speed()) {
+  CAPEFP_CHECK(network != nullptr);
+}
+
+size_t InMemoryAccessor::num_nodes() const { return network_->num_nodes(); }
+
+geo::Point InMemoryAccessor::Location(NodeId node) {
+  return network_->location(node);
+}
+
+void InMemoryAccessor::GetSuccessors(NodeId node,
+                                     std::vector<NeighborEdge>* out) {
+  out->clear();
+  for (EdgeId edge_id : network_->OutEdges(node)) {
+    const Edge& e = network_->edge(edge_id);
+    out->push_back({e.to, e.distance_miles, e.pattern, e.road_class});
+  }
+}
+
+const tdf::CapeCodPattern& InMemoryAccessor::Pattern(PatternId id) const {
+  return network_->pattern(id);
+}
+
+const tdf::Calendar& InMemoryAccessor::calendar() const {
+  return network_->calendar();
+}
+
+double InMemoryAccessor::max_speed() const { return max_speed_; }
+
+}  // namespace capefp::network

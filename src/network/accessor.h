@@ -1,0 +1,78 @@
+// Network access interface used by all query algorithms.
+//
+// The paper stores the network on disk via CCAM (§2.2) and its algorithms
+// touch it only through FindNode / GetSuccessor operations. We mirror that:
+// search code consumes this interface, so the same algorithm runs against
+// the in-memory RoadNetwork or the disk-backed CCAM store, and the CCAM
+// implementation can count page faults per query.
+//
+// Pattern bodies and the calendar are part of the network schema and are
+// always memory-resident; disk records carry pattern *ids*.
+#ifndef CAPEFP_NETWORK_ACCESSOR_H_
+#define CAPEFP_NETWORK_ACCESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geo/point.h"
+#include "src/network/road_network.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/tdf/travel_time.h"
+
+namespace capefp::network {
+
+// One outgoing road segment as seen through an accessor.
+struct NeighborEdge {
+  NodeId to = kInvalidNode;
+  double distance_miles = 0.0;
+  PatternId pattern = 0;
+  RoadClass road_class = RoadClass::kLocalOutsideCity;
+};
+
+// Abstract node-centric view of a CapeCod network.
+class NetworkAccessor {
+ public:
+  virtual ~NetworkAccessor() = default;
+
+  virtual size_t num_nodes() const = 0;
+
+  // Location of `node` (the paper's FindNode). May perform page I/O.
+  virtual geo::Point Location(NodeId node) = 0;
+
+  // Appends `node`'s outgoing edges to `out` (cleared first); the paper's
+  // GetSuccessor. May perform page I/O.
+  virtual void GetSuccessors(NodeId node, std::vector<NeighborEdge>* out) = 0;
+
+  // Schema access (always memory-resident).
+  virtual const tdf::CapeCodPattern& Pattern(PatternId id) const = 0;
+  virtual const tdf::Calendar& calendar() const = 0;
+  virtual double max_speed() const = 0;
+
+  // Speed view for an edge with pattern `id`. The view borrows schema
+  // storage owned by the accessor's network.
+  tdf::EdgeSpeedView SpeedView(PatternId id) const {
+    return tdf::EdgeSpeedView(&Pattern(id), &calendar());
+  }
+};
+
+// Accessor over an in-memory RoadNetwork (no I/O, no counters). The network
+// must outlive the accessor.
+class InMemoryAccessor : public NetworkAccessor {
+ public:
+  explicit InMemoryAccessor(const RoadNetwork* network);
+
+  size_t num_nodes() const override;
+  geo::Point Location(NodeId node) override;
+  void GetSuccessors(NodeId node, std::vector<NeighborEdge>* out) override;
+  const tdf::CapeCodPattern& Pattern(PatternId id) const override;
+  const tdf::Calendar& calendar() const override;
+  double max_speed() const override;
+
+ private:
+  const RoadNetwork* network_;
+  double max_speed_;
+};
+
+}  // namespace capefp::network
+
+#endif  // CAPEFP_NETWORK_ACCESSOR_H_

@@ -1,0 +1,234 @@
+#include "src/network/network_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace capefp::network {
+
+namespace {
+
+constexpr char kMagic[] = "capefp-network";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+void WriteScheduleText(const tdf::Calendar& calendar,
+                       const std::vector<const tdf::CapeCodPattern*>& patterns,
+                       std::ostream& out) {
+  const auto& cycle = calendar.cycle();
+  out << "calendar " << cycle.size();
+  for (tdf::DayCategoryId c : cycle) out << " " << c;
+  out << "\n";
+
+  out << "patterns " << patterns.size() << "\n";
+  out.precision(17);
+  for (const tdf::CapeCodPattern* pat : patterns) {
+    out << "pattern " << pat->num_categories() << "\n";
+    for (size_t c = 0; c < pat->num_categories(); ++c) {
+      const auto& daily = pat->pattern_for(static_cast<tdf::DayCategoryId>(c));
+      out << "category " << daily.pieces().size();
+      for (const tdf::SpeedPiece& piece : daily.pieces()) {
+        out << " " << piece.start_minute << " " << piece.speed_mpm;
+      }
+      out << "\n";
+    }
+  }
+}
+
+util::StatusOr<ParsedSchedule> ReadScheduleText(std::istream& in) {
+  std::string keyword;
+  size_t cycle_len = 0;
+  if (!(in >> keyword >> cycle_len) || keyword != "calendar" ||
+      cycle_len == 0) {
+    return util::Status::Corruption("bad calendar header");
+  }
+  std::vector<tdf::DayCategoryId> cycle(cycle_len);
+  for (tdf::DayCategoryId& c : cycle) {
+    if (!(in >> c) || c < 0) return util::Status::Corruption("bad calendar");
+  }
+
+  size_t num_patterns = 0;
+  if (!(in >> keyword >> num_patterns) || keyword != "patterns") {
+    return util::Status::Corruption("bad patterns header");
+  }
+  std::vector<tdf::CapeCodPattern> patterns;
+  patterns.reserve(num_patterns);
+  for (size_t p = 0; p < num_patterns; ++p) {
+    size_t num_categories = 0;
+    if (!(in >> keyword >> num_categories) || keyword != "pattern" ||
+        num_categories == 0) {
+      return util::Status::Corruption("bad pattern header");
+    }
+    std::vector<tdf::DailySpeedPattern> categories;
+    categories.reserve(num_categories);
+    for (size_t c = 0; c < num_categories; ++c) {
+      size_t num_pieces = 0;
+      if (!(in >> keyword >> num_pieces) || keyword != "category" ||
+          num_pieces == 0) {
+        return util::Status::Corruption("bad category header");
+      }
+      std::vector<tdf::SpeedPiece> pieces(num_pieces);
+      double prev_start = -1.0;
+      for (tdf::SpeedPiece& piece : pieces) {
+        if (!(in >> piece.start_minute >> piece.speed_mpm)) {
+          return util::Status::Corruption("bad speed piece");
+        }
+        if (piece.speed_mpm <= 0.0 || piece.start_minute <= prev_start ||
+            piece.start_minute >= tdf::kMinutesPerDay) {
+          return util::Status::Corruption("invalid speed piece values");
+        }
+        prev_start = piece.start_minute;
+      }
+      if (pieces.front().start_minute != 0.0) {
+        return util::Status::Corruption("first piece must start at 0");
+      }
+      categories.push_back(tdf::DailySpeedPattern(std::move(pieces)));
+    }
+    patterns.push_back(tdf::CapeCodPattern(std::move(categories)));
+  }
+  return ParsedSchedule{tdf::Calendar(std::move(cycle)), std::move(patterns)};
+}
+
+util::Status WriteNetworkText(const RoadNetwork& network, std::ostream& out) {
+  out << kMagic << " " << kVersion << "\n";
+
+  std::vector<const tdf::CapeCodPattern*> patterns;
+  patterns.reserve(network.num_patterns());
+  for (size_t p = 0; p < network.num_patterns(); ++p) {
+    patterns.push_back(&network.pattern(static_cast<PatternId>(p)));
+  }
+  WriteScheduleText(network.calendar(), patterns, out);
+
+  out.precision(17);
+  out << "nodes " << network.num_nodes() << "\n";
+  for (size_t n = 0; n < network.num_nodes(); ++n) {
+    const geo::Point& loc = network.location(static_cast<NodeId>(n));
+    out << loc.x << " " << loc.y << "\n";
+  }
+
+  out << "edges " << network.num_edges() << "\n";
+  for (size_t e = 0; e < network.num_edges(); ++e) {
+    const Edge& edge = network.edge(static_cast<EdgeId>(e));
+    out << edge.from << " " << edge.to << " " << edge.distance_miles << " "
+        << edge.pattern << " " << static_cast<int>(edge.road_class) << "\n";
+  }
+
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::Ok();
+}
+
+util::StatusOr<RoadNetwork> ReadNetworkText(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return util::Status::InvalidArgument("not a capefp network file");
+  }
+  if (version != kVersion) {
+    return util::Status::InvalidArgument("unsupported network file version");
+  }
+
+  auto schedule_or = ReadScheduleText(in);
+  if (!schedule_or.ok()) return schedule_or.status();
+  RoadNetwork network{std::move(schedule_or->calendar)};
+  const size_t num_patterns = schedule_or->patterns.size();
+  for (tdf::CapeCodPattern& pattern : schedule_or->patterns) {
+    network.AddPattern(std::move(pattern));
+  }
+
+  std::string keyword;
+  size_t num_nodes = 0;
+  if (!(in >> keyword >> num_nodes) || keyword != "nodes") {
+    return util::Status::Corruption("bad nodes header");
+  }
+  for (size_t n = 0; n < num_nodes; ++n) {
+    geo::Point p;
+    if (!(in >> p.x >> p.y)) return util::Status::Corruption("bad node");
+    network.AddNode(p);
+  }
+
+  size_t num_edges = 0;
+  if (!(in >> keyword >> num_edges) || keyword != "edges") {
+    return util::Status::Corruption("bad edges header");
+  }
+  for (size_t e = 0; e < num_edges; ++e) {
+    int64_t from = 0;
+    int64_t to = 0;
+    double dist = 0.0;
+    int64_t pattern = 0;
+    int road_class = 0;
+    if (!(in >> from >> to >> dist >> pattern >> road_class)) {
+      return util::Status::Corruption("bad edge");
+    }
+    if (from < 0 || static_cast<size_t>(from) >= num_nodes || to < 0 ||
+        static_cast<size_t>(to) >= num_nodes || from == to || dist <= 0.0 ||
+        pattern < 0 || static_cast<size_t>(pattern) >= num_patterns ||
+        road_class < 0 || road_class >= kNumRoadClasses) {
+      return util::Status::Corruption("invalid edge values");
+    }
+    network.AddEdge(static_cast<NodeId>(from), static_cast<NodeId>(to), dist,
+                    static_cast<PatternId>(pattern),
+                    static_cast<RoadClass>(road_class));
+  }
+  return network;
+}
+
+util::Status WriteGeoJson(const RoadNetwork& network, std::ostream& out) {
+  out << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  out.precision(9);
+  // Emit one feature per directed edge unless its exact mirror exists, in
+  // which case only the canonical (from < to) direction is written.
+  auto has_mirror = [&network](const Edge& edge) {
+    for (EdgeId other : network.OutEdges(edge.to)) {
+      const Edge& back = network.edge(other);
+      if (back.to == edge.from && back.pattern == edge.pattern &&
+          back.road_class == edge.road_class &&
+          back.distance_miles == edge.distance_miles) {
+        return true;
+      }
+    }
+    return false;
+  };
+  bool first = true;
+  for (size_t e = 0; e < network.num_edges(); ++e) {
+    const Edge& edge = network.edge(static_cast<EdgeId>(e));
+    const bool mirrored = has_mirror(edge);
+    if (mirrored && edge.from > edge.to) continue;  // Canonical copy only.
+    const geo::Point& a = network.location(edge.from);
+    const geo::Point& b = network.location(edge.to);
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+        << "\"coordinates\":[[" << a.x << "," << a.y << "],[" << b.x << ","
+        << b.y << "]]},\"properties\":{\"road_class\":\""
+        << RoadClassName(edge.road_class)
+        << "\",\"distance_miles\":" << edge.distance_miles
+        << ",\"one_way\":" << (mirrored ? "false" : "true") << "}}";
+  }
+  out << "\n]}\n";
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::Ok();
+}
+
+util::Status WriteGeoJsonFile(const RoadNetwork& network,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  return WriteGeoJson(network, out);
+}
+
+util::Status WriteNetworkFile(const RoadNetwork& network,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  return WriteNetworkText(network, out);
+}
+
+util::StatusOr<RoadNetwork> ReadNetworkFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  return ReadNetworkText(in);
+}
+
+}  // namespace capefp::network

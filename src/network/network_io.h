@@ -1,0 +1,61 @@
+// Text serialization of CapeCod networks.
+//
+// A simple line-oriented format so that real datasets (e.g. TIGER/Line
+// extracts such as the paper's Suffolk-county roads) can be converted
+// externally and loaded here; see README.md for the grammar.
+#ifndef CAPEFP_NETWORK_NETWORK_IO_H_
+#define CAPEFP_NETWORK_NETWORK_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/network/road_network.h"
+#include "src/util/status.h"
+
+namespace capefp::network {
+
+// Writes `network` to `out` in capefp text format.
+util::Status WriteNetworkText(const RoadNetwork& network, std::ostream& out);
+
+// Parses a network from `in`. Returns InvalidArgument/Corruption on
+// malformed input.
+util::StatusOr<RoadNetwork> ReadNetworkText(std::istream& in);
+
+// File-path convenience wrappers.
+util::Status WriteNetworkFile(const RoadNetwork& network,
+                              const std::string& path);
+util::StatusOr<RoadNetwork> ReadNetworkFile(const std::string& path);
+
+// Writes the network as a GeoJSON FeatureCollection of LineString features
+// (one per undirected segment pair, or per directed edge for one-way
+// roads), each carrying "road_class" and "distance_miles" properties —
+// handy for dropping onto any web map to eyeball generated cities.
+// Coordinates are the planar mile coordinates, not WGS84.
+util::Status WriteGeoJson(const RoadNetwork& network, std::ostream& out);
+util::Status WriteGeoJsonFile(const RoadNetwork& network,
+                              const std::string& path);
+
+// --- Schedule (calendar + pattern table) sections. ---
+//
+// These serialize the schema half of a network; the CCAM store reuses them
+// for its on-disk schema blob (§2.2: pattern bodies are schema, records
+// carry pattern ids).
+
+// A parsed schedule: the calendar plus the interned pattern table.
+struct ParsedSchedule {
+  tdf::Calendar calendar;
+  std::vector<tdf::CapeCodPattern> patterns;
+};
+
+// Writes "calendar ..." and "patterns ..." sections.
+void WriteScheduleText(const tdf::Calendar& calendar,
+                       const std::vector<const tdf::CapeCodPattern*>& patterns,
+                       std::ostream& out);
+
+// Parses the sections written by WriteScheduleText.
+util::StatusOr<ParsedSchedule> ReadScheduleText(std::istream& in);
+
+}  // namespace capefp::network
+
+#endif  // CAPEFP_NETWORK_NETWORK_IO_H_

@@ -1,0 +1,122 @@
+#include "src/network/road_network.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace capefp::network {
+
+const char* RoadClassName(RoadClass road_class) {
+  switch (road_class) {
+    case RoadClass::kInboundHighway:
+      return "inbound-highway";
+    case RoadClass::kOutboundHighway:
+      return "outbound-highway";
+    case RoadClass::kLocalInCity:
+      return "local-in-city";
+    case RoadClass::kLocalOutsideCity:
+      return "local-outside-city";
+  }
+  return "unknown";
+}
+
+RoadNetwork::RoadNetwork(tdf::Calendar calendar)
+    : calendar_(std::move(calendar)) {}
+
+PatternId RoadNetwork::AddPattern(tdf::CapeCodPattern pattern) {
+  patterns_.push_back(std::move(pattern));
+  return static_cast<PatternId>(patterns_.size() - 1);
+}
+
+NodeId RoadNetwork::AddNode(geo::Point location) {
+  locations_.push_back(location);
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  bbox_.Extend(location);
+  return static_cast<NodeId>(locations_.size() - 1);
+}
+
+EdgeId RoadNetwork::AddEdge(NodeId from, NodeId to, double distance_miles,
+                            PatternId pattern, RoadClass road_class) {
+  CAPEFP_CHECK_GE(from, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(from), num_nodes());
+  CAPEFP_CHECK_GE(to, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(to), num_nodes());
+  CAPEFP_CHECK_NE(from, to) << "self loops are not road segments";
+  CAPEFP_CHECK_GT(distance_miles, 0.0);
+  CAPEFP_CHECK_GE(pattern, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(pattern), num_patterns());
+  // The pattern must define a daily profile for every category the
+  // calendar can produce, or time lookups would fault at query time.
+  for (tdf::DayCategoryId category : calendar_.cycle()) {
+    CAPEFP_CHECK_LT(static_cast<size_t>(category),
+                    patterns_[static_cast<size_t>(pattern)].num_categories())
+        << "edge pattern lacks day category " << category;
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({from, to, distance_miles, pattern, road_class});
+  out_edges_[static_cast<size_t>(from)].push_back(id);
+  in_edges_[static_cast<size_t>(to)].push_back(id);
+  return id;
+}
+
+EdgeId RoadNetwork::AddBidirectionalEdge(NodeId a, NodeId b,
+                                         double distance_miles,
+                                         PatternId pattern,
+                                         RoadClass road_class) {
+  const EdgeId first = AddEdge(a, b, distance_miles, pattern, road_class);
+  AddEdge(b, a, distance_miles, pattern, road_class);
+  return first;
+}
+
+const geo::Point& RoadNetwork::location(NodeId node) const {
+  CAPEFP_CHECK_GE(node, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(node), num_nodes());
+  return locations_[static_cast<size_t>(node)];
+}
+
+const Edge& RoadNetwork::edge(EdgeId edge_id) const {
+  CAPEFP_CHECK_GE(edge_id, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(edge_id), num_edges());
+  return edges_[static_cast<size_t>(edge_id)];
+}
+
+const tdf::CapeCodPattern& RoadNetwork::pattern(PatternId id) const {
+  CAPEFP_CHECK_GE(id, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(id), num_patterns());
+  return patterns_[static_cast<size_t>(id)];
+}
+
+std::span<const EdgeId> RoadNetwork::OutEdges(NodeId node) const {
+  CAPEFP_CHECK_GE(node, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(node), num_nodes());
+  return out_edges_[static_cast<size_t>(node)];
+}
+
+std::span<const EdgeId> RoadNetwork::InEdges(NodeId node) const {
+  CAPEFP_CHECK_GE(node, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(node), num_nodes());
+  return in_edges_[static_cast<size_t>(node)];
+}
+
+tdf::EdgeSpeedView RoadNetwork::SpeedView(EdgeId edge_id) const {
+  const Edge& e = edge(edge_id);
+  return tdf::EdgeSpeedView(&patterns_[static_cast<size_t>(e.pattern)],
+                            &calendar_);
+}
+
+double RoadNetwork::max_speed() const {
+  CAPEFP_CHECK_GT(num_patterns(), 0u);
+  double v = 0.0;
+  for (const tdf::CapeCodPattern& p : patterns_) {
+    v = std::max(v, p.max_speed());
+  }
+  return v;
+}
+
+double RoadNetwork::MinEdgeTravelTime(EdgeId edge_id) const {
+  const Edge& e = edge(edge_id);
+  return e.distance_miles / pattern(e.pattern).max_speed();
+}
+
+}  // namespace capefp::network

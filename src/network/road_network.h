@@ -1,0 +1,114 @@
+// In-memory CapeCod road network (Definition 3 of the paper).
+//
+// A directed graph whose nodes carry planar locations and whose edges carry
+// a Euclidean distance and a CapeCod speed pattern. Patterns are interned:
+// edges reference them by PatternId, matching how the paper's Table 1 schema
+// assigns one pattern per road class and how the CCAM store keeps pattern
+// ids (not pattern bodies) in disk records.
+#ifndef CAPEFP_NETWORK_ROAD_NETWORK_H_
+#define CAPEFP_NETWORK_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "src/geo/point.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/tdf/travel_time.h"
+
+namespace capefp::network {
+
+using NodeId = int32_t;
+using EdgeId = int32_t;
+using PatternId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+// Road classification used by the paper's experimental setup (§6.1).
+enum class RoadClass : uint8_t {
+  kInboundHighway = 0,
+  kOutboundHighway = 1,
+  kLocalInCity = 2,
+  kLocalOutsideCity = 3,
+};
+
+inline constexpr int kNumRoadClasses = 4;
+
+// Short human-readable name, e.g. "inbound-highway".
+const char* RoadClassName(RoadClass road_class);
+
+// A directed road segment n_from -> n_to.
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double distance_miles = 0.0;
+  PatternId pattern = 0;
+  RoadClass road_class = RoadClass::kLocalOutsideCity;
+};
+
+// Mutable in-memory network. Node/edge/pattern ids are dense and assigned
+// in insertion order. Not thread-safe for mutation; concurrent const access
+// is safe.
+class RoadNetwork {
+ public:
+  explicit RoadNetwork(tdf::Calendar calendar);
+
+  // Registers a speed pattern and returns its id. The reference returned by
+  // pattern() stays valid across later insertions.
+  PatternId AddPattern(tdf::CapeCodPattern pattern);
+
+  NodeId AddNode(geo::Point location);
+
+  // Adds a directed edge. Requires valid endpoint and pattern ids and a
+  // positive distance.
+  EdgeId AddEdge(NodeId from, NodeId to, double distance_miles,
+                 PatternId pattern, RoadClass road_class);
+
+  // Adds both directions with identical attributes; returns the first id.
+  EdgeId AddBidirectionalEdge(NodeId a, NodeId b, double distance_miles,
+                              PatternId pattern, RoadClass road_class);
+
+  size_t num_nodes() const { return locations_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  size_t num_patterns() const { return patterns_.size(); }
+
+  const geo::Point& location(NodeId node) const;
+  const Edge& edge(EdgeId edge_id) const;
+  const tdf::CapeCodPattern& pattern(PatternId id) const;
+  const tdf::Calendar& calendar() const { return calendar_; }
+
+  // Ids of edges leaving / entering `node`.
+  std::span<const EdgeId> OutEdges(NodeId node) const;
+  std::span<const EdgeId> InEdges(NodeId node) const;
+
+  // Speed view bound to `edge_id`'s pattern and the network calendar.
+  // Valid as long as the network is alive.
+  tdf::EdgeSpeedView SpeedView(EdgeId edge_id) const;
+
+  // Maximum speed over all registered patterns (the naive estimator's
+  // v_max). Requires at least one pattern.
+  double max_speed() const;
+
+  // The fastest possible traversal of `edge_id` (distance / pattern max
+  // speed) — a per-edge lower bound used by the travel-time-mode
+  // boundary-node estimator.
+  double MinEdgeTravelTime(EdgeId edge_id) const;
+
+  // Bounding box of all node locations.
+  const geo::BoundingBox& bounding_box() const { return bbox_; }
+
+ private:
+  tdf::Calendar calendar_;
+  std::vector<geo::Point> locations_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  // deque: stable addresses for EdgeSpeedView binding.
+  std::deque<tdf::CapeCodPattern> patterns_;
+  geo::BoundingBox bbox_;
+};
+
+}  // namespace capefp::network
+
+#endif  // CAPEFP_NETWORK_ROAD_NETWORK_H_

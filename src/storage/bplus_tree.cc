@@ -1,0 +1,421 @@
+#include "src/storage/bplus_tree.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace capefp::storage {
+
+namespace {
+
+constexpr uint8_t kLeaf = 1;
+constexpr uint8_t kInternal = 2;
+
+constexpr size_t kTypeOff = 0;
+constexpr size_t kCountOff = 2;
+constexpr size_t kNextOff = 4;  // Leaf: next leaf. Internal: rightmost child.
+constexpr size_t kEntriesOff = 8;
+
+constexpr size_t kLeafStride = 16;      // key u64 + value u64.
+constexpr size_t kInternalStride = 12;  // key u64 + child u32.
+
+template <typename T>
+T Load(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void Store(char* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+uint8_t NodeType(const char* page) { return Load<uint8_t>(page + kTypeOff); }
+uint16_t Count(const char* page) { return Load<uint16_t>(page + kCountOff); }
+uint32_t Next(const char* page) { return Load<uint32_t>(page + kNextOff); }
+
+void SetType(char* page, uint8_t t) { Store<uint8_t>(page + kTypeOff, t); }
+void SetCount(char* page, uint16_t c) { Store<uint16_t>(page + kCountOff, c); }
+void SetNext(char* page, uint32_t n) { Store<uint32_t>(page + kNextOff, n); }
+
+uint64_t LeafKey(const char* page, size_t i) {
+  return Load<uint64_t>(page + kEntriesOff + i * kLeafStride);
+}
+uint64_t LeafValue(const char* page, size_t i) {
+  return Load<uint64_t>(page + kEntriesOff + i * kLeafStride + 8);
+}
+void SetLeafEntry(char* page, size_t i, uint64_t key, uint64_t value) {
+  Store<uint64_t>(page + kEntriesOff + i * kLeafStride, key);
+  Store<uint64_t>(page + kEntriesOff + i * kLeafStride + 8, value);
+}
+
+uint64_t InternalKey(const char* page, size_t i) {
+  return Load<uint64_t>(page + kEntriesOff + i * kInternalStride);
+}
+uint32_t InternalChild(const char* page, size_t i) {
+  return Load<uint32_t>(page + kEntriesOff + i * kInternalStride + 8);
+}
+void SetInternalEntry(char* page, size_t i, uint64_t key, uint32_t child) {
+  Store<uint64_t>(page + kEntriesOff + i * kInternalStride, key);
+  Store<uint32_t>(page + kEntriesOff + i * kInternalStride + 8, child);
+}
+
+// Index of the first leaf slot with key >= `key` (binary search).
+size_t LeafLowerBound(const char* page, uint64_t key) {
+  size_t lo = 0;
+  size_t hi = Count(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (LeafKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child to descend into: first entry with key <= separator, else rightmost.
+uint32_t DescendChild(const char* page, uint64_t key, size_t* index_out) {
+  const size_t n = Count(page);
+  size_t lo = 0;
+  size_t hi = n;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (InternalKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (index_out != nullptr) *index_out = lo;
+  return lo < n ? InternalChild(page, lo) : Next(page);
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(BufferPool* pool, PageId root)
+    : pool_(pool), root_(root) {
+  CAPEFP_CHECK(pool != nullptr);
+}
+
+uint32_t BPlusTree::LeafCapacity() const {
+  return (pool_->page_size() - kEntriesOff) / kLeafStride;
+}
+
+uint32_t BPlusTree::InternalCapacity() const {
+  return (pool_->page_size() - kEntriesOff) / kInternalStride;
+}
+
+util::Status BPlusTree::Init() {
+  if (root_ != kInvalidPage) {
+    return util::Status::Internal("tree already initialized");
+  }
+  auto handle_or = pool_->AllocateAndAcquire();
+  if (!handle_or.ok()) return handle_or.status();
+  char* page = handle_or->mutable_data();
+  SetType(page, kLeaf);
+  SetCount(page, 0);
+  SetNext(page, kInvalidPage);
+  root_ = handle_or->page_id();
+  return util::Status::Ok();
+}
+
+util::StatusOr<uint64_t> BPlusTree::Get(uint64_t key) {
+  if (root_ == kInvalidPage) return util::Status::NotFound("empty tree");
+  PageId page_id = root_;
+  for (;;) {
+    auto handle_or = pool_->Acquire(page_id);
+    if (!handle_or.ok()) return handle_or.status();
+    const char* page = handle_or->data();
+    if (NodeType(page) == kInternal) {
+      page_id = DescendChild(page, key, nullptr);
+      continue;
+    }
+    const size_t slot = LeafLowerBound(page, key);
+    if (slot < Count(page) && LeafKey(page, slot) == key) {
+      return LeafValue(page, slot);
+    }
+    return util::Status::NotFound("key not in tree");
+  }
+}
+
+util::StatusOr<BPlusTree::SplitResult> BPlusTree::PutRec(PageId page_id,
+                                                         uint64_t key,
+                                                         uint64_t value) {
+  auto handle_or = pool_->Acquire(page_id);
+  if (!handle_or.ok()) return handle_or.status();
+  PageHandle handle = std::move(*handle_or);
+
+  if (NodeType(handle.data()) == kLeaf) {
+    char* page = handle.mutable_data();
+    const size_t n = Count(page);
+    const size_t slot = LeafLowerBound(page, key);
+    if (slot < n && LeafKey(page, slot) == key) {
+      SetLeafEntry(page, slot, key, value);  // Overwrite.
+      return SplitResult{};
+    }
+    if (n < LeafCapacity()) {
+      std::memmove(page + kEntriesOff + (slot + 1) * kLeafStride,
+                   page + kEntriesOff + slot * kLeafStride,
+                   (n - slot) * kLeafStride);
+      SetLeafEntry(page, slot, key, value);
+      SetCount(page, static_cast<uint16_t>(n + 1));
+      return SplitResult{};
+    }
+    // Split: collect entries (plus the new one), give the upper half to a
+    // fresh right sibling.
+    std::vector<std::pair<uint64_t, uint64_t>> entries;
+    entries.reserve(n + 1);
+    for (size_t i = 0; i < n; ++i) {
+      entries.emplace_back(LeafKey(page, i), LeafValue(page, i));
+    }
+    entries.insert(entries.begin() + static_cast<ptrdiff_t>(slot),
+                   {key, value});
+    const size_t mid = entries.size() / 2;
+
+    auto right_or = pool_->AllocateAndAcquire();
+    if (!right_or.ok()) return right_or.status();
+    char* right = right_or->mutable_data();
+    SetType(right, kLeaf);
+    SetCount(right, static_cast<uint16_t>(entries.size() - mid));
+    SetNext(right, Next(page));
+    for (size_t i = mid; i < entries.size(); ++i) {
+      SetLeafEntry(right, i - mid, entries[i].first, entries[i].second);
+    }
+    SetCount(page, static_cast<uint16_t>(mid));
+    for (size_t i = 0; i < mid; ++i) {
+      SetLeafEntry(page, i, entries[i].first, entries[i].second);
+    }
+    SetNext(page, right_or->page_id());
+    return SplitResult{true, entries[mid - 1].first, right_or->page_id()};
+  }
+
+  // Internal node.
+  size_t child_index = 0;
+  const PageId child = DescendChild(handle.data(), key, &child_index);
+  // Recursing may evict this page; re-acquire after.
+  handle.Release();
+  auto split_or = PutRec(child, key, value);
+  if (!split_or.ok()) return split_or.status();
+  if (!split_or->split) return SplitResult{};
+
+  auto re_or = pool_->Acquire(page_id);
+  if (!re_or.ok()) return re_or.status();
+  PageHandle re = std::move(*re_or);
+  char* page = re.mutable_data();
+  const size_t n = Count(page);
+
+  // The split child keeps the keys <= separator; the new right sibling takes
+  // the rest. Rewire entries accordingly.
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    entries.emplace_back(InternalKey(page, i), InternalChild(page, i));
+  }
+  uint32_t rightmost = Next(page);
+  if (child_index < n) {
+    entries.insert(entries.begin() + static_cast<ptrdiff_t>(child_index),
+                   {split_or->separator, child});
+    entries[child_index + 1].second = split_or->right;
+  } else {
+    entries.emplace_back(split_or->separator, child);
+    rightmost = split_or->right;
+  }
+
+  if (entries.size() <= InternalCapacity()) {
+    SetCount(page, static_cast<uint16_t>(entries.size()));
+    for (size_t i = 0; i < entries.size(); ++i) {
+      SetInternalEntry(page, i, entries[i].first, entries[i].second);
+    }
+    SetNext(page, rightmost);
+    return SplitResult{};
+  }
+
+  // Split this internal node; entries[mid].key is promoted.
+  const size_t mid = entries.size() / 2;
+  auto right_or = pool_->AllocateAndAcquire();
+  if (!right_or.ok()) return right_or.status();
+  char* right = right_or->mutable_data();
+  SetType(right, kInternal);
+  const size_t right_count = entries.size() - mid - 1;
+  SetCount(right, static_cast<uint16_t>(right_count));
+  for (size_t i = mid + 1; i < entries.size(); ++i) {
+    SetInternalEntry(right, i - mid - 1, entries[i].first, entries[i].second);
+  }
+  SetNext(right, rightmost);
+
+  SetCount(page, static_cast<uint16_t>(mid));
+  for (size_t i = 0; i < mid; ++i) {
+    SetInternalEntry(page, i, entries[i].first, entries[i].second);
+  }
+  SetNext(page, entries[mid].second);
+  return SplitResult{true, entries[mid].first, right_or->page_id()};
+}
+
+util::Status BPlusTree::Put(uint64_t key, uint64_t value) {
+  if (root_ == kInvalidPage) {
+    return util::Status::Internal("tree not initialized");
+  }
+  auto split_or = PutRec(root_, key, value);
+  if (!split_or.ok()) return split_or.status();
+  if (!split_or->split) return util::Status::Ok();
+  // Grow a new root.
+  auto root_or = pool_->AllocateAndAcquire();
+  if (!root_or.ok()) return root_or.status();
+  char* page = root_or->mutable_data();
+  SetType(page, kInternal);
+  SetCount(page, 1);
+  SetInternalEntry(page, 0, split_or->separator, root_);
+  SetNext(page, split_or->right);
+  root_ = root_or->page_id();
+  return util::Status::Ok();
+}
+
+util::Status BPlusTree::Delete(uint64_t key) {
+  if (root_ == kInvalidPage) return util::Status::NotFound("empty tree");
+  PageId page_id = root_;
+  for (;;) {
+    auto handle_or = pool_->Acquire(page_id);
+    if (!handle_or.ok()) return handle_or.status();
+    PageHandle handle = std::move(*handle_or);
+    if (NodeType(handle.data()) == kInternal) {
+      page_id = DescendChild(handle.data(), key, nullptr);
+      continue;
+    }
+    char* page = handle.mutable_data();
+    const size_t n = Count(page);
+    const size_t slot = LeafLowerBound(page, key);
+    if (slot >= n || LeafKey(page, slot) != key) {
+      return util::Status::NotFound("key not in tree");
+    }
+    std::memmove(page + kEntriesOff + slot * kLeafStride,
+                 page + kEntriesOff + (slot + 1) * kLeafStride,
+                 (n - slot - 1) * kLeafStride);
+    SetCount(page, static_cast<uint16_t>(n - 1));
+    return util::Status::Ok();
+  }
+}
+
+util::Status BPlusTree::Scan(
+    uint64_t lo, uint64_t hi,
+    std::vector<std::pair<uint64_t, uint64_t>>* out) {
+  if (root_ == kInvalidPage) return util::Status::Ok();
+  PageId page_id = root_;
+  for (;;) {
+    auto handle_or = pool_->Acquire(page_id);
+    if (!handle_or.ok()) return handle_or.status();
+    if (NodeType(handle_or->data()) == kLeaf) break;
+    page_id = DescendChild(handle_or->data(), lo, nullptr);
+  }
+  while (page_id != kInvalidPage) {
+    auto handle_or = pool_->Acquire(page_id);
+    if (!handle_or.ok()) return handle_or.status();
+    const char* page = handle_or->data();
+    const size_t n = Count(page);
+    for (size_t i = LeafLowerBound(page, lo); i < n; ++i) {
+      const uint64_t key = LeafKey(page, i);
+      if (key > hi) return util::Status::Ok();
+      out->emplace_back(key, LeafValue(page, i));
+    }
+    page_id = Next(page);
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<uint64_t> BPlusTree::CountEntries() {
+  std::vector<std::pair<uint64_t, uint64_t>> all;
+  CAPEFP_RETURN_IF_ERROR(Scan(0, ~0ull, &all));
+  return static_cast<uint64_t>(all.size());
+}
+
+util::StatusOr<int> BPlusTree::Height() {
+  if (root_ == kInvalidPage) return 0;
+  int height = 1;
+  PageId page_id = root_;
+  for (;;) {
+    auto handle_or = pool_->Acquire(page_id);
+    if (!handle_or.ok()) return handle_or.status();
+    if (NodeType(handle_or->data()) == kLeaf) return height;
+    page_id = InternalChild(handle_or->data(), 0);
+    ++height;
+  }
+}
+
+util::Status BPlusTree::ValidateRec(PageId page_id, uint64_t lo, uint64_t hi,
+                                    int depth, int* leaf_depth,
+                                    PageId* prev_leaf) {
+  auto handle_or = pool_->Acquire(page_id);
+  if (!handle_or.ok()) return handle_or.status();
+  PageHandle handle = std::move(*handle_or);
+  const char* page = handle.data();
+  const size_t n = Count(page);
+
+  if (NodeType(page) == kLeaf) {
+    if (*leaf_depth < 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return util::Status::Corruption("leaves at differing depths");
+    }
+    uint64_t prev = lo;
+    bool first = true;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t key = LeafKey(page, i);
+      if (!first && key <= prev) {
+        return util::Status::Corruption("leaf keys not strictly increasing");
+      }
+      if (key < lo || key > hi) {
+        return util::Status::Corruption("leaf key outside separator range");
+      }
+      prev = key;
+      first = false;
+    }
+    // Left-to-right traversal must match the leaf chain.
+    if (*prev_leaf != kInvalidPage) {
+      auto prev_or = pool_->Acquire(*prev_leaf);
+      if (!prev_or.ok()) return prev_or.status();
+      if (Next(prev_or->data()) != page_id) {
+        return util::Status::Corruption("broken leaf chain");
+      }
+    }
+    *prev_leaf = page_id;
+    return util::Status::Ok();
+  }
+
+  if (NodeType(page) != kInternal) {
+    return util::Status::Corruption("unknown node type");
+  }
+  if (n == 0) return util::Status::Corruption("empty internal node");
+  uint64_t child_lo = lo;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t sep = InternalKey(page, i);
+    if (sep < child_lo || sep > hi) {
+      return util::Status::Corruption("separator out of range");
+    }
+    const PageId child = InternalChild(page, i);
+    // Copy what we need, then release before recursing (pin budget).
+    handle.Release();
+    CAPEFP_RETURN_IF_ERROR(
+        ValidateRec(child, child_lo, sep, depth + 1, leaf_depth, prev_leaf));
+    auto re_or = pool_->Acquire(page_id);
+    if (!re_or.ok()) return re_or.status();
+    handle = std::move(*re_or);
+    page = handle.data();
+    child_lo = sep == ~0ull ? sep : sep + 1;
+  }
+  const PageId rightmost = Next(page);
+  handle.Release();
+  return ValidateRec(rightmost, child_lo, hi, depth + 1, leaf_depth,
+                     prev_leaf);
+}
+
+util::Status BPlusTree::Validate() {
+  if (root_ == kInvalidPage) return util::Status::Ok();
+  int leaf_depth = -1;
+  PageId prev_leaf = kInvalidPage;
+  return ValidateRec(root_, 0, ~0ull, 0, &leaf_depth, &prev_leaf);
+}
+
+}  // namespace capefp::storage

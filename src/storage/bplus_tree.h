@@ -1,0 +1,81 @@
+// Disk-page B+-tree mapping uint64 keys to uint64 values.
+//
+// CCAM (§2.2) keeps a B+-tree over the one-dimensional node ordering so any
+// node's record can be located in O(log n) page accesses. Keys here are
+// node ids (assigned in Hilbert order by the builder) and values are record
+// locators (page id << 16 | slot).
+//
+// Structure: classic B+-tree. Internal separators satisfy
+// key[i] == max key of child[i]'s subtree at the time of the split; leaves
+// are chained left-to-right for range scans. Deletes are lazy (no merging):
+// leaves may become sparse but invariants and search remain correct, which
+// matches the read-mostly workload of a road network store.
+#ifndef CAPEFP_STORAGE_BPLUS_TREE_H_
+#define CAPEFP_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/storage/buffer_pool.h"
+#include "src/util/status.h"
+
+namespace capefp::storage {
+
+class BPlusTree {
+ public:
+  // Attaches to an existing tree rooted at `root`, or pass kInvalidPage and
+  // call Init() to create an empty tree. `pool` must outlive the tree.
+  BPlusTree(BufferPool* pool, PageId root);
+
+  // Creates an empty root leaf. Requires root() == kInvalidPage.
+  util::Status Init();
+
+  // Current root page (persist this; splits change it).
+  PageId root() const { return root_; }
+
+  // Inserts or overwrites `key`.
+  util::Status Put(uint64_t key, uint64_t value);
+
+  // Value for `key`, or NotFound.
+  util::StatusOr<uint64_t> Get(uint64_t key);
+
+  // Removes `key`; NotFound if absent.
+  util::Status Delete(uint64_t key);
+
+  // Appends all (key, value) pairs with lo <= key <= hi, in key order.
+  util::Status Scan(uint64_t lo, uint64_t hi,
+                    std::vector<std::pair<uint64_t, uint64_t>>* out);
+
+  // Number of live entries (O(leaves)).
+  util::StatusOr<uint64_t> CountEntries();
+
+  // Tree height in levels (1 = a single leaf).
+  util::StatusOr<int> Height();
+
+  // Verifies ordering, separator, and leaf-chain invariants; Corruption on
+  // violation. Used by tests.
+  util::Status Validate();
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    uint64_t separator = 0;  // Max key in the left (original) node.
+    PageId right = kInvalidPage;
+  };
+
+  util::StatusOr<SplitResult> PutRec(PageId page, uint64_t key,
+                                     uint64_t value);
+  util::Status ValidateRec(PageId page, uint64_t lo, uint64_t hi, int depth,
+                           int* leaf_depth, PageId* prev_leaf);
+
+  uint32_t LeafCapacity() const;
+  uint32_t InternalCapacity() const;
+
+  BufferPool* pool_;
+  PageId root_;
+};
+
+}  // namespace capefp::storage
+
+#endif  // CAPEFP_STORAGE_BPLUS_TREE_H_

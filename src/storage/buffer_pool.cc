@@ -1,0 +1,172 @@
+#include "src/storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace capefp::storage {
+
+PageHandle::PageHandle(BufferPool* pool, size_t frame, PageId page_id)
+    : pool_(pool), frame_(frame), page_id_(page_id) {}
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_), page_id_(other.page_id_) {
+  other.pool_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, /*dirty=*/false);
+    pool_ = nullptr;
+  }
+}
+
+const char* PageHandle::data() const {
+  CAPEFP_CHECK(valid());
+  return pool_->frames_[frame_].data.data();
+}
+
+char* PageHandle::mutable_data() {
+  CAPEFP_CHECK(valid());
+  pool_->frames_[frame_].dirty = true;
+  return pool_->frames_[frame_].data.data();
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
+    : pager_(pager), capacity_(capacity_pages) {
+  CAPEFP_CHECK(pager != nullptr);
+  CAPEFP_CHECK_GE(capacity_pages, 1u);
+  frames_.resize(capacity_);
+  for (Frame& f : frames_) f.data.resize(pager_->page_size());
+  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() {
+  // Deliberately no implicit flush: callers own durability via FlushAll().
+  // (CHECK here would turn test teardown into aborts; drop silently.)
+}
+
+void BufferPool::Unpin(size_t frame_index, bool dirty) {
+  Frame& f = frames_[frame_index];
+  CAPEFP_CHECK_GT(f.pin_count, 0);
+  if (dirty) f.dirty = true;
+  if (--f.pin_count == 0) {
+    f.lru_pos = lru_.insert(lru_.end(), frame_index);
+    f.in_lru = true;
+  }
+}
+
+util::StatusOr<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    const size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return util::Status::Internal("buffer pool exhausted: all pages pinned");
+  }
+  const size_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[victim];
+  f.in_lru = false;
+  ++stats_.evictions;
+  if (f.dirty) {
+    CAPEFP_RETURN_IF_ERROR(pager_->WritePage(f.page_id, f.data.data()));
+    ++stats_.writebacks;
+    f.dirty = false;
+  }
+  page_to_frame_.erase(f.page_id);
+  f.page_id = kInvalidPage;
+  return victim;
+}
+
+util::StatusOr<PageHandle> BufferPool::Acquire(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    ++stats_.hits;
+    Frame& f = frames_[it->second];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageHandle(this, it->second, id);
+  }
+  auto frame_or = GrabFrame();
+  if (!frame_or.ok()) return frame_or.status();
+  const size_t idx = *frame_or;
+  Frame& f = frames_[idx];
+  util::Status status = pager_->ReadPage(id, f.data.data());
+  if (!status.ok()) {
+    free_frames_.push_back(idx);
+    return status;
+  }
+  ++stats_.faults;
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  page_to_frame_[id] = idx;
+  return PageHandle(this, idx, id);
+}
+
+util::StatusOr<PageHandle> BufferPool::AllocateAndAcquire() {
+  auto id_or = pager_->AllocatePage();
+  if (!id_or.ok()) return id_or.status();
+  auto frame_or = GrabFrame();
+  if (!frame_or.ok()) return frame_or.status();
+  const size_t idx = *frame_or;
+  Frame& f = frames_[idx];
+  std::memset(f.data.data(), 0, f.data.size());
+  f.page_id = *id_or;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.in_lru = false;
+  page_to_frame_[*id_or] = idx;
+  return PageHandle(this, idx, *id_or);
+}
+
+util::Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPage && f.dirty) {
+      CAPEFP_RETURN_IF_ERROR(pager_->WritePage(f.page_id, f.data.data()));
+      ++stats_.writebacks;
+      f.dirty = false;
+    }
+  }
+  return pager_->Sync();
+}
+
+util::Status BufferPool::FreePage(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count > 0) {
+      return util::Status::Internal("freeing a pinned page");
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.page_id = kInvalidPage;
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    page_to_frame_.erase(it);
+  }
+  return pager_->FreePage(id);
+}
+
+}  // namespace capefp::storage

@@ -1,0 +1,125 @@
+// LRU buffer pool over a Pager.
+//
+// Caches a fixed number of page frames; a cache miss ("page fault") costs a
+// physical read and possibly a dirty write-back. The paper reports
+// expanded-node counts because they are hardware-independent; the buffer
+// pool's fault counters give the matching I/O picture for the CCAM store.
+//
+// Pages are pinned through RAII PageHandles. Pinned frames are never
+// evicted; acquiring more distinct pages than the pool capacity while all
+// are pinned is an error. Not thread-safe.
+#ifndef CAPEFP_STORAGE_BUFFER_POOL_H_
+#define CAPEFP_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/pager.h"
+#include "src/util/status.h"
+
+namespace capefp::storage {
+
+class BufferPool;
+
+// RAII pin on a cached page frame. Movable, not copyable.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  // Read-only view of the page contents.
+  const char* data() const;
+
+  // Mutable view; marks the frame dirty (written back on eviction or
+  // FlushAll).
+  char* mutable_data();
+
+  // Releases the pin early.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame, PageId page_id);
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPage;
+};
+
+// Cache statistics. A "fault" is a miss that required a physical read.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t faults = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+};
+
+class BufferPool {
+ public:
+  // `pager` must outlive the pool. `capacity_pages` >= 1.
+  BufferPool(Pager* pager, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins the page, reading it from disk on a miss.
+  util::StatusOr<PageHandle> Acquire(PageId id);
+
+  // Allocates a fresh page from the pager and pins it zero-filled and
+  // dirty (no physical read).
+  util::StatusOr<PageHandle> AllocateAndAcquire();
+
+  // Writes back all dirty frames (pinned or not) and syncs the pager.
+  util::Status FlushAll();
+
+  // Drops `id` from the cache without write-back and frees it in the pager.
+  // The page must not be pinned.
+  util::Status FreePage(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  uint32_t page_size() const { return pager_->page_size(); }
+  Pager* pager() const { return pager_; }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPage;
+    int pin_count = 0;
+    bool dirty = false;
+    std::vector<char> data;
+    // Position in lru_ when pin_count == 0.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_index, bool dirty);
+  // Finds a frame to (re)use, evicting an unpinned LRU victim if needed.
+  util::StatusOr<size_t> GrabFrame();
+
+  Pager* pager_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  // Unpinned frames, least recently used first.
+  std::list<size_t> lru_;
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace capefp::storage
+
+#endif  // CAPEFP_STORAGE_BUFFER_POOL_H_

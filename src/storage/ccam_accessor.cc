@@ -1,0 +1,39 @@
+#include "src/storage/ccam_accessor.h"
+
+#include "src/util/check.h"
+
+namespace capefp::storage {
+
+CcamAccessor::CcamAccessor(CcamStore* store) : store_(store) {
+  CAPEFP_CHECK(store != nullptr);
+}
+
+size_t CcamAccessor::num_nodes() const { return store_->num_nodes(); }
+
+geo::Point CcamAccessor::Location(network::NodeId node) {
+  auto record_or = store_->FindNode(node);
+  CAPEFP_CHECK(record_or.ok()) << record_or.status().ToString();
+  return record_or->location;
+}
+
+void CcamAccessor::GetSuccessors(network::NodeId node,
+                                 std::vector<network::NeighborEdge>* out) {
+  auto record_or = store_->FindNode(node);
+  CAPEFP_CHECK(record_or.ok()) << record_or.status().ToString();
+  *out = std::move(record_or->edges);
+}
+
+const tdf::CapeCodPattern& CcamAccessor::Pattern(
+    network::PatternId id) const {
+  CAPEFP_CHECK_GE(id, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(id), store_->patterns().size());
+  return store_->patterns()[static_cast<size_t>(id)];
+}
+
+const tdf::Calendar& CcamAccessor::calendar() const {
+  return store_->calendar();
+}
+
+double CcamAccessor::max_speed() const { return store_->max_speed(); }
+
+}  // namespace capefp::storage

@@ -1,0 +1,32 @@
+// NetworkAccessor implementation backed by a CCAM store.
+//
+// Lets every query algorithm run against the disk-resident network exactly
+// as the paper does, with page faults counted by the store's buffer pool.
+#ifndef CAPEFP_STORAGE_CCAM_ACCESSOR_H_
+#define CAPEFP_STORAGE_CCAM_ACCESSOR_H_
+
+#include "src/network/accessor.h"
+#include "src/storage/ccam_store.h"
+
+namespace capefp::storage {
+
+class CcamAccessor : public network::NetworkAccessor {
+ public:
+  // `store` must outlive the accessor.
+  explicit CcamAccessor(CcamStore* store);
+
+  size_t num_nodes() const override;
+  geo::Point Location(network::NodeId node) override;
+  void GetSuccessors(network::NodeId node,
+                     std::vector<network::NeighborEdge>* out) override;
+  const tdf::CapeCodPattern& Pattern(network::PatternId id) const override;
+  const tdf::Calendar& calendar() const override;
+  double max_speed() const override;
+
+ private:
+  CcamStore* store_;
+};
+
+}  // namespace capefp::storage
+
+#endif  // CAPEFP_STORAGE_CCAM_ACCESSOR_H_

@@ -1,0 +1,206 @@
+#include "src/storage/ccam_builder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geo/hilbert.h"
+#include "src/network/accessor.h"
+#include "src/network/network_io.h"
+#include "src/storage/bplus_tree.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/ccam_store.h"
+#include "src/storage/slotted_page.h"
+#include "src/util/check.h"
+
+namespace capefp::storage {
+
+namespace {
+
+using network::NodeId;
+
+// In-memory image of one data page during packing.
+struct PendingPage {
+  std::vector<int> nodes;   // Ordinal positions of records, in slot order.
+  uint32_t used_bytes = 0;  // Record bytes (headers accounted separately).
+};
+
+constexpr uint32_t kSlottedOverheadPerRecord = 4;  // Slot directory entry.
+constexpr uint32_t kSlottedHeaderBytes = 4;
+
+}  // namespace
+
+util::StatusOr<CcamBuildReport> BuildCcamFile(
+    const network::RoadNetwork& net, const std::string& path,
+    const CcamBuildOptions& options) {
+  const size_t n = net.num_nodes();
+  if (n == 0) return util::Status::InvalidArgument("empty network");
+
+  // --- Serialize all node records.
+  std::vector<std::string> records(n);
+  for (size_t i = 0; i < n; ++i) {
+    NodeRecord record;
+    const auto id = static_cast<NodeId>(i);
+    record.location = net.location(id);
+    for (network::EdgeId e : net.OutEdges(id)) {
+      const network::Edge& edge = net.edge(e);
+      record.edges.push_back(
+          {edge.to, edge.distance_miles, edge.pattern, edge.road_class});
+    }
+    records[i] = EncodeNodeRecord(record);
+    if (records[i].size() + kSlottedHeaderBytes + kSlottedOverheadPerRecord >
+        options.page_size) {
+      return util::Status::InvalidArgument(
+          "node record exceeds page size; use a larger page");
+    }
+  }
+
+  // --- Hilbert ordering.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (options.spatial_ordering) {
+    std::vector<uint64_t> hv(n);
+    for (size_t i = 0; i < n; ++i) {
+      hv[i] = geo::HilbertValue(net.location(static_cast<NodeId>(i)),
+                                net.bounding_box(), options.hilbert_order);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&hv](int a, int b) { return hv[static_cast<size_t>(a)] <
+                                                  hv[static_cast<size_t>(b)]; });
+  }
+
+  // --- Connectivity-clustered packing.
+  const uint32_t capacity =
+      options.page_size - kSlottedHeaderBytes;  // Records + slot entries.
+  std::vector<PendingPage> pages;
+  std::vector<int> page_of(n, -1);
+  std::vector<std::vector<NodeId>> undirected(n);
+  for (size_t e = 0; e < net.num_edges(); ++e) {
+    const network::Edge& edge = net.edge(static_cast<network::EdgeId>(e));
+    undirected[static_cast<size_t>(edge.from)].push_back(edge.to);
+    undirected[static_cast<size_t>(edge.to)].push_back(edge.from);
+  }
+
+  int current_page = -1;
+  for (int node : order) {
+    const uint32_t need = static_cast<uint32_t>(
+        records[static_cast<size_t>(node)].size() + kSlottedOverheadPerRecord);
+    int best_page = -1;
+    if (options.connectivity_clustering) {
+      // Count placed neighbours per candidate page.
+      std::unordered_map<int, int> votes;
+      for (NodeId nb : undirected[static_cast<size_t>(node)]) {
+        const int p = page_of[static_cast<size_t>(nb)];
+        if (p >= 0) ++votes[p];
+      }
+      int best_votes = 0;
+      for (const auto& [p, v] : votes) {
+        if (pages[static_cast<size_t>(p)].used_bytes + need <= capacity &&
+            (v > best_votes ||
+             (v == best_votes && best_page >= 0 && p < best_page))) {
+          best_votes = v;
+          best_page = p;
+        }
+      }
+    }
+    if (best_page < 0) {
+      if (current_page >= 0 &&
+          pages[static_cast<size_t>(current_page)].used_bytes + need <=
+              capacity) {
+        best_page = current_page;
+      } else {
+        pages.push_back({});
+        best_page = static_cast<int>(pages.size()) - 1;
+        current_page = best_page;
+      }
+    }
+    pages[static_cast<size_t>(best_page)].nodes.push_back(node);
+    pages[static_cast<size_t>(best_page)].used_bytes += need;
+    page_of[static_cast<size_t>(node)] = best_page;
+  }
+
+  // --- Write the file: pager, meta page, schema blob, data pages, B+-tree.
+  auto pager_or = Pager::Create(path, options.page_size);
+  if (!pager_or.ok()) return pager_or.status();
+  std::unique_ptr<Pager> pager = std::move(*pager_or);
+  // Build-time pool: generous, everything fits or spills transparently.
+  BufferPool pool(pager.get(), 256);
+
+  // Reserve the meta page (must be page 1).
+  {
+    auto meta_or = pool.AllocateAndAcquire();
+    if (!meta_or.ok()) return meta_or.status();
+    CAPEFP_CHECK_EQ(meta_or->page_id(), ccam_internal::kMetaPage);
+  }
+
+  // Schema blob.
+  std::ostringstream schema;
+  {
+    std::vector<const tdf::CapeCodPattern*> pattern_ptrs;
+    for (size_t p = 0; p < net.num_patterns(); ++p) {
+      pattern_ptrs.push_back(&net.pattern(static_cast<network::PatternId>(p)));
+    }
+    network::WriteScheduleText(net.calendar(), pattern_ptrs, schema);
+  }
+  const std::string schema_blob = schema.str();
+  auto schema_head_or =
+      ccam_internal::WriteBlobChain(&pool, schema_blob);
+  if (!schema_head_or.ok()) return schema_head_or.status();
+
+  // Data pages.
+  std::vector<uint64_t> locator(n, 0);
+  uint32_t data_pages = 0;
+  for (const PendingPage& pending : pages) {
+    auto handle_or = pool.AllocateAndAcquire();
+    if (!handle_or.ok()) return handle_or.status();
+    SlottedPage sp(handle_or->mutable_data(), options.page_size);
+    sp.Format();
+    for (int node : pending.nodes) {
+      const int slot = sp.AppendRecord(records[static_cast<size_t>(node)]);
+      CAPEFP_CHECK_GE(slot, 0);
+      locator[static_cast<size_t>(node)] =
+          (static_cast<uint64_t>(handle_or->page_id()) << 32) |
+          static_cast<uint16_t>(slot);
+    }
+    ++data_pages;
+  }
+
+  // Index.
+  const uint32_t pages_before_index = pager->num_pages();
+  BPlusTree tree(&pool, kInvalidPage);
+  CAPEFP_RETURN_IF_ERROR(tree.Init());
+  for (size_t i = 0; i < n; ++i) {
+    CAPEFP_RETURN_IF_ERROR(tree.Put(i, locator[i]));
+  }
+
+  // Meta.
+  ccam_internal::Meta meta;
+  meta.num_nodes = static_cast<uint32_t>(n);
+  meta.tree_root = tree.root();
+  meta.schema_head = *schema_head_or;
+  meta.schema_bytes = static_cast<uint32_t>(schema_blob.size());
+  CAPEFP_RETURN_IF_ERROR(ccam_internal::WriteMeta(&pool, meta));
+  CAPEFP_RETURN_IF_ERROR(pool.FlushAll());
+
+  CcamBuildReport report;
+  report.data_pages = data_pages;
+  report.total_pages = pager->num_pages();
+  report.index_pages = report.total_pages - pages_before_index;
+  uint64_t intra = 0;
+  for (size_t e = 0; e < net.num_edges(); ++e) {
+    const network::Edge& edge = net.edge(static_cast<network::EdgeId>(e));
+    if (page_of[static_cast<size_t>(edge.from)] ==
+        page_of[static_cast<size_t>(edge.to)]) {
+      ++intra;
+    }
+  }
+  report.intra_page_edge_fraction =
+      net.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(intra) / static_cast<double>(net.num_edges());
+  return report;
+}
+
+}  // namespace capefp::storage

@@ -1,0 +1,49 @@
+// Builds a CCAM page file from an in-memory RoadNetwork.
+//
+// CCAM's clustering idea (§2.2): order node records one-dimensionally by
+// the Hilbert value of their location, then pack them into pages while
+// preserving connectivity — a node prefers the page that already holds the
+// most of its graph neighbours (if it has room), falling back to the
+// current fill page. Queries then touch few pages because search frontiers
+// are spatially and topologically local.
+#ifndef CAPEFP_STORAGE_CCAM_BUILDER_H_
+#define CAPEFP_STORAGE_CCAM_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/network/road_network.h"
+#include "src/util/status.h"
+
+namespace capefp::storage {
+
+struct CcamBuildOptions {
+  // Page size in bytes; the paper uses 2048 (§6.1).
+  uint32_t page_size = 2048;
+  // Hilbert curve order for the node ordering.
+  int hilbert_order = 16;
+  // If false, records are packed purely in scan order (no connectivity
+  // preference) — an ablation baseline.
+  bool connectivity_clustering = true;
+  // If false, records are scanned in node-insertion order instead of
+  // Hilbert order — the "no spatial locality" ablation baseline.
+  bool spatial_ordering = true;
+};
+
+struct CcamBuildReport {
+  uint32_t data_pages = 0;
+  uint32_t index_pages = 0;
+  uint32_t total_pages = 0;
+  // Fraction of directed edges whose endpoints share a page (CCAM's
+  // clustering quality measure).
+  double intra_page_edge_fraction = 0.0;
+};
+
+// Writes `network` to a fresh CCAM file at `path`.
+util::StatusOr<CcamBuildReport> BuildCcamFile(
+    const network::RoadNetwork& network, const std::string& path,
+    const CcamBuildOptions& options = {});
+
+}  // namespace capefp::storage
+
+#endif  // CAPEFP_STORAGE_CCAM_BUILDER_H_

@@ -1,0 +1,339 @@
+#include "src/storage/ccam_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "src/network/network_io.h"
+#include "src/storage/slotted_page.h"
+#include "src/util/check.h"
+
+namespace capefp::storage {
+
+namespace {
+
+template <typename T>
+void AppendRaw(std::string& out, T v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view& in, T* v) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(v, in.data(), sizeof(T));
+  in.remove_prefix(sizeof(T));
+  return true;
+}
+
+uint64_t MakeLocator(PageId page, uint16_t slot) {
+  return (static_cast<uint64_t>(page) << 32) | slot;
+}
+
+PageId LocatorPage(uint64_t locator) {
+  return static_cast<PageId>(locator >> 32);
+}
+
+uint16_t LocatorSlot(uint64_t locator) {
+  return static_cast<uint16_t>(locator & 0xffff);
+}
+
+}  // namespace
+
+std::string EncodeNodeRecord(const NodeRecord& record) {
+  std::string out;
+  out.reserve(18 + record.edges.size() * 15);
+  AppendRaw(out, record.location.x);
+  AppendRaw(out, record.location.y);
+  AppendRaw(out, static_cast<uint16_t>(record.edges.size()));
+  for (const network::NeighborEdge& e : record.edges) {
+    AppendRaw(out, static_cast<uint32_t>(e.to));
+    AppendRaw(out, e.distance_miles);
+    AppendRaw(out, static_cast<uint16_t>(e.pattern));
+    AppendRaw(out, static_cast<uint8_t>(e.road_class));
+  }
+  return out;
+}
+
+util::StatusOr<NodeRecord> DecodeNodeRecord(std::string_view bytes) {
+  NodeRecord record;
+  uint16_t degree = 0;
+  if (!ReadRaw(bytes, &record.location.x) ||
+      !ReadRaw(bytes, &record.location.y) || !ReadRaw(bytes, &degree)) {
+    return util::Status::Corruption("truncated node record header");
+  }
+  record.edges.reserve(degree);
+  for (uint16_t i = 0; i < degree; ++i) {
+    uint32_t to = 0;
+    double distance = 0.0;
+    uint16_t pattern = 0;
+    uint8_t road_class = 0;
+    if (!ReadRaw(bytes, &to) || !ReadRaw(bytes, &distance) ||
+        !ReadRaw(bytes, &pattern) || !ReadRaw(bytes, &road_class)) {
+      return util::Status::Corruption("truncated node record edge");
+    }
+    if (road_class >= network::kNumRoadClasses) {
+      return util::Status::Corruption("bad road class in record");
+    }
+    record.edges.push_back({static_cast<network::NodeId>(to), distance,
+                            static_cast<network::PatternId>(pattern),
+                            static_cast<network::RoadClass>(road_class)});
+  }
+  if (!bytes.empty()) {
+    return util::Status::Corruption("trailing bytes in node record");
+  }
+  return record;
+}
+
+namespace ccam_internal {
+
+util::Status WriteMeta(BufferPool* pool, const Meta& meta) {
+  auto handle_or = pool->Acquire(kMetaPage);
+  if (!handle_or.ok()) return handle_or.status();
+  char* page = handle_or->mutable_data();
+  uint32_t fields[5] = {kMetaMagic, meta.num_nodes, meta.tree_root,
+                        meta.schema_head, meta.schema_bytes};
+  std::memcpy(page, fields, sizeof(fields));
+  return util::Status::Ok();
+}
+
+util::StatusOr<Meta> ReadMeta(BufferPool* pool) {
+  auto handle_or = pool->Acquire(kMetaPage);
+  if (!handle_or.ok()) return handle_or.status();
+  uint32_t fields[5];
+  std::memcpy(fields, handle_or->data(), sizeof(fields));
+  if (fields[0] != kMetaMagic) {
+    return util::Status::Corruption("bad CCAM meta magic");
+  }
+  Meta meta;
+  meta.num_nodes = fields[1];
+  meta.tree_root = fields[2];
+  meta.schema_head = fields[3];
+  meta.schema_bytes = fields[4];
+  return meta;
+}
+
+util::StatusOr<PageId> WriteBlobChain(BufferPool* pool,
+                                      const std::string& blob) {
+  const uint32_t payload = pool->page_size() - sizeof(uint32_t);
+  PageId head = kInvalidPage;
+  PageHandle prev;
+  size_t offset = 0;
+  do {
+    auto handle_or = pool->AllocateAndAcquire();
+    if (!handle_or.ok()) return handle_or.status();
+    char* page = handle_or->mutable_data();
+    const uint32_t next = kInvalidPage;
+    std::memcpy(page, &next, sizeof(next));
+    const size_t chunk = std::min<size_t>(payload, blob.size() - offset);
+    std::memcpy(page + sizeof(uint32_t), blob.data() + offset, chunk);
+    offset += chunk;
+    if (head == kInvalidPage) {
+      head = handle_or->page_id();
+    } else {
+      const uint32_t this_page = handle_or->page_id();
+      std::memcpy(prev.mutable_data(), &this_page, sizeof(this_page));
+    }
+    prev = std::move(*handle_or);
+  } while (offset < blob.size());
+  return head;
+}
+
+util::StatusOr<std::string> ReadBlobChain(BufferPool* pool, PageId head,
+                                          uint32_t total_bytes) {
+  const uint32_t payload = pool->page_size() - sizeof(uint32_t);
+  std::string blob;
+  blob.reserve(total_bytes);
+  PageId page_id = head;
+  while (blob.size() < total_bytes) {
+    if (page_id == kInvalidPage) {
+      return util::Status::Corruption("schema blob chain too short");
+    }
+    auto handle_or = pool->Acquire(page_id);
+    if (!handle_or.ok()) return handle_or.status();
+    const char* page = handle_or->data();
+    uint32_t next;
+    std::memcpy(&next, page, sizeof(next));
+    const size_t chunk =
+        std::min<size_t>(payload, total_bytes - blob.size());
+    blob.append(page + sizeof(uint32_t), chunk);
+    page_id = next;
+  }
+  return blob;
+}
+
+}  // namespace ccam_internal
+
+CcamStore::CcamStore(std::unique_ptr<Pager> pager, size_t pool_pages)
+    : pager_(std::move(pager)),
+      pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
+      calendar_(tdf::Calendar::SingleCategory()) {}
+
+CcamStore::~CcamStore() {
+  if (pool_ != nullptr) Flush().ok();
+}
+
+util::StatusOr<std::unique_ptr<CcamStore>> CcamStore::Open(
+    const std::string& path, const CcamOpenOptions& options) {
+  auto pager_or = Pager::Open(path);
+  if (!pager_or.ok()) return pager_or.status();
+  auto store = std::unique_ptr<CcamStore>(
+      new CcamStore(std::move(*pager_or), options.buffer_pool_pages));
+  CAPEFP_RETURN_IF_ERROR(store->LoadMeta());
+  return store;
+}
+
+util::Status CcamStore::LoadMeta() {
+  auto meta_or = ccam_internal::ReadMeta(pool_.get());
+  if (!meta_or.ok()) return meta_or.status();
+  num_nodes_ = meta_or->num_nodes;
+  meta_page_ = ccam_internal::kMetaPage;
+  tree_ = std::make_unique<BPlusTree>(pool_.get(), meta_or->tree_root);
+
+  auto blob_or = ccam_internal::ReadBlobChain(pool_.get(),
+                                              meta_or->schema_head,
+                                              meta_or->schema_bytes);
+  if (!blob_or.ok()) return blob_or.status();
+  std::istringstream in(*blob_or);
+  auto schedule_or = network::ReadScheduleText(in);
+  if (!schedule_or.ok()) return schedule_or.status();
+  calendar_ = std::move(schedule_or->calendar);
+  patterns_ = std::move(schedule_or->patterns);
+  max_speed_ = 0.0;
+  for (const tdf::CapeCodPattern& p : patterns_) {
+    max_speed_ = std::max(max_speed_, p.max_speed());
+  }
+  // Cold cache for fault accounting.
+  ResetStats();
+  return util::Status::Ok();
+}
+
+util::StatusOr<uint64_t> CcamStore::Locator(network::NodeId node) {
+  if (node < 0 || static_cast<size_t>(node) >= num_nodes_) {
+    return util::Status::OutOfRange("node id out of range");
+  }
+  return tree_->Get(static_cast<uint64_t>(node));
+}
+
+util::StatusOr<NodeRecord> CcamStore::FindNode(network::NodeId node) {
+  auto locator_or = Locator(node);
+  if (!locator_or.ok()) return locator_or.status();
+  auto handle_or = pool_->Acquire(LocatorPage(*locator_or));
+  if (!handle_or.ok()) return handle_or.status();
+  // SlottedPage wants char*; reads only.
+  SlottedPage page(const_cast<char*>(handle_or->data()),
+                   pool_->page_size());
+  const std::string_view bytes = page.Record(LocatorSlot(*locator_or));
+  if (bytes.empty()) {
+    return util::Status::Corruption("dead record behind live locator");
+  }
+  return DecodeNodeRecord(bytes);
+}
+
+util::Status CcamStore::RewriteRecord(network::NodeId node, uint64_t locator,
+                                      const NodeRecord& record) {
+  const std::string bytes = EncodeNodeRecord(record);
+  {
+    auto handle_or = pool_->Acquire(LocatorPage(locator));
+    if (!handle_or.ok()) return handle_or.status();
+    SlottedPage page(handle_or->mutable_data(), pool_->page_size());
+    if (page.UpdateRecordInPlace(LocatorSlot(locator), bytes)) {
+      return util::Status::Ok();
+    }
+    // Try appending to the same page (best clustering), compacting first if
+    // fragmentation is the only obstacle.
+    if (page.TotalFreeBytes() >= bytes.size()) {
+      if (page.ContiguousFreeBytes() < bytes.size()) page.Compact();
+      const int slot = page.AppendRecord(bytes);
+      if (slot >= 0) {
+        page.DeleteRecord(LocatorSlot(locator));
+        return tree_->Put(static_cast<uint64_t>(node),
+                          MakeLocator(LocatorPage(locator),
+                                      static_cast<uint16_t>(slot)));
+      }
+    }
+    page.DeleteRecord(LocatorSlot(locator));
+  }
+  // Relocate: try the hint page, else a fresh data page.
+  if (relocation_hint_ != kInvalidPage) {
+    auto handle_or = pool_->Acquire(relocation_hint_);
+    if (!handle_or.ok()) return handle_or.status();
+    SlottedPage page(handle_or->mutable_data(), pool_->page_size());
+    const int slot = page.AppendRecord(bytes);
+    if (slot >= 0) {
+      return tree_->Put(static_cast<uint64_t>(node),
+                        MakeLocator(relocation_hint_,
+                                    static_cast<uint16_t>(slot)));
+    }
+  }
+  auto fresh_or = pool_->AllocateAndAcquire();
+  if (!fresh_or.ok()) return fresh_or.status();
+  SlottedPage page(fresh_or->mutable_data(), pool_->page_size());
+  page.Format();
+  const int slot = page.AppendRecord(bytes);
+  if (slot < 0) {
+    return util::Status::InvalidArgument("record larger than a page");
+  }
+  relocation_hint_ = fresh_or->page_id();
+  return tree_->Put(static_cast<uint64_t>(node),
+                    MakeLocator(relocation_hint_,
+                                static_cast<uint16_t>(slot)));
+}
+
+util::Status CcamStore::InsertEdge(network::NodeId node,
+                                   const network::NeighborEdge& edge) {
+  if (edge.to < 0 || static_cast<size_t>(edge.to) >= num_nodes_) {
+    return util::Status::InvalidArgument("edge target out of range");
+  }
+  if (edge.pattern < 0 ||
+      static_cast<size_t>(edge.pattern) >= patterns_.size()) {
+    return util::Status::InvalidArgument("edge pattern out of range");
+  }
+  if (edge.distance_miles <= 0.0) {
+    return util::Status::InvalidArgument("edge distance must be positive");
+  }
+  auto locator_or = Locator(node);
+  if (!locator_or.ok()) return locator_or.status();
+  auto record_or = FindNode(node);
+  if (!record_or.ok()) return record_or.status();
+  record_or->edges.push_back(edge);
+  return RewriteRecord(node, *locator_or, *record_or);
+}
+
+util::Status CcamStore::DeleteEdge(network::NodeId node, network::NodeId to) {
+  auto locator_or = Locator(node);
+  if (!locator_or.ok()) return locator_or.status();
+  auto record_or = FindNode(node);
+  if (!record_or.ok()) return record_or.status();
+  auto& edges = record_or->edges;
+  const auto it =
+      std::find_if(edges.begin(), edges.end(),
+                   [to](const network::NeighborEdge& e) { return e.to == to; });
+  if (it == edges.end()) {
+    return util::Status::NotFound("edge not present");
+  }
+  edges.erase(it);
+  // Shrinking always fits in place.
+  return RewriteRecord(node, *locator_or, *record_or);
+}
+
+util::Status CcamStore::Flush() {
+  // Persist a possibly-moved B+-tree root.
+  ccam_internal::Meta meta;
+  auto old_or = ccam_internal::ReadMeta(pool_.get());
+  if (!old_or.ok()) return old_or.status();
+  meta = *old_or;
+  meta.tree_root = tree_->root();
+  CAPEFP_RETURN_IF_ERROR(ccam_internal::WriteMeta(pool_.get(), meta));
+  return pool_->FlushAll();
+}
+
+CcamStats CcamStore::stats() const {
+  return {pool_->stats(), pager_->stats()};
+}
+
+void CcamStore::ResetStats() {
+  pool_->ResetStats();
+  pager_->ResetStats();
+}
+
+}  // namespace capefp::storage

@@ -1,0 +1,145 @@
+// CCAM: Connectivity-Clustered Access Method store (§2.2; Shekhar & Liu,
+// TKDE'97).
+//
+// A single page file holding the road network:
+//   page 0        pager header
+//   page 1        CCAM meta (node count, B+-tree root, schema blob chain)
+//   schema pages  chained blob with the calendar + pattern table
+//   data pages    slotted pages of node records, packed in Hilbert order
+//                 with a connectivity heuristic (see CcamBuilder)
+//   index pages   B+-tree mapping node id -> record locator
+//
+// Node records store the node location and its successor list (the paper's
+// info_i: loc_i plus, per neighbor, distance and pattern). FindNode /
+// GetSuccessors go through the buffer pool, so every query has an exact
+// page-fault count.
+#ifndef CAPEFP_STORAGE_CCAM_STORE_H_
+#define CAPEFP_STORAGE_CCAM_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/network/accessor.h"
+#include "src/network/road_network.h"
+#include "src/storage/bplus_tree.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/pager.h"
+#include "src/util/status.h"
+
+namespace capefp::storage {
+
+// A node record parsed from a data page.
+struct NodeRecord {
+  geo::Point location;
+  std::vector<network::NeighborEdge> edges;
+};
+
+// Serializes `record` into the on-disk byte layout (exposed for the
+// builder and tests).
+std::string EncodeNodeRecord(const NodeRecord& record);
+
+// Inverse of EncodeNodeRecord; Corruption on malformed bytes.
+util::StatusOr<NodeRecord> DecodeNodeRecord(std::string_view bytes);
+
+struct CcamOpenOptions {
+  // Buffer pool capacity, in pages. The paper's small-network experiments
+  // keep the pool far smaller than the file so queries actually fault.
+  size_t buffer_pool_pages = 64;
+};
+
+struct CcamStats {
+  BufferPoolStats pool;
+  PagerStats pager;
+};
+
+class CcamStore {
+ public:
+  // Opens an existing CCAM file (see CcamBuilder to create one).
+  static util::StatusOr<std::unique_ptr<CcamStore>> Open(
+      const std::string& path, const CcamOpenOptions& options = {});
+
+  ~CcamStore();
+  CcamStore(const CcamStore&) = delete;
+  CcamStore& operator=(const CcamStore&) = delete;
+
+  size_t num_nodes() const { return num_nodes_; }
+  const tdf::Calendar& calendar() const { return calendar_; }
+  const std::vector<tdf::CapeCodPattern>& patterns() const {
+    return patterns_;
+  }
+  double max_speed() const { return max_speed_; }
+
+  // The paper's FindNode(n): the full record for `node`.
+  util::StatusOr<NodeRecord> FindNode(network::NodeId node);
+
+  // Adds a successor edge to `node`'s record, relocating the record when
+  // it outgrows its page.
+  util::Status InsertEdge(network::NodeId node,
+                          const network::NeighborEdge& edge);
+
+  // Removes the first successor edge `node` -> `to`; NotFound if absent.
+  util::Status DeleteEdge(network::NodeId node, network::NodeId to);
+
+  // Flushes dirty pages and the pager header.
+  util::Status Flush();
+
+  CcamStats stats() const;
+  void ResetStats();
+
+  // Pages currently used by the file (diagnostics / space benches).
+  uint32_t file_pages() const { return pager_->num_pages(); }
+  uint32_t page_size() const { return pager_->page_size(); }
+
+  // Index depth (B+-tree height), for diagnostics.
+  util::StatusOr<int> IndexHeight() { return tree_->Height(); }
+
+ private:
+  CcamStore(std::unique_ptr<Pager> pager, size_t pool_pages);
+
+  util::Status LoadMeta();
+  util::StatusOr<uint64_t> Locator(network::NodeId node);
+  util::Status RewriteRecord(network::NodeId node, uint64_t locator,
+                             const NodeRecord& record);
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BPlusTree> tree_;
+  size_t num_nodes_ = 0;
+  tdf::Calendar calendar_;
+  std::vector<tdf::CapeCodPattern> patterns_;
+  double max_speed_ = 0.0;
+  PageId meta_page_ = kInvalidPage;
+  // Data page that most recently had room, tried first for relocations.
+  PageId relocation_hint_ = kInvalidPage;
+};
+
+// Meta-page plumbing shared between CcamStore and CcamBuilder.
+namespace ccam_internal {
+
+constexpr uint32_t kMetaMagic = 0x4346434d;  // "CFCM"
+constexpr PageId kMetaPage = 1;
+
+struct Meta {
+  uint32_t num_nodes = 0;
+  PageId tree_root = kInvalidPage;
+  PageId schema_head = kInvalidPage;
+  uint32_t schema_bytes = 0;
+};
+
+util::Status WriteMeta(BufferPool* pool, const Meta& meta);
+util::StatusOr<Meta> ReadMeta(BufferPool* pool);
+
+// Writes `blob` into a chain of fresh pages; returns the head page.
+// Each chain page: [u32 next][data...].
+util::StatusOr<PageId> WriteBlobChain(BufferPool* pool,
+                                      const std::string& blob);
+util::StatusOr<std::string> ReadBlobChain(BufferPool* pool, PageId head,
+                                          uint32_t total_bytes);
+
+}  // namespace ccam_internal
+
+}  // namespace capefp::storage
+
+#endif  // CAPEFP_STORAGE_CCAM_STORE_H_

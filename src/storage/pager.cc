@@ -1,0 +1,195 @@
+#include "src/storage/pager.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+
+namespace capefp::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x43465047;  // "CFPG"
+constexpr uint32_t kVersion = 1;
+
+// Header layout (page 0): magic, version, page_size, num_pages, free_head,
+// then the CRC-32C of those fields.
+constexpr size_t kHeaderBytes = 5 * sizeof(uint32_t);
+constexpr size_t kHeaderBytesWithCrc = kHeaderBytes + sizeof(uint32_t);
+
+void EncodeU32(char* buf, uint32_t v) { std::memcpy(buf, &v, sizeof(v)); }
+
+uint32_t DecodeU32(const char* buf) {
+  uint32_t v;
+  std::memcpy(&v, buf, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Pager::Pager(std::FILE* file, uint32_t page_size, uint32_t num_pages,
+             PageId free_head)
+    : file_(file),
+      page_size_(page_size),
+      num_pages_(num_pages),
+      free_head_(free_head),
+      io_buffer_(PhysicalPageSize()) {}
+
+Pager::~Pager() {
+  if (file_ != nullptr) {
+    WriteHeader();  // Best effort; Sync() reports errors to callers.
+    std::fclose(file_);
+  }
+}
+
+util::StatusOr<std::unique_ptr<Pager>> Pager::Create(const std::string& path,
+                                                     uint32_t page_size) {
+  if (page_size < kMinPageSize) {
+    return util::Status::InvalidArgument("page size too small");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot create page file: " + path);
+  }
+  auto pager = std::unique_ptr<Pager>(
+      new Pager(file, page_size, /*num_pages=*/1, kInvalidPage));
+  // Materialize the header page.
+  CAPEFP_RETURN_IF_ERROR(pager->WriteHeader());
+  return pager;
+}
+
+util::StatusOr<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open page file: " + path);
+  }
+  char header[kHeaderBytesWithCrc];
+  if (std::fread(header, 1, kHeaderBytesWithCrc, file) !=
+      kHeaderBytesWithCrc) {
+    std::fclose(file);
+    return util::Status::Corruption("short page-file header");
+  }
+  if (DecodeU32(header) != kMagic) {
+    std::fclose(file);
+    return util::Status::Corruption("bad page-file magic");
+  }
+  if (DecodeU32(header + kHeaderBytes) !=
+      util::Crc32c(header, kHeaderBytes)) {
+    std::fclose(file);
+    return util::Status::Corruption("page-file header checksum mismatch");
+  }
+  if (DecodeU32(header + 4) != kVersion) {
+    std::fclose(file);
+    return util::Status::Corruption("unsupported page-file version");
+  }
+  const uint32_t page_size = DecodeU32(header + 8);
+  const uint32_t num_pages = DecodeU32(header + 12);
+  const PageId free_head = DecodeU32(header + 16);
+  if (page_size < kMinPageSize || num_pages == 0) {
+    std::fclose(file);
+    return util::Status::Corruption("implausible page-file header");
+  }
+  return std::unique_ptr<Pager>(
+      new Pager(file, page_size, num_pages, free_head));
+}
+
+util::Status Pager::WriteHeader() {
+  char header[kHeaderBytesWithCrc];
+  EncodeU32(header, kMagic);
+  EncodeU32(header + 4, kVersion);
+  EncodeU32(header + 8, page_size_);
+  EncodeU32(header + 12, num_pages_);
+  EncodeU32(header + 16, free_head_);
+  EncodeU32(header + kHeaderBytes, util::Crc32c(header, kHeaderBytes));
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, 1, kHeaderBytesWithCrc, file_) !=
+          kHeaderBytesWithCrc) {
+    return util::Status::IoError("header write failed");
+  }
+  return util::Status::Ok();
+}
+
+util::Status Pager::ReadPage(PageId id, char* buf) {
+  if (id == 0 || id >= num_pages_) {
+    return util::Status::OutOfRange("page id out of range");
+  }
+  const auto stride = static_cast<long>(PhysicalPageSize());
+  const long offset = static_cast<long>(id) * stride;
+  if (std::fseek(file_, offset, SEEK_SET) != 0 ||
+      std::fread(io_buffer_.data(), 1, PhysicalPageSize(), file_) !=
+          PhysicalPageSize()) {
+    return util::Status::IoError("page read failed");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, io_buffer_.data() + page_size_,
+              sizeof(stored_crc));
+  const uint32_t actual_crc = util::Crc32c(io_buffer_.data(), page_size_);
+  if (stored_crc != actual_crc) {
+    return util::Status::Corruption("page " + std::to_string(id) +
+                                    " checksum mismatch");
+  }
+  std::memcpy(buf, io_buffer_.data(), page_size_);
+  ++stats_.page_reads;
+  return util::Status::Ok();
+}
+
+util::Status Pager::WritePage(PageId id, const char* buf) {
+  if (id == 0 || id >= num_pages_) {
+    return util::Status::OutOfRange("page id out of range");
+  }
+  const auto stride = static_cast<long>(PhysicalPageSize());
+  const long offset = static_cast<long>(id) * stride;
+  std::memcpy(io_buffer_.data(), buf, page_size_);
+  const uint32_t crc = util::Crc32c(buf, page_size_);
+  std::memcpy(io_buffer_.data() + page_size_, &crc, sizeof(crc));
+  if (std::fseek(file_, offset, SEEK_SET) != 0 ||
+      std::fwrite(io_buffer_.data(), 1, PhysicalPageSize(), file_) !=
+          PhysicalPageSize()) {
+    return util::Status::IoError("page write failed");
+  }
+  ++stats_.page_writes;
+  return util::Status::Ok();
+}
+
+util::StatusOr<PageId> Pager::AllocatePage() {
+  if (free_head_ != kInvalidPage) {
+    const PageId id = free_head_;
+    // The free list chains through the first 4 bytes of each free page.
+    std::vector<char> buf(page_size_);
+    CAPEFP_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+    free_head_ = DecodeU32(buf.data());
+    return id;
+  }
+  const PageId id = num_pages_;
+  ++num_pages_;
+  // Extend the file so the new page is addressable.
+  std::vector<char> zeros(page_size_, 0);
+  util::Status status = WritePage(id, zeros.data());
+  if (!status.ok()) {
+    --num_pages_;
+    return status;
+  }
+  return id;
+}
+
+util::Status Pager::FreePage(PageId id) {
+  if (id == 0 || id >= num_pages_) {
+    return util::Status::OutOfRange("page id out of range");
+  }
+  std::vector<char> buf(page_size_, 0);
+  EncodeU32(buf.data(), free_head_);
+  CAPEFP_RETURN_IF_ERROR(WritePage(id, buf.data()));
+  free_head_ = id;
+  return util::Status::Ok();
+}
+
+util::Status Pager::Sync() {
+  CAPEFP_RETURN_IF_ERROR(WriteHeader());
+  if (std::fflush(file_) != 0) {
+    return util::Status::IoError("fflush failed");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace capefp::storage

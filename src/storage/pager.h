@@ -1,0 +1,95 @@
+// File-backed page store.
+//
+// The lowest layer of the CCAM stack (§2.2): a single file of fixed-size
+// pages with a header page, a free list, and read/write I/O counters. All
+// higher layers (buffer pool, B+-tree, CCAM data pages) see only PageIds.
+//
+// Every page carries a CRC-32C trailer on disk, verified on every read, so
+// torn writes and bit rot surface as Corruption instead of silently wrong
+// query answers. page_size() is the client-visible payload size; the
+// on-disk stride is 4 bytes larger.
+#ifndef CAPEFP_STORAGE_PAGER_H_
+#define CAPEFP_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace capefp::storage {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+// Cumulative physical I/O counters.
+struct PagerStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+};
+
+// Fixed-size page file. Page 0 holds the pager header and is not available
+// to clients; AllocatePage() hands out ids >= 1. Not thread-safe.
+class Pager {
+ public:
+  // Creates (truncating) a page file with the given page size
+  // (>= kMinPageSize, power of two not required).
+  static util::StatusOr<std::unique_ptr<Pager>> Create(
+      const std::string& path, uint32_t page_size);
+
+  // Opens an existing page file, reading the page size from its header.
+  static util::StatusOr<std::unique_ptr<Pager>> Open(const std::string& path);
+
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+  // Total pages in the file, including the header page and freed pages.
+  uint32_t num_pages() const { return num_pages_; }
+
+  // Reads page `id` into `buf` (page_size() bytes). Returns Corruption if
+  // the stored checksum does not match the contents.
+  util::Status ReadPage(PageId id, char* buf);
+
+  // Writes page `id` from `buf` (page_size() bytes).
+  util::Status WritePage(PageId id, const char* buf);
+
+  // Allocates a page (recycling the free list first). Contents are
+  // unspecified until written.
+  util::StatusOr<PageId> AllocatePage();
+
+  // Returns `id` to the free list.
+  util::Status FreePage(PageId id);
+
+  // Flushes buffered writes and the header to the OS.
+  util::Status Sync();
+
+  const PagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PagerStats(); }
+
+  static constexpr uint32_t kMinPageSize = 128;
+
+ private:
+  Pager(std::FILE* file, uint32_t page_size, uint32_t num_pages,
+        PageId free_head);
+
+  util::Status WriteHeader();
+  // On-disk bytes per page: payload plus the CRC trailer.
+  uint32_t PhysicalPageSize() const { return page_size_ + sizeof(uint32_t); }
+
+  std::FILE* file_;
+  uint32_t page_size_;
+  uint32_t num_pages_;
+  PageId free_head_;
+  PagerStats stats_;
+  // Scratch buffer for trailer handling on the I/O path.
+  std::vector<char> io_buffer_;
+};
+
+}  // namespace capefp::storage
+
+#endif  // CAPEFP_STORAGE_PAGER_H_

@@ -1,0 +1,118 @@
+#include "src/storage/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace capefp::storage {
+
+namespace {
+
+constexpr uint32_t kHeaderBytes = 4;
+constexpr uint32_t kSlotBytes = 4;
+
+uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+SlottedPage::SlottedPage(char* data, uint32_t page_size)
+    : data_(data), page_size_(page_size) {
+  CAPEFP_CHECK(data != nullptr);
+  CAPEFP_CHECK_GE(page_size, 64u);
+}
+
+void SlottedPage::Format() {
+  StoreU16(data_, 0);                                    // slot_count
+  StoreU16(data_ + 2, static_cast<uint16_t>(kHeaderBytes));  // free_off
+}
+
+uint16_t SlottedPage::slot_count() const { return LoadU16(data_); }
+
+uint16_t SlottedPage::SlotOffset(uint16_t slot) const {
+  return LoadU16(data_ + page_size_ - kSlotBytes * (slot + 1));
+}
+
+uint16_t SlottedPage::SlotLength(uint16_t slot) const {
+  return LoadU16(data_ + page_size_ - kSlotBytes * (slot + 1) + 2);
+}
+
+void SlottedPage::SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+  StoreU16(data_ + page_size_ - kSlotBytes * (slot + 1), offset);
+  StoreU16(data_ + page_size_ - kSlotBytes * (slot + 1) + 2, length);
+}
+
+uint32_t SlottedPage::ContiguousFreeBytes() const {
+  const uint32_t free_off = LoadU16(data_ + 2);
+  const uint32_t dir_start = page_size_ - kSlotBytes * slot_count();
+  const uint32_t gap = dir_start - free_off;
+  return gap >= kSlotBytes ? gap - kSlotBytes : 0;
+}
+
+uint32_t SlottedPage::TotalFreeBytes() const {
+  uint32_t live = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) live += SlotLength(s);
+  const uint32_t dir = kSlotBytes * slot_count();
+  const uint32_t used = kHeaderBytes + live + dir + kSlotBytes;
+  return used >= page_size_ ? 0 : page_size_ - used;
+}
+
+int SlottedPage::AppendRecord(std::string_view record) {
+  if (record.size() > 0xffff) return -1;
+  if (ContiguousFreeBytes() < record.size()) return -1;
+  const uint16_t free_off = LoadU16(data_ + 2);
+  const uint16_t slot = slot_count();
+  std::memcpy(data_ + free_off, record.data(), record.size());
+  SetSlot(slot, free_off, static_cast<uint16_t>(record.size()));
+  StoreU16(data_, static_cast<uint16_t>(slot + 1));
+  StoreU16(data_ + 2, static_cast<uint16_t>(free_off + record.size()));
+  return slot;
+}
+
+std::string_view SlottedPage::Record(uint16_t slot) const {
+  CAPEFP_CHECK_LT(slot, slot_count());
+  const uint16_t length = SlotLength(slot);
+  if (length == 0) return {};
+  return {data_ + SlotOffset(slot), length};
+}
+
+void SlottedPage::DeleteRecord(uint16_t slot) {
+  CAPEFP_CHECK_LT(slot, slot_count());
+  SetSlot(slot, SlotOffset(slot), 0);
+}
+
+bool SlottedPage::UpdateRecordInPlace(uint16_t slot,
+                                      std::string_view record) {
+  CAPEFP_CHECK_LT(slot, slot_count());
+  if (record.size() > SlotLength(slot)) return false;
+  std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
+  SetSlot(slot, SlotOffset(slot), static_cast<uint16_t>(record.size()));
+  return true;
+}
+
+void SlottedPage::Compact() {
+  const uint16_t n = slot_count();
+  std::vector<std::string> records(n);
+  for (uint16_t s = 0; s < n; ++s) {
+    records[s] = std::string(Record(s));
+  }
+  uint16_t free_off = static_cast<uint16_t>(kHeaderBytes);
+  for (uint16_t s = 0; s < n; ++s) {
+    if (records[s].empty()) {
+      SetSlot(s, free_off, 0);
+      continue;
+    }
+    std::memcpy(data_ + free_off, records[s].data(), records[s].size());
+    SetSlot(s, free_off, static_cast<uint16_t>(records[s].size()));
+    free_off = static_cast<uint16_t>(free_off + records[s].size());
+  }
+  StoreU16(data_ + 2, free_off);
+}
+
+}  // namespace capefp::storage

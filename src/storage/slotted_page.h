@@ -1,0 +1,65 @@
+// Slotted-page layout for variable-length records.
+//
+// Classic heap-file organization used by the CCAM data pages: a slot
+// directory grows down from the page end, record bytes grow up from the
+// header. Deleted slots keep their index (so record locators stay stable)
+// with length 0; Compact() squeezes out dead space.
+//
+// Layout:
+//   [u16 slot_count][u16 free_off] ... record bytes ... [slot dir]
+// Slot i lives at page_size - 4*(i+1): [u16 offset][u16 length].
+#ifndef CAPEFP_STORAGE_SLOTTED_PAGE_H_
+#define CAPEFP_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace capefp::storage {
+
+// A non-owning view over one page buffer. The caller guarantees `data`
+// stays valid while the view is used.
+class SlottedPage {
+ public:
+  SlottedPage(char* data, uint32_t page_size);
+
+  // Zeroes the header of a fresh page.
+  void Format();
+
+  uint16_t slot_count() const;
+
+  // Bytes available for one more AppendRecord of any size <= result
+  // (accounts for the new slot directory entry).
+  uint32_t ContiguousFreeBytes() const;
+
+  // Total reclaimable bytes (contiguous free + dead record space).
+  uint32_t TotalFreeBytes() const;
+
+  // Appends a record; returns its slot index, or -1 if it does not fit
+  // contiguously (caller may Compact() and retry).
+  int AppendRecord(std::string_view record);
+
+  // Record bytes of `slot` (empty view if deleted).
+  std::string_view Record(uint16_t slot) const;
+
+  // Marks `slot` dead. Its index is never reused.
+  void DeleteRecord(uint16_t slot);
+
+  // Overwrites `slot` in place when the new record is not longer than the
+  // old one; returns false otherwise (caller relocates).
+  bool UpdateRecordInPlace(uint16_t slot, std::string_view record);
+
+  // Rewrites live records contiguously, preserving slot indices.
+  void Compact();
+
+ private:
+  uint16_t SlotOffset(uint16_t slot) const;
+  uint16_t SlotLength(uint16_t slot) const;
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length);
+
+  char* data_;
+  uint32_t page_size_;
+};
+
+}  // namespace capefp::storage
+
+#endif  // CAPEFP_STORAGE_SLOTTED_PAGE_H_

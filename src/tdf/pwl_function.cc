@@ -1,0 +1,234 @@
+#include "src/tdf/pwl_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace capefp::tdf {
+
+namespace {
+
+// Tolerance used to decide whether an interior breakpoint is collinear with
+// its neighbours and can be dropped.
+constexpr double kCollinearEps = 1e-9;
+
+void AppendNormalized(std::vector<Breakpoint>& out, const Breakpoint& p) {
+  if (!out.empty()) {
+    CAPEFP_CHECK_GT(p.x, out.back().x) << "breakpoints must strictly increase";
+  }
+  // Drop the middle point of three (near-)collinear ones.
+  while (out.size() >= 2) {
+    const Breakpoint& a = out[out.size() - 2];
+    const Breakpoint& b = out[out.size() - 1];
+    const double t = (b.x - a.x) / (p.x - a.x);
+    const double interp = a.y + t * (p.y - a.y);
+    if (std::fabs(b.y - interp) <= kCollinearEps) {
+      out.pop_back();
+    } else {
+      break;
+    }
+  }
+  out.push_back(p);
+}
+
+}  // namespace
+
+PwlFunction::PwlFunction(std::vector<Breakpoint> breakpoints) {
+  CAPEFP_CHECK(!breakpoints.empty());
+  points_.reserve(breakpoints.size());
+  for (const Breakpoint& p : breakpoints) AppendNormalized(points_, p);
+}
+
+PwlFunction PwlFunction::Constant(double lo, double hi, double value) {
+  CAPEFP_CHECK_LE(lo, hi);
+  if (lo == hi) return PwlFunction({{lo, value}});
+  return PwlFunction({{lo, value}, {hi, value}});
+}
+
+double PwlFunction::Value(double x) const {
+  CAPEFP_CHECK_GE(x, domain_lo() - kTimeEps) << "x below domain";
+  CAPEFP_CHECK_LE(x, domain_hi() + kTimeEps) << "x above domain";
+  const double cx = std::clamp(x, domain_lo(), domain_hi());
+  // First breakpoint with bp.x > cx.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), cx,
+      [](double value, const Breakpoint& bp) { return value < bp.x; });
+  if (it == points_.begin()) return points_.front().y;
+  if (it == points_.end()) return points_.back().y;
+  const Breakpoint& a = *(it - 1);
+  const Breakpoint& b = *it;
+  const double t = (cx - a.x) / (b.x - a.x);
+  return a.y + t * (b.y - a.y);
+}
+
+double PwlFunction::MinValue() const {
+  double m = points_.front().y;
+  for (const Breakpoint& p : points_) m = std::min(m, p.y);
+  return m;
+}
+
+double PwlFunction::MaxValue() const {
+  double m = points_.front().y;
+  for (const Breakpoint& p : points_) m = std::max(m, p.y);
+  return m;
+}
+
+double PwlFunction::ArgMin() const {
+  double best_x = points_.front().x;
+  double best_y = points_.front().y;
+  for (const Breakpoint& p : points_) {
+    if (p.y < best_y - kTimeEps) {
+      best_y = p.y;
+      best_x = p.x;
+    }
+  }
+  return best_x;
+}
+
+LinearPiece PwlFunction::PieceAt(double x) const {
+  CAPEFP_CHECK_GE(x, domain_lo() - kTimeEps);
+  CAPEFP_CHECK_LE(x, domain_hi() + kTimeEps);
+  if (points_.size() == 1) return {0.0, points_.front().y};
+  const double cx = std::clamp(x, domain_lo(), domain_hi());
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), cx,
+      [](double value, const Breakpoint& bp) { return value < bp.x; });
+  size_t idx;  // Index of the piece's left endpoint.
+  if (it == points_.end()) {
+    idx = points_.size() - 2;
+  } else if (it == points_.begin()) {
+    idx = 0;
+  } else {
+    idx = static_cast<size_t>(it - points_.begin()) - 1;
+  }
+  const Breakpoint& a = points_[idx];
+  const Breakpoint& b = points_[idx + 1];
+  const double slope = (b.y - a.y) / (b.x - a.x);
+  return {slope, a.y - slope * a.x};
+}
+
+PwlFunction PwlFunction::Shifted(double dy) const {
+  std::vector<Breakpoint> pts = points_;
+  for (Breakpoint& p : pts) p.y += dy;
+  return PwlFunction(std::move(pts));
+}
+
+PwlFunction PwlFunction::Restricted(double lo, double hi) const {
+  CAPEFP_CHECK_GE(lo, domain_lo() - kTimeEps);
+  CAPEFP_CHECK_LE(hi, domain_hi() + kTimeEps);
+  CAPEFP_CHECK_LE(lo, hi + kTimeEps);
+  const double clo = std::clamp(lo, domain_lo(), domain_hi());
+  const double chi = std::clamp(hi, domain_lo(), domain_hi());
+  std::vector<Breakpoint> pts;
+  pts.push_back({clo, Value(clo)});
+  for (const Breakpoint& p : points_) {
+    if (p.x > clo + kTimeEps && p.x < chi - kTimeEps) pts.push_back(p);
+  }
+  if (chi > clo + kTimeEps) pts.push_back({chi, Value(chi)});
+  return PwlFunction(std::move(pts));
+}
+
+namespace {
+
+void CheckSameDomain(const PwlFunction& f, const PwlFunction& g) {
+  CAPEFP_CHECK(std::fabs(f.domain_lo() - g.domain_lo()) <= kTimeEps &&
+               std::fabs(f.domain_hi() - g.domain_hi()) <= kTimeEps)
+      << "domain mismatch: [" << f.domain_lo() << "," << f.domain_hi()
+      << "] vs [" << g.domain_lo() << "," << g.domain_hi() << "]";
+}
+
+// Sorted union of breakpoint x values of both functions, clamped to f's
+// domain, deduplicated within kTimeEps.
+std::vector<double> UnionXs(const PwlFunction& f, const PwlFunction& g) {
+  std::vector<double> xs;
+  xs.reserve(f.breakpoints().size() + g.breakpoints().size());
+  for (const Breakpoint& p : f.breakpoints()) xs.push_back(p.x);
+  for (const Breakpoint& p : g.breakpoints()) {
+    xs.push_back(std::clamp(p.x, f.domain_lo(), f.domain_hi()));
+  }
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> out;
+  for (double x : xs) {
+    if (out.empty() || x > out.back() + kTimeEps) out.push_back(x);
+  }
+  // Keep exact domain endpoints.
+  out.front() = f.domain_lo();
+  out.back() = f.domain_hi();
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> MergedGrid(const PwlFunction& f, const PwlFunction& g) {
+  CheckSameDomain(f, g);
+  const std::vector<double> base = UnionXs(f, g);
+  std::vector<double> out;
+  out.reserve(base.size() * 2);
+  for (size_t i = 0; i + 1 < base.size(); ++i) {
+    const double lo = base[i];
+    const double hi = base[i + 1];
+    out.push_back(lo);
+    const double mid = 0.5 * (lo + hi);
+    const LinearPiece pf = f.PieceAt(mid);
+    const LinearPiece pg = g.PieceAt(mid);
+    const double dslope = pf.slope - pg.slope;
+    if (std::fabs(dslope) > 1e-15) {
+      const double cross = (pg.intercept - pf.intercept) / dslope;
+      if (cross > lo + kTimeEps && cross < hi - kTimeEps) {
+        out.push_back(cross);
+      }
+    }
+  }
+  out.push_back(base.back());
+  return out;
+}
+
+PwlFunction PwlFunction::Sum(const PwlFunction& f, const PwlFunction& g) {
+  CheckSameDomain(f, g);
+  std::vector<Breakpoint> pts;
+  for (double x : UnionXs(f, g)) pts.push_back({x, f.Value(x) + g.Value(x)});
+  return PwlFunction(std::move(pts));
+}
+
+PwlFunction PwlFunction::Min(const PwlFunction& f, const PwlFunction& g) {
+  std::vector<Breakpoint> pts;
+  for (double x : MergedGrid(f, g)) {
+    pts.push_back({x, std::min(f.Value(x), g.Value(x))});
+  }
+  return PwlFunction(std::move(pts));
+}
+
+bool PwlFunction::DominatesOrEqual(const PwlFunction& f, const PwlFunction& g,
+                                   double tol) {
+  CheckSameDomain(f, g);
+  for (double x : UnionXs(f, g)) {
+    if (f.Value(x) < g.Value(x) - tol) return false;
+  }
+  return true;
+}
+
+bool PwlFunction::ApproxEqual(const PwlFunction& f, const PwlFunction& g,
+                              double tol) {
+  if (std::fabs(f.domain_lo() - g.domain_lo()) > tol) return false;
+  if (std::fabs(f.domain_hi() - g.domain_hi()) > tol) return false;
+  for (double x : UnionXs(f, g)) {
+    if (std::fabs(f.Value(x) - g.Value(x)) > tol) return false;
+  }
+  return true;
+}
+
+std::string PwlFunction::ToString() const {
+  std::string out = "pwl{";
+  char buf[64];
+  for (size_t i = 0; i < points_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s(%.6g,%.6g)", i == 0 ? "" : ",",
+                  points_[i].x, points_[i].y);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace capefp::tdf

@@ -1,0 +1,115 @@
+// Continuous piecewise-linear functions of time.
+//
+// This is the algebra of §4 of the paper: travel time along any path is a
+// continuous piecewise-linear (PWL) function of the leaving time (§4.1).
+// IntAllFastestPaths stores one PwlFunction per queued path and needs
+// evaluation, minima, pointwise sums, lower envelopes (for the lower border
+// of §4.6), and composition with edge functions (§4.4).
+//
+// Conventions: the x axis is time in minutes from a reference midnight, the
+// y axis is travel time in minutes. Functions are defined on a closed
+// interval [domain_lo, domain_hi] and represented by their breakpoints;
+// between consecutive breakpoints the function is linear.
+#ifndef CAPEFP_TDF_PWL_FUNCTION_H_
+#define CAPEFP_TDF_PWL_FUNCTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace capefp::tdf {
+
+// Absolute tolerance for time comparisons, in minutes (~60 ns).
+inline constexpr double kTimeEps = 1e-9;
+
+// A breakpoint (x, f(x)) of a piecewise-linear function.
+struct Breakpoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// A linear piece y = slope * x + intercept.
+struct LinearPiece {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double Eval(double x) const { return slope * x + intercept; }
+};
+
+// Continuous piecewise-linear function on a closed interval.
+//
+// Immutable after construction. Construction normalizes the representation:
+// breakpoints are strictly increasing in x and collinear interior
+// breakpoints are merged, so NumPieces() is minimal.
+class PwlFunction {
+ public:
+  // Constructs from breakpoints. Requires at least one breakpoint and
+  // strictly increasing x values; a single breakpoint denotes a function on
+  // the degenerate domain [x, x].
+  explicit PwlFunction(std::vector<Breakpoint> breakpoints);
+
+  // The constant function `value` on [lo, hi]. Requires lo <= hi.
+  static PwlFunction Constant(double lo, double hi, double value);
+
+  // Domain endpoints.
+  double domain_lo() const { return points_.front().x; }
+  double domain_hi() const { return points_.back().x; }
+
+  const std::vector<Breakpoint>& breakpoints() const { return points_; }
+  size_t NumPieces() const {
+    return points_.size() <= 1 ? 0 : points_.size() - 1;
+  }
+
+  // Evaluates the function at `x`. `x` must lie within the domain (a
+  // kTimeEps slack is tolerated and clamped).
+  double Value(double x) const;
+
+  // Minimum / maximum value over the whole domain.
+  double MinValue() const;
+  double MaxValue() const;
+
+  // Leftmost x at which MinValue() is attained.
+  double ArgMin() const;
+
+  // The linear piece covering `x` (for a breakpoint x, the piece to its
+  // right, except at domain_hi where it is the piece to the left).
+  LinearPiece PieceAt(double x) const;
+
+  // f + c.
+  PwlFunction Shifted(double dy) const;
+
+  // Restriction to [lo, hi] ⊆ domain (endpoints get interpolated
+  // breakpoints).
+  PwlFunction Restricted(double lo, double hi) const;
+
+  // Pointwise sum. Domains must coincide (within kTimeEps).
+  static PwlFunction Sum(const PwlFunction& f, const PwlFunction& g);
+
+  // Pointwise minimum (lower envelope). Domains must coincide.
+  static PwlFunction Min(const PwlFunction& f, const PwlFunction& g);
+
+  // True if f(x) >= g(x) - tol for every x in the common domain. Domains
+  // must coincide.
+  static bool DominatesOrEqual(const PwlFunction& f, const PwlFunction& g,
+                               double tol = kTimeEps);
+
+  // True if the functions have (approximately) equal domains and values.
+  static bool ApproxEqual(const PwlFunction& f, const PwlFunction& g,
+                          double tol = 1e-7);
+
+  // "pwl{(x0,y0),(x1,y1),...}" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Breakpoint> points_;
+};
+
+// Merged, sorted union of the two functions' breakpoint x values plus all
+// interior intersection points of their pieces. Evaluating both functions
+// on this grid suffices to compute Sum/Min exactly. Exposed for the
+// annotated lower border (core/lower_border).
+std::vector<double> MergedGrid(const PwlFunction& f, const PwlFunction& g);
+
+}  // namespace capefp::tdf
+
+#endif  // CAPEFP_TDF_PWL_FUNCTION_H_

@@ -1,0 +1,110 @@
+#include "src/tdf/speed_pattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/tdf/pwl_function.h"
+#include "src/util/check.h"
+
+namespace capefp::tdf {
+
+DailySpeedPattern::DailySpeedPattern(std::vector<SpeedPiece> pieces)
+    : pieces_(std::move(pieces)) {
+  CAPEFP_CHECK(!pieces_.empty());
+  CAPEFP_CHECK_EQ(pieces_.front().start_minute, 0.0)
+      << "first piece must start at midnight";
+  double prev = -1.0;
+  max_speed_ = 0.0;
+  min_speed_ = pieces_.front().speed_mpm;
+  for (const SpeedPiece& p : pieces_) {
+    CAPEFP_CHECK_GT(p.start_minute, prev) << "piece starts must increase";
+    CAPEFP_CHECK_LT(p.start_minute, kMinutesPerDay);
+    CAPEFP_CHECK_GT(p.speed_mpm, 0.0) << "speeds must be positive";
+    max_speed_ = std::max(max_speed_, p.speed_mpm);
+    min_speed_ = std::min(min_speed_, p.speed_mpm);
+    prev = p.start_minute;
+  }
+}
+
+DailySpeedPattern DailySpeedPattern::Constant(double speed_mpm) {
+  return DailySpeedPattern({{0.0, speed_mpm}});
+}
+
+double DailySpeedPattern::SpeedAt(double minute_of_day) const {
+  CAPEFP_CHECK_GE(minute_of_day, -kTimeEps);
+  CAPEFP_CHECK_LT(minute_of_day, kMinutesPerDay + kTimeEps);
+  // Last piece whose start is <= minute_of_day (within tolerance).
+  double speed = pieces_.front().speed_mpm;
+  for (const SpeedPiece& p : pieces_) {
+    if (p.start_minute <= minute_of_day + kTimeEps) {
+      speed = p.speed_mpm;
+    } else {
+      break;
+    }
+  }
+  return speed;
+}
+
+double DailySpeedPattern::NextBoundaryAfter(double minute_of_day) const {
+  for (const SpeedPiece& p : pieces_) {
+    if (p.start_minute > minute_of_day + kTimeEps) return p.start_minute;
+  }
+  return kMinutesPerDay;
+}
+
+std::string DailySpeedPattern::ToString() const {
+  std::string out = "pattern{";
+  char buf[64];
+  for (size_t i = 0; i < pieces_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s[%.0f:%.3f mpm]", i == 0 ? "" : ",",
+                  pieces_[i].start_minute, pieces_[i].speed_mpm);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+CapeCodPattern::CapeCodPattern(std::vector<DailySpeedPattern> per_category)
+    : per_category_(std::move(per_category)) {
+  CAPEFP_CHECK(!per_category_.empty());
+  max_speed_ = per_category_.front().max_speed();
+  min_speed_ = per_category_.front().min_speed();
+  for (const DailySpeedPattern& p : per_category_) {
+    max_speed_ = std::max(max_speed_, p.max_speed());
+    min_speed_ = std::min(min_speed_, p.min_speed());
+  }
+}
+
+CapeCodPattern CapeCodPattern::ConstantSpeed(double speed_mpm) {
+  return CapeCodPattern({DailySpeedPattern::Constant(speed_mpm)});
+}
+
+const DailySpeedPattern& CapeCodPattern::pattern_for(
+    DayCategoryId category) const {
+  CAPEFP_CHECK_GE(category, 0);
+  CAPEFP_CHECK_LT(static_cast<size_t>(category), per_category_.size());
+  return per_category_[static_cast<size_t>(category)];
+}
+
+Calendar::Calendar(std::vector<DayCategoryId> cycle)
+    : cycle_(std::move(cycle)) {
+  CAPEFP_CHECK(!cycle_.empty());
+}
+
+Calendar Calendar::SingleCategory() { return Calendar({0}); }
+
+Calendar Calendar::StandardWeek(DayCategoryId workday,
+                                DayCategoryId nonworkday) {
+  return Calendar({workday, workday, workday, workday, workday, nonworkday,
+                   nonworkday});
+}
+
+DayCategoryId Calendar::CategoryForDay(int64_t day) const {
+  const auto n = static_cast<int64_t>(cycle_.size());
+  int64_t idx = day % n;
+  if (idx < 0) idx += n;
+  return cycle_[static_cast<size_t>(idx)];
+}
+
+}  // namespace capefp::tdf

@@ -1,0 +1,111 @@
+// CapeCod speed patterns (§2.1 of the paper, Definitions 1-3).
+//
+// A *day-category set* partitions calendar days (e.g. workday vs
+// non-workday). A *CapeCod pattern* gives, for every category, a 24-hour
+// piecewise-constant speed profile. A *Calendar* maps absolute day indices
+// to categories, so speed lookups work for arbitrary absolute times and
+// traversals that cross midnight.
+#ifndef CAPEFP_TDF_SPEED_PATTERN_H_
+#define CAPEFP_TDF_SPEED_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capefp::tdf {
+
+inline constexpr double kMinutesPerDay = 1440.0;
+
+// Minutes since midnight for hour:minute (e.g. HhMm(7, 30) == 450).
+constexpr double HhMm(int hour, int minute) {
+  return static_cast<double>(hour) * 60.0 + static_cast<double>(minute);
+}
+
+// Converts miles/hour to miles/minute (the paper's working unit).
+constexpr double MphToMpm(double mph) { return mph / 60.0; }
+
+// Identifies a day category within a DayCategorySet (e.g. 0 = workday).
+using DayCategoryId = int32_t;
+
+// One constant-speed piece of a daily pattern; applies from `start_minute`
+// (inclusive) until the next piece's start (exclusive).
+struct SpeedPiece {
+  double start_minute = 0.0;  // In [0, kMinutesPerDay).
+  double speed_mpm = 0.0;     // Miles per minute; must be positive.
+};
+
+// Piecewise-constant speed over one 24-hour day.
+class DailySpeedPattern {
+ public:
+  // Requires: at least one piece, first piece starting at minute 0, strictly
+  // increasing starts below kMinutesPerDay, all speeds positive.
+  explicit DailySpeedPattern(std::vector<SpeedPiece> pieces);
+
+  static DailySpeedPattern Constant(double speed_mpm);
+
+  // Speed in effect at `minute_of_day` in [0, kMinutesPerDay).
+  double SpeedAt(double minute_of_day) const;
+
+  // Smallest piece boundary strictly greater than `minute_of_day`;
+  // kMinutesPerDay if none (i.e. the next day's start).
+  double NextBoundaryAfter(double minute_of_day) const;
+
+  const std::vector<SpeedPiece>& pieces() const { return pieces_; }
+  double max_speed() const { return max_speed_; }
+  double min_speed() const { return min_speed_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<SpeedPiece> pieces_;
+  double max_speed_ = 0.0;
+  double min_speed_ = 0.0;
+};
+
+// A CapeCod pattern: one daily pattern per day category (Definition 2).
+class CapeCodPattern {
+ public:
+  explicit CapeCodPattern(std::vector<DailySpeedPattern> per_category);
+
+  // Single-category, constant-speed pattern (the "commercial navigation
+  // system" assumption of §6).
+  static CapeCodPattern ConstantSpeed(double speed_mpm);
+
+  size_t num_categories() const { return per_category_.size(); }
+  const DailySpeedPattern& pattern_for(DayCategoryId category) const;
+
+  double max_speed() const { return max_speed_; }
+  double min_speed() const { return min_speed_; }
+
+ private:
+  std::vector<DailySpeedPattern> per_category_;
+  double max_speed_ = 0.0;
+  double min_speed_ = 0.0;
+};
+
+// Maps absolute day index (floor(time / kMinutesPerDay)) to a day category,
+// repeating a fixed cycle (typically a 7-day week).
+class Calendar {
+ public:
+  // `cycle` lists the category of day 0, 1, ... and repeats. Must be
+  // non-empty; entries must be valid for the paired CapeCodPattern.
+  explicit Calendar(std::vector<DayCategoryId> cycle);
+
+  // Every day has category 0.
+  static Calendar SingleCategory();
+
+  // Day 0 is a Monday: five `workday`s then two `nonworkday`s.
+  static Calendar StandardWeek(DayCategoryId workday,
+                               DayCategoryId nonworkday);
+
+  DayCategoryId CategoryForDay(int64_t day) const;
+
+  const std::vector<DayCategoryId>& cycle() const { return cycle_; }
+
+ private:
+  std::vector<DayCategoryId> cycle_;
+};
+
+}  // namespace capefp::tdf
+
+#endif  // CAPEFP_TDF_SPEED_PATTERN_H_

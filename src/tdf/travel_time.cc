@@ -1,0 +1,266 @@
+#include "src/tdf/travel_time.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace capefp::tdf {
+
+namespace {
+
+// Guards the interval-walking loops against malformed patterns.
+constexpr int kMaxWalkSteps = 1 << 20;
+
+}  // namespace
+
+EdgeSpeedView::EdgeSpeedView(const CapeCodPattern* pattern,
+                             const Calendar* calendar)
+    : pattern_(pattern), calendar_(calendar) {
+  CAPEFP_CHECK(pattern != nullptr);
+  CAPEFP_CHECK(calendar != nullptr);
+}
+
+const DailySpeedPattern& EdgeSpeedView::DayPattern(int64_t day) const {
+  return pattern_->pattern_for(calendar_->CategoryForDay(day));
+}
+
+double EdgeSpeedView::SpeedAt(double t) const {
+  const auto day = static_cast<int64_t>(std::floor(t / kMinutesPerDay));
+  double minute = t - static_cast<double>(day) * kMinutesPerDay;
+  minute = std::clamp(minute, 0.0, kMinutesPerDay - 1e-12);
+  return DayPattern(day).SpeedAt(minute);
+}
+
+double EdgeSpeedView::NextBoundaryAfter(double t) const {
+  const auto day = static_cast<int64_t>(std::floor(t / kMinutesPerDay));
+  const double day_start = static_cast<double>(day) * kMinutesPerDay;
+  const double minute = std::clamp(t - day_start, 0.0, kMinutesPerDay);
+  return day_start + DayPattern(day).NextBoundaryAfter(minute);
+}
+
+double EdgeSpeedView::PrevBoundaryBefore(double t) const {
+  auto day = static_cast<int64_t>(std::floor(t / kMinutesPerDay));
+  double minute = t - static_cast<double>(day) * kMinutesPerDay;
+  if (minute <= kTimeEps) {
+    // `t` sits on a midnight: the previous boundary is the last piece start
+    // of the previous day.
+    day -= 1;
+    minute = kMinutesPerDay;
+  }
+  const DailySpeedPattern& pat = DayPattern(day);
+  double best = 0.0;  // Midnight of `day` is always a boundary candidate.
+  for (const SpeedPiece& p : pat.pieces()) {
+    if (p.start_minute < minute - kTimeEps) best = p.start_minute;
+  }
+  return static_cast<double>(day) * kMinutesPerDay + best;
+}
+
+double TravelTime(const EdgeSpeedView& speed, double distance_miles,
+                  double leave_time) {
+  CAPEFP_CHECK_GE(distance_miles, 0.0);
+  if (distance_miles == 0.0) return 0.0;
+  double remaining = distance_miles;
+  double t = leave_time;
+  for (int step = 0; step < kMaxWalkSteps; ++step) {
+    const double v = speed.SpeedAt(t);
+    const double boundary = speed.NextBoundaryAfter(t);
+    const double reachable = v * (boundary - t);
+    if (reachable >= remaining) return (t + remaining / v) - leave_time;
+    remaining -= reachable;
+    t = boundary;
+  }
+  CAPEFP_CHECK(false) << "travel-time walk did not converge";
+  return 0.0;
+}
+
+double DepartureForArrival(const EdgeSpeedView& speed, double distance_miles,
+                           double arrival_time) {
+  CAPEFP_CHECK_GE(distance_miles, 0.0);
+  if (distance_miles == 0.0) return arrival_time;
+  double remaining = distance_miles;
+  double t = arrival_time;
+  for (int step = 0; step < kMaxWalkSteps; ++step) {
+    const double boundary = speed.PrevBoundaryBefore(t);
+    // No boundary inside (boundary, t), so speed is constant there.
+    const double v = speed.SpeedAt(0.5 * (boundary + t));
+    const double reachable = v * (t - boundary);
+    if (reachable >= remaining) return t - remaining / v;
+    remaining -= reachable;
+    t = boundary;
+  }
+  CAPEFP_CHECK(false) << "departure-for-arrival walk did not converge";
+  return 0.0;
+}
+
+PwlFunction EdgeTravelTimeFunction(const EdgeSpeedView& speed,
+                                   double distance_miles, double lo,
+                                   double hi) {
+  CAPEFP_CHECK_LE(lo, hi + kTimeEps);
+  if (hi - lo <= kTimeEps) {
+    const double tt = TravelTime(speed, distance_miles, lo);
+    return PwlFunction({{lo, tt}});
+  }
+
+  std::vector<double> candidates = {lo, hi};
+  // Case 1 breakpoints: the departure time crosses a speed boundary.
+  for (double b = speed.NextBoundaryAfter(lo); b < hi - kTimeEps;
+       b = speed.NextBoundaryAfter(b)) {
+    candidates.push_back(b);
+  }
+  // Case 2 breakpoints: the arrival time crosses a speed boundary (the
+  // paper's "135° line" construction of Fig. 5, inverted analytically).
+  const double arrive_lo = lo + TravelTime(speed, distance_miles, lo);
+  const double arrive_hi = hi + TravelTime(speed, distance_miles, hi);
+  for (double b = speed.NextBoundaryAfter(arrive_lo); b < arrive_hi - kTimeEps;
+       b = speed.NextBoundaryAfter(b)) {
+    const double l = DepartureForArrival(speed, distance_miles, b);
+    if (l > lo + kTimeEps && l < hi - kTimeEps) candidates.push_back(l);
+  }
+
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<Breakpoint> pts;
+  pts.reserve(candidates.size());
+  for (double x : candidates) {
+    if (!pts.empty() && x <= pts.back().x + kTimeEps) continue;
+    pts.push_back({x, TravelTime(speed, distance_miles, x)});
+  }
+  return PwlFunction(std::move(pts));
+}
+
+namespace {
+
+// Shared core of forward and reverse expansion:
+//   result(x) = first(x) + second(x + sign * first(x)).
+// `sign` is +1 for forward composition (the map is the arrival function
+// A(l) = l + T1(l)) and −1 for reverse composition (the map is the
+// departure-at-intermediate function D(a) = a − R(a)); both maps are
+// non-decreasing under FIFO.
+PwlFunction ComposeWithMap(const PwlFunction& path_tt,
+                           const PwlFunction& edge_tt, double sign) {
+  const double lo = path_tt.domain_lo();
+  const double hi = path_tt.domain_hi();
+  const auto& path_pts = path_tt.breakpoints();
+
+  std::vector<double> arrivals(path_pts.size());
+  for (size_t i = 0; i < path_pts.size(); ++i) {
+    arrivals[i] = path_pts[i].x + sign * path_pts[i].y;
+    if (i > 0) {
+      CAPEFP_CHECK_GE(arrivals[i], arrivals[i - 1] - 1e-6)
+          << "path function violates FIFO";
+    }
+  }
+  CAPEFP_CHECK_GE(arrivals.front(), edge_tt.domain_lo() - 1e-6)
+      << "edge function does not cover the arrival interval (low)";
+  CAPEFP_CHECK_LE(arrivals.back(), edge_tt.domain_hi() + 1e-6)
+      << "edge function does not cover the arrival interval (high)";
+
+  std::vector<double> candidates;
+  candidates.reserve(path_pts.size() + edge_tt.breakpoints().size());
+  for (const Breakpoint& p : path_pts) candidates.push_back(p.x);
+  // Pre-images of the edge function's breakpoints under A.
+  for (const Breakpoint& eb : edge_tt.breakpoints()) {
+    const double b = eb.x;
+    if (b <= arrivals.front() + kTimeEps || b >= arrivals.back() - kTimeEps) {
+      continue;
+    }
+    // Find the A-segment containing b.
+    const auto it = std::lower_bound(arrivals.begin(), arrivals.end(), b);
+    const size_t hi_idx = static_cast<size_t>(it - arrivals.begin());
+    CAPEFP_CHECK_GT(hi_idx, 0u);
+    const size_t lo_idx = hi_idx - 1;
+    const double a0 = arrivals[lo_idx];
+    const double a1 = arrivals[hi_idx];
+    const double x0 = path_pts[lo_idx].x;
+    const double x1 = path_pts[hi_idx].x;
+    double l;
+    if (a1 - a0 <= kTimeEps) {
+      l = x0;  // Degenerate (slope −1) segment: any l maps to b.
+    } else {
+      l = x0 + (b - a0) * (x1 - x0) / (a1 - a0);
+    }
+    if (l > lo + kTimeEps && l < hi - kTimeEps) candidates.push_back(l);
+  }
+
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<Breakpoint> pts;
+  pts.reserve(candidates.size());
+  for (double x : candidates) {
+    if (!pts.empty() && x <= pts.back().x + kTimeEps) continue;
+    const double t1 = path_tt.Value(x);
+    const double arrive =
+        std::clamp(x + sign * t1, edge_tt.domain_lo(), edge_tt.domain_hi());
+    pts.push_back({x, t1 + edge_tt.Value(arrive)});
+  }
+  return PwlFunction(std::move(pts));
+}
+
+}  // namespace
+
+PwlFunction ComposePathWithEdge(const PwlFunction& path_tt,
+                                const PwlFunction& edge_tt) {
+  return ComposeWithMap(path_tt, edge_tt, +1.0);
+}
+
+PwlFunction ExpandPath(const PwlFunction& path_tt, const EdgeSpeedView& speed,
+                       double distance_miles) {
+  const double arrive_lo = path_tt.domain_lo() + path_tt.Value(path_tt.domain_lo());
+  const double arrive_hi = path_tt.domain_hi() + path_tt.Value(path_tt.domain_hi());
+  const PwlFunction edge_tt =
+      EdgeTravelTimeFunction(speed, distance_miles, arrive_lo, arrive_hi);
+  return ComposePathWithEdge(path_tt, edge_tt);
+}
+
+PwlFunction EdgeReverseTravelTimeFunction(const EdgeSpeedView& speed,
+                                          double distance_miles, double lo,
+                                          double hi) {
+  CAPEFP_CHECK_LE(lo, hi + kTimeEps);
+  auto reverse_tt = [&](double arrival) {
+    return arrival - DepartureForArrival(speed, distance_miles, arrival);
+  };
+  if (hi - lo <= kTimeEps) {
+    return PwlFunction({{lo, reverse_tt(lo)}});
+  }
+
+  std::vector<double> candidates = {lo, hi};
+  // Breakpoints where the arrival time crosses a speed boundary.
+  for (double b = speed.NextBoundaryAfter(lo); b < hi - kTimeEps;
+       b = speed.NextBoundaryAfter(b)) {
+    candidates.push_back(b);
+  }
+  // Breakpoints where the implied departure crosses a speed boundary: the
+  // pre-image of boundary b is the arrival b + τ(b).
+  const double depart_lo = DepartureForArrival(speed, distance_miles, lo);
+  const double depart_hi = DepartureForArrival(speed, distance_miles, hi);
+  for (double b = speed.NextBoundaryAfter(depart_lo); b < depart_hi - kTimeEps;
+       b = speed.NextBoundaryAfter(b)) {
+    const double arrival = b + TravelTime(speed, distance_miles, b);
+    if (arrival > lo + kTimeEps && arrival < hi - kTimeEps) {
+      candidates.push_back(arrival);
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<Breakpoint> pts;
+  pts.reserve(candidates.size());
+  for (double x : candidates) {
+    if (!pts.empty() && x <= pts.back().x + kTimeEps) continue;
+    pts.push_back({x, reverse_tt(x)});
+  }
+  return PwlFunction(std::move(pts));
+}
+
+PwlFunction ExpandPathReverse(const PwlFunction& path_rt,
+                              const EdgeSpeedView& speed,
+                              double distance_miles) {
+  const double alo = path_rt.domain_lo();
+  const double ahi = path_rt.domain_hi();
+  const double arrive_at_mid_lo = alo - path_rt.Value(alo);
+  const double arrive_at_mid_hi = ahi - path_rt.Value(ahi);
+  const PwlFunction edge_rt = EdgeReverseTravelTimeFunction(
+      speed, distance_miles, arrive_at_mid_lo, arrive_at_mid_hi);
+  return ComposeWithMap(path_rt, edge_rt, -1.0);
+}
+
+}  // namespace capefp::tdf

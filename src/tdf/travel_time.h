@@ -1,0 +1,96 @@
+// Deriving travel-time functions from CapeCod speed patterns (§4.1, §4.4).
+//
+// The flow-speed model (Sung et al. [19], adopted by the paper) says an
+// object traversing an edge moves, at every instant t, at the edge's speed
+// in effect at t — so mid-edge speed changes apply. The arrival time A(l)
+// for a departure l solves  ∫_l^{A(l)} v(u) du = d  and is strictly
+// increasing (FIFO). Travel time τ(l) = A(l) − l is continuous piecewise
+// linear; Eq. 1 of the paper is the two-piece special case.
+#ifndef CAPEFP_TDF_TRAVEL_TIME_H_
+#define CAPEFP_TDF_TRAVEL_TIME_H_
+
+#include "src/tdf/pwl_function.h"
+#include "src/tdf/speed_pattern.h"
+
+namespace capefp::tdf {
+
+// Read-only view of an edge's speed as a function of absolute time, binding
+// a CapeCodPattern to a Calendar. Does not own either; both must outlive
+// the view.
+class EdgeSpeedView {
+ public:
+  EdgeSpeedView(const CapeCodPattern* pattern, const Calendar* calendar);
+
+  // Speed in effect at absolute time `t` (minutes from reference midnight).
+  double SpeedAt(double t) const;
+
+  // Smallest potential speed-change instant strictly greater than `t`
+  // (a pattern piece boundary or a midnight).
+  double NextBoundaryAfter(double t) const;
+
+  // Largest potential speed-change instant strictly smaller than `t`.
+  double PrevBoundaryBefore(double t) const;
+
+  double max_speed() const { return pattern_->max_speed(); }
+  double min_speed() const { return pattern_->min_speed(); }
+
+ private:
+  const DailySpeedPattern& DayPattern(int64_t day) const;
+
+  const CapeCodPattern* pattern_;
+  const Calendar* calendar_;
+};
+
+// Travel time over `distance_miles` when leaving at `leave_time`.
+double TravelTime(const EdgeSpeedView& speed, double distance_miles,
+                  double leave_time);
+
+// The departure time whose traversal of `distance_miles` arrives exactly at
+// `arrival_time` (inverse of the arrival function; unique by FIFO).
+double DepartureForArrival(const EdgeSpeedView& speed, double distance_miles,
+                           double arrival_time);
+
+// The travel-time function τ(l) for leaving times l in [lo, hi]
+// (lo == hi yields a single-point function).
+PwlFunction EdgeTravelTimeFunction(const EdgeSpeedView& speed,
+                                   double distance_miles, double lo,
+                                   double hi);
+
+// §4.4 path expansion: given T1 = travel time of path s ⇒ n as a function of
+// the leaving time l at s, and `edge_tt` = travel-time function of edge
+// n → n_j covering the arrival interval [lo + T1(lo), hi + T1(hi)], returns
+//   T(l) = T1(l) + edge_tt(l + T1(l)),
+// the travel-time function of the expanded path s ⇒ n → n_j. Breakpoints are
+// the union of T1's breakpoints with the pre-images (under the arrival
+// function l + T1(l)) of edge_tt's breakpoints — the paper's "two cases" of
+// Fig. 5.
+PwlFunction ComposePathWithEdge(const PwlFunction& path_tt,
+                                const PwlFunction& edge_tt);
+
+// Convenience: expands `path_tt` across an edge described by a speed view
+// and distance (computes the needed edge function internally).
+PwlFunction ExpandPath(const PwlFunction& path_tt, const EdgeSpeedView& speed,
+                       double distance_miles);
+
+// --- Reverse (arrival-anchored) forms, for arrival-interval queries
+// (§2.1 allows the query interval to constrain the arrival at e). ---
+
+// Travel time as a function of the *arrival* time t at the edge head:
+// ρ(t) = t − DepartureForArrival(t), for t in [lo, hi]. Piecewise linear
+// by the same argument as the forward function.
+PwlFunction EdgeReverseTravelTimeFunction(const EdgeSpeedView& speed,
+                                          double distance_miles, double lo,
+                                          double hi);
+
+// Reverse path expansion: given R = travel time of a path n ⇒ e as a
+// function of the arrival time a at e, and an edge u → n, returns
+//   R'(a) = R(a) + ρ(a − R(a), u → n),
+// the travel-time function of u ⇒ e. (a − R(a) is the required arrival
+// time at n; it is increasing by FIFO.)
+PwlFunction ExpandPathReverse(const PwlFunction& path_rt,
+                              const EdgeSpeedView& speed,
+                              double distance_miles);
+
+}  // namespace capefp::tdf
+
+#endif  // CAPEFP_TDF_TRAVEL_TIME_H_

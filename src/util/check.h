@@ -1,0 +1,68 @@
+// Lightweight assertion macros used across capefp.
+//
+// CHECK-style macros abort the process with a diagnostic; they guard
+// programming errors (violated preconditions and invariants), not
+// recoverable runtime conditions, which use util::Status instead.
+#ifndef CAPEFP_UTIL_CHECK_H_
+#define CAPEFP_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace capefp::util {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " - ", msg.c_str());
+  std::abort();
+}
+
+namespace internal {
+
+// Accumulates an optional streamed message and aborts on destruction.
+// Instantiated only on the failure path of CAPEFP_CHECK.
+class CheckFailer {
+ public:
+  CheckFailer(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  ~CheckFailer() { CheckFail(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckFailer& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace capefp::util
+
+#define CAPEFP_CHECK(expr)    \
+  if (static_cast<bool>(expr)) {} else /* NOLINT */ \
+    ::capefp::util::internal::CheckFailer(__FILE__, __LINE__, #expr)
+
+#define CAPEFP_CHECK_EQ(a, b) CAPEFP_CHECK((a) == (b))
+#define CAPEFP_CHECK_NE(a, b) CAPEFP_CHECK((a) != (b))
+#define CAPEFP_CHECK_LT(a, b) CAPEFP_CHECK((a) < (b))
+#define CAPEFP_CHECK_LE(a, b) CAPEFP_CHECK((a) <= (b))
+#define CAPEFP_CHECK_GT(a, b) CAPEFP_CHECK((a) > (b))
+#define CAPEFP_CHECK_GE(a, b) CAPEFP_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CAPEFP_DCHECK(expr) \
+  while (false) CAPEFP_CHECK(expr)
+#else
+#define CAPEFP_DCHECK(expr) CAPEFP_CHECK(expr)
+#endif
+
+#endif  // CAPEFP_UTIL_CHECK_H_

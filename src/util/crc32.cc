@@ -1,0 +1,35 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace capefp::util {
+
+namespace {
+
+// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected 0x82F63B78).
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace capefp::util

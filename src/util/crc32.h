@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) checksum, used to guard every disk page.
+#ifndef CAPEFP_UTIL_CRC32_H_
+#define CAPEFP_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace capefp::util {
+
+// CRC-32C of `data[0..len)`. `seed` allows incremental computation: pass a
+// previous result to continue it.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace capefp::util
+
+#endif  // CAPEFP_UTIL_CRC32_H_

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of capefp (network generation, workload
+// sampling, property tests) draw from Rng so that every experiment is
+// reproducible from a seed printed in its output.
+#ifndef CAPEFP_UTIL_RANDOM_H_
+#define CAPEFP_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace capefp::util {
+
+// SplitMix64-seeded xoshiro256** generator. Not cryptographic; chosen for
+// speed, tiny state, and well-understood statistical quality.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform random 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Standard normal deviate (Marsaglia polar method).
+  double NextGaussian();
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace capefp::util
+
+#endif  // CAPEFP_UTIL_RANDOM_H_

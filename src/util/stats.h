@@ -1,0 +1,52 @@
+// Small statistics and timing helpers used by tests and benchmarks.
+#ifndef CAPEFP_UTIL_STATS_H_
+#define CAPEFP_UTIL_STATS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace capefp::util {
+
+// Accumulates scalar samples and reports summary statistics.
+class Summary {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  // Linear-interpolated percentile, `p` in [0, 100].
+  double percentile(double p) const;
+
+  // One-line summary: "n=.. mean=.. min=.. p50=.. p95=.. max=..".
+  std::string ToString() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+// Wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace capefp::util
+
+#endif  // CAPEFP_UTIL_STATS_H_

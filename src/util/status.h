@@ -1,0 +1,122 @@
+// Minimal Status / StatusOr error-propagation types.
+//
+// capefp does not use exceptions (see DESIGN.md). Recoverable failures —
+// chiefly file I/O and malformed input — are reported through Status, and
+// value-or-error results through StatusOr<T>. Programming errors abort via
+// CAPEFP_CHECK instead.
+#ifndef CAPEFP_UTIL_STATUS_H_
+#define CAPEFP_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace capefp::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of `code`, e.g. "IO_ERROR".
+const char* StatusCodeName(StatusCode code);
+
+// An error code plus message. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    CAPEFP_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CAPEFP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CAPEFP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CAPEFP_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace capefp::util
+
+// Propagates a non-OK Status to the caller.
+#define CAPEFP_RETURN_IF_ERROR(expr)               \
+  do {                                             \
+    ::capefp::util::Status capefp_status_ = (expr); \
+    if (!capefp_status_.ok()) return capefp_status_; \
+  } while (false)
+
+#endif  // CAPEFP_UTIL_STATUS_H_

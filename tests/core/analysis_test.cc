@@ -1,0 +1,140 @@
+#include "src/core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/core/td_astar.h"
+#include "src/gen/random_network.h"
+#include "src/network/accessor.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadNetwork;
+using tdf::PwlFunction;
+
+TEST(RecommendDeparturesTest, FlatBorderIsOneFullWindow) {
+  const PwlFunction border = PwlFunction::Constant(0.0, 120.0, 10.0);
+  const auto windows = RecommendDepartures(border, 0.1);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].leave_lo, 0.0);
+  EXPECT_DOUBLE_EQ(windows[0].leave_hi, 120.0);
+  EXPECT_DOUBLE_EQ(windows[0].worst_travel_minutes, 10.0);
+}
+
+TEST(RecommendDeparturesTest, VShapeYieldsOneCenteredWindow) {
+  // Min 10 at x=60; threshold 11 → |f - 10| <= 1 → x in [54, 66].
+  const PwlFunction border({{0.0, 20.0}, {60.0, 10.0}, {120.0, 20.0}});
+  const auto windows = RecommendDepartures(border, 0.1);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_NEAR(windows[0].leave_lo, 54.0, 1e-6);
+  EXPECT_NEAR(windows[0].leave_hi, 66.0, 1e-6);
+  EXPECT_NEAR(windows[0].worst_travel_minutes, 11.0, 1e-6);
+}
+
+TEST(RecommendDeparturesTest, TwoValleysYieldTwoWindows) {
+  const PwlFunction border(
+      {{0.0, 10.0}, {30.0, 20.0}, {60.0, 10.5}, {90.0, 20.0}});
+  const auto windows = RecommendDepartures(border, 0.1);  // Threshold 11.
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_NEAR(windows[0].leave_lo, 0.0, 1e-9);
+  EXPECT_LT(windows[0].leave_hi, 30.0);
+  EXPECT_GT(windows[1].leave_lo, 30.0);
+  EXPECT_LT(windows[1].leave_lo, 60.0);
+  EXPECT_GT(windows[1].leave_hi, 60.0);
+}
+
+TEST(RecommendDeparturesTest, ZeroSlackStillContainsArgMin) {
+  const PwlFunction border({{0.0, 12.0}, {40.0, 8.0}, {80.0, 16.0}});
+  const auto windows = RecommendDepartures(border, 0.0);
+  ASSERT_FALSE(windows.empty());
+  bool covers_argmin = false;
+  for (const DepartureWindow& w : windows) {
+    if (w.leave_lo <= 40.0 + 1e-9 && w.leave_hi >= 40.0 - 1e-9) {
+      covers_argmin = true;
+    }
+  }
+  EXPECT_TRUE(covers_argmin);
+}
+
+TEST(RecommendDeparturesTest, WindowsRespectBorderPointwise) {
+  util::Rng rng(6);
+  std::vector<tdf::Breakpoint> pts;
+  for (int i = 0; i <= 12; ++i) {
+    pts.push_back({i * 10.0, rng.NextDouble(5.0, 30.0)});
+  }
+  const PwlFunction border(pts);
+  const double slack = 0.25;
+  const auto windows = RecommendDepartures(border, slack);
+  const double threshold = border.MinValue() * (1.0 + slack);
+  ASSERT_FALSE(windows.empty());
+  for (const DepartureWindow& w : windows) {
+    EXPECT_LE(w.worst_travel_minutes, threshold + 1e-6);
+    for (double x = w.leave_lo; x <= w.leave_hi; x += 0.5) {
+      EXPECT_LE(border.Value(x), threshold + 1e-6) << "x=" << x;
+    }
+    // Just outside the window the border exceeds the threshold.
+    if (w.leave_lo > border.domain_lo() + 0.2) {
+      EXPECT_GT(border.Value(w.leave_lo - 0.2), threshold - 1e-6);
+    }
+  }
+}
+
+TEST(IsochroneTest, ClassifiesGuaranteedAndConditionalNodes) {
+  // 0 -> 1 constant 5 min; 0 -> 2 is 5 min early but 20 min after t=60.
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  const auto fast = net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  const auto varies = net.AddPattern(tdf::CapeCodPattern(
+      {tdf::DailySpeedPattern({{0.0, 1.0}, {60.0, 0.25}})}));
+  net.AddNode({0, 0});
+  net.AddNode({4, 0});
+  net.AddNode({0, 4});
+  net.AddNode({40, 40});  // Unreachable within any reasonable budget.
+  net.AddEdge(0, 1, 5.0, fast, network::RoadClass::kLocalInCity);
+  net.AddEdge(0, 2, 5.0, varies, network::RoadClass::kLocalInCity);
+  net.AddEdge(2, 3, 56.0, fast, network::RoadClass::kLocalOutsideCity);
+
+  const Isochrone iso = ComputeIsochrone(net, 0, 0.0, 120.0, 10.0);
+  // Node 0 (self) and node 1 are always within 10 minutes.
+  EXPECT_EQ(iso.always, (std::vector<NodeId>{0, 1}));
+  // Node 2 makes it only when leaving before the slowdown bites.
+  EXPECT_EQ(iso.sometimes, (std::vector<NodeId>{2}));
+}
+
+TEST(IsochroneTest, AgreesWithPointQueries) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 77;
+  opt.num_nodes = 40;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  const double lo = 400.0;
+  const double hi = 500.0;
+  const double budget = 8.0;
+  const Isochrone iso = ComputeIsochrone(net, 0, lo, hi, budget);
+  ZeroEstimator zero;
+  // "always" nodes meet the budget at sampled departures; nodes in neither
+  // set exceed it at sampled departures.
+  std::vector<bool> always(net.num_nodes(), false);
+  std::vector<bool> sometimes(net.num_nodes(), false);
+  for (NodeId n : iso.always) always[static_cast<size_t>(n)] = true;
+  for (NodeId n : iso.sometimes) sometimes[static_cast<size_t>(n)] = true;
+  for (size_t n = 0; n < net.num_nodes(); ++n) {
+    for (double l : {lo, 0.5 * (lo + hi), hi}) {
+      const TdAStarResult r =
+          TdAStar(&acc, 0, static_cast<NodeId>(n), l, &zero);
+      ASSERT_TRUE(r.found);
+      if (always[n]) {
+        EXPECT_LE(r.travel_time_minutes, budget + 1e-6) << "node " << n;
+      } else if (!sometimes[n]) {
+        EXPECT_GT(r.travel_time_minutes, budget - 1e-6) << "node " << n;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace capefp::core

@@ -1,0 +1,133 @@
+#include "src/core/constant_speed_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/core/td_astar.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/gen/table1_schema.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadClass;
+using network::RoadNetwork;
+using tdf::HhMm;
+
+RoadNetwork MakeRushHourTrap() {
+  // Two routes s -> t: a "highway" that is fast off-peak but crawls during
+  // the rush, and a local road that is always medium.
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  const auto highway = net.AddPattern(tdf::CapeCodPattern(
+      {tdf::DailySpeedPattern(
+          {{0.0, 1.0}, {HhMm(7, 0), 0.1}, {HhMm(10, 0), 1.0}})}));
+  const auto local = net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(0.4));
+  net.AddNode({0, 0});   // 0 = s
+  net.AddNode({2, 1});   // 1 = highway midpoint
+  net.AddNode({2, -1});  // 2 = local midpoint
+  net.AddNode({4, 0});   // 3 = t
+  net.AddBidirectionalEdge(0, 1, 2.5, highway, RoadClass::kInboundHighway);
+  net.AddBidirectionalEdge(1, 3, 2.5, highway, RoadClass::kInboundHighway);
+  net.AddBidirectionalEdge(0, 2, 2.5, local, RoadClass::kLocalOutsideCity);
+  net.AddBidirectionalEdge(2, 3, 2.5, local, RoadClass::kLocalOutsideCity);
+  return net;
+}
+
+TEST(ConstantSpeedSolverTest, PicksSpeedLimitRoute) {
+  const RoadNetwork net = MakeRushHourTrap();
+  InMemoryAccessor acc(&net);
+  const ConstantSpeedResult r = ConstantSpeedRoute(&acc, 0, 3);
+  ASSERT_TRUE(r.found);
+  // At speed limits the highway (1 mpm) beats the local road (0.4 mpm).
+  EXPECT_EQ(r.path, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_NEAR(r.assumed_travel_minutes, 5.0, 1e-9);
+}
+
+TEST(ConstantSpeedSolverTest, RushHourMakesTheStaticRouteBad) {
+  const RoadNetwork net = MakeRushHourTrap();
+  InMemoryAccessor acc(&net);
+  const ConstantSpeedResult route = ConstantSpeedRoute(&acc, 0, 3);
+  ASSERT_TRUE(route.found);
+  // During the rush, the chosen "fast" route actually takes 50 minutes;
+  // the CapeCod-aware answer takes the local road at 12.5.
+  const double rush = HhMm(8, 0);
+  const double static_actual = EvaluatePathTravelTime(&acc, route.path, rush);
+  EXPECT_NEAR(static_actual, 50.0, 1e-9);
+  EuclideanEstimator est(&acc, 3);
+  ProfileSearch search(&acc, &est);
+  const SingleFpResult aware = search.RunSingleFp({0, 3, rush, rush});
+  ASSERT_TRUE(aware.found);
+  EXPECT_NEAR(aware.best_travel_minutes, 12.5, 1e-9);
+  EXPECT_GT(static_actual / aware.best_travel_minutes, 1.5);
+}
+
+TEST(ConstantSpeedSolverTest, OffPeakStaticRouteIsOptimal) {
+  const RoadNetwork net = MakeRushHourTrap();
+  InMemoryAccessor acc(&net);
+  const ConstantSpeedResult route = ConstantSpeedRoute(&acc, 0, 3);
+  ASSERT_TRUE(route.found);
+  const double night = HhMm(3, 0);
+  EXPECT_NEAR(EvaluatePathTravelTime(&acc, route.path, night), 5.0, 1e-9);
+}
+
+TEST(ConstantSpeedSolverTest, CustomAssumption) {
+  const RoadNetwork net = MakeRushHourTrap();
+  InMemoryAccessor acc(&net);
+  // Pessimistic assumption: everything crawls at the pattern *minimum* —
+  // now the local road (constant 0.4) looks better than the highway (0.1).
+  const ConstantSpeedResult r = ConstantSpeedRoute(
+      &acc, 0, 3, [&acc](const network::NeighborEdge& edge) {
+        return acc.Pattern(edge.pattern).min_speed();
+      });
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(ConstantSpeedSolverTest, UnreachableTarget) {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  net.AddEdge(1, 0, 1.0, 0, RoadClass::kLocalInCity);
+  InMemoryAccessor acc(&net);
+  EXPECT_FALSE(ConstantSpeedRoute(&acc, 0, 1).found);
+}
+
+TEST(ConstantSpeedSolverTest, SuffolkRushHourImprovementIsSubstantial) {
+  // The §6 comparison in miniature: across rush-hour commutes, CapeCod
+  // routing should beat speed-limit routing by a clear margin on average.
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  InMemoryAccessor acc(&sn.network);
+  util::Rng rng(12);
+  double static_total = 0.0;
+  double aware_total = 0.0;
+  int measured = 0;
+  for (int trial = 0; trial < 25 && measured < 15; ++trial) {
+    const auto s =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    const auto t =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    if (s == t) continue;
+    const ConstantSpeedResult route = ConstantSpeedRoute(&acc, s, t);
+    if (!route.found) continue;
+    const double leave = HhMm(8, 0);  // Workday morning rush.
+    const double static_actual =
+        EvaluatePathTravelTime(&acc, route.path, leave);
+    ZeroEstimator zero;
+    const TdAStarResult aware = TdAStar(&acc, s, t, leave, &zero);
+    ASSERT_TRUE(aware.found);
+    EXPECT_LE(aware.travel_time_minutes, static_actual + 1e-9);
+    static_total += static_actual;
+    aware_total += aware.travel_time_minutes;
+    ++measured;
+  }
+  ASSERT_GT(measured, 5);
+  EXPECT_LT(aware_total, static_total);
+}
+
+}  // namespace
+}  // namespace capefp::core

@@ -1,0 +1,105 @@
+#include "src/core/discrete_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/gen/random_network.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadNetwork;
+
+TEST(DiscreteSolverTest, ProbeCountMatchesStep) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 20;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  ZeroEstimator est;
+  // 120-minute half-open interval, 10-minute step: probes at 0,10,...,110.
+  const DiscreteSingleFpResult r =
+      DiscreteSingleFp(&acc, &est, {0, 5, 0.0, 120.0, 10.0});
+  EXPECT_EQ(r.num_probes, 12);
+  const DiscreteSingleFpResult hourly =
+      DiscreteSingleFp(&acc, &est, {0, 5, 0.0, 120.0, 60.0});
+  EXPECT_EQ(hourly.num_probes, 2);
+}
+
+TEST(DiscreteSolverTest, DegenerateIntervalSingleProbe) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 15;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  ZeroEstimator est;
+  const DiscreteSingleFpResult r =
+      DiscreteSingleFp(&acc, &est, {0, 5, 77.0, 77.0, 10.0});
+  EXPECT_EQ(r.num_probes, 1);
+}
+
+class DiscreteConvergenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiscreteConvergenceTest, ConvergesToContinuousOptimumFromAbove) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 50;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam());
+  const auto s = static_cast<NodeId>(rng.NextBounded(50));
+  auto t = static_cast<NodeId>(rng.NextBounded(50));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 50);
+  const double lo = 420.0;
+  const double hi = 540.0;
+
+  EuclideanEstimator cont_est(&acc, t);
+  ProfileSearch search(&acc, &cont_est);
+  const SingleFpResult continuous = search.RunSingleFp({s, t, lo, hi});
+  ASSERT_TRUE(continuous.found);
+
+  double previous = 1e18;
+  for (double step : {60.0, 10.0, 1.0, 1.0 / 6.0}) {
+    EuclideanEstimator est(&acc, t);
+    const DiscreteSingleFpResult discrete =
+        DiscreteSingleFp(&acc, &est, {s, t, lo, hi, step});
+    ASSERT_TRUE(discrete.found);
+    // Discrete sampling can never beat the continuous optimum...
+    EXPECT_GE(discrete.best_travel_minutes,
+              continuous.best_travel_minutes - 1e-6);
+    // ...and refining the step never hurts (sample sets are supersets only
+    // for nested steps; allow tiny slack for non-nested grids).
+    EXPECT_LE(discrete.best_travel_minutes, previous + 0.75);
+    previous = discrete.best_travel_minutes;
+  }
+  // At a 10-second step the answer is essentially continuous (the optimum
+  // can still sit up to one step away from the nearest sample).
+  EXPECT_NEAR(previous, continuous.best_travel_minutes, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscreteConvergenceTest,
+                         ::testing::Values(6, 47, 83, 222));
+
+TEST(DiscreteSolverTest, AllFpProbesEveryInstant) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 14;
+  opt.num_nodes = 30;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  ZeroEstimator est;
+  const DiscreteAllFpResult r =
+      DiscreteAllFp(&acc, &est, {1, 20, 0.0, 60.0, 15.0});
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.probes.size(), 4u);  // 0, 15, 30, 45 — half-open interval.
+  for (const DiscreteProbe& probe : r.probes) {
+    EXPECT_EQ(probe.path.front(), 1);
+    EXPECT_EQ(probe.path.back(), 20);
+    EXPECT_GT(probe.travel_minutes, 0.0);
+  }
+  EXPECT_GT(r.expanded_nodes, 0);
+}
+
+}  // namespace
+}  // namespace capefp::core

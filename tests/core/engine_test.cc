@@ -1,0 +1,122 @@
+#include "src/core/engine.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/capefp.h"  // Also verifies the umbrella header compiles.
+#include "src/gen/random_network.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::NodeId;
+using tdf::HhMm;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : sn_(gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small())) {}
+  gen::SuffolkNetwork sn_;
+};
+
+TEST_F(EngineTest, InMemoryQueriesWork) {
+  auto engine = FastestPathEngine::Create(&sn_.network, {});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_FALSE((*engine)->disk_backed());
+  EXPECT_FALSE((*engine)->storage_stats().has_value());
+
+  const auto t = static_cast<NodeId>(sn_.network.num_nodes() - 1);
+  const AllFpResult all =
+      (*engine)->AllFastestPaths({0, t, HhMm(7, 0), HhMm(8, 0)});
+  ASSERT_TRUE(all.found);
+  const SingleFpResult single =
+      (*engine)->SingleFastestPath({0, t, HhMm(7, 0), HhMm(8, 0)});
+  ASSERT_TRUE(single.found);
+  EXPECT_NEAR(single.best_travel_minutes, all.border->MinValue(), 1e-9);
+  const TdAStarResult at =
+      (*engine)->FastestPathAt(0, t, HhMm(7, 30));
+  ASSERT_TRUE(at.found);
+  EXPECT_GE(at.travel_time_minutes, single.best_travel_minutes - 1e-9);
+}
+
+TEST_F(EngineTest, ArrivalQueriesWork) {
+  auto engine = FastestPathEngine::Create(&sn_.network, {});
+  ASSERT_TRUE(engine.ok());
+  const auto t = static_cast<NodeId>(sn_.network.num_nodes() / 2);
+  const ReverseAllFpResult all = (*engine)->ArrivalAllFastestPaths(
+      {0, t, HhMm(8, 30), HhMm(9, 0)});
+  const ReverseSingleFpResult single = (*engine)->ArrivalSingleFastestPath(
+      {0, t, HhMm(8, 30), HhMm(9, 0)});
+  ASSERT_TRUE(all.found);
+  ASSERT_TRUE(single.found);
+  EXPECT_NEAR(single.best_travel_minutes, all.border->MinValue(), 1e-7);
+}
+
+TEST_F(EngineTest, DiskBackedMatchesInMemory) {
+  const std::string path = ::testing::TempDir() + "/engine_test.ccam";
+  EngineOptions disk_options;
+  disk_options.ccam_path = path;
+  auto disk = FastestPathEngine::Create(&sn_.network, disk_options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_TRUE((*disk)->disk_backed());
+  auto memory = FastestPathEngine::Create(&sn_.network, {});
+  ASSERT_TRUE(memory.ok());
+
+  util::Rng rng(2);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto s =
+        static_cast<NodeId>(rng.NextBounded(sn_.network.num_nodes()));
+    const auto t =
+        static_cast<NodeId>(rng.NextBounded(sn_.network.num_nodes()));
+    const ProfileQuery query{s, t, HhMm(7, 0), HhMm(9, 0)};
+    const AllFpResult a = (*disk)->AllFastestPaths(query);
+    const AllFpResult b = (*memory)->AllFastestPaths(query);
+    ASSERT_EQ(a.found, b.found);
+    if (!a.found) continue;
+    EXPECT_TRUE(tdf::PwlFunction::ApproxEqual(*a.border, *b.border, 1e-9));
+    ASSERT_EQ(a.pieces.size(), b.pieces.size());
+  }
+  ASSERT_TRUE((*disk)->storage_stats().has_value());
+  EXPECT_GT((*disk)->storage_stats()->pool.faults +
+                (*disk)->storage_stats()->pool.hits,
+            0u);
+  (*disk)->ResetStorageStats();
+  EXPECT_EQ((*disk)->storage_stats()->pool.hits, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(EngineTest, EstimatorKindsAgreeOnAnswers) {
+  const auto t = static_cast<NodeId>(sn_.network.num_nodes() - 3);
+  const ProfileQuery query{1, t, HhMm(7, 0), HhMm(8, 30)};
+  std::optional<double> reference;
+  for (auto kind : {EngineOptions::EstimatorKind::kNaive,
+                    EngineOptions::EstimatorKind::kBoundaryDistance,
+                    EngineOptions::EstimatorKind::kBoundaryTravelTime}) {
+    EngineOptions options;
+    options.estimator = kind;
+    options.boundary_grid_dim = 6;
+    auto engine = FastestPathEngine::Create(&sn_.network, options);
+    ASSERT_TRUE(engine.ok());
+    const SingleFpResult single = (*engine)->SingleFastestPath(query);
+    ASSERT_TRUE(single.found);
+    if (!reference.has_value()) {
+      reference = single.best_travel_minutes;
+    } else {
+      EXPECT_NEAR(single.best_travel_minutes, *reference, 1e-7);
+    }
+  }
+}
+
+TEST_F(EngineTest, BadCcamPathReportsError) {
+  EngineOptions options;
+  options.ccam_path = "/nonexistent-dir/engine.ccam";
+  auto engine = FastestPathEngine::Create(&sn_.network, options);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace capefp::core

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/boundary_estimator.h"
+#include "src/core/estimator.h"
+#include "src/core/td_astar.h"
+#include "src/gen/random_network.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadNetwork;
+
+TEST(EuclideanEstimatorTest, ZeroAtAnchorAndSymmetricGeometry) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 3;
+  opt.num_nodes = 20;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  EuclideanEstimator est(&acc, 5);
+  EXPECT_DOUBLE_EQ(est.Estimate(5), 0.0);
+  const double expected =
+      geo::EuclideanDistance(net.location(2), net.location(5)) /
+      net.max_speed();
+  EXPECT_DOUBLE_EQ(est.Estimate(2), expected);
+  // Cached second call returns the same value.
+  EXPECT_DOUBLE_EQ(est.Estimate(2), expected);
+}
+
+TEST(ZeroEstimatorTest, AlwaysZero) {
+  ZeroEstimator est;
+  EXPECT_DOUBLE_EQ(est.Estimate(0), 0.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(12345), 0.0);
+}
+
+class EstimatorAdmissibilityTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+// Both estimators, both modes, must lower-bound the true fastest travel
+// time for random node pairs and random departure times.
+TEST_P(EstimatorAdmissibilityTest, LowerBoundsTrueTravelTime) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 120;
+  opt.extra_edge_fraction = 1.0;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  const BoundaryNodeIndex index_dist(
+      net, {.grid_dim = 4, .mode = BoundaryIndexOptions::Mode::kDistance});
+  const BoundaryNodeIndex index_time(
+      net, {.grid_dim = 4, .mode = BoundaryIndexOptions::Mode::kTravelTime});
+
+  util::Rng rng(GetParam() ^ 0xabc);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto target = static_cast<NodeId>(rng.NextBounded(120));
+    const auto from = static_cast<NodeId>(rng.NextBounded(120));
+    const double leave = rng.NextDouble(0.0, 2.0 * tdf::kMinutesPerDay);
+
+    ZeroEstimator zero;
+    const TdAStarResult truth = TdAStar(&acc, from, target, leave, &zero);
+    ASSERT_TRUE(truth.found);
+
+    EuclideanEstimator euclid(&acc, target);
+    BoundaryNodeEstimator bd_dist(&index_dist, &acc, target);
+    BoundaryNodeEstimator bd_time(&index_time, &acc, target);
+    EXPECT_LE(euclid.Estimate(from), truth.travel_time_minutes + 1e-7);
+    EXPECT_LE(bd_dist.Estimate(from), truth.travel_time_minutes + 1e-7);
+    EXPECT_LE(bd_time.Estimate(from), truth.travel_time_minutes + 1e-7);
+    // Reverse-direction estimator bounds target -> from travel.
+    const TdAStarResult back = TdAStar(&acc, target, from, leave, &zero);
+    ASSERT_TRUE(back.found);
+    BoundaryNodeEstimator bd_rev(
+        &index_time, &acc, target,
+        BoundaryNodeEstimator::Direction::kFromAnchor);
+    EXPECT_LE(bd_rev.Estimate(from), back.travel_time_minutes + 1e-7);
+  }
+}
+
+TEST_P(EstimatorAdmissibilityTest, BoundaryDominatesEuclidNowhereWorse) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0x77;
+  opt.num_nodes = 80;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  const BoundaryNodeIndex index(net, {.grid_dim = 4});
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto target = static_cast<NodeId>(rng.NextBounded(80));
+    const auto from = static_cast<NodeId>(rng.NextBounded(80));
+    EuclideanEstimator euclid(&acc, target);
+    BoundaryNodeEstimator bd(&index, &acc, target);
+    // bdLB = max(boundary bound, Euclidean bound) >= naiveLB by design.
+    EXPECT_GE(bd.Estimate(from), euclid.Estimate(from) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorAdmissibilityTest,
+                         ::testing::Values(1, 7, 19, 42, 101));
+
+TEST(BoundaryNodeIndexTest, TravelTimeModeIsAtLeastAsTightAsDistanceMode) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  const RoadNetwork& net = sn.network;
+  const BoundaryNodeIndex dist(
+      net, {.grid_dim = 6, .mode = BoundaryIndexOptions::Mode::kDistance});
+  const BoundaryNodeIndex time(
+      net, {.grid_dim = 6, .mode = BoundaryIndexOptions::Mode::kTravelTime});
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<NodeId>(rng.NextBounded(net.num_nodes()));
+    const auto b = static_cast<NodeId>(rng.NextBounded(net.num_nodes()));
+    EXPECT_GE(time.LowerBoundMinutes(a, b),
+              dist.LowerBoundMinutes(a, b) - 1e-9);
+  }
+}
+
+TEST(BoundaryNodeIndexTest, SameCellFallsBackToZero) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  const BoundaryNodeIndex index(sn.network, {.grid_dim = 2});
+  // Find two nodes in the same cell.
+  for (size_t i = 1; i < sn.network.num_nodes(); ++i) {
+    const auto node = static_cast<NodeId>(i);
+    if (index.CellOf(node) == index.CellOf(0)) {
+      EXPECT_DOUBLE_EQ(index.LowerBoundMinutes(0, node), 0.0);
+      return;
+    }
+  }
+  FAIL() << "no same-cell pair found";
+}
+
+TEST(BoundaryNodeIndexTest, SingleCellGridIsAlwaysZero) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 30;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  const BoundaryNodeIndex index(net, {.grid_dim = 1});
+  EXPECT_EQ(index.num_exit_boundaries(), 0u);
+  EXPECT_DOUBLE_EQ(index.LowerBoundMinutes(0, 29), 0.0);
+}
+
+TEST(BoundaryNodeIndexTest, FinerGridTightensTheSuffolkBound) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  const RoadNetwork& net = sn.network;
+  const BoundaryNodeIndex coarse(net, {.grid_dim = 2});
+  const BoundaryNodeIndex fine(net, {.grid_dim = 12});
+  util::Rng rng(17);
+  double coarse_sum = 0.0;
+  double fine_sum = 0.0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = static_cast<NodeId>(rng.NextBounded(net.num_nodes()));
+    const auto b = static_cast<NodeId>(rng.NextBounded(net.num_nodes()));
+    coarse_sum += coarse.LowerBoundMinutes(a, b);
+    fine_sum += fine.LowerBoundMinutes(a, b);
+  }
+  // Not a theorem per-pair, but overwhelmingly true in aggregate.
+  EXPECT_GT(fine_sum, coarse_sum);
+}
+
+}  // namespace
+}  // namespace capefp::core

@@ -1,0 +1,184 @@
+#include "src/core/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/boundary_estimator.h"
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/gen/random_network.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/network/accessor.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadNetwork;
+using tdf::HhMm;
+using tdf::PwlFunction;
+
+class HierarchicalPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+// The headline property: the overlay border is the flat border, exactly.
+TEST_P(HierarchicalPropertyTest, BorderEqualsFlatSearch) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 70;
+  opt.extra_edge_fraction = 0.9;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  HierarchicalOptions options;
+  options.grid_dim = 3;
+  options.window_lo = 0.0;
+  options.window_hi = 2.0 * tdf::kMinutesPerDay;
+  HierarchicalIndex index(&net, options);
+  EXPECT_GT(index.build_stats().transit_functions, 0u);
+
+  util::Rng rng(GetParam() ^ 0xfeed);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto s = static_cast<NodeId>(rng.NextBounded(70));
+    const auto t = static_cast<NodeId>(rng.NextBounded(70));
+    const ProfileQuery query{s, t, HhMm(6, 0), HhMm(8, 0)};
+
+    EuclideanEstimator flat_est(&acc, t);
+    ProfileSearch flat(&acc, &flat_est);
+    const AllFpResult expected = flat.RunAllFp(query);
+
+    EuclideanEstimator hier_est(&acc, t);
+    auto actual = index.RunAllFp(query, &hier_est);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_EQ(actual->found, expected.found) << "s=" << s << " t=" << t;
+    if (!expected.found) continue;
+    EXPECT_TRUE(PwlFunction::ApproxEqual(*actual->border, *expected.border,
+                                         1e-6))
+        << "s=" << s << " t=" << t << "\n  hier: "
+        << actual->border->ToString()
+        << "\n  flat: " << expected.border->ToString();
+    // Partition sanity.
+    ASSERT_FALSE(actual->pieces.empty());
+    EXPECT_NEAR(actual->pieces.front().leave_lo, query.leave_lo, 1e-9);
+    EXPECT_NEAR(actual->pieces.back().leave_hi, query.leave_hi, 1e-9);
+    for (const HierarchicalPiece& piece : actual->pieces) {
+      ASSERT_FALSE(piece.waypoints.empty());
+      EXPECT_EQ(piece.waypoints.front(), s);
+      EXPECT_EQ(piece.waypoints.back(), t);
+    }
+  }
+}
+
+TEST_P(HierarchicalPropertyTest, SingleFpMatchesFlat) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0x99;
+  opt.num_nodes = 50;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  HierarchicalIndex index(&net, {.grid_dim = 2});
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto s = static_cast<NodeId>(rng.NextBounded(50));
+    const auto t = static_cast<NodeId>(rng.NextBounded(50));
+    const ProfileQuery query{s, t, HhMm(7, 0), HhMm(9, 0)};
+
+    EuclideanEstimator flat_est(&acc, t);
+    ProfileSearch flat(&acc, &flat_est);
+    const SingleFpResult expected = flat.RunSingleFp(query);
+
+    EuclideanEstimator hier_est(&acc, t);
+    auto actual = index.RunSingleFp(query, &hier_est);
+    ASSERT_TRUE(actual.ok());
+    ASSERT_EQ(actual->found, expected.found);
+    if (!expected.found) continue;
+    EXPECT_NEAR(actual->best_travel_minutes, expected.best_travel_minutes,
+                1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchicalPropertyTest,
+                         ::testing::Values(9, 31, 73, 155));
+
+TEST(HierarchicalTest, SameFragmentQueriesWork) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  InMemoryAccessor acc(&sn.network);
+  HierarchicalIndex index(&sn.network, {.grid_dim = 2});
+  // Find two nodes in the same fragment.
+  NodeId a = 0;
+  NodeId b = network::kInvalidNode;
+  for (size_t i = 1; i < sn.network.num_nodes(); ++i) {
+    if (index.FragmentOf(static_cast<NodeId>(i)) == index.FragmentOf(a)) {
+      b = static_cast<NodeId>(i);
+      break;
+    }
+  }
+  ASSERT_NE(b, network::kInvalidNode);
+  const ProfileQuery query{a, b, HhMm(7, 0), HhMm(8, 0)};
+  EuclideanEstimator flat_est(&acc, b);
+  ProfileSearch flat(&acc, &flat_est);
+  const AllFpResult expected = flat.RunAllFp(query);
+  EuclideanEstimator hier_est(&acc, b);
+  auto actual = index.RunAllFp(query, &hier_est);
+  ASSERT_TRUE(actual.ok());
+  ASSERT_EQ(actual->found, expected.found);
+  if (expected.found) {
+    EXPECT_TRUE(
+        PwlFunction::ApproxEqual(*actual->border, *expected.border, 1e-6));
+  }
+}
+
+TEST(HierarchicalTest, SourceEqualsTarget) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 20;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  HierarchicalIndex index(&net, {.grid_dim = 2});
+  ZeroEstimator zero;
+  auto result = index.RunAllFp({5, 5, 100.0, 160.0}, &zero);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  EXPECT_NEAR(result->border->MaxValue(), 0.0, 1e-12);
+  ASSERT_EQ(result->pieces.size(), 1u);
+  EXPECT_EQ(result->pieces[0].waypoints, (std::vector<NodeId>{5}));
+}
+
+TEST(HierarchicalTest, QueryOutsideWindowIsOutOfRange) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 20;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  HierarchicalOptions options;
+  options.window_lo = HhMm(6, 0);
+  options.window_hi = HhMm(10, 0);
+  HierarchicalIndex index(&net, options);
+  ZeroEstimator zero;
+  auto result = index.RunAllFp({0, 5, HhMm(4, 0), HhMm(5, 0)}, &zero);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(HierarchicalTest, UnreachableTargetNotFound) {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  net.AddNode({0, 0});
+  net.AddNode({10, 10});
+  net.AddNode({0.1, 0.1});
+  net.AddEdge(0, 2, 0.5, 0, network::RoadClass::kLocalInCity);
+  net.AddEdge(1, 0, 15.0, 0, network::RoadClass::kLocalInCity);
+  HierarchicalIndex index(&net, {.grid_dim = 2});
+  ZeroEstimator zero;
+  auto result = index.RunAllFp({0, 1, 0.0, 60.0}, &zero);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->found);
+}
+
+TEST(HierarchicalTest, BuildStatsPopulated) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  HierarchicalIndex index(&sn.network, {.grid_dim = 3});
+  const HierarchicalBuildStats& stats = index.build_stats();
+  EXPECT_GT(stats.fragments_used, 1);
+  EXPECT_GT(stats.transit_functions, 0u);
+  EXPECT_GE(stats.transit_breakpoints, stats.transit_functions);
+  EXPECT_GE(stats.build_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace capefp::core

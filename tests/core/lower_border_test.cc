@@ -1,0 +1,101 @@
+#include "src/core/lower_border.h"
+
+#include <gtest/gtest.h>
+
+namespace capefp::core {
+namespace {
+
+using tdf::PwlFunction;
+
+TEST(LowerBorderTest, EmptyUntilFirstMerge) {
+  LowerBorder border(0.0, 10.0);
+  EXPECT_TRUE(border.empty());
+  border.Merge(PwlFunction::Constant(0.0, 10.0, 5.0), 1);
+  EXPECT_FALSE(border.empty());
+  EXPECT_DOUBLE_EQ(border.MaxValue(), 5.0);
+  ASSERT_EQ(border.pieces().size(), 1u);
+  EXPECT_EQ(border.pieces()[0].tag, 1);
+}
+
+TEST(LowerBorderTest, CrossingSplitsPieces) {
+  LowerBorder border(0.0, 10.0);
+  border.Merge(PwlFunction::Constant(0.0, 10.0, 5.0), 1);
+  // Tag 2 wins on [0, 4): below 5 before x=4.
+  border.Merge(PwlFunction({{0.0, 1.0}, {10.0, 11.0}}), 2);
+  ASSERT_EQ(border.pieces().size(), 2u);
+  EXPECT_EQ(border.pieces()[0].tag, 2);
+  EXPECT_NEAR(border.pieces()[0].hi, 4.0, 1e-9);
+  EXPECT_EQ(border.pieces()[1].tag, 1);
+  EXPECT_NEAR(border.pieces()[1].lo, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(border.Value(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(border.Value(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(border.MaxValue(), 5.0);
+}
+
+TEST(LowerBorderTest, TieKeepsEarlierTag) {
+  LowerBorder border(0.0, 10.0);
+  border.Merge(PwlFunction::Constant(0.0, 10.0, 5.0), 1);
+  border.Merge(PwlFunction::Constant(0.0, 10.0, 5.0), 2);
+  ASSERT_EQ(border.pieces().size(), 1u);
+  EXPECT_EQ(border.pieces()[0].tag, 1);
+}
+
+TEST(LowerBorderTest, WorseFunctionChangesNothing) {
+  LowerBorder border(0.0, 10.0);
+  border.Merge(PwlFunction::Constant(0.0, 10.0, 5.0), 1);
+  border.Merge(PwlFunction::Constant(0.0, 10.0, 9.0), 2);
+  ASSERT_EQ(border.pieces().size(), 1u);
+  EXPECT_EQ(border.pieces()[0].tag, 1);
+  EXPECT_DOUBLE_EQ(border.MaxValue(), 5.0);
+}
+
+TEST(LowerBorderTest, VShapeCreatesThreePieces) {
+  LowerBorder border(0.0, 10.0);
+  border.Merge(PwlFunction::Constant(0.0, 10.0, 5.0), 1);
+  // Dips below 5 between 2.5 and 7.5.
+  border.Merge(PwlFunction({{0.0, 10.0}, {5.0, 0.0}, {10.0, 10.0}}), 2);
+  ASSERT_EQ(border.pieces().size(), 3u);
+  EXPECT_EQ(border.pieces()[0].tag, 1);
+  EXPECT_EQ(border.pieces()[1].tag, 2);
+  EXPECT_EQ(border.pieces()[2].tag, 1);
+  EXPECT_NEAR(border.pieces()[0].hi, 2.5, 1e-9);
+  EXPECT_NEAR(border.pieces()[2].lo, 7.5, 1e-9);
+  EXPECT_DOUBLE_EQ(border.Value(5.0), 0.0);
+}
+
+TEST(LowerBorderTest, SequentialMergesComposeCorrectly) {
+  LowerBorder border(0.0, 12.0);
+  border.Merge(PwlFunction::Constant(0.0, 12.0, 8.0), 1);
+  border.Merge(PwlFunction({{0.0, 2.0}, {12.0, 14.0}}), 2);   // Wins early.
+  border.Merge(PwlFunction({{0.0, 14.0}, {12.0, 2.0}}), 3);   // Wins late.
+  // Border is min of the three. Tag 1's reign shrinks to the single point
+  // x = 6 where all three tie, so the partition has two pieces.
+  for (double x = 0.0; x <= 12.0; x += 0.25) {
+    const double expected =
+        std::min({8.0, 2.0 + x, 14.0 - x});
+    EXPECT_NEAR(border.Value(x), expected, 1e-9) << "x=" << x;
+  }
+  ASSERT_EQ(border.pieces().size(), 2u);
+  EXPECT_EQ(border.pieces()[0].tag, 2);
+  EXPECT_EQ(border.pieces()[1].tag, 3);
+  EXPECT_NEAR(border.pieces()[0].hi, 6.0, 1e-9);
+}
+
+TEST(LowerBorderTest, DegenerateInstantInterval) {
+  LowerBorder border(5.0, 5.0);
+  border.Merge(PwlFunction::Constant(5.0, 5.0, 3.0), 7);
+  EXPECT_DOUBLE_EQ(border.MaxValue(), 3.0);
+  border.Merge(PwlFunction::Constant(5.0, 5.0, 1.0), 8);
+  EXPECT_DOUBLE_EQ(border.MaxValue(), 1.0);
+  ASSERT_EQ(border.pieces().size(), 1u);
+  EXPECT_EQ(border.pieces()[0].tag, 8);
+}
+
+TEST(LowerBorderDeathTest, MergeRequiresMatchingDomain) {
+  LowerBorder border(0.0, 10.0);
+  EXPECT_DEATH(border.Merge(PwlFunction::Constant(0.0, 5.0, 1.0), 1),
+               "cover the query interval");
+}
+
+}  // namespace
+}  // namespace capefp::core

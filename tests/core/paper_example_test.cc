@@ -1,0 +1,157 @@
+// Golden test: the paper's running example (Figure 2, §4.3-§4.6).
+//
+// Network: s --6mi--> e (constant 1 mpm); s --2mi--> n (1/3 mpm before
+// 7:00, 1 mpm after); n --1mi--> e (1/3 mpm before 7:08, 0.1 mpm after).
+// Query interval I = [6:50, 7:05].
+//
+// Expected (from the paper):
+//   singleFP: s -> n -> e, 5 minutes, optimal leaving in [7:00, 7:03].
+//   allFP:    s -> e        on [6:50,   6:58:30)
+//             s -> n -> e   on [6:58:30, 7:03:26)   (7:03:25.71 exactly)
+//             s -> e        on [7:03:26, 7:05]
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/boundary_estimator.h"
+#include "src/core/profile_search.h"
+#include "src/core/reverse_profile_search.h"
+#include "src/network/accessor.h"
+#include "src/network/road_network.h"
+
+namespace capefp::core {
+namespace {
+
+using network::NodeId;
+using network::RoadClass;
+using network::RoadNetwork;
+using tdf::HhMm;
+
+constexpr NodeId kS = 0;
+constexpr NodeId kE = 1;
+constexpr NodeId kN = 2;
+
+RoadNetwork MakeFigure2Network() {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  const auto pat_se =
+      net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  const auto pat_sn = net.AddPattern(tdf::CapeCodPattern(
+      {tdf::DailySpeedPattern({{0.0, 1.0 / 3.0}, {HhMm(7, 0), 1.0}})}));
+  const auto pat_ne = net.AddPattern(tdf::CapeCodPattern(
+      {tdf::DailySpeedPattern({{0.0, 1.0 / 3.0}, {HhMm(7, 8), 0.1}})}));
+  // Locations chosen so every edge is at least as long as the Euclidean
+  // gap between its endpoints (estimator admissibility) while keeping the
+  // paper's d_euc(n, e) = 1 mile, v_max = 1 mpm, hence T_est(n ⇒ e) = 1 min
+  // (§4.3). The direct s -> e road is a 6-mile detour over a 3-mile gap.
+  net.AddNode({0.0, 0.0});  // s
+  net.AddNode({3.0, 0.0});  // e
+  net.AddNode({2.0, 0.0});  // n
+  net.AddEdge(kS, kE, 6.0, pat_se, RoadClass::kLocalInCity);
+  net.AddEdge(kS, kN, 2.0, pat_sn, RoadClass::kLocalInCity);
+  net.AddEdge(kN, kE, 1.0, pat_ne, RoadClass::kLocalInCity);
+  return net;
+}
+
+// 7:03:25.714… = 7:06 − 18/7 minutes, the crossing computed in §4.6.
+const double kSecondCrossing = HhMm(7, 6) - 18.0 / 7.0;
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest()
+      : net_(MakeFigure2Network()), accessor_(&net_) {}
+
+  RoadNetwork net_;
+  network::InMemoryAccessor accessor_;
+  ProfileQuery query_{kS, kE, HhMm(6, 50), HhMm(7, 5)};
+};
+
+TEST_F(PaperExampleTest, SingleFpMatchesSection45) {
+  EuclideanEstimator est(&accessor_, kE);
+  ProfileSearch search(&accessor_, &est);
+  const SingleFpResult result = search.RunSingleFp(query_);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.path, (std::vector<NodeId>{kS, kN, kE}));
+  EXPECT_NEAR(result.best_travel_minutes, 5.0, 1e-9);
+  // Any instant in [7:00, 7:03] is optimal; ArgMin returns the leftmost.
+  EXPECT_NEAR(result.best_leave_time, HhMm(7, 0), 1e-6);
+  ASSERT_TRUE(result.travel_time.has_value());
+  EXPECT_NEAR(result.travel_time->Value(HhMm(7, 2)), 5.0, 1e-9);
+}
+
+TEST_F(PaperExampleTest, AllFpPartitionMatchesSection46) {
+  EuclideanEstimator est(&accessor_, kE);
+  ProfileSearch search(&accessor_, &est);
+  const AllFpResult result = search.RunAllFp(query_);
+  ASSERT_TRUE(result.found);
+  ASSERT_EQ(result.pieces.size(), 3u);
+
+  EXPECT_EQ(result.pieces[0].path, (std::vector<NodeId>{kS, kE}));
+  EXPECT_NEAR(result.pieces[0].leave_lo, HhMm(6, 50), 1e-9);
+  EXPECT_NEAR(result.pieces[0].leave_hi, HhMm(6, 58) + 0.5, 1e-6);
+
+  EXPECT_EQ(result.pieces[1].path, (std::vector<NodeId>{kS, kN, kE}));
+  EXPECT_NEAR(result.pieces[1].leave_lo, HhMm(6, 58) + 0.5, 1e-6);
+  EXPECT_NEAR(result.pieces[1].leave_hi, kSecondCrossing, 1e-6);
+
+  EXPECT_EQ(result.pieces[2].path, (std::vector<NodeId>{kS, kE}));
+  EXPECT_NEAR(result.pieces[2].leave_lo, kSecondCrossing, 1e-6);
+  EXPECT_NEAR(result.pieces[2].leave_hi, HhMm(7, 5), 1e-9);
+}
+
+TEST_F(PaperExampleTest, BorderMatchesFigure7) {
+  EuclideanEstimator est(&accessor_, kE);
+  ProfileSearch search(&accessor_, &est);
+  const AllFpResult result = search.RunAllFp(query_);
+  ASSERT_TRUE(result.found);
+  ASSERT_TRUE(result.border.has_value());
+  const tdf::PwlFunction& border = *result.border;
+  // Before 6:58:30 the direct road (6 min) wins.
+  EXPECT_NEAR(border.Value(HhMm(6, 52)), 6.0, 1e-9);
+  // At 7:00-7:03 the detour costs 5 min.
+  EXPECT_NEAR(border.Value(HhMm(7, 1)), 5.0, 1e-9);
+  // On the final stretch the direct road caps the border at 6 min.
+  EXPECT_NEAR(border.Value(HhMm(7, 4) + 0.5), 6.0, 1e-6);
+  EXPECT_NEAR(border.MaxValue(), 6.0, 1e-9);
+  EXPECT_NEAR(border.MinValue(), 5.0, 1e-9);
+}
+
+TEST_F(PaperExampleTest, BoundaryEstimatorGivesSameAnswers) {
+  BoundaryNodeIndex index(net_, {.grid_dim = 2});
+  BoundaryNodeEstimator est(&index, &accessor_, kE);
+  ProfileSearch search(&accessor_, &est);
+  const AllFpResult result = search.RunAllFp(query_);
+  ASSERT_TRUE(result.found);
+  ASSERT_EQ(result.pieces.size(), 3u);
+  EXPECT_EQ(result.pieces[1].path, (std::vector<NodeId>{kS, kN, kE}));
+  EXPECT_NEAR(result.pieces[1].leave_lo, HhMm(6, 58) + 0.5, 1e-6);
+}
+
+TEST_F(PaperExampleTest, SingleFpWithoutPruningIsIdentical) {
+  EuclideanEstimator est(&accessor_, kE);
+  ProfileSearchOptions options;
+  options.dominance_pruning = false;
+  ProfileSearch search(&accessor_, &est, options);
+  const SingleFpResult result = search.RunSingleFp(query_);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.path, (std::vector<NodeId>{kS, kN, kE}));
+  EXPECT_NEAR(result.best_travel_minutes, 5.0, 1e-9);
+}
+
+TEST_F(PaperExampleTest, ReverseQueryAgreesWithForwardAnswer) {
+  // Arrivals in [7:00, 7:08]: e.g. arriving at 7:05 is best done by leaving
+  // s at 7:00 via n (5 minutes).
+  EuclideanEstimator est(&accessor_, kS);  // Anchored at the source.
+  ReverseProfileSearch search(&net_, &est);
+  const ReverseAllFpResult result =
+      search.RunAllFp({kS, kE, HhMm(7, 0), HhMm(7, 8)});
+  ASSERT_TRUE(result.found);
+  ASSERT_TRUE(result.border.has_value());
+  EXPECT_NEAR(result.border->Value(HhMm(7, 5)), 5.0, 1e-6);
+  // Arriving at 7:00 means leaving during congestion: the detour arriving
+  // at 7:00 requires departure 6:54:40-ish (travel > 5), the direct road
+  // exactly 6. Border must be <= 6 everywhere.
+  EXPECT_LE(result.border->MaxValue(), 6.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace capefp::core

@@ -1,0 +1,145 @@
+#include "src/core/profile_envelope.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/core/td_astar.h"
+#include "src/gen/random_network.h"
+#include "src/network/accessor.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadNetwork;
+using tdf::HhMm;
+using tdf::PwlFunction;
+
+class EnvelopePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The envelope at the target must equal the allFP lower border — two
+// independently implemented algorithms computing the same object.
+TEST_P(EnvelopePropertyTest, EnvelopeAtTargetEqualsAllFpBorder) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 40;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam() ^ 0x77);
+  const auto s = static_cast<NodeId>(rng.NextBounded(40));
+  auto t = static_cast<NodeId>(rng.NextBounded(40));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 40);
+  const double lo = HhMm(6, 0);
+  const double hi = HhMm(8, 0);
+
+  const auto envelope = SingleSourceProfile(net, s, lo, hi);
+  EuclideanEstimator est(&acc, t);
+  ProfileSearch search(&acc, &est);
+  const AllFpResult all = search.RunAllFp({s, t, lo, hi});
+
+  ASSERT_TRUE(all.found);
+  const auto it = envelope.find(t);
+  ASSERT_NE(it, envelope.end());
+  EXPECT_TRUE(PwlFunction::ApproxEqual(it->second, *all.border, 1e-6))
+      << it->second.ToString() << " vs " << all.border->ToString();
+}
+
+// The target-anchored profile, converted to departure form, must agree
+// with direct forward evaluation.
+TEST_P(EnvelopePropertyTest, TargetProfileConvertsToForwardTravelTimes) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0x3131;
+  opt.num_nodes = 30;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam());
+  const auto t = static_cast<NodeId>(rng.NextBounded(30));
+  const double window_lo = HhMm(5, 0);
+  const double window_hi = HhMm(12, 0);
+
+  const auto arrival_profiles =
+      SingleTargetProfile(net, t, window_lo, window_hi);
+  ZeroEstimator zero;
+  int checked = 0;
+  for (const auto& [node, arrival_fn] : arrival_profiles) {
+    if (node == t || checked >= 6) continue;
+    const auto departure_fn = DepartureFunctionFromArrival(arrival_fn);
+    if (!departure_fn.has_value()) continue;
+    ++checked;
+    // Sample strictly inside the converted domain.
+    const double dlo = departure_fn->domain_lo();
+    const double dhi = departure_fn->domain_hi();
+    for (int i = 1; i < 8; ++i) {
+      const double l = dlo + (dhi - dlo) * i / 8.0;
+      const TdAStarResult truth = TdAStar(&acc, node, t, l, &zero);
+      ASSERT_TRUE(truth.found);
+      EXPECT_NEAR(departure_fn->Value(l), truth.travel_time_minutes, 1e-6)
+          << "node " << node << " l=" << l;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvelopePropertyTest,
+                         ::testing::Values(4, 18, 52, 97));
+
+TEST(EnvelopeTest, SourceMapsToZeroFunction) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 15;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  const auto envelope = SingleSourceProfile(net, 3, 100.0, 200.0);
+  const auto it = envelope.find(3);
+  ASSERT_NE(it, envelope.end());
+  EXPECT_NEAR(it->second.MaxValue(), 0.0, 1e-12);
+  // Every node of this connected network is reached.
+  EXPECT_EQ(envelope.size(), net.num_nodes());
+}
+
+TEST(EnvelopeTest, AllowedMaskRestrictsReach) {
+  // Path 0 -> 1 -> 2; masking out node 1 cuts node 2 off.
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  net.AddNode({2, 0});
+  net.AddEdge(0, 1, 1.0, 0, network::RoadClass::kLocalInCity);
+  net.AddEdge(1, 2, 1.0, 0, network::RoadClass::kLocalInCity);
+  std::vector<bool> allowed = {true, false, true};
+  EnvelopeOptions options;
+  options.allowed = &allowed;
+  const auto envelope = SingleSourceProfile(net, 0, 0.0, 60.0, options);
+  EXPECT_EQ(envelope.size(), 1u);  // Only the source.
+  const auto unrestricted = SingleSourceProfile(net, 0, 0.0, 60.0);
+  EXPECT_EQ(unrestricted.size(), 3u);
+  EXPECT_NEAR(unrestricted.at(2).Value(30.0), 2.0, 1e-9);
+}
+
+TEST(EnvelopeTest, DepartureConversionHandlesDegenerateDomain) {
+  // A single-point arrival function cannot be converted.
+  const PwlFunction point({{100.0, 5.0}});
+  EXPECT_FALSE(DepartureFunctionFromArrival(point).has_value());
+  // A proper function converts and inverts correctly: R(a) = 2 constant
+  // means τ(l) = 2 on [98, 198].
+  const PwlFunction constant = PwlFunction::Constant(100.0, 200.0, 2.0);
+  const auto converted = DepartureFunctionFromArrival(constant);
+  ASSERT_TRUE(converted.has_value());
+  EXPECT_NEAR(converted->domain_lo(), 98.0, 1e-12);
+  EXPECT_NEAR(converted->domain_hi(), 198.0, 1e-12);
+  EXPECT_NEAR(converted->Value(150.0), 2.0, 1e-12);
+}
+
+TEST(EnvelopeTest, ExpansionCapStopsEarly) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 60;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  EnvelopeOptions options;
+  options.max_expansions = 2;
+  const auto envelope = SingleSourceProfile(net, 0, 0.0, 60.0, options);
+  EXPECT_LT(envelope.size(), net.num_nodes());
+}
+
+}  // namespace
+}  // namespace capefp::core

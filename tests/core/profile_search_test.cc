@@ -1,0 +1,364 @@
+#include "src/core/profile_search.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/boundary_estimator.h"
+#include "src/core/estimator.h"
+#include "src/core/td_astar.h"
+#include "src/gen/random_network.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/storage/ccam_accessor.h"
+#include "src/storage/ccam_builder.h"
+#include "src/storage/ccam_store.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadNetwork;
+using tdf::HhMm;
+
+// ---------------------------------------------------------------------------
+// Cross-validation: the allFP border must equal an independent
+// time-dependent Dijkstra at every sampled leaving instant, and the
+// per-piece paths must realize the border.
+
+class ProfileCrossValidationTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ProfileCrossValidationTest, BorderMatchesPointwiseDijkstra) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 60;
+  opt.extra_edge_fraction = 0.8;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam() ^ 0xf00d);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto s = static_cast<NodeId>(rng.NextBounded(60));
+    const auto t = static_cast<NodeId>(rng.NextBounded(60));
+    if (s == t) continue;
+    const double lo = rng.NextDouble(0.0, tdf::kMinutesPerDay);
+    const double hi = lo + rng.NextDouble(10.0, 180.0);
+
+    EuclideanEstimator est(&acc, t);
+    ProfileSearch search(&acc, &est);
+    const AllFpResult all = search.RunAllFp({s, t, lo, hi});
+    ASSERT_TRUE(all.found);
+    ASSERT_TRUE(all.border.has_value());
+
+    ZeroEstimator zero;
+    for (int i = 0; i <= 60; ++i) {
+      const double l = lo + (hi - lo) * i / 60.0;
+      const TdAStarResult truth = TdAStar(&acc, s, t, l, &zero);
+      ASSERT_TRUE(truth.found);
+      EXPECT_NEAR(all.border->Value(l), truth.travel_time_minutes, 1e-6)
+          << "l=" << l << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(ProfileCrossValidationTest, PiecePathsRealizeTheBorder) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0x1111;
+  opt.num_nodes = 50;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam());
+  const auto s = static_cast<NodeId>(rng.NextBounded(50));
+  auto t = static_cast<NodeId>(rng.NextBounded(50));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 50);
+  const double lo = HhMm(6, 0);
+  const double hi = HhMm(9, 0);
+
+  EuclideanEstimator est(&acc, t);
+  ProfileSearch search(&acc, &est);
+  const AllFpResult all = search.RunAllFp({s, t, lo, hi});
+  ASSERT_TRUE(all.found);
+
+  // Partition properties (Definition 4).
+  ASSERT_FALSE(all.pieces.empty());
+  EXPECT_NEAR(all.pieces.front().leave_lo, lo, 1e-9);
+  EXPECT_NEAR(all.pieces.back().leave_hi, hi, 1e-9);
+  for (size_t i = 0; i < all.pieces.size(); ++i) {
+    const AllFpPiece& piece = all.pieces[i];
+    EXPECT_LT(piece.leave_lo, piece.leave_hi + 1e-9);
+    EXPECT_EQ(piece.path.front(), s);
+    EXPECT_EQ(piece.path.back(), t);
+    if (i > 0) {
+      EXPECT_NEAR(all.pieces[i - 1].leave_hi, piece.leave_lo, 1e-9);
+      EXPECT_NE(all.pieces[i - 1].path, piece.path);
+    }
+    // The piece's path must achieve the border inside its interval.
+    for (double frac : {0.25, 0.5, 0.75}) {
+      const double l = piece.leave_lo + frac * (piece.leave_hi - piece.leave_lo);
+      EXPECT_NEAR(EvaluatePathTravelTime(&acc, piece.path, l),
+                  all.border->Value(l), 1e-6);
+    }
+  }
+}
+
+TEST_P(ProfileCrossValidationTest, SingleFpMatchesDenseSampling) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0x2222;
+  opt.num_nodes = 40;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam());
+  const auto s = static_cast<NodeId>(rng.NextBounded(40));
+  auto t = static_cast<NodeId>(rng.NextBounded(40));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 40);
+  const double lo = HhMm(7, 0);
+  const double hi = HhMm(8, 0);
+
+  EuclideanEstimator est(&acc, t);
+  ProfileSearch search(&acc, &est);
+  const SingleFpResult single = search.RunSingleFp({s, t, lo, hi});
+  ASSERT_TRUE(single.found);
+
+  ZeroEstimator zero;
+  double best = 1e18;
+  for (int i = 0; i <= 600; ++i) {
+    const double l = lo + (hi - lo) * i / 600.0;
+    const TdAStarResult truth = TdAStar(&acc, s, t, l, &zero);
+    ASSERT_TRUE(truth.found);
+    best = std::min(best, truth.travel_time_minutes);
+    // singleFP must lower-bound every instant's true fastest time.
+    EXPECT_LE(single.best_travel_minutes, truth.travel_time_minutes + 1e-6);
+  }
+  // Dense sampling approaches the continuous optimum (functions are pw
+  // linear, so the sampled min can only exceed it slightly).
+  EXPECT_NEAR(single.best_travel_minutes, best, 0.5);
+  // And the reported optimum is consistent with its own path.
+  EXPECT_NEAR(
+      EvaluatePathTravelTime(&acc, single.path, single.best_leave_time),
+      single.best_travel_minutes, 1e-6);
+}
+
+TEST_P(ProfileCrossValidationTest, PruningOnOffGiveIdenticalBorders) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0x3333;
+  opt.num_nodes = 30;
+  opt.extra_edge_fraction = 0.7;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam());
+  const auto s = static_cast<NodeId>(rng.NextBounded(30));
+  auto t = static_cast<NodeId>(rng.NextBounded(30));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 30);
+
+  EuclideanEstimator est1(&acc, t);
+  ProfileSearch pruned(&acc, &est1);
+  const AllFpResult with = pruned.RunAllFp({s, t, 400.0, 480.0});
+
+  EuclideanEstimator est2(&acc, t);
+  ProfileSearchOptions options;
+  options.dominance_pruning = false;
+  options.max_expansions = 2'000'000;
+  ProfileSearch unpruned(&acc, &est2, options);
+  const AllFpResult without = unpruned.RunAllFp({s, t, 400.0, 480.0});
+
+  ASSERT_TRUE(with.found);
+  ASSERT_TRUE(without.found);
+  ASSERT_FALSE(without.stats.hit_expansion_cap);
+  EXPECT_TRUE(tdf::PwlFunction::ApproxEqual(*with.border, *without.border,
+                                            1e-6));
+  EXPECT_LE(with.stats.expansions, without.stats.expansions);
+}
+
+TEST_P(ProfileCrossValidationTest, PointwiseBoundPruningPreservesAnswers) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0x4444;
+  opt.num_nodes = 45;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam());
+  const auto s = static_cast<NodeId>(rng.NextBounded(45));
+  auto t = static_cast<NodeId>(rng.NextBounded(45));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 45);
+  const ProfileQuery query{s, t, 420.0, 560.0};
+
+  EuclideanEstimator est1(&acc, t);
+  ProfileSearch plain(&acc, &est1);
+  const AllFpResult a = plain.RunAllFp(query);
+
+  EuclideanEstimator est2(&acc, t);
+  ProfileSearchOptions options;
+  options.pointwise_bound_pruning = true;
+  ProfileSearch tighter(&acc, &est2, options);
+  const AllFpResult b = tighter.RunAllFp(query);
+
+  ASSERT_EQ(a.found, b.found);
+  if (!a.found) return;
+  EXPECT_TRUE(tdf::PwlFunction::ApproxEqual(*a.border, *b.border, 1e-6));
+  ASSERT_EQ(a.pieces.size(), b.pieces.size());
+  for (size_t i = 0; i < a.pieces.size(); ++i) {
+    EXPECT_EQ(a.pieces[i].path, b.pieces[i].path);
+  }
+  EXPECT_LE(b.stats.expansions, a.stats.expansions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileCrossValidationTest,
+                         ::testing::Values(5, 23, 57, 91, 137));
+
+// ---------------------------------------------------------------------------
+// Estimator and accessor equivalences.
+
+TEST(ProfileSearchTest, BoundaryEstimatorGivesSameBorderAsNaive) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  InMemoryAccessor acc(&sn.network);
+  const BoundaryNodeIndex index(sn.network, {.grid_dim = 8});
+  util::Rng rng(71);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto s =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    const auto t =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    const ProfileQuery query{s, t, HhMm(7, 0), HhMm(9, 0)};
+
+    EuclideanEstimator naive(&acc, t);
+    ProfileSearch naive_search(&acc, &naive);
+    const AllFpResult a = naive_search.RunAllFp(query);
+
+    BoundaryNodeEstimator bd(&index, &acc, t);
+    ProfileSearch bd_search(&acc, &bd);
+    const AllFpResult b = bd_search.RunAllFp(query);
+
+    ASSERT_EQ(a.found, b.found);
+    if (!a.found) continue;
+    EXPECT_TRUE(tdf::PwlFunction::ApproxEqual(*a.border, *b.border, 1e-6));
+    // The tighter estimator can only help.
+    EXPECT_LE(b.stats.expansions, a.stats.expansions);
+  }
+}
+
+TEST(ProfileSearchTest, CcamAccessorGivesIdenticalResults) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  const std::string path = ::testing::TempDir() + "/profile_ccam.db";
+  ASSERT_TRUE(storage::BuildCcamFile(sn.network, path, {}).ok());
+  auto store_or = storage::CcamStore::Open(path);
+  ASSERT_TRUE(store_or.ok());
+  storage::CcamAccessor disk(store_or->get());
+  InMemoryAccessor mem(&sn.network);
+
+  util::Rng rng(8);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto s =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    const auto t =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    const ProfileQuery query{s, t, HhMm(7, 30), HhMm(8, 30)};
+
+    EuclideanEstimator est_mem(&mem, t);
+    ProfileSearch search_mem(&mem, &est_mem);
+    const AllFpResult a = search_mem.RunAllFp(query);
+
+    EuclideanEstimator est_disk(&disk, t);
+    ProfileSearch search_disk(&disk, &est_disk);
+    const AllFpResult b = search_disk.RunAllFp(query);
+
+    ASSERT_EQ(a.found, b.found);
+    if (!a.found) continue;
+    EXPECT_TRUE(tdf::PwlFunction::ApproxEqual(*a.border, *b.border, 1e-9));
+    ASSERT_EQ(a.pieces.size(), b.pieces.size());
+    for (size_t i = 0; i < a.pieces.size(); ++i) {
+      EXPECT_EQ(a.pieces[i].path, b.pieces[i].path);
+    }
+    EXPECT_EQ(a.stats.expansions, b.stats.expansions);
+    // The disk run actually touched pages.
+    EXPECT_GT(store_or->get()->stats().pool.faults +
+                  store_or->get()->stats().pool.hits,
+              0u);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases.
+
+TEST(ProfileSearchTest, SourceEqualsTarget) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 10;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  EuclideanEstimator est(&acc, 4);
+  ProfileSearch search(&acc, &est);
+  const SingleFpResult single = search.RunSingleFp({4, 4, 100.0, 160.0});
+  ASSERT_TRUE(single.found);
+  EXPECT_EQ(single.path, (std::vector<NodeId>{4}));
+  EXPECT_NEAR(single.best_travel_minutes, 0.0, 1e-12);
+  const AllFpResult all = search.RunAllFp({4, 4, 100.0, 160.0});
+  ASSERT_TRUE(all.found);
+  ASSERT_EQ(all.pieces.size(), 1u);
+  EXPECT_NEAR(all.border->MaxValue(), 0.0, 1e-12);
+}
+
+TEST(ProfileSearchTest, UnreachableTargetReportsNotFound) {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  net.AddNode({2, 0});
+  net.AddEdge(0, 1, 1.0, 0, network::RoadClass::kLocalInCity);
+  net.AddEdge(2, 1, 1.0, 0, network::RoadClass::kLocalInCity);
+  InMemoryAccessor acc(&net);
+  EuclideanEstimator est(&acc, 2);
+  ProfileSearch search(&acc, &est);
+  EXPECT_FALSE(search.RunSingleFp({0, 2, 0.0, 60.0}).found);
+  EXPECT_FALSE(search.RunAllFp({0, 2, 0.0, 60.0}).found);
+}
+
+TEST(ProfileSearchTest, InstantIntervalDegradesToFixedDeparture) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 55;
+  opt.num_nodes = 40;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  EuclideanEstimator est(&acc, 30);
+  ProfileSearch search(&acc, &est);
+  const SingleFpResult single = search.RunSingleFp({2, 30, 500.0, 500.0});
+  ZeroEstimator zero;
+  const TdAStarResult truth = TdAStar(&acc, 2, 30, 500.0, &zero);
+  ASSERT_EQ(single.found, truth.found);
+  if (truth.found) {
+    EXPECT_NEAR(single.best_travel_minutes, truth.travel_time_minutes, 1e-7);
+  }
+}
+
+TEST(ProfileSearchTest, ExpansionCapTriggers) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  InMemoryAccessor acc(&sn.network);
+  EuclideanEstimator est(&acc, 0);
+  ProfileSearchOptions options;
+  options.max_expansions = 3;
+  ProfileSearch search(&acc, &est,
+                       options);
+  const auto far_node =
+      static_cast<NodeId>(sn.network.num_nodes() - 1);
+  const AllFpResult all =
+      search.RunAllFp({far_node, 0, HhMm(7, 0), HhMm(8, 0)});
+  EXPECT_TRUE(all.stats.hit_expansion_cap);
+}
+
+TEST(ProfileSearchTest, StatsArePopulated) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  InMemoryAccessor acc(&sn.network);
+  const auto t = static_cast<NodeId>(sn.network.num_nodes() / 2);
+  EuclideanEstimator est(&acc, t);
+  ProfileSearch search(&acc, &est);
+  const AllFpResult all = search.RunAllFp({0, t, HhMm(7, 0), HhMm(8, 0)});
+  if (!all.found) GTEST_SKIP() << "unreachable pair";
+  EXPECT_GT(all.stats.expansions, 0);
+  EXPECT_GT(all.stats.pushes, all.stats.expansions / 4);
+  EXPECT_GE(all.stats.expansions, all.stats.distinct_nodes);
+}
+
+}  // namespace
+}  // namespace capefp::core

@@ -1,0 +1,185 @@
+#include "src/core/reverse_profile_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/boundary_estimator.h"
+#include "src/core/estimator.h"
+#include "src/core/profile_search.h"
+#include "src/core/td_astar.h"
+#include "src/gen/random_network.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadNetwork;
+using tdf::PwlFunction;
+
+// Inverts an increasing piecewise-linear function at `y`.
+double InverseAt(const PwlFunction& f, double y) {
+  const auto& pts = f.breakpoints();
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    if (y >= pts[i].y - 1e-9 && y <= pts[i + 1].y + 1e-9) {
+      const double dy = pts[i + 1].y - pts[i].y;
+      if (dy <= 1e-12) return pts[i].x;
+      return pts[i].x + (y - pts[i].y) * (pts[i + 1].x - pts[i].x) / dy;
+    }
+  }
+  return pts.back().x;
+}
+
+class ReverseCrossValidationTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+// The fundamental identity: with EA(l) = l + B_forward(l) the (strictly
+// increasing) earliest-arrival function, the reverse border satisfies
+// B_reverse(a) = a − EA⁻¹(a).
+TEST_P(ReverseCrossValidationTest, ReverseBorderInvertsForwardArrival) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 45;
+  opt.extra_edge_fraction = 0.8;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam() ^ 0xaa);
+  const auto s = static_cast<NodeId>(rng.NextBounded(45));
+  auto t = static_cast<NodeId>(rng.NextBounded(45));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 45);
+
+  // Forward border over a wide departure window.
+  const double dep_lo = 400.0;
+  const double dep_hi = 700.0;
+  EuclideanEstimator fwd_est(&acc, t);
+  ProfileSearch forward(&acc, &fwd_est);
+  const AllFpResult fwd = forward.RunAllFp({s, t, dep_lo, dep_hi});
+  ASSERT_TRUE(fwd.found);
+  // EA(l) = l + border(l).
+  std::vector<tdf::Breakpoint> ea_pts;
+  for (const tdf::Breakpoint& bp : fwd.border->breakpoints()) {
+    ea_pts.push_back({bp.x, bp.x + bp.y});
+  }
+  PwlFunction ea({{ea_pts.front().x, ea_pts.front().y}});
+  {
+    std::vector<tdf::Breakpoint> pts = ea_pts;
+    ea = PwlFunction(std::move(pts));
+  }
+
+  // Reverse query over arrivals strictly inside EA's range.
+  const double arr_lo = ea.Value(dep_lo + 20.0) + 1.0;
+  const double arr_hi = ea.Value(dep_hi - 20.0) - 1.0;
+  ASSERT_LT(arr_lo, arr_hi);
+  EuclideanEstimator rev_est(&acc, s);
+  ReverseProfileSearch reverse(&net, &rev_est);
+  const ReverseAllFpResult rev =
+      reverse.RunAllFp({s, t, arr_lo, arr_hi});
+  ASSERT_TRUE(rev.found);
+
+  for (int i = 0; i <= 40; ++i) {
+    const double a = arr_lo + (arr_hi - arr_lo) * i / 40.0;
+    const double departure = InverseAt(ea, a);
+    EXPECT_NEAR(rev.border->Value(a), a - departure, 1e-5) << "a=" << a;
+  }
+}
+
+TEST_P(ReverseCrossValidationTest, PiecePathsAreConsistent) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0xbb;
+  opt.num_nodes = 40;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam());
+  const auto s = static_cast<NodeId>(rng.NextBounded(40));
+  auto t = static_cast<NodeId>(rng.NextBounded(40));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 40);
+
+  EuclideanEstimator est(&acc, s);
+  ReverseProfileSearch reverse(&net, &est);
+  const ReverseAllFpResult rev = reverse.RunAllFp({s, t, 800.0, 900.0});
+  ASSERT_TRUE(rev.found);
+  ASSERT_FALSE(rev.pieces.empty());
+  EXPECT_NEAR(rev.pieces.front().arrive_lo, 800.0, 1e-9);
+  EXPECT_NEAR(rev.pieces.back().arrive_hi, 900.0, 1e-9);
+  for (size_t i = 0; i < rev.pieces.size(); ++i) {
+    const ReverseAllFpPiece& piece = rev.pieces[i];
+    EXPECT_EQ(piece.path.front(), s);
+    EXPECT_EQ(piece.path.back(), t);
+    if (i > 0) {
+      EXPECT_NEAR(rev.pieces[i - 1].arrive_hi, piece.arrive_lo, 1e-9);
+      EXPECT_NE(rev.pieces[i - 1].path, piece.path);
+    }
+    // Departing at a − R(a) along the piece's path arrives at a.
+    for (double frac : {0.3, 0.7}) {
+      const double a =
+          piece.arrive_lo + frac * (piece.arrive_hi - piece.arrive_lo);
+      const double travel = rev.border->Value(a);
+      EXPECT_NEAR(EvaluatePathTravelTime(&acc, piece.path, a - travel),
+                  travel, 1e-6);
+    }
+  }
+}
+
+TEST_P(ReverseCrossValidationTest, SingleFpPicksGlobalOptimum) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0xcc;
+  opt.num_nodes = 35;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  util::Rng rng(GetParam());
+  const auto s = static_cast<NodeId>(rng.NextBounded(35));
+  auto t = static_cast<NodeId>(rng.NextBounded(35));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 35);
+
+  EuclideanEstimator est1(&acc, s);
+  ReverseProfileSearch reverse(&net, &est1);
+  const ReverseSingleFpResult single =
+      reverse.RunSingleFp({s, t, 600.0, 720.0});
+  ASSERT_TRUE(single.found);
+
+  EuclideanEstimator est2(&acc, s);
+  ReverseProfileSearch full(&net, &est2);
+  const ReverseAllFpResult all = full.RunAllFp({s, t, 600.0, 720.0});
+  ASSERT_TRUE(all.found);
+  EXPECT_NEAR(single.best_travel_minutes, all.border->MinValue(), 1e-7);
+  EXPECT_NEAR(single.best_leave_time,
+              single.best_arrive_time - single.best_travel_minutes, 1e-9);
+  // The reported path truly arrives at best_arrive_time.
+  EXPECT_NEAR(
+      EvaluatePathTravelTime(&acc, single.path, single.best_leave_time),
+      single.best_travel_minutes, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReverseCrossValidationTest,
+                         ::testing::Values(3, 29, 64, 118));
+
+TEST(ReverseProfileSearchTest, UnreachableSourceNotFound) {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  // Only 1 -> 0 exists, so no path 0 ⇒ 1.
+  net.AddEdge(1, 0, 1.0, 0, network::RoadClass::kLocalInCity);
+  ZeroEstimator est;
+  ReverseProfileSearch reverse(&net, &est);
+  EXPECT_FALSE(reverse.RunSingleFp({0, 1, 100.0, 160.0}).found);
+  EXPECT_FALSE(reverse.RunAllFp({0, 1, 100.0, 160.0}).found);
+}
+
+TEST(ReverseProfileSearchTest, SourceEqualsTarget) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 12;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  ZeroEstimator est;
+  ReverseProfileSearch reverse(&net, &est);
+  const ReverseSingleFpResult r = reverse.RunSingleFp({3, 3, 50.0, 90.0});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{3}));
+  EXPECT_NEAR(r.best_travel_minutes, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace capefp::core

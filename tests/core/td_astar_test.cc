@@ -1,0 +1,151 @@
+#include "src/core/td_astar.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/boundary_estimator.h"
+#include "src/core/estimator.h"
+#include "src/gen/random_network.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/util/random.h"
+
+namespace capefp::core {
+namespace {
+
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadClass;
+using network::RoadNetwork;
+using tdf::HhMm;
+
+RoadNetwork MakeDiamond() {
+  // s -> a -> t (fast in the morning), s -> b -> t (always medium).
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  const auto fast_then_slow = net.AddPattern(tdf::CapeCodPattern(
+      {tdf::DailySpeedPattern({{0.0, 1.0}, {HhMm(7, 0), 0.1}})}));
+  const auto medium = net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(0.5));
+  net.AddNode({0, 0});   // 0 = s
+  net.AddNode({1, 1});   // 1 = a
+  net.AddNode({1, -1});  // 2 = b
+  net.AddNode({2, 0});   // 3 = t
+  net.AddEdge(0, 1, 1.5, fast_then_slow, RoadClass::kLocalInCity);
+  net.AddEdge(1, 3, 1.5, fast_then_slow, RoadClass::kLocalInCity);
+  net.AddEdge(0, 2, 1.5, medium, RoadClass::kLocalInCity);
+  net.AddEdge(2, 3, 1.5, medium, RoadClass::kLocalInCity);
+  return net;
+}
+
+TEST(TdAStarTest, PicksRouteByDepartureTime) {
+  const RoadNetwork net = MakeDiamond();
+  InMemoryAccessor acc(&net);
+  ZeroEstimator zero;
+  // Early morning: via a takes 3 min, via b takes 6.
+  const TdAStarResult early = TdAStar(&acc, 0, 3, HhMm(5, 0), &zero);
+  ASSERT_TRUE(early.found);
+  EXPECT_EQ(early.path, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_NEAR(early.travel_time_minutes, 3.0, 1e-9);
+  // After 7:00 the a-route collapses to 30 min; b wins with 6.
+  const TdAStarResult late = TdAStar(&acc, 0, 3, HhMm(8, 0), &zero);
+  ASSERT_TRUE(late.found);
+  EXPECT_EQ(late.path, (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_NEAR(late.travel_time_minutes, 6.0, 1e-9);
+}
+
+TEST(TdAStarTest, SourceEqualsTarget) {
+  const RoadNetwork net = MakeDiamond();
+  InMemoryAccessor acc(&net);
+  ZeroEstimator zero;
+  const TdAStarResult r = TdAStar(&acc, 2, 2, 100.0, &zero);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{2}));
+  EXPECT_NEAR(r.travel_time_minutes, 0.0, 1e-12);
+}
+
+TEST(TdAStarTest, UnreachableTarget) {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  net.AddEdge(1, 0, 1.0, 0, RoadClass::kLocalInCity);  // Only 1 -> 0.
+  InMemoryAccessor acc(&net);
+  ZeroEstimator zero;
+  const TdAStarResult r = TdAStar(&acc, 0, 1, 0.0, &zero);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(TdAStarTest, EvaluatePathMatchesSearchResult) {
+  const RoadNetwork net = MakeDiamond();
+  InMemoryAccessor acc(&net);
+  ZeroEstimator zero;
+  for (double leave : {HhMm(5, 0), HhMm(6, 58), HhMm(8, 0)}) {
+    const TdAStarResult r = TdAStar(&acc, 0, 3, leave, &zero);
+    ASSERT_TRUE(r.found);
+    EXPECT_NEAR(EvaluatePathTravelTime(&acc, r.path, leave),
+                r.travel_time_minutes, 1e-9);
+  }
+}
+
+class TdAStarPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TdAStarPropertyTest, EstimatorsPreserveOptimalityAndCutWork) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 150;
+  opt.extra_edge_fraction = 1.2;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  const BoundaryNodeIndex index(
+      net, {.grid_dim = 5, .mode = BoundaryIndexOptions::Mode::kTravelTime});
+  util::Rng rng(GetParam() ^ 0xdead);
+  int64_t dijkstra_pops = 0;
+  int64_t astar_pops = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = static_cast<NodeId>(rng.NextBounded(150));
+    const auto t = static_cast<NodeId>(rng.NextBounded(150));
+    const double leave = rng.NextDouble(0.0, tdf::kMinutesPerDay);
+    ZeroEstimator zero;
+    EuclideanEstimator euclid(&acc, t);
+    BoundaryNodeEstimator bd(&index, &acc, t);
+    const TdAStarResult truth = TdAStar(&acc, s, t, leave, &zero);
+    const TdAStarResult with_euclid = TdAStar(&acc, s, t, leave, &euclid);
+    const TdAStarResult with_bd = TdAStar(&acc, s, t, leave, &bd);
+    ASSERT_EQ(truth.found, with_euclid.found);
+    ASSERT_EQ(truth.found, with_bd.found);
+    if (!truth.found) continue;
+    EXPECT_NEAR(with_euclid.travel_time_minutes, truth.travel_time_minutes,
+                1e-7);
+    EXPECT_NEAR(with_bd.travel_time_minutes, truth.travel_time_minutes,
+                1e-7);
+    dijkstra_pops += truth.expanded_nodes;
+    astar_pops += with_bd.expanded_nodes;
+  }
+  // In aggregate the informed search must not expand more nodes.
+  EXPECT_LE(astar_pops, dijkstra_pops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TdAStarPropertyTest,
+                         ::testing::Values(2, 13, 77, 301));
+
+TEST(TdAStarTest, SuffolkRushHourDetoursExist) {
+  // On the Suffolk-style network, at least some inbound commutes should
+  // take different routes at 3 am vs 8 am on a workday.
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  InMemoryAccessor acc(&sn.network);
+  ZeroEstimator zero;
+  util::Rng rng(4);
+  int different_routes = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto s =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    const auto t =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    const TdAStarResult night = TdAStar(&acc, s, t, HhMm(3, 0), &zero);
+    const TdAStarResult rush = TdAStar(&acc, s, t, HhMm(8, 0), &zero);
+    if (!night.found || !rush.found) continue;
+    EXPECT_LE(night.travel_time_minutes, rush.travel_time_minutes + 1e-9);
+    if (night.path != rush.path) ++different_routes;
+  }
+  EXPECT_GT(different_routes, 0);
+}
+
+}  // namespace
+}  // namespace capefp::core

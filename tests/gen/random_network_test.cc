@@ -1,0 +1,76 @@
+#include "src/gen/random_network.h"
+
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace capefp::gen {
+namespace {
+
+TEST(RandomNetworkTest, ConnectedAndSized) {
+  RandomNetworkOptions opt;
+  opt.seed = 5;
+  opt.num_nodes = 60;
+  const network::RoadNetwork net = MakeRandomNetwork(opt);
+  EXPECT_EQ(net.num_nodes(), 60u);
+  // Spanning tree alone contributes 59 bidirectional edges = 118 directed.
+  EXPECT_GE(net.num_edges(), 118u);
+
+  std::vector<bool> seen(net.num_nodes(), false);
+  std::queue<network::NodeId> queue;
+  queue.push(0);
+  seen[0] = true;
+  size_t count = 0;
+  while (!queue.empty()) {
+    const network::NodeId u = queue.front();
+    queue.pop();
+    ++count;
+    for (network::EdgeId e : net.OutEdges(u)) {
+      const network::NodeId v = net.edge(e).to;
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        queue.push(v);
+      }
+    }
+  }
+  EXPECT_EQ(count, net.num_nodes());
+}
+
+TEST(RandomNetworkTest, MaxSpeedIsExactlyConfigured) {
+  RandomNetworkOptions opt;
+  opt.seed = 9;
+  opt.max_speed_mpm = 0.8;
+  const network::RoadNetwork net = MakeRandomNetwork(opt);
+  EXPECT_DOUBLE_EQ(net.max_speed(), 0.8);
+}
+
+TEST(RandomNetworkTest, DistancesRespectEuclideanLowerBound) {
+  RandomNetworkOptions opt;
+  opt.seed = 123;
+  opt.num_nodes = 80;
+  const network::RoadNetwork net = MakeRandomNetwork(opt);
+  for (size_t e = 0; e < net.num_edges(); ++e) {
+    const network::Edge& edge = net.edge(static_cast<network::EdgeId>(e));
+    const double euclid = geo::EuclideanDistance(net.location(edge.from),
+                                                 net.location(edge.to));
+    EXPECT_GE(edge.distance_miles, euclid - 1e-9);
+  }
+}
+
+TEST(RandomNetworkTest, Deterministic) {
+  RandomNetworkOptions opt;
+  opt.seed = 77;
+  const network::RoadNetwork a = MakeRandomNetwork(opt);
+  const network::RoadNetwork b = MakeRandomNetwork(opt);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    const auto id = static_cast<network::EdgeId>(e);
+    EXPECT_EQ(a.edge(id).from, b.edge(id).from);
+    EXPECT_EQ(a.edge(id).to, b.edge(id).to);
+    EXPECT_DOUBLE_EQ(a.edge(id).distance_miles, b.edge(id).distance_miles);
+  }
+}
+
+}  // namespace
+}  // namespace capefp::gen

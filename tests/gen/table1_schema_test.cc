@@ -1,0 +1,88 @@
+#include "src/gen/table1_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace capefp::gen {
+namespace {
+
+using network::RoadClass;
+using tdf::HhMm;
+using tdf::MphToMpm;
+
+TEST(Table1SchemaTest, WorkdaySpeedsMatchTable) {
+  const Table1Schema schema = MakeTable1Schema();
+
+  const auto& inbound = schema.pattern_for(RoadClass::kInboundHighway)
+                            .pattern_for(kWorkday);
+  EXPECT_DOUBLE_EQ(inbound.SpeedAt(HhMm(6, 0)), MphToMpm(65));
+  EXPECT_DOUBLE_EQ(inbound.SpeedAt(HhMm(8, 0)), MphToMpm(20));
+  EXPECT_DOUBLE_EQ(inbound.SpeedAt(HhMm(10, 0)), MphToMpm(65));
+  EXPECT_DOUBLE_EQ(inbound.SpeedAt(HhMm(17, 0)), MphToMpm(65));
+
+  const auto& outbound = schema.pattern_for(RoadClass::kOutboundHighway)
+                             .pattern_for(kWorkday);
+  EXPECT_DOUBLE_EQ(outbound.SpeedAt(HhMm(8, 0)), MphToMpm(65));
+  EXPECT_DOUBLE_EQ(outbound.SpeedAt(HhMm(17, 0)), MphToMpm(30));
+  EXPECT_DOUBLE_EQ(outbound.SpeedAt(HhMm(19, 0)), MphToMpm(65));
+
+  const auto& local_city = schema.pattern_for(RoadClass::kLocalInCity)
+                               .pattern_for(kWorkday);
+  EXPECT_DOUBLE_EQ(local_city.SpeedAt(HhMm(8, 0)), MphToMpm(20));
+  EXPECT_DOUBLE_EQ(local_city.SpeedAt(HhMm(12, 0)), MphToMpm(40));
+  EXPECT_DOUBLE_EQ(local_city.SpeedAt(HhMm(17, 0)), MphToMpm(20));
+  EXPECT_DOUBLE_EQ(local_city.SpeedAt(HhMm(22, 0)), MphToMpm(40));
+
+  const auto& local_out = schema.pattern_for(RoadClass::kLocalOutsideCity)
+                              .pattern_for(kWorkday);
+  EXPECT_DOUBLE_EQ(local_out.SpeedAt(HhMm(8, 0)), MphToMpm(40));
+  EXPECT_DOUBLE_EQ(local_out.SpeedAt(HhMm(17, 0)), MphToMpm(40));
+}
+
+TEST(Table1SchemaTest, NonWorkdayIsUncongested) {
+  const Table1Schema schema = MakeTable1Schema();
+  for (int rc = 0; rc < network::kNumRoadClasses; ++rc) {
+    const auto& daily = schema.patterns[static_cast<size_t>(rc)]
+                            .pattern_for(kNonWorkday);
+    EXPECT_EQ(daily.pieces().size(), 1u) << "class " << rc;
+    const double expected = rc <= 1 ? MphToMpm(65) : MphToMpm(40);
+    EXPECT_DOUBLE_EQ(daily.SpeedAt(HhMm(8, 0)), expected);
+  }
+}
+
+TEST(Table1SchemaTest, MaxNetworkSpeedIs65Mph) {
+  const Table1Schema schema = MakeTable1Schema();
+  double vmax = 0.0;
+  for (const auto& pat : schema.patterns) {
+    vmax = std::max(vmax, pat.max_speed());
+  }
+  EXPECT_DOUBLE_EQ(vmax, MphToMpm(65));
+}
+
+TEST(Table1SchemaTest, SpeedLimitSchemaIsFlat) {
+  const Table1Schema schema = MakeSpeedLimitSchema();
+  for (int rc = 0; rc < network::kNumRoadClasses; ++rc) {
+    const auto& pat = schema.patterns[static_cast<size_t>(rc)];
+    EXPECT_DOUBLE_EQ(pat.max_speed(), pat.min_speed()) << "class " << rc;
+  }
+  EXPECT_DOUBLE_EQ(
+      schema.pattern_for(RoadClass::kInboundHighway).max_speed(),
+      MphToMpm(65));
+  EXPECT_DOUBLE_EQ(schema.pattern_for(RoadClass::kLocalInCity).max_speed(),
+                   MphToMpm(40));
+}
+
+TEST(Table1SchemaTest, RegisterAlignsPatternIdsWithRoadClasses) {
+  network::RoadNetwork net{tdf::Calendar::StandardWeek(kWorkday,
+                                                       kNonWorkday)};
+  RegisterTable1Patterns(&net);
+  ASSERT_EQ(net.num_patterns(), 4u);
+  // Pattern id == RoadClass value: the inbound-highway pattern (id 0) has
+  // the 7-10am workday dip.
+  EXPECT_DOUBLE_EQ(net.pattern(0).pattern_for(kWorkday).SpeedAt(HhMm(8, 0)),
+                   MphToMpm(20));
+  EXPECT_DOUBLE_EQ(net.pattern(3).pattern_for(kWorkday).SpeedAt(HhMm(8, 0)),
+                   MphToMpm(40));
+}
+
+}  // namespace
+}  // namespace capefp::gen

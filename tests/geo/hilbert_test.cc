@@ -1,0 +1,84 @@
+#include "src/geo/hilbert.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace capefp::geo {
+namespace {
+
+TEST(HilbertTest, Order1MatchesKnownCurve) {
+  // The order-1 Hilbert curve visits (0,0), (0,1), (1,1), (1,0).
+  EXPECT_EQ(HilbertXy2D(1, 0, 0), 0u);
+  EXPECT_EQ(HilbertXy2D(1, 0, 1), 1u);
+  EXPECT_EQ(HilbertXy2D(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertXy2D(1, 1, 0), 3u);
+}
+
+TEST(HilbertTest, RoundTripOrder4) {
+  const int order = 4;
+  const uint32_t n = 1u << order;
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < n; ++x) {
+    for (uint32_t y = 0; y < n; ++y) {
+      const uint64_t d = HilbertXy2D(order, x, y);
+      EXPECT_LT(d, static_cast<uint64_t>(n) * n);
+      seen.insert(d);
+      uint32_t rx;
+      uint32_t ry;
+      HilbertD2Xy(order, d, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  // Bijection: every curve position is hit exactly once.
+  EXPECT_EQ(seen.size(), static_cast<size_t>(n) * n);
+}
+
+TEST(HilbertTest, ConsecutivePositionsAreGridNeighbors) {
+  const int order = 5;
+  const uint32_t n = 1u << order;
+  uint32_t px;
+  uint32_t py;
+  HilbertD2Xy(order, 0, &px, &py);
+  for (uint64_t d = 1; d < static_cast<uint64_t>(n) * n; ++d) {
+    uint32_t x;
+    uint32_t y;
+    HilbertD2Xy(order, d, &x, &y);
+    const uint32_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    EXPECT_EQ(manhattan, 1u) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertTest, PointValueRespectsLocality) {
+  const BoundingBox box({0, 0}, {100, 100});
+  const uint64_t a = HilbertValue({10, 10}, box, 8);
+  const uint64_t b = HilbertValue({10.4, 10.2}, box, 8);
+  const uint64_t c = HilbertValue({90, 90}, box, 8);
+  const auto gap_near = static_cast<int64_t>(b > a ? b - a : a - b);
+  const auto gap_far = static_cast<int64_t>(c > a ? c - a : a - c);
+  EXPECT_LT(gap_near, gap_far);
+}
+
+TEST(HilbertTest, PointOnBorderIsClamped) {
+  const BoundingBox box({0, 0}, {1, 1});
+  const uint64_t hv = HilbertValue({1, 1}, box, 6);
+  EXPECT_LT(hv, (1ull << 6) * (1ull << 6));
+  // Slightly outside also clamps rather than aborting.
+  EXPECT_LT(HilbertValue({1.0001, -0.0001}, box, 6),
+            (1ull << 6) * (1ull << 6));
+}
+
+TEST(HilbertTest, DegenerateBoxMapsToOrigin) {
+  BoundingBox box;
+  box.Extend({5, 5});
+  EXPECT_EQ(HilbertValue({5, 5}, box, 8), HilbertXy2D(8, 0, 0));
+}
+
+}  // namespace
+}  // namespace capefp::geo

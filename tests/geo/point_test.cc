@@ -1,0 +1,53 @@
+#include "src/geo/point.h"
+
+#include <gtest/gtest.h>
+
+namespace capefp::geo {
+namespace {
+
+TEST(PointTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({-1, 0}, {1, 0}), 2.0);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ((Point{1, 2}), (Point{1, 2}));
+  EXPECT_FALSE((Point{1, 2}) == (Point{2, 1}));
+}
+
+TEST(BoundingBoxTest, EmptyByDefault) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_FALSE(box.Contains({0, 0}));
+  EXPECT_EQ(box.ToString(), "[empty]");
+}
+
+TEST(BoundingBoxTest, ExtendGrowsBox) {
+  BoundingBox box;
+  box.Extend({1, 2});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.lo(), (Point{1, 2}));
+  EXPECT_EQ(box.hi(), (Point{1, 2}));
+  box.Extend({-1, 5});
+  EXPECT_EQ(box.lo(), (Point{-1, 2}));
+  EXPECT_EQ(box.hi(), (Point{1, 5}));
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 3.0);
+}
+
+TEST(BoundingBoxTest, ContainsBorderAndInterior) {
+  BoundingBox box({0, 0}, {10, 10});
+  EXPECT_TRUE(box.Contains({0, 0}));
+  EXPECT_TRUE(box.Contains({10, 10}));
+  EXPECT_TRUE(box.Contains({5, 5}));
+  EXPECT_FALSE(box.Contains({10.001, 5}));
+  EXPECT_FALSE(box.Contains({5, -0.001}));
+}
+
+TEST(BoundingBoxDeathTest, RejectsInvertedCorners) {
+  EXPECT_DEATH(BoundingBox({1, 0}, {0, 1}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace capefp::geo

@@ -1,0 +1,180 @@
+// Robustness: hostile inputs and numeric stress.
+#include <array>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/capefp.h"
+#include "src/util/random.h"
+
+namespace capefp {
+namespace {
+
+using network::RoadNetwork;
+using tdf::PwlFunction;
+
+// Random bytes must never crash the network reader — only produce a clean
+// error status.
+TEST(RobustnessTest, NetworkReaderSurvivesRandomGarbage) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const size_t len = rng.NextBounded(400);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBounded(96) + 32));
+    }
+    std::stringstream in(garbage);
+    const auto result = network::ReadNetworkText(in);
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+// Mutating individual tokens of a valid file must also fail cleanly (or
+// parse to a network that is internally consistent).
+TEST(RobustnessTest, NetworkReaderSurvivesTokenMutations) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 12;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  std::stringstream buffer;
+  ASSERT_TRUE(network::WriteNetworkText(net, buffer).ok());
+  const std::string valid = buffer.str();
+  util::Rng rng(99);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::string mutated = valid;
+    const size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] = static_cast<char>(rng.NextBounded(96) + 32);
+    std::stringstream in(mutated);
+    const auto result = network::ReadNetworkText(in);
+    if (result.ok()) {
+      // Accepted mutations must still be structurally sound.
+      EXPECT_EQ(result->num_nodes(), net.num_nodes());
+    }
+  }
+}
+
+// Composing hundreds of edges must stay consistent with direct pointwise
+// evaluation — guards against drift in the breakpoint arithmetic.
+TEST(RobustnessTest, LongCompositionChainStaysExact) {
+  util::Rng rng(5);
+  const tdf::Calendar cal = tdf::Calendar::SingleCategory();
+  std::vector<tdf::CapeCodPattern> patterns;
+  std::vector<double> distances;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<tdf::SpeedPiece> pieces;
+    pieces.push_back({0.0, rng.NextDouble(0.3, 1.0)});
+    double start = 0.0;
+    for (int p = 0; p < 3; ++p) {
+      start += rng.NextDouble(100.0, 400.0);
+      if (start >= tdf::kMinutesPerDay - 1.0) break;
+      pieces.push_back({start, rng.NextDouble(0.3, 1.0)});
+    }
+    patterns.push_back(tdf::CapeCodPattern(
+        {tdf::DailySpeedPattern(std::move(pieces))}));
+    distances.push_back(rng.NextDouble(0.05, 0.4));
+  }
+
+  const double lo = 400.0;
+  const double hi = 470.0;
+  PwlFunction chain = PwlFunction::Constant(lo, hi, 0.0);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const tdf::EdgeSpeedView view(&patterns[i], &cal);
+    chain = tdf::ExpandPath(chain, view, distances[i]);
+  }
+  // Direct evaluation: walk the chain edge by edge.
+  for (int s = 0; s <= 20; ++s) {
+    const double l = lo + (hi - lo) * s / 20.0;
+    double now = l;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      const tdf::EdgeSpeedView view(&patterns[i], &cal);
+      now += tdf::TravelTime(view, distances[i], now);
+    }
+    EXPECT_NEAR(chain.Value(l), now - l, 1e-5) << "l=" << l;
+  }
+  // The function stays modest in size thanks to collinear merging.
+  EXPECT_LT(chain.NumPieces(), 600u);
+}
+
+// A pathological pattern with many tiny pieces must not blow up the
+// function representation.
+TEST(RobustnessTest, ManyPiecePatternStaysBounded) {
+  std::vector<tdf::SpeedPiece> pieces;
+  for (int i = 0; i < 288; ++i) {  // One piece every 5 minutes.
+    pieces.push_back({i * 5.0, 0.4 + 0.4 * (i % 2)});
+  }
+  const tdf::CapeCodPattern pat({tdf::DailySpeedPattern(std::move(pieces))});
+  const tdf::Calendar cal = tdf::Calendar::SingleCategory();
+  const tdf::EdgeSpeedView view(&pat, &cal);
+  const PwlFunction f =
+      tdf::EdgeTravelTimeFunction(view, 3.0, 0.0, tdf::kMinutesPerDay - 1.0);
+  // Sanity plus bounded size: breakpoints scale with pattern pieces, not
+  // quadratically.
+  EXPECT_LT(f.NumPieces(), 1200u);
+  for (double l : {10.0, 500.0, 1000.0, 1400.0}) {
+    EXPECT_NEAR(f.Value(l), tdf::TravelTime(view, 3.0, l), 1e-7);
+  }
+}
+
+// Const access to the network, estimator index, and searches from several
+// threads at once (each thread with its own per-query estimator), as the
+// thread-safety notes in road_network.h and boundary_estimator.h promise.
+TEST(RobustnessTest, ConcurrentConstQueriesAgree) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  const core::BoundaryNodeIndex index(
+      sn.network, {.grid_dim = 4,
+                   .mode = core::BoundaryIndexOptions::Mode::kTravelTime});
+  const auto target =
+      static_cast<network::NodeId>(sn.network.num_nodes() - 1);
+  const core::ProfileQuery query{0, target, tdf::HhMm(7, 0),
+                                 tdf::HhMm(8, 0)};
+
+  // Reference answer, single-threaded.
+  network::InMemoryAccessor ref_acc(&sn.network);
+  core::BoundaryNodeEstimator ref_est(&index, &ref_acc, target);
+  core::ProfileSearch ref_search(&ref_acc, &ref_est);
+  const core::AllFpResult reference = ref_search.RunAllFp(query);
+  ASSERT_TRUE(reference.found);
+
+  std::vector<std::thread> threads;
+  std::array<bool, 4> ok{};
+  for (size_t i = 0; i < ok.size(); ++i) {
+    threads.emplace_back([&, i] {
+      network::InMemoryAccessor acc(&sn.network);
+      core::BoundaryNodeEstimator est(&index, &acc, target);
+      core::ProfileSearch search(&acc, &est);
+      const core::AllFpResult result = search.RunAllFp(query);
+      ok[i] = result.found &&
+              tdf::PwlFunction::ApproxEqual(*result.border,
+                                            *reference.border, 1e-9);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t i = 0; i < ok.size(); ++i) {
+    EXPECT_TRUE(ok[i]) << "thread " << i;
+  }
+}
+
+// The CCAM store must function (slowly) even with a pathologically tiny
+// buffer pool — no pin-budget deadlocks in the B+-tree descent.
+TEST(RobustnessTest, CcamWorksWithTinyBufferPool) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  const std::string path = ::testing::TempDir() + "/tiny_pool.ccam";
+  ASSERT_TRUE(storage::BuildCcamFile(sn.network, path, {}).ok());
+  storage::CcamOpenOptions open;
+  open.buffer_pool_pages = 2;
+  auto store = storage::CcamStore::Open(path, open);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  storage::CcamAccessor accessor(store->get());
+  core::EuclideanEstimator est(&accessor, 0);
+  const auto far_node =
+      static_cast<network::NodeId>(sn.network.num_nodes() - 1);
+  const core::TdAStarResult result =
+      core::TdAStar(&accessor, far_node, 0, tdf::HhMm(8, 0), &est);
+  EXPECT_TRUE(result.found);
+  EXPECT_GT((*store)->stats().pool.faults, 100u);  // It really thrashed.
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace capefp

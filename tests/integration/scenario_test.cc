@@ -1,0 +1,217 @@
+// End-to-end scenario tests across module boundaries: calendar categories,
+// midnight crossings, multi-day intervals, and the full storage pipeline,
+// always cross-validated against independent point queries.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/capefp.h"
+#include "src/util/random.h"
+
+namespace capefp {
+namespace {
+
+using core::AllFpResult;
+using core::ProfileQuery;
+using core::TdAStarResult;
+using network::InMemoryAccessor;
+using network::NodeId;
+using network::RoadNetwork;
+using tdf::HhMm;
+using tdf::kMinutesPerDay;
+
+// Friday is day 4 of Calendar::StandardWeek (day 0 = Monday).
+constexpr double kFriday = 4.0 * kMinutesPerDay;
+constexpr double kSaturday = 5.0 * kMinutesPerDay;
+constexpr double kTuesday = 1.0 * kMinutesPerDay;
+
+// Validates an allFP border against dense TdAStar probing.
+void CrossValidateBorder(InMemoryAccessor& accessor, const ProfileQuery& q,
+                         const AllFpResult& all, int samples = 50) {
+  ASSERT_TRUE(all.found);
+  core::ZeroEstimator zero;
+  for (int i = 0; i <= samples; ++i) {
+    const double l = q.leave_lo + (q.leave_hi - q.leave_lo) * i / samples;
+    const TdAStarResult truth =
+        core::TdAStar(&accessor, q.source, q.target, l, &zero);
+    ASSERT_TRUE(truth.found);
+    EXPECT_NEAR(all.border->Value(l), truth.travel_time_minutes, 1e-6)
+        << "l=" << l;
+  }
+}
+
+class ScenarioTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScenarioTest, MidnightCrossingIntoWeekendIsExact) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 45;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor accessor(&net);
+  util::Rng rng(GetParam() ^ 0x1);
+  const auto s = static_cast<NodeId>(rng.NextBounded(45));
+  auto t = static_cast<NodeId>(rng.NextBounded(45));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 45);
+
+  // Leaving late Friday night: traversals spill into Saturday, which uses
+  // the second (non-workday) day category.
+  const ProfileQuery query{s, t, kFriday + HhMm(23, 0),
+                           kFriday + HhMm(23, 59)};
+  core::EuclideanEstimator est(&accessor, t);
+  core::ProfileSearch search(&accessor, &est);
+  const AllFpResult all = search.RunAllFp(query);
+  CrossValidateBorder(accessor, query, all);
+}
+
+TEST_P(ScenarioTest, MultiDayIntervalIsExact) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0x2;
+  opt.num_nodes = 35;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor accessor(&net);
+  util::Rng rng(GetParam());
+  const auto s = static_cast<NodeId>(rng.NextBounded(35));
+  auto t = static_cast<NodeId>(rng.NextBounded(35));
+  if (t == s) t = static_cast<NodeId>((t + 1) % 35);
+
+  // A 4-hour window straddling the Friday/Saturday category change.
+  const ProfileQuery wide{s, t, kFriday + HhMm(22, 0),
+                          kSaturday + HhMm(2, 0)};
+  core::EuclideanEstimator est(&accessor, t);
+  core::ProfileSearch search(&accessor, &est);
+  const AllFpResult all = search.RunAllFp(wide);
+  CrossValidateBorder(accessor, wide, all, 80);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioTest,
+                         ::testing::Values(21, 63, 149));
+
+TEST(ScenarioSuiteTest, WeekendBeatsRushHourOnTable1Network) {
+  gen::SuffolkOptions options = gen::SuffolkOptions::Small();
+  const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(options);
+  InMemoryAccessor accessor(&sn.network);
+  util::Rng rng(3);
+  int compared = 0;
+  for (int trial = 0; trial < 40 && compared < 10; ++trial) {
+    const auto s =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    const auto t =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    if (s == t) continue;
+    // Tuesday 7-9am (workday rush) vs Saturday 7-9am (non-workday).
+    core::EuclideanEstimator est1(&accessor, t);
+    core::ProfileSearch search1(&accessor, &est1);
+    const AllFpResult workday = search1.RunAllFp(
+        {s, t, kTuesday + HhMm(7, 0), kTuesday + HhMm(9, 0)});
+    core::EuclideanEstimator est2(&accessor, t);
+    core::ProfileSearch search2(&accessor, &est2);
+    const AllFpResult weekend = search2.RunAllFp(
+        {s, t, kSaturday + HhMm(7, 0), kSaturday + HhMm(9, 0)});
+    if (!workday.found || !weekend.found) continue;
+    ++compared;
+    // Pointwise: weekend can never be slower (speeds are >= everywhere).
+    for (int i = 0; i <= 20; ++i) {
+      const double frac = i / 20.0;
+      const double wl = kTuesday + HhMm(7, 0) + frac * 120.0;
+      const double sl = kSaturday + HhMm(7, 0) + frac * 120.0;
+      EXPECT_LE(weekend.border->Value(sl),
+                workday.border->Value(wl) + 1e-9);
+    }
+    // On non-workdays the Table 1 speeds are time-invariant, so the border
+    // is a single constant piece.
+    EXPECT_EQ(weekend.pieces.size(), 1u);
+    EXPECT_NEAR(weekend.border->MinValue(), weekend.border->MaxValue(),
+                1e-9);
+  }
+  EXPECT_GE(compared, 5);
+}
+
+TEST(ScenarioSuiteTest, FullPipelineGenerateSaveLoadStoreQuery) {
+  // generate -> text -> reload -> CCAM -> engine(disk) == engine(memory),
+  // with a rush-hour query whose partition is non-trivial.
+  gen::SuffolkOptions options;
+  options.seed = 11;
+  options.extent_miles = 5.0;
+  options.city_radius_miles = 1.2;
+  options.suburb_spacing_miles = 0.25;
+  options.target_segments = 0;
+  const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(options);
+
+  const std::string net_path = ::testing::TempDir() + "/pipeline.net";
+  const std::string db_path = ::testing::TempDir() + "/pipeline.ccam";
+  ASSERT_TRUE(network::WriteNetworkFile(sn.network, net_path).ok());
+  auto reloaded = network::ReadNetworkFile(net_path);
+  ASSERT_TRUE(reloaded.ok());
+
+  core::EngineOptions disk_options;
+  disk_options.ccam_path = db_path;
+  auto disk = core::FastestPathEngine::Create(&*reloaded, disk_options);
+  ASSERT_TRUE(disk.ok());
+  auto memory = core::FastestPathEngine::Create(&sn.network, {});
+  ASSERT_TRUE(memory.ok());
+
+  // A suburb-to-center commute across the rush onset.
+  util::Rng rng(4);
+  int validated = 0;
+  for (int trial = 0; trial < 60 && validated < 5; ++trial) {
+    const auto s = static_cast<NodeId>(
+        rng.NextBounded(sn.network.num_nodes()));
+    const auto t = static_cast<NodeId>(
+        rng.NextBounded(sn.network.num_nodes()));
+    if (geo::EuclideanDistance(sn.network.location(s),
+                               sn.network.location(t)) < 2.0) {
+      continue;
+    }
+    const ProfileQuery query{s, t, HhMm(6, 0), HhMm(8, 0)};
+    const AllFpResult a = (*disk)->AllFastestPaths(query);
+    const AllFpResult b = (*memory)->AllFastestPaths(query);
+    ASSERT_EQ(a.found, b.found);
+    if (!a.found) continue;
+    ++validated;
+    EXPECT_TRUE(tdf::PwlFunction::ApproxEqual(*a.border, *b.border, 1e-9));
+    ASSERT_EQ(a.pieces.size(), b.pieces.size());
+    for (size_t i = 0; i < a.pieces.size(); ++i) {
+      EXPECT_EQ(a.pieces[i].path, b.pieces[i].path);
+    }
+  }
+  EXPECT_GE(validated, 5);
+  std::remove(net_path.c_str());
+  std::remove(db_path.c_str());
+}
+
+TEST(ScenarioSuiteTest, HierarchicalMatchesFlatOnTable1Network) {
+  const gen::SuffolkNetwork sn =
+      gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  InMemoryAccessor accessor(&sn.network);
+  core::HierarchicalOptions options;
+  options.grid_dim = 3;
+  options.window_lo = HhMm(5, 0);
+  options.window_hi = HhMm(14, 0);
+  core::HierarchicalIndex index(&sn.network, options);
+  util::Rng rng(9);
+  int compared = 0;
+  for (int trial = 0; trial < 20 && compared < 5; ++trial) {
+    const auto s =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    const auto t =
+        static_cast<NodeId>(rng.NextBounded(sn.network.num_nodes()));
+    if (s == t) continue;
+    const ProfileQuery query{s, t, HhMm(6, 30), HhMm(8, 30)};
+    core::EuclideanEstimator flat_est(&accessor, t);
+    core::ProfileSearch flat(&accessor, &flat_est);
+    const AllFpResult expected = flat.RunAllFp(query);
+    core::EuclideanEstimator hier_est(&accessor, t);
+    auto actual = index.RunAllFp(query, &hier_est);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_EQ(actual->found, expected.found);
+    if (!expected.found) continue;
+    ++compared;
+    EXPECT_TRUE(tdf::PwlFunction::ApproxEqual(*actual->border,
+                                              *expected.border, 1e-6));
+  }
+  EXPECT_GE(compared, 3);
+}
+
+}  // namespace
+}  // namespace capefp

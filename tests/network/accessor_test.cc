@@ -1,0 +1,60 @@
+#include "src/network/accessor.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gen/random_network.h"
+
+namespace capefp::network {
+namespace {
+
+TEST(InMemoryAccessorTest, MirrorsNetwork) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 4;
+  opt.num_nodes = 30;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+
+  EXPECT_EQ(acc.num_nodes(), net.num_nodes());
+  EXPECT_DOUBLE_EQ(acc.max_speed(), net.max_speed());
+  EXPECT_EQ(&acc.calendar(), &net.calendar());
+
+  std::vector<NeighborEdge> neighbors;
+  for (size_t n = 0; n < net.num_nodes(); ++n) {
+    const auto id = static_cast<NodeId>(n);
+    EXPECT_EQ(acc.Location(id), net.location(id));
+    acc.GetSuccessors(id, &neighbors);
+    ASSERT_EQ(neighbors.size(), net.OutEdges(id).size());
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const Edge& e = net.edge(net.OutEdges(id)[i]);
+      EXPECT_EQ(neighbors[i].to, e.to);
+      EXPECT_DOUBLE_EQ(neighbors[i].distance_miles, e.distance_miles);
+      EXPECT_EQ(neighbors[i].pattern, e.pattern);
+      EXPECT_EQ(neighbors[i].road_class, e.road_class);
+    }
+  }
+}
+
+TEST(InMemoryAccessorTest, GetSuccessorsClearsOutput) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 5;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  std::vector<NeighborEdge> neighbors(7);
+  acc.GetSuccessors(0, &neighbors);
+  EXPECT_EQ(neighbors.size(), net.OutEdges(0).size());
+}
+
+TEST(InMemoryAccessorTest, SpeedViewReflectsPattern) {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(0.25));
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  net.AddEdge(0, 1, 1.0, 0, RoadClass::kLocalInCity);
+  InMemoryAccessor acc(&net);
+  EXPECT_DOUBLE_EQ(acc.SpeedView(0).SpeedAt(0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace capefp::network

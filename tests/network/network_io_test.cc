@@ -1,0 +1,177 @@
+#include "src/network/network_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/gen/random_network.h"
+#include "src/gen/suffolk_generator.h"
+
+namespace capefp::network {
+namespace {
+
+void ExpectNetworksEqual(const RoadNetwork& a, const RoadNetwork& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_patterns(), b.num_patterns());
+  EXPECT_EQ(a.calendar().cycle(), b.calendar().cycle());
+  for (size_t n = 0; n < a.num_nodes(); ++n) {
+    const auto id = static_cast<NodeId>(n);
+    EXPECT_DOUBLE_EQ(a.location(id).x, b.location(id).x);
+    EXPECT_DOUBLE_EQ(a.location(id).y, b.location(id).y);
+  }
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    const auto id = static_cast<EdgeId>(e);
+    EXPECT_EQ(a.edge(id).from, b.edge(id).from);
+    EXPECT_EQ(a.edge(id).to, b.edge(id).to);
+    EXPECT_DOUBLE_EQ(a.edge(id).distance_miles, b.edge(id).distance_miles);
+    EXPECT_EQ(a.edge(id).pattern, b.edge(id).pattern);
+    EXPECT_EQ(a.edge(id).road_class, b.edge(id).road_class);
+  }
+  for (size_t p = 0; p < a.num_patterns(); ++p) {
+    const auto id = static_cast<PatternId>(p);
+    ASSERT_EQ(a.pattern(id).num_categories(), b.pattern(id).num_categories());
+    for (size_t c = 0; c < a.pattern(id).num_categories(); ++c) {
+      const auto& da = a.pattern(id).pattern_for(static_cast<int32_t>(c));
+      const auto& db = b.pattern(id).pattern_for(static_cast<int32_t>(c));
+      ASSERT_EQ(da.pieces().size(), db.pieces().size());
+      for (size_t i = 0; i < da.pieces().size(); ++i) {
+        EXPECT_DOUBLE_EQ(da.pieces()[i].start_minute,
+                         db.pieces()[i].start_minute);
+        EXPECT_DOUBLE_EQ(da.pieces()[i].speed_mpm, db.pieces()[i].speed_mpm);
+      }
+    }
+  }
+}
+
+TEST(NetworkIoTest, RoundTripRandomNetwork) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 99;
+  opt.num_nodes = 40;
+  const RoadNetwork original = gen::MakeRandomNetwork(opt);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteNetworkText(original, buffer).ok());
+  auto restored = ReadNetworkText(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectNetworksEqual(original, *restored);
+}
+
+TEST(NetworkIoTest, RoundTripSuffolkSmall) {
+  const auto generated = gen::GenerateSuffolkNetwork(
+      gen::SuffolkOptions::Small());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteNetworkText(generated.network, buffer).ok());
+  auto restored = ReadNetworkText(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectNetworksEqual(generated.network, *restored);
+}
+
+TEST(NetworkIoTest, FileRoundTrip) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 10;
+  const RoadNetwork original = gen::MakeRandomNetwork(opt);
+  const std::string path = ::testing::TempDir() + "/capefp_io_test.net";
+  ASSERT_TRUE(WriteNetworkFile(original, path).ok());
+  auto restored = ReadNetworkFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectNetworksEqual(original, *restored);
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, RejectsWrongMagic) {
+  std::stringstream buffer("not-a-network 1\n");
+  EXPECT_EQ(ReadNetworkText(buffer).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(NetworkIoTest, RejectsWrongVersion) {
+  std::stringstream buffer("capefp-network 9\n");
+  EXPECT_EQ(ReadNetworkText(buffer).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(NetworkIoTest, RejectsTruncatedInput) {
+  std::stringstream buffer("capefp-network 1\ncalendar 2 0 1\npatterns 1\n");
+  EXPECT_EQ(ReadNetworkText(buffer).status().code(),
+            util::StatusCode::kCorruption);
+}
+
+TEST(NetworkIoTest, RejectsDanglingEdge) {
+  std::stringstream buffer(
+      "capefp-network 1\n"
+      "calendar 1 0\n"
+      "patterns 1\npattern 1\ncategory 1 0 1.0\n"
+      "nodes 2\n0 0\n1 1\n"
+      "edges 1\n0 5 1.0 0 2\n");
+  EXPECT_EQ(ReadNetworkText(buffer).status().code(),
+            util::StatusCode::kCorruption);
+}
+
+TEST(NetworkIoTest, RejectsNegativeSpeed) {
+  std::stringstream buffer(
+      "capefp-network 1\n"
+      "calendar 1 0\n"
+      "patterns 1\npattern 1\ncategory 1 0 -1.0\n"
+      "nodes 0\nedges 0\n");
+  EXPECT_EQ(ReadNetworkText(buffer).status().code(),
+            util::StatusCode::kCorruption);
+}
+
+TEST(NetworkIoTest, GeoJsonExportIsWellFormedAndDeduplicatesPairs) {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  net.AddNode({2, 0});
+  net.AddBidirectionalEdge(0, 1, 1.0, 0, RoadClass::kLocalInCity);
+  net.AddEdge(1, 2, 1.0, 0, RoadClass::kInboundHighway);  // One-way.
+  std::stringstream out;
+  ASSERT_TRUE(WriteGeoJson(net, out).ok());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"FeatureCollection\""), std::string::npos);
+  // Two features: the bidirectional pair collapses to one.
+  size_t features = 0;
+  for (size_t pos = json.find("\"Feature\""); pos != std::string::npos;
+       pos = json.find("\"Feature\"", pos + 1)) {
+    ++features;
+  }
+  EXPECT_EQ(features, 2u);
+  EXPECT_NE(json.find("\"one_way\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"one_way\":true"), std::string::npos);
+  EXPECT_NE(json.find("inbound-highway"), std::string::npos);
+  // Balanced braces/brackets — cheap well-formedness check.
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+    brackets += c == '[' ? 1 : (c == ']' ? -1 : 0);
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(NetworkIoTest, GeoJsonFileRoundTrip) {
+  const auto generated =
+      gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  const std::string path = ::testing::TempDir() + "/capefp_geo.json";
+  ASSERT_TRUE(WriteGeoJsonFile(generated.network, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("FeatureCollection"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadNetworkFile("/nonexistent/dir/net.txt").status().code(),
+            util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace capefp::network

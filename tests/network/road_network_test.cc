@@ -1,0 +1,100 @@
+#include "src/network/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tdf/speed_pattern.h"
+
+namespace capefp::network {
+namespace {
+
+RoadNetwork MakeTinyNetwork() {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(0.5));
+  net.AddNode({0, 0});
+  net.AddNode({3, 4});
+  net.AddNode({6, 0});
+  return net;
+}
+
+TEST(RoadNetworkTest, NodesAndBoundingBox) {
+  const RoadNetwork net = MakeTinyNetwork();
+  EXPECT_EQ(net.num_nodes(), 3u);
+  EXPECT_EQ(net.location(1), (geo::Point{3, 4}));
+  EXPECT_EQ(net.bounding_box().lo(), (geo::Point{0, 0}));
+  EXPECT_EQ(net.bounding_box().hi(), (geo::Point{6, 4}));
+}
+
+TEST(RoadNetworkTest, EdgesAndAdjacency) {
+  RoadNetwork net = MakeTinyNetwork();
+  const EdgeId e0 =
+      net.AddEdge(0, 1, 5.0, 0, RoadClass::kLocalInCity);
+  const EdgeId e1 =
+      net.AddEdge(1, 2, 5.0, 1, RoadClass::kInboundHighway);
+  net.AddEdge(0, 2, 6.0, 0, RoadClass::kLocalOutsideCity);
+  EXPECT_EQ(net.num_edges(), 3u);
+  ASSERT_EQ(net.OutEdges(0).size(), 2u);
+  EXPECT_EQ(net.OutEdges(0)[0], e0);
+  ASSERT_EQ(net.OutEdges(1).size(), 1u);
+  EXPECT_EQ(net.OutEdges(1)[0], e1);
+  EXPECT_TRUE(net.OutEdges(2).empty());
+  ASSERT_EQ(net.InEdges(2).size(), 2u);
+  EXPECT_EQ(net.edge(e1).from, 1);
+  EXPECT_EQ(net.edge(e1).to, 2);
+  EXPECT_EQ(net.edge(e1).road_class, RoadClass::kInboundHighway);
+}
+
+TEST(RoadNetworkTest, BidirectionalAddsTwoEdges) {
+  RoadNetwork net = MakeTinyNetwork();
+  net.AddBidirectionalEdge(0, 1, 5.0, 0, RoadClass::kLocalInCity);
+  EXPECT_EQ(net.num_edges(), 2u);
+  EXPECT_EQ(net.OutEdges(0).size(), 1u);
+  EXPECT_EQ(net.OutEdges(1).size(), 1u);
+  EXPECT_EQ(net.edge(net.OutEdges(1)[0]).to, 0);
+}
+
+TEST(RoadNetworkTest, MaxSpeedAndMinEdgeTravelTime) {
+  RoadNetwork net = MakeTinyNetwork();
+  EXPECT_DOUBLE_EQ(net.max_speed(), 1.0);
+  const EdgeId slow = net.AddEdge(0, 1, 5.0, 1, RoadClass::kLocalInCity);
+  // Pattern 1 moves at 0.5 mpm: best case 10 minutes for 5 miles.
+  EXPECT_DOUBLE_EQ(net.MinEdgeTravelTime(slow), 10.0);
+}
+
+TEST(RoadNetworkTest, SpeedViewUsesEdgePattern) {
+  RoadNetwork net = MakeTinyNetwork();
+  const EdgeId e = net.AddEdge(0, 1, 5.0, 1, RoadClass::kLocalInCity);
+  EXPECT_DOUBLE_EQ(net.SpeedView(e).SpeedAt(100.0), 0.5);
+}
+
+TEST(RoadNetworkTest, RoadClassNames) {
+  EXPECT_STREQ(RoadClassName(RoadClass::kInboundHighway), "inbound-highway");
+  EXPECT_STREQ(RoadClassName(RoadClass::kOutboundHighway),
+               "outbound-highway");
+  EXPECT_STREQ(RoadClassName(RoadClass::kLocalInCity), "local-in-city");
+  EXPECT_STREQ(RoadClassName(RoadClass::kLocalOutsideCity),
+               "local-outside-city");
+}
+
+TEST(RoadNetworkDeathTest, RejectsInvalidEdges) {
+  RoadNetwork net = MakeTinyNetwork();
+  EXPECT_DEATH(net.AddEdge(0, 0, 1.0, 0, RoadClass::kLocalInCity),
+               "self loops");
+  EXPECT_DEATH(net.AddEdge(0, 7, 1.0, 0, RoadClass::kLocalInCity),
+               "CHECK failed");
+  EXPECT_DEATH(net.AddEdge(0, 1, 0.0, 0, RoadClass::kLocalInCity),
+               "CHECK failed");
+  EXPECT_DEATH(net.AddEdge(0, 1, 1.0, 9, RoadClass::kLocalInCity),
+               "CHECK failed");
+}
+
+TEST(RoadNetworkDeathTest, RejectsInvalidLookups) {
+  const RoadNetwork net = MakeTinyNetwork();
+  EXPECT_DEATH(net.location(-1), "CHECK failed");
+  EXPECT_DEATH(net.location(3), "CHECK failed");
+  EXPECT_DEATH(net.edge(0), "CHECK failed");
+  EXPECT_DEATH(net.pattern(2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace capefp::network

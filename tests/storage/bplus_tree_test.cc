@@ -1,0 +1,207 @@
+#include "src/storage/bplus_tree.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace capefp::storage {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Recreate(256, 16); }
+
+  void Recreate(uint32_t page_size, size_t pool_pages) {
+    pool_.reset();
+    pager_.reset();
+    path_ = ::testing::TempDir() + "/bptree_test.db";
+    auto pager_or = Pager::Create(path_, page_size);
+    ASSERT_TRUE(pager_or.ok());
+    pager_ = std::move(*pager_or);
+    pool_ = std::make_unique<BufferPool>(pager_.get(), pool_pages);
+  }
+
+  void TearDown() override {
+    pool_.reset();
+    pager_.reset();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTreeBehaviour) {
+  BPlusTree tree(pool_.get(), kInvalidPage);
+  ASSERT_TRUE(tree.Init().ok());
+  EXPECT_EQ(tree.Get(1).status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(tree.Delete(1).code(), util::StatusCode::kNotFound);
+  auto count = tree.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+  auto height = tree.Height();
+  ASSERT_TRUE(height.ok());
+  EXPECT_EQ(*height, 1);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST_F(BPlusTreeTest, PutGetOverwrite) {
+  BPlusTree tree(pool_.get(), kInvalidPage);
+  ASSERT_TRUE(tree.Init().ok());
+  ASSERT_TRUE(tree.Put(42, 100).ok());
+  auto v = tree.Get(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 100u);
+  ASSERT_TRUE(tree.Put(42, 200).ok());
+  v = tree.Get(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 200u);
+  auto count = tree.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+}
+
+TEST_F(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree tree(pool_.get(), kInvalidPage);
+  ASSERT_TRUE(tree.Init().ok());
+  // 256-byte pages hold (256-8)/16 = 15 leaf entries; 100 inserts force
+  // several leaf and internal splits.
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Put(k * 7919 % 1000, k).ok());
+  }
+  auto height = tree.Height();
+  ASSERT_TRUE(height.ok());
+  EXPECT_GE(*height, 2);
+  EXPECT_TRUE(tree.Validate().ok());
+  for (uint64_t k = 0; k < 100; ++k) {
+    auto v = tree.Get(k * 7919 % 1000);
+    ASSERT_TRUE(v.ok()) << "key " << k * 7919 % 1000;
+  }
+}
+
+TEST_F(BPlusTreeTest, ScanReturnsSortedRange) {
+  BPlusTree tree(pool_.get(), kInvalidPage);
+  ASSERT_TRUE(tree.Init().ok());
+  for (uint64_t k = 0; k < 200; k += 2) {
+    ASSERT_TRUE(tree.Put(k, k * 10).ok());
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  ASSERT_TRUE(tree.Scan(50, 99, &out).ok());
+  ASSERT_EQ(out.size(), 25u);
+  EXPECT_EQ(out.front().first, 50u);
+  EXPECT_EQ(out.back().first, 98u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+    EXPECT_EQ(out[i].second, out[i].first * 10);
+  }
+}
+
+TEST_F(BPlusTreeTest, DeleteThenMiss) {
+  BPlusTree tree(pool_.get(), kInvalidPage);
+  ASSERT_TRUE(tree.Init().ok());
+  for (uint64_t k = 0; k < 50; ++k) ASSERT_TRUE(tree.Put(k, k).ok());
+  ASSERT_TRUE(tree.Delete(25).ok());
+  EXPECT_EQ(tree.Get(25).status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(tree.Delete(25).code(), util::StatusCode::kNotFound);
+  auto count = tree.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 49u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST_F(BPlusTreeTest, PersistsAcrossReopen) {
+  PageId root;
+  {
+    BPlusTree tree(pool_.get(), kInvalidPage);
+    ASSERT_TRUE(tree.Init().ok());
+    for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(tree.Put(k, k + 1).ok());
+    root = tree.root();
+    ASSERT_TRUE(pool_->FlushAll().ok());
+  }
+  pool_.reset();
+  auto pager_or = Pager::Open(path_);
+  ASSERT_TRUE(pager_or.ok());
+  pager_ = std::move(*pager_or);
+  pool_ = std::make_unique<BufferPool>(pager_.get(), 16);
+  BPlusTree tree(pool_.get(), root);
+  for (uint64_t k = 0; k < 500; ++k) {
+    auto v = tree.Get(k);
+    ASSERT_TRUE(v.ok()) << "key " << k;
+    EXPECT_EQ(*v, k + 1);
+  }
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+class BPlusTreeModelTest : public BPlusTreeTest,
+                           public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(BPlusTreeModelTest, MatchesStdMapUnderRandomOps) {
+  BPlusTree tree(pool_.get(), kInvalidPage);
+  ASSERT_TRUE(tree.Init().ok());
+  std::map<uint64_t, uint64_t> model;
+  util::Rng rng(GetParam());
+  for (int op = 0; op < 3000; ++op) {
+    const uint64_t key = rng.NextBounded(400);
+    const int action = static_cast<int>(rng.NextBounded(10));
+    if (action < 6) {
+      const uint64_t value = rng.Next();
+      ASSERT_TRUE(tree.Put(key, value).ok());
+      model[key] = value;
+    } else if (action < 8) {
+      const bool model_had = model.erase(key) > 0;
+      EXPECT_EQ(tree.Delete(key).ok(), model_had);
+    } else {
+      auto v = tree.Get(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_FALSE(v.ok());
+      } else {
+        ASSERT_TRUE(v.ok());
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+  }
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  auto count = tree.CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, model.size());
+  std::vector<std::pair<uint64_t, uint64_t>> all;
+  ASSERT_TRUE(tree.Scan(0, ~0ull, &all).ok());
+  ASSERT_EQ(all.size(), model.size());
+  auto it = model.begin();
+  for (const auto& [k, v] : all) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeModelTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST_F(BPlusTreeTest, LargeSequentialLoad) {
+  Recreate(512, 32);
+  BPlusTree tree(pool_.get(), kInvalidPage);
+  ASSERT_TRUE(tree.Init().ok());
+  for (uint64_t k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(tree.Put(k, ~k).ok());
+  }
+  EXPECT_TRUE(tree.Validate().ok());
+  auto height = tree.Height();
+  ASSERT_TRUE(height.ok());
+  EXPECT_GE(*height, 3);
+  for (uint64_t k = 0; k < 20000; k += 997) {
+    auto v = tree.Get(k);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, ~k);
+  }
+}
+
+}  // namespace
+}  // namespace capefp::storage

@@ -1,0 +1,222 @@
+#include "src/storage/buffer_pool.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace capefp::storage {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/bufpool_test.db";
+    auto pager_or = Pager::Create(path_, 256);
+    ASSERT_TRUE(pager_or.ok());
+    pager_ = std::move(*pager_or);
+  }
+  void TearDown() override {
+    pager_.reset();
+    std::remove(path_.c_str());
+  }
+
+  PageId NewPageWithByte(BufferPool& pool, char fill) {
+    auto handle_or = pool.AllocateAndAcquire();
+    EXPECT_TRUE(handle_or.ok());
+    handle_or->mutable_data()[0] = fill;
+    return handle_or->page_id();
+  }
+
+  std::string path_;
+  std::unique_ptr<Pager> pager_;
+};
+
+TEST_F(BufferPoolTest, HitOnSecondAcquire) {
+  BufferPool pool(pager_.get(), 4);
+  const PageId id = NewPageWithByte(pool, 'a');
+  {
+    auto h = pool.Acquire(id);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->data()[0], 'a');
+  }
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().faults, 0u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  BufferPool pool(pager_.get(), 2);
+  const PageId a = NewPageWithByte(pool, 'a');
+  const PageId b = NewPageWithByte(pool, 'b');
+  const PageId c = NewPageWithByte(pool, 'c');  // Evicts a (LRU).
+  EXPECT_GE(pool.stats().evictions, 1u);
+  EXPECT_GE(pool.stats().writebacks, 1u);
+  // Re-acquiring a faults it back with its written contents.
+  auto h = pool.Acquire(a);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->data()[0], 'a');
+  EXPECT_GE(pool.stats().faults, 1u);
+  (void)b;
+  (void)c;
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  BufferPool pool(pager_.get(), 2);
+  auto a_or = pool.AllocateAndAcquire();
+  ASSERT_TRUE(a_or.ok());
+  const PageId a = a_or->page_id();
+  a_or->mutable_data()[0] = 'a';
+  // Fill the other frame twice; 'a' must survive because it is pinned.
+  NewPageWithByte(pool, 'b');
+  NewPageWithByte(pool, 'c');
+  auto again = pool.Acquire(a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->data()[0], 'a');
+  EXPECT_EQ(pool.stats().faults, 0u);  // Never left the pool.
+}
+
+TEST_F(BufferPoolTest, ExhaustionWhenAllPinned) {
+  BufferPool pool(pager_.get(), 2);
+  auto a = pool.AllocateAndAcquire();
+  auto b = pool.AllocateAndAcquire();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = pool.AllocateAndAcquire();
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), util::StatusCode::kInternal);
+}
+
+TEST_F(BufferPoolTest, ReleaseEarlyAllowsReuse) {
+  BufferPool pool(pager_.get(), 1);
+  auto a = pool.AllocateAndAcquire();
+  ASSERT_TRUE(a.ok());
+  a->Release();
+  auto b = pool.AllocateAndAcquire();
+  EXPECT_TRUE(b.ok());
+}
+
+TEST_F(BufferPoolTest, FlushAllPersists) {
+  BufferPool pool(pager_.get(), 4);
+  const PageId id = NewPageWithByte(pool, 'z');
+  ASSERT_TRUE(pool.FlushAll().ok());
+  std::vector<char> buf(256);
+  ASSERT_TRUE(pager_->ReadPage(id, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'z');
+}
+
+TEST_F(BufferPoolTest, MoveHandleTransfersPin) {
+  BufferPool pool(pager_.get(), 2);
+  auto a = pool.AllocateAndAcquire();
+  ASSERT_TRUE(a.ok());
+  PageHandle moved = std::move(*a);
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+  // Frame is reusable now.
+  auto b = pool.AllocateAndAcquire();
+  auto c = pool.AllocateAndAcquire();
+  EXPECT_TRUE(b.ok());
+  EXPECT_TRUE(c.ok());
+}
+
+TEST_F(BufferPoolTest, FreePageDropsFromCache) {
+  BufferPool pool(pager_.get(), 4);
+  const PageId id = NewPageWithByte(pool, 'q');
+  ASSERT_TRUE(pool.FreePage(id).ok());
+  // Reallocation recycles the freed page id.
+  auto again = pool.AllocateAndAcquire();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->page_id(), id);
+}
+
+TEST_F(BufferPoolTest, FreeingPinnedPageFails) {
+  BufferPool pool(pager_.get(), 4);
+  auto a = pool.AllocateAndAcquire();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(pool.FreePage(a->page_id()).code(),
+            util::StatusCode::kInternal);
+}
+
+class BufferPoolModelTest : public BufferPoolTest,
+                            public ::testing::WithParamInterface<uint64_t> {};
+
+// Random acquire/write/release/free sequences against an in-memory
+// reference model: whatever the cache does internally, reads must always
+// return the bytes last written to that page.
+TEST_P(BufferPoolModelTest, MatchesReferenceModelUnderRandomOps) {
+  util::Rng rng(GetParam());
+  BufferPool pool(pager_.get(), 4);
+  std::map<PageId, char> model;           // page -> expected first byte
+  std::vector<PageId> live_pages;
+  std::vector<PageHandle> pins;
+  std::vector<PageId> pinned_ids;
+
+  for (int op = 0; op < 2000; ++op) {
+    const int action = static_cast<int>(rng.NextBounded(10));
+    if (action < 2 || live_pages.empty()) {
+      // Allocate a new page with a known byte.
+      auto handle = pool.AllocateAndAcquire();
+      if (!handle.ok()) continue;  // All frames pinned.
+      const char value = static_cast<char>('a' + rng.NextBounded(26));
+      handle->mutable_data()[0] = value;
+      model[handle->page_id()] = value;
+      live_pages.push_back(handle->page_id());
+    } else if (action < 7) {
+      // Read (and sometimes rewrite) a random live page.
+      const PageId id = live_pages[rng.NextBounded(live_pages.size())];
+      auto handle = pool.Acquire(id);
+      if (!handle.ok()) continue;
+      ASSERT_EQ(handle->data()[0], model.at(id)) << "page " << id;
+      if (rng.NextBool(0.4)) {
+        const char value = static_cast<char>('a' + rng.NextBounded(26));
+        handle->mutable_data()[0] = value;
+        model[id] = value;
+      }
+      if (rng.NextBool(0.2) && pins.size() < 2) {
+        pinned_ids.push_back(id);
+        pins.push_back(std::move(*handle));  // Keep pinned for a while.
+      }
+    } else if (action < 8 && !pins.empty()) {
+      pins.erase(pins.begin());
+      pinned_ids.erase(pinned_ids.begin());
+    } else if (live_pages.size() > 1) {
+      // Free an unpinned page.
+      const size_t idx = rng.NextBounded(live_pages.size());
+      const PageId id = live_pages[idx];
+      bool pinned = false;
+      for (PageId p : pinned_ids) pinned = pinned || p == id;
+      if (pinned) continue;
+      ASSERT_TRUE(pool.FreePage(id).ok());
+      model.erase(id);
+      live_pages.erase(live_pages.begin() + static_cast<ptrdiff_t>(idx));
+    }
+  }
+  pins.clear();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  // Everything the model knows must be on disk now.
+  std::vector<char> buf(256);
+  for (const auto& [id, value] : model) {
+    ASSERT_TRUE(pager_->ReadPage(id, buf.data()).ok());
+    EXPECT_EQ(buf[0], value) << "page " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferPoolModelTest,
+                         ::testing::Values(3, 41, 88, 157));
+
+TEST_F(BufferPoolTest, StatsResetClearsCounters) {
+  BufferPool pool(pager_.get(), 2);
+  NewPageWithByte(pool, 'a');
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().faults, 0u);
+  EXPECT_EQ(pool.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace capefp::storage

@@ -1,0 +1,268 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gen/random_network.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/storage/ccam_accessor.h"
+#include "src/storage/ccam_builder.h"
+#include "src/storage/ccam_store.h"
+
+namespace capefp::storage {
+namespace {
+
+using network::NeighborEdge;
+using network::NodeId;
+using network::RoadNetwork;
+
+class CcamTest : public ::testing::Test {
+ protected:
+  std::string path_;
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ccam_test.db";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST(NodeRecordTest, EncodeDecodeRoundTrip) {
+  NodeRecord record;
+  record.location = {1.5, -2.25};
+  record.edges = {
+      {7, 0.5, 2, network::RoadClass::kLocalInCity},
+      {9, 1.25, 0, network::RoadClass::kInboundHighway},
+  };
+  auto decoded = DecodeNodeRecord(EncodeNodeRecord(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->location, record.location);
+  ASSERT_EQ(decoded->edges.size(), 2u);
+  EXPECT_EQ(decoded->edges[1].to, 9);
+  EXPECT_DOUBLE_EQ(decoded->edges[1].distance_miles, 1.25);
+  EXPECT_EQ(decoded->edges[0].pattern, 2);
+  EXPECT_EQ(decoded->edges[0].road_class, network::RoadClass::kLocalInCity);
+}
+
+TEST(NodeRecordTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeNodeRecord("abc").ok());
+  NodeRecord record;
+  record.location = {0, 0};
+  record.edges = {{1, 1.0, 0, network::RoadClass::kLocalInCity}};
+  std::string bytes = EncodeNodeRecord(record);
+  EXPECT_FALSE(DecodeNodeRecord(bytes.substr(0, bytes.size() - 3)).ok());
+  bytes += "x";
+  EXPECT_FALSE(DecodeNodeRecord(bytes).ok());
+}
+
+TEST_F(CcamTest, BuildOpenRoundTripMatchesNetwork) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 31;
+  opt.num_nodes = 200;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  auto report = BuildCcamFile(net, path_, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->data_pages, 0u);
+  EXPECT_GT(report->index_pages, 0u);
+
+  auto store_or = CcamStore::Open(path_);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  CcamStore& store = **store_or;
+  EXPECT_EQ(store.num_nodes(), net.num_nodes());
+  EXPECT_DOUBLE_EQ(store.max_speed(), net.max_speed());
+  EXPECT_EQ(store.calendar().cycle(), net.calendar().cycle());
+  ASSERT_EQ(store.patterns().size(), net.num_patterns());
+
+  for (size_t n = 0; n < net.num_nodes(); ++n) {
+    const auto id = static_cast<NodeId>(n);
+    auto record = store.FindNode(id);
+    ASSERT_TRUE(record.ok()) << "node " << n;
+    EXPECT_DOUBLE_EQ(record->location.x, net.location(id).x);
+    EXPECT_DOUBLE_EQ(record->location.y, net.location(id).y);
+    ASSERT_EQ(record->edges.size(), net.OutEdges(id).size());
+    for (size_t i = 0; i < record->edges.size(); ++i) {
+      const network::Edge& e = net.edge(net.OutEdges(id)[i]);
+      EXPECT_EQ(record->edges[i].to, e.to);
+      EXPECT_DOUBLE_EQ(record->edges[i].distance_miles, e.distance_miles);
+      EXPECT_EQ(record->edges[i].pattern, e.pattern);
+      EXPECT_EQ(record->edges[i].road_class, e.road_class);
+    }
+  }
+}
+
+TEST_F(CcamTest, AccessorMirrorsInMemoryAccessor) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  ASSERT_TRUE(BuildCcamFile(sn.network, path_, {}).ok());
+  auto store_or = CcamStore::Open(path_);
+  ASSERT_TRUE(store_or.ok());
+  CcamAccessor disk(store_or->get());
+  network::InMemoryAccessor mem(&sn.network);
+
+  ASSERT_EQ(disk.num_nodes(), mem.num_nodes());
+  EXPECT_DOUBLE_EQ(disk.max_speed(), mem.max_speed());
+  std::vector<NeighborEdge> a;
+  std::vector<NeighborEdge> b;
+  for (size_t n = 0; n < disk.num_nodes(); ++n) {
+    const auto id = static_cast<NodeId>(n);
+    EXPECT_EQ(disk.Location(id), mem.Location(id));
+    disk.GetSuccessors(id, &a);
+    mem.GetSuccessors(id, &b);
+    ASSERT_EQ(a.size(), b.size()) << "node " << n;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_DOUBLE_EQ(a[i].distance_miles, b[i].distance_miles);
+      EXPECT_EQ(a[i].pattern, b[i].pattern);
+    }
+  }
+}
+
+TEST_F(CcamTest, PageFaultsAreCountedAndBounded) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  ASSERT_TRUE(BuildCcamFile(sn.network, path_, {}).ok());
+  CcamOpenOptions opt;
+  opt.buffer_pool_pages = 8;
+  auto store_or = CcamStore::Open(path_, opt);
+  ASSERT_TRUE(store_or.ok());
+  CcamStore& store = **store_or;
+  EXPECT_EQ(store.stats().pool.faults, 0u);
+  (void)store.FindNode(0);
+  EXPECT_GT(store.stats().pool.faults, 0u);
+  // A second lookup of the same node is all hits.
+  const auto faults = store.stats().pool.faults;
+  (void)store.FindNode(0);
+  EXPECT_EQ(store.stats().pool.faults, faults);
+}
+
+TEST_F(CcamTest, ConnectivityClusteringBeatsPlainHilbertPacking) {
+  const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
+  CcamBuildOptions clustered;
+  auto with = BuildCcamFile(sn.network, path_, clustered);
+  ASSERT_TRUE(with.ok());
+  CcamBuildOptions plain;
+  plain.connectivity_clustering = false;
+  auto without = BuildCcamFile(sn.network, path_, plain);
+  ASSERT_TRUE(without.ok());
+  EXPECT_GT(with->intra_page_edge_fraction,
+            without->intra_page_edge_fraction * 0.99);
+  EXPECT_GT(with->intra_page_edge_fraction, 0.3);
+}
+
+TEST_F(CcamTest, NonHilbertPackingStillRoundTrips) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 77;
+  opt.num_nodes = 60;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  CcamBuildOptions build;
+  build.spatial_ordering = false;
+  build.connectivity_clustering = false;
+  ASSERT_TRUE(BuildCcamFile(net, path_, build).ok());
+  auto store_or = CcamStore::Open(path_);
+  ASSERT_TRUE(store_or.ok());
+  for (size_t n = 0; n < net.num_nodes(); ++n) {
+    auto record = (*store_or)->FindNode(static_cast<NodeId>(n));
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->edges.size(), net.OutEdges(static_cast<NodeId>(n)).size());
+  }
+}
+
+TEST_F(CcamTest, InsertEdgeGrowsRecordAndSurvivesRelocation) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 8;
+  opt.num_nodes = 50;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  ASSERT_TRUE(BuildCcamFile(net, path_, {}).ok());
+  auto store_or = CcamStore::Open(path_);
+  ASSERT_TRUE(store_or.ok());
+  CcamStore& store = **store_or;
+
+  auto before = store.FindNode(3);
+  ASSERT_TRUE(before.ok());
+  const size_t degree = before->edges.size();
+  // Grow node 3's record until it must relocate at least once.
+  for (int i = 0; i < 120; ++i) {
+    NeighborEdge e{static_cast<NodeId>((i * 7) % 50), 0.5 + i,
+                   0, network::RoadClass::kLocalOutsideCity};
+    if (e.to == 3) e.to = 4;
+    ASSERT_TRUE(store.InsertEdge(3, e).ok()) << i;
+  }
+  auto after = store.FindNode(3);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->edges.size(), degree + 120);
+  EXPECT_DOUBLE_EQ(after->edges.back().distance_miles, 0.5 + 119);
+  // Other nodes untouched.
+  auto other = store.FindNode(7);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->edges.size(), net.OutEdges(7).size());
+}
+
+TEST_F(CcamTest, DeleteEdgeRemovesExactlyOne) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 20;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  ASSERT_TRUE(BuildCcamFile(net, path_, {}).ok());
+  auto store_or = CcamStore::Open(path_);
+  ASSERT_TRUE(store_or.ok());
+  CcamStore& store = **store_or;
+  auto record = store.FindNode(1);
+  ASSERT_TRUE(record.ok());
+  ASSERT_FALSE(record->edges.empty());
+  const NodeId victim = record->edges.front().to;
+  ASSERT_TRUE(store.DeleteEdge(1, victim).ok());
+  auto after = store.FindNode(1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->edges.size(), record->edges.size() - 1);
+  EXPECT_EQ(store.DeleteEdge(1, static_cast<NodeId>(9999)).code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(CcamTest, MutationsPersistAcrossReopen) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 30;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  ASSERT_TRUE(BuildCcamFile(net, path_, {}).ok());
+  {
+    auto store_or = CcamStore::Open(path_);
+    ASSERT_TRUE(store_or.ok());
+    ASSERT_TRUE((*store_or)
+                    ->InsertEdge(5, {6, 9.5, 0,
+                                     network::RoadClass::kLocalInCity})
+                    .ok());
+    ASSERT_TRUE((*store_or)->Flush().ok());
+  }
+  auto store_or = CcamStore::Open(path_);
+  ASSERT_TRUE(store_or.ok());
+  auto record = (*store_or)->FindNode(5);
+  ASSERT_TRUE(record.ok());
+  EXPECT_DOUBLE_EQ(record->edges.back().distance_miles, 9.5);
+}
+
+TEST_F(CcamTest, RejectsInvalidOperations) {
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 10;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  ASSERT_TRUE(BuildCcamFile(net, path_, {}).ok());
+  auto store_or = CcamStore::Open(path_);
+  ASSERT_TRUE(store_or.ok());
+  CcamStore& store = **store_or;
+  EXPECT_FALSE(store.FindNode(-1).ok());
+  EXPECT_FALSE(store.FindNode(10).ok());
+  EXPECT_FALSE(
+      store.InsertEdge(0, {99, 1.0, 0, network::RoadClass::kLocalInCity})
+          .ok());
+  EXPECT_FALSE(
+      store.InsertEdge(0, {1, -2.0, 0, network::RoadClass::kLocalInCity})
+          .ok());
+  EXPECT_FALSE(
+      store.InsertEdge(0, {1, 1.0, 99, network::RoadClass::kLocalInCity})
+          .ok());
+}
+
+TEST_F(CcamTest, OpenRejectsNonCcamFile) {
+  auto pager_or = Pager::Create(path_, 512);
+  ASSERT_TRUE(pager_or.ok());
+  ASSERT_TRUE((*pager_or)->Sync().ok());
+  pager_or->reset();
+  EXPECT_FALSE(CcamStore::Open(path_).ok());
+}
+
+}  // namespace
+}  // namespace capefp::storage

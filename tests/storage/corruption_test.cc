@@ -1,0 +1,158 @@
+// Failure-injection tests: bit rot and truncation on the page file must
+// surface as Corruption/IoError statuses, never as silently wrong data.
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gen/random_network.h"
+#include "src/storage/ccam_builder.h"
+#include "src/storage/ccam_store.h"
+#include "src/storage/pager.h"
+#include "src/util/random.h"
+
+namespace capefp::storage {
+namespace {
+
+// Flips one bit at `offset` in `path`.
+void FlipBit(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0x10, f);
+  std::fclose(f);
+}
+
+long FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/capefp_corruption.db";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CorruptionTest, PagerDetectsFlippedPayloadByte) {
+  {
+    auto pager = Pager::Create(path_, 256);
+    ASSERT_TRUE(pager.ok());
+    auto id = (*pager)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::vector<char> buf(256, 'a');
+    ASSERT_TRUE((*pager)->WritePage(*id, buf.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  // Page 1 payload starts at one physical stride (256 + 4).
+  FlipBit(path_, 260 + 10);
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  std::vector<char> buf(256);
+  EXPECT_EQ((*pager)->ReadPage(1, buf.data()).code(),
+            util::StatusCode::kCorruption);
+}
+
+TEST_F(CorruptionTest, PagerDetectsFlippedCrcByte) {
+  {
+    auto pager = Pager::Create(path_, 256);
+    ASSERT_TRUE(pager.ok());
+    auto id = (*pager)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::vector<char> buf(256, 'b');
+    ASSERT_TRUE((*pager)->WritePage(*id, buf.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  FlipBit(path_, 260 + 256);  // Inside the trailer itself.
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  std::vector<char> buf(256);
+  EXPECT_EQ((*pager)->ReadPage(1, buf.data()).code(),
+            util::StatusCode::kCorruption);
+}
+
+TEST_F(CorruptionTest, PagerDetectsHeaderCorruption) {
+  {
+    auto pager = Pager::Create(path_, 256);
+    ASSERT_TRUE(pager.ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  FlipBit(path_, 12);  // num_pages field.
+  EXPECT_EQ(Pager::Open(path_).status().code(),
+            util::StatusCode::kCorruption);
+}
+
+TEST_F(CorruptionTest, TruncatedFileIsAnIoError) {
+  {
+    auto pager = Pager::Create(path_, 256);
+    ASSERT_TRUE(pager.ok());
+    auto a = (*pager)->AllocatePage();
+    auto b = (*pager)->AllocatePage();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  ASSERT_EQ(::truncate(path_.c_str(), FileSize(path_) - 100), 0);
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());  // Header intact.
+  std::vector<char> buf(256);
+  EXPECT_EQ((*pager)->ReadPage(2, buf.data()).code(),
+            util::StatusCode::kIoError);
+}
+
+TEST_F(CorruptionTest, CcamFindNodeSurfacesCorruptPages) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 19;
+  opt.num_nodes = 120;
+  const network::RoadNetwork net = gen::MakeRandomNetwork(opt);
+  ASSERT_TRUE(BuildCcamFile(net, path_, {}).ok());
+
+  // Flip one payload bit in every data-region page in turn; every FindNode
+  // must either succeed (page untouched by that lookup), or fail with a
+  // clean status — never crash or hand back mangled records silently.
+  const long size = FileSize(path_);
+  const long stride = 2048 + 4;
+  util::Rng rng(5);
+  int corrupt_hits = 0;
+  for (long page = 2; page < size / stride; page += 3) {
+    FlipBit(path_, page * stride + 100);
+    auto store = CcamStore::Open(path_);
+    if (!store.ok()) {
+      // Meta/schema page was hit.
+      EXPECT_EQ(store.status().code(), util::StatusCode::kCorruption);
+      ++corrupt_hits;
+    } else {
+      for (int probe = 0; probe < 20; ++probe) {
+        const auto node = static_cast<network::NodeId>(
+            rng.NextBounded(net.num_nodes()));
+        auto record = (*store)->FindNode(node);
+        if (!record.ok()) {
+          EXPECT_EQ(record.status().code(), util::StatusCode::kCorruption);
+          ++corrupt_hits;
+        }
+      }
+    }
+    FlipBit(path_, page * stride + 100);  // Restore.
+  }
+  EXPECT_GT(corrupt_hits, 0) << "injection never reached a live page";
+  // After restoring every flip the store is healthy again.
+  auto store = CcamStore::Open(path_);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->FindNode(0).ok());
+}
+
+}  // namespace
+}  // namespace capefp::storage

@@ -1,0 +1,142 @@
+#include "src/storage/pager.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace capefp::storage {
+namespace {
+
+class PagerTest : public ::testing::Test {
+ protected:
+  std::string Path(const char* name) {
+    return ::testing::TempDir() + "/pager_" + name + ".db";
+  }
+  void TearDown() override {
+    for (const std::string& p : created_) std::remove(p.c_str());
+  }
+  std::string Track(std::string p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(PagerTest, CreateAllocateWriteRead) {
+  const std::string path = Track(Path("basic"));
+  auto pager_or = Pager::Create(path, 512);
+  ASSERT_TRUE(pager_or.ok()) << pager_or.status().ToString();
+  Pager& pager = **pager_or;
+  EXPECT_EQ(pager.page_size(), 512u);
+  EXPECT_EQ(pager.num_pages(), 1u);  // Header only.
+
+  auto id_or = pager.AllocatePage();
+  ASSERT_TRUE(id_or.ok());
+  EXPECT_EQ(*id_or, 1u);
+
+  std::vector<char> buf(512, 'x');
+  ASSERT_TRUE(pager.WritePage(*id_or, buf.data()).ok());
+  std::vector<char> readback(512, 0);
+  ASSERT_TRUE(pager.ReadPage(*id_or, readback.data()).ok());
+  EXPECT_EQ(buf, readback);
+  EXPECT_GE(pager.stats().page_reads, 1u);
+  EXPECT_GE(pager.stats().page_writes, 1u);
+}
+
+TEST_F(PagerTest, PersistsAcrossReopen) {
+  const std::string path = Track(Path("reopen"));
+  {
+    auto pager_or = Pager::Create(path, 256);
+    ASSERT_TRUE(pager_or.ok());
+    auto id_or = (*pager_or)->AllocatePage();
+    ASSERT_TRUE(id_or.ok());
+    std::vector<char> buf(256, 7);
+    ASSERT_TRUE((*pager_or)->WritePage(*id_or, buf.data()).ok());
+    ASSERT_TRUE((*pager_or)->Sync().ok());
+  }
+  auto reopened_or = Pager::Open(path);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  EXPECT_EQ((*reopened_or)->page_size(), 256u);
+  EXPECT_EQ((*reopened_or)->num_pages(), 2u);
+  std::vector<char> buf(256, 0);
+  ASSERT_TRUE((*reopened_or)->ReadPage(1, buf.data()).ok());
+  EXPECT_EQ(buf[0], 7);
+  EXPECT_EQ(buf[255], 7);
+}
+
+TEST_F(PagerTest, FreeListRecyclesPages) {
+  const std::string path = Track(Path("freelist"));
+  auto pager_or = Pager::Create(path, 256);
+  ASSERT_TRUE(pager_or.ok());
+  Pager& pager = **pager_or;
+  auto a = pager.AllocatePage();
+  auto b = pager.AllocatePage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(pager.FreePage(*a).ok());
+  auto c = pager.AllocatePage();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // Recycled.
+  auto d = pager.AllocatePage();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 3u);  // Fresh.
+}
+
+TEST_F(PagerTest, FreeListSurvivesReopen) {
+  const std::string path = Track(Path("freelist2"));
+  PageId freed;
+  {
+    auto pager_or = Pager::Create(path, 256);
+    ASSERT_TRUE(pager_or.ok());
+    auto a = (*pager_or)->AllocatePage();
+    auto b = (*pager_or)->AllocatePage();
+    ASSERT_TRUE(a.ok() && b.ok());
+    freed = *a;
+    ASSERT_TRUE((*pager_or)->FreePage(freed).ok());
+    ASSERT_TRUE((*pager_or)->Sync().ok());
+  }
+  auto pager_or = Pager::Open(path);
+  ASSERT_TRUE(pager_or.ok());
+  auto c = (*pager_or)->AllocatePage();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, freed);
+}
+
+TEST_F(PagerTest, RejectsOutOfRangeAccess) {
+  const std::string path = Track(Path("range"));
+  auto pager_or = Pager::Create(path, 256);
+  ASSERT_TRUE(pager_or.ok());
+  std::vector<char> buf(256);
+  EXPECT_EQ((*pager_or)->ReadPage(0, buf.data()).code(),
+            util::StatusCode::kOutOfRange);  // Header page protected.
+  EXPECT_EQ((*pager_or)->ReadPage(9, buf.data()).code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_EQ((*pager_or)->WritePage(9, buf.data()).code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_EQ((*pager_or)->FreePage(0).code(), util::StatusCode::kOutOfRange);
+}
+
+TEST_F(PagerTest, RejectsTinyPageSize) {
+  EXPECT_EQ(Pager::Create(Track(Path("tiny")), 16).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PagerTest, OpenRejectsGarbageFile) {
+  const std::string path = Track(Path("garbage"));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a page file at all, not even close......", f);
+  std::fclose(f);
+  EXPECT_EQ(Pager::Open(path).status().code(),
+            util::StatusCode::kCorruption);
+}
+
+TEST_F(PagerTest, OpenMissingFileIsIoError) {
+  EXPECT_EQ(Pager::Open("/nonexistent/nowhere.db").status().code(),
+            util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace capefp::storage

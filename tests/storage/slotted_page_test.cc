@@ -1,0 +1,105 @@
+#include "src/storage/slotted_page.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace capefp::storage {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : buf_(256, 0), page_(buf_.data(), 256) {
+    page_.Format();
+  }
+  std::vector<char> buf_;
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, AppendAndRead) {
+  const int s0 = page_.AppendRecord("hello");
+  const int s1 = page_.AppendRecord("world!");
+  EXPECT_EQ(s0, 0);
+  EXPECT_EQ(s1, 1);
+  EXPECT_EQ(page_.slot_count(), 2u);
+  EXPECT_EQ(page_.Record(0), "hello");
+  EXPECT_EQ(page_.Record(1), "world!");
+}
+
+TEST_F(SlottedPageTest, DeleteKeepsSlotIndicesStable) {
+  page_.AppendRecord("aaa");
+  page_.AppendRecord("bbb");
+  page_.AppendRecord("ccc");
+  page_.DeleteRecord(1);
+  EXPECT_EQ(page_.Record(0), "aaa");
+  EXPECT_TRUE(page_.Record(1).empty());
+  EXPECT_EQ(page_.Record(2), "ccc");
+  EXPECT_EQ(page_.slot_count(), 3u);
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceShrinks) {
+  page_.AppendRecord("longrecord");
+  EXPECT_TRUE(page_.UpdateRecordInPlace(0, "short"));
+  EXPECT_EQ(page_.Record(0), "short");
+  EXPECT_FALSE(page_.UpdateRecordInPlace(0, "muchlongerthanbefore"));
+  EXPECT_EQ(page_.Record(0), "short");
+}
+
+TEST_F(SlottedPageTest, RejectsOversizedAppend) {
+  const std::string big(300, 'x');
+  EXPECT_EQ(page_.AppendRecord(big), -1);
+}
+
+TEST_F(SlottedPageTest, FillsUntilExactCapacity) {
+  int appended = 0;
+  while (page_.AppendRecord("0123456789") >= 0) ++appended;
+  // 256-byte page: header 4 + k*(10 record + 4 slot) + 4 spare slot
+  // reserve <= 256 → 18 records.
+  EXPECT_EQ(appended, 18);
+  EXPECT_LT(page_.ContiguousFreeBytes(), 10u);
+}
+
+TEST_F(SlottedPageTest, CompactReclaimsDeadSpace) {
+  while (page_.AppendRecord("0123456789") >= 0) {
+  }
+  // Kill every other record; contiguous space stays tiny until compaction.
+  for (uint16_t s = 0; s < page_.slot_count(); s += 2) {
+    page_.DeleteRecord(s);
+  }
+  EXPECT_EQ(page_.AppendRecord("0123456789"), -1);
+  page_.Compact();
+  EXPECT_GE(page_.ContiguousFreeBytes(), 10u);
+  const int slot = page_.AppendRecord("newrecordA");
+  EXPECT_GE(slot, 0);
+  // Survivors are intact.
+  for (uint16_t s = 1; s < 17; s += 2) {
+    EXPECT_EQ(page_.Record(s), "0123456789") << "slot " << s;
+  }
+  EXPECT_EQ(page_.Record(static_cast<uint16_t>(slot)), "newrecordA");
+}
+
+TEST_F(SlottedPageTest, TotalFreeCountsDeadRecords) {
+  page_.AppendRecord("0123456789");
+  page_.AppendRecord("0123456789");
+  const uint32_t before = page_.TotalFreeBytes();
+  page_.DeleteRecord(0);
+  EXPECT_EQ(page_.TotalFreeBytes(), before + 10);
+}
+
+TEST_F(SlottedPageTest, EmptyRecordAppendIsValid) {
+  const int slot = page_.AppendRecord("");
+  EXPECT_EQ(slot, 0);
+  EXPECT_TRUE(page_.Record(0).empty());
+}
+
+TEST(SlottedPageDeathTest, OutOfRangeSlotAborts) {
+  std::vector<char> buf(256, 0);
+  SlottedPage page(buf.data(), 256);
+  page.Format();
+  EXPECT_DEATH(page.Record(0), "CHECK failed");
+  EXPECT_DEATH(page.DeleteRecord(5), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace capefp::storage

@@ -1,0 +1,227 @@
+#include "src/tdf/pwl_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace capefp::tdf {
+namespace {
+
+TEST(PwlFunctionTest, ConstantFunction) {
+  const PwlFunction f = PwlFunction::Constant(0.0, 10.0, 3.5);
+  EXPECT_DOUBLE_EQ(f.domain_lo(), 0.0);
+  EXPECT_DOUBLE_EQ(f.domain_hi(), 10.0);
+  EXPECT_DOUBLE_EQ(f.Value(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(f.Value(7.2), 3.5);
+  EXPECT_DOUBLE_EQ(f.MinValue(), 3.5);
+  EXPECT_DOUBLE_EQ(f.MaxValue(), 3.5);
+  EXPECT_EQ(f.NumPieces(), 1u);
+}
+
+TEST(PwlFunctionTest, SinglePointDomain) {
+  const PwlFunction f = PwlFunction::Constant(2.0, 2.0, 9.0);
+  EXPECT_EQ(f.NumPieces(), 0u);
+  EXPECT_DOUBLE_EQ(f.Value(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(f.MinValue(), 9.0);
+  const LinearPiece p = f.PieceAt(2.0);
+  EXPECT_DOUBLE_EQ(p.Eval(2.0), 9.0);
+}
+
+TEST(PwlFunctionTest, InterpolatesBetweenBreakpoints) {
+  const PwlFunction f({{0, 0}, {2, 4}, {4, 0}});
+  EXPECT_DOUBLE_EQ(f.Value(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.Value(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.Value(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.MinValue(), 0.0);
+  EXPECT_DOUBLE_EQ(f.MaxValue(), 4.0);
+}
+
+TEST(PwlFunctionTest, NormalizationMergesCollinearPoints) {
+  const PwlFunction f({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(f.NumPieces(), 1u);
+  EXPECT_DOUBLE_EQ(f.Value(1.5), 1.5);
+}
+
+TEST(PwlFunctionDeathTest, RejectsNonIncreasingX) {
+  EXPECT_DEATH(PwlFunction({{1, 0}, {1, 1}}), "strictly increase");
+  EXPECT_DEATH(PwlFunction({{2, 0}, {1, 1}}), "strictly increase");
+}
+
+TEST(PwlFunctionDeathTest, ValueOutsideDomainAborts) {
+  const PwlFunction f = PwlFunction::Constant(0.0, 1.0, 0.0);
+  EXPECT_DEATH(f.Value(2.0), "CHECK failed");
+  EXPECT_DEATH(f.Value(-1.0), "CHECK failed");
+}
+
+TEST(PwlFunctionTest, ArgMinIsLeftmost) {
+  const PwlFunction f({{0, 5}, {1, 2}, {2, 3}, {3, 2}, {4, 6}});
+  EXPECT_DOUBLE_EQ(f.ArgMin(), 1.0);
+}
+
+TEST(PwlFunctionTest, PieceAtReturnsCorrectSlopes) {
+  const PwlFunction f({{0, 0}, {2, 4}, {4, 0}});
+  EXPECT_DOUBLE_EQ(f.PieceAt(1.0).slope, 2.0);
+  EXPECT_DOUBLE_EQ(f.PieceAt(3.0).slope, -2.0);
+  // At the domain upper end, the piece to the left applies.
+  EXPECT_DOUBLE_EQ(f.PieceAt(4.0).slope, -2.0);
+  // At an interior breakpoint, the piece to the right applies.
+  EXPECT_DOUBLE_EQ(f.PieceAt(2.0).slope, -2.0);
+}
+
+TEST(PwlFunctionTest, ShiftedAddsConstant) {
+  const PwlFunction f({{0, 1}, {2, 3}});
+  const PwlFunction g = f.Shifted(10.0);
+  EXPECT_DOUBLE_EQ(g.Value(0.0), 11.0);
+  EXPECT_DOUBLE_EQ(g.Value(2.0), 13.0);
+}
+
+TEST(PwlFunctionTest, RestrictedKeepsInteriorShape) {
+  const PwlFunction f({{0, 0}, {2, 4}, {4, 0}});
+  const PwlFunction g = f.Restricted(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(g.domain_lo(), 1.0);
+  EXPECT_DOUBLE_EQ(g.domain_hi(), 3.0);
+  EXPECT_DOUBLE_EQ(g.Value(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(g.Value(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(g.Value(3.0), 2.0);
+}
+
+TEST(PwlFunctionTest, SumIsPointwise) {
+  const PwlFunction f({{0, 0}, {4, 4}});
+  const PwlFunction g({{0, 4}, {2, 0}, {4, 4}});
+  const PwlFunction s = PwlFunction::Sum(f, g);
+  EXPECT_DOUBLE_EQ(s.Value(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.Value(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.Value(3.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.Value(4.0), 8.0);
+}
+
+TEST(PwlFunctionTest, MinFindsCrossing) {
+  const PwlFunction f({{0, 0}, {4, 4}});   // y = x
+  const PwlFunction g({{0, 4}, {4, 0}});   // y = 4 - x
+  const PwlFunction m = PwlFunction::Min(f, g);
+  EXPECT_DOUBLE_EQ(m.Value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.Value(2.0), 2.0);  // Crossing point.
+  EXPECT_DOUBLE_EQ(m.Value(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Value(4.0), 0.0);
+  EXPECT_EQ(m.NumPieces(), 2u);
+}
+
+TEST(PwlFunctionTest, MergedGridContainsCrossings) {
+  const PwlFunction f({{0, 0}, {4, 4}});
+  const PwlFunction g({{0, 4}, {4, 0}});
+  const std::vector<double> grid = MergedGrid(f, g);
+  EXPECT_TRUE(std::any_of(grid.begin(), grid.end(),
+                          [](double x) { return std::fabs(x - 2.0) < 1e-9; }));
+}
+
+TEST(PwlFunctionTest, DominatesOrEqual) {
+  const PwlFunction f({{0, 2}, {4, 6}});
+  const PwlFunction g({{0, 1}, {4, 6}});
+  EXPECT_TRUE(PwlFunction::DominatesOrEqual(f, g));
+  EXPECT_FALSE(PwlFunction::DominatesOrEqual(g, f));
+  EXPECT_TRUE(PwlFunction::DominatesOrEqual(f, f));
+}
+
+TEST(PwlFunctionTest, DominanceDetectsInteriorViolation) {
+  // Equal at endpoints; f dips below g in the middle.
+  const PwlFunction f({{0, 2}, {2, 0}, {4, 2}});
+  const PwlFunction g = PwlFunction::Constant(0.0, 4.0, 1.0);
+  EXPECT_FALSE(PwlFunction::DominatesOrEqual(f, g));
+}
+
+TEST(PwlFunctionTest, ApproxEqual) {
+  const PwlFunction f({{0, 0}, {4, 4}});
+  const PwlFunction g({{0, 0}, {2, 2}, {4, 4}});
+  EXPECT_TRUE(PwlFunction::ApproxEqual(f, g));
+  const PwlFunction h({{0, 0}, {2, 2.1}, {4, 4}});
+  EXPECT_FALSE(PwlFunction::ApproxEqual(f, h));
+  const PwlFunction shifted({{0.5, 0.5}, {4, 4}});
+  EXPECT_FALSE(PwlFunction::ApproxEqual(f, shifted));
+}
+
+TEST(PwlFunctionTest, ToStringListsBreakpoints) {
+  const PwlFunction f({{0, 1}, {2, 3}});
+  EXPECT_EQ(f.ToString(), "pwl{(0,1),(2,3)}");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random functions, pointwise identities.
+
+class PwlPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  PwlFunction RandomFunction(util::Rng& rng, double lo, double hi) {
+    const int pieces = static_cast<int>(rng.NextInt(1, 8));
+    std::vector<Breakpoint> pts;
+    double x = lo;
+    const double step = (hi - lo) / pieces;
+    for (int i = 0; i <= pieces; ++i) {
+      pts.push_back({x, rng.NextDouble(0.0, 20.0)});
+      x += step * rng.NextDouble(0.8, 1.2);
+    }
+    pts.back().x = std::max(pts.back().x, hi);
+    // Renormalize final x to hi exactly so domains match across functions.
+    const double scale = (hi - lo) / (pts.back().x - lo);
+    for (Breakpoint& p : pts) p.x = lo + (p.x - lo) * scale;
+    pts.front().x = lo;
+    pts.back().x = hi;
+    return PwlFunction(pts);
+  }
+};
+
+TEST_P(PwlPropertyTest, MinIsPointwiseMinimum) {
+  util::Rng rng(GetParam());
+  const PwlFunction f = RandomFunction(rng, 0.0, 100.0);
+  const PwlFunction g = RandomFunction(rng, 0.0, 100.0);
+  const PwlFunction m = PwlFunction::Min(f, g);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble(0.0, 100.0);
+    EXPECT_NEAR(m.Value(x), std::min(f.Value(x), g.Value(x)), 1e-7);
+  }
+  EXPECT_TRUE(PwlFunction::DominatesOrEqual(f, m, 1e-7));
+  EXPECT_TRUE(PwlFunction::DominatesOrEqual(g, m, 1e-7));
+}
+
+TEST_P(PwlPropertyTest, SumIsPointwiseSum) {
+  util::Rng rng(GetParam() ^ 0x5bd1e995);
+  const PwlFunction f = RandomFunction(rng, -50.0, 50.0);
+  const PwlFunction g = RandomFunction(rng, -50.0, 50.0);
+  const PwlFunction s = PwlFunction::Sum(f, g);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble(-50.0, 50.0);
+    EXPECT_NEAR(s.Value(x), f.Value(x) + g.Value(x), 1e-7);
+  }
+}
+
+TEST_P(PwlPropertyTest, MinValueMatchesDenseSampling) {
+  util::Rng rng(GetParam() ^ 0x9e3779b9);
+  const PwlFunction f = RandomFunction(rng, 0.0, 10.0);
+  double sampled = f.Value(0.0);
+  for (int i = 0; i <= 2000; ++i) {
+    sampled = std::min(sampled, f.Value(10.0 * i / 2000.0));
+  }
+  EXPECT_LE(f.MinValue(), sampled + 1e-9);
+  EXPECT_NEAR(f.MinValue(), sampled, 0.2);  // Dense grid approximates min.
+  EXPECT_NEAR(f.Value(f.ArgMin()), f.MinValue(), 1e-9);
+}
+
+TEST_P(PwlPropertyTest, RestrictionAgreesWithOriginal) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  const PwlFunction f = RandomFunction(rng, 0.0, 100.0);
+  const double lo = rng.NextDouble(0.0, 50.0);
+  const double hi = lo + rng.NextDouble(0.1, 49.0);
+  const PwlFunction r = f.Restricted(lo, hi);
+  for (int i = 0; i <= 100; ++i) {
+    const double x = lo + (hi - lo) * i / 100.0;
+    EXPECT_NEAR(r.Value(x), f.Value(x), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PwlPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace capefp::tdf

@@ -1,0 +1,112 @@
+#include "src/tdf/speed_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace capefp::tdf {
+namespace {
+
+TEST(TimeHelpersTest, HhMmAndMph) {
+  EXPECT_DOUBLE_EQ(HhMm(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(HhMm(7, 30), 450.0);
+  EXPECT_DOUBLE_EQ(HhMm(23, 59), 1439.0);
+  EXPECT_DOUBLE_EQ(MphToMpm(60.0), 1.0);
+  EXPECT_DOUBLE_EQ(MphToMpm(30.0), 0.5);
+}
+
+DailySpeedPattern RushHourPattern() {
+  // 1 mpm except [7:00, 9:00) at 1/2 mpm — the example of §2.1.
+  return DailySpeedPattern(
+      {{0.0, 1.0}, {HhMm(7, 0), 0.5}, {HhMm(9, 0), 1.0}});
+}
+
+TEST(DailySpeedPatternTest, SpeedAtRespectsPieces) {
+  const DailySpeedPattern p = RushHourPattern();
+  EXPECT_DOUBLE_EQ(p.SpeedAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.SpeedAt(HhMm(6, 59)), 1.0);
+  EXPECT_DOUBLE_EQ(p.SpeedAt(HhMm(7, 0)), 0.5);   // Inclusive start.
+  EXPECT_DOUBLE_EQ(p.SpeedAt(HhMm(8, 30)), 0.5);
+  EXPECT_DOUBLE_EQ(p.SpeedAt(HhMm(9, 0)), 1.0);   // Exclusive end.
+  EXPECT_DOUBLE_EQ(p.SpeedAt(HhMm(23, 59)), 1.0);
+}
+
+TEST(DailySpeedPatternTest, NextBoundaryAfter) {
+  const DailySpeedPattern p = RushHourPattern();
+  EXPECT_DOUBLE_EQ(p.NextBoundaryAfter(0.0), HhMm(7, 0));
+  EXPECT_DOUBLE_EQ(p.NextBoundaryAfter(HhMm(7, 0)), HhMm(9, 0));
+  EXPECT_DOUBLE_EQ(p.NextBoundaryAfter(HhMm(8, 59)), HhMm(9, 0));
+  EXPECT_DOUBLE_EQ(p.NextBoundaryAfter(HhMm(9, 0)), kMinutesPerDay);
+  EXPECT_DOUBLE_EQ(p.NextBoundaryAfter(HhMm(23, 0)), kMinutesPerDay);
+}
+
+TEST(DailySpeedPatternTest, MinMaxSpeeds) {
+  const DailySpeedPattern p = RushHourPattern();
+  EXPECT_DOUBLE_EQ(p.max_speed(), 1.0);
+  EXPECT_DOUBLE_EQ(p.min_speed(), 0.5);
+}
+
+TEST(DailySpeedPatternTest, ConstantPattern) {
+  const DailySpeedPattern p = DailySpeedPattern::Constant(0.75);
+  EXPECT_DOUBLE_EQ(p.SpeedAt(100.0), 0.75);
+  EXPECT_DOUBLE_EQ(p.NextBoundaryAfter(100.0), kMinutesPerDay);
+}
+
+TEST(DailySpeedPatternDeathTest, RejectsInvalidPatterns) {
+  EXPECT_DEATH(DailySpeedPattern({}), "CHECK failed");
+  EXPECT_DEATH(DailySpeedPattern({{5.0, 1.0}}), "midnight");
+  EXPECT_DEATH(DailySpeedPattern({{0.0, 1.0}, {10.0, 0.0}}), "positive");
+  EXPECT_DEATH(DailySpeedPattern({{0.0, 1.0}, {10.0, 1.0}, {5.0, 1.0}}),
+               "increase");
+  EXPECT_DEATH(DailySpeedPattern({{0.0, 1.0}, {kMinutesPerDay, 1.0}}),
+               "CHECK failed");
+}
+
+TEST(CapeCodPatternTest, PerCategoryLookup) {
+  const CapeCodPattern pat({RushHourPattern(), DailySpeedPattern::Constant(1.0)});
+  EXPECT_EQ(pat.num_categories(), 2u);
+  EXPECT_DOUBLE_EQ(pat.pattern_for(0).SpeedAt(HhMm(8, 0)), 0.5);
+  EXPECT_DOUBLE_EQ(pat.pattern_for(1).SpeedAt(HhMm(8, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(pat.max_speed(), 1.0);
+  EXPECT_DOUBLE_EQ(pat.min_speed(), 0.5);
+}
+
+TEST(CapeCodPatternTest, ConstantSpeedFactory) {
+  const CapeCodPattern pat = CapeCodPattern::ConstantSpeed(0.6);
+  EXPECT_EQ(pat.num_categories(), 1u);
+  EXPECT_DOUBLE_EQ(pat.max_speed(), 0.6);
+  EXPECT_DOUBLE_EQ(pat.min_speed(), 0.6);
+}
+
+TEST(CapeCodPatternDeathTest, RejectsBadCategory) {
+  const CapeCodPattern pat = CapeCodPattern::ConstantSpeed(1.0);
+  EXPECT_DEATH(pat.pattern_for(1), "CHECK failed");
+  EXPECT_DEATH(pat.pattern_for(-1), "CHECK failed");
+}
+
+TEST(CalendarTest, SingleCategory) {
+  const Calendar cal = Calendar::SingleCategory();
+  EXPECT_EQ(cal.CategoryForDay(0), 0);
+  EXPECT_EQ(cal.CategoryForDay(1000), 0);
+  EXPECT_EQ(cal.CategoryForDay(-3), 0);
+}
+
+TEST(CalendarTest, StandardWeekCycles) {
+  const Calendar cal = Calendar::StandardWeek(/*workday=*/0,
+                                              /*nonworkday=*/1);
+  // Day 0 is Monday.
+  for (int d = 0; d < 5; ++d) EXPECT_EQ(cal.CategoryForDay(d), 0);
+  EXPECT_EQ(cal.CategoryForDay(5), 1);  // Saturday.
+  EXPECT_EQ(cal.CategoryForDay(6), 1);  // Sunday.
+  EXPECT_EQ(cal.CategoryForDay(7), 0);  // Next Monday.
+  EXPECT_EQ(cal.CategoryForDay(12), 1);
+}
+
+TEST(CalendarTest, NegativeDaysWrapCorrectly) {
+  const Calendar cal = Calendar::StandardWeek(0, 1);
+  EXPECT_EQ(cal.CategoryForDay(-1), 1);  // Sunday before day 0.
+  EXPECT_EQ(cal.CategoryForDay(-2), 1);
+  EXPECT_EQ(cal.CategoryForDay(-3), 0);
+  EXPECT_EQ(cal.CategoryForDay(-7), 0);
+}
+
+}  // namespace
+}  // namespace capefp::tdf

@@ -1,0 +1,322 @@
+#include "src/tdf/travel_time.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace capefp::tdf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The running example of §4.3-4.5 (Figure 2 network), reverse-engineered
+// from the travel-time functions printed in the paper:
+//   s→n: 2 miles, speed 1/3 mpm before 7:00, 1 mpm after.
+//   n→e: 1 mile, speed 1/3 mpm before 7:08, 0.1 mpm after.
+//   s→e: 6 miles, constant 1 mpm.
+// Leaving interval I = [6:50, 7:05].
+
+constexpr double kT650 = HhMm(6, 50);
+constexpr double kT654 = HhMm(6, 54);
+constexpr double kT656 = HhMm(6, 56);
+constexpr double kT700 = HhMm(7, 0);
+constexpr double kT703 = HhMm(7, 3);
+constexpr double kT705 = HhMm(7, 5);
+constexpr double kT707 = HhMm(7, 7);
+constexpr double kT708 = HhMm(7, 8);
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest()
+      : calendar_(Calendar::SingleCategory()),
+        pattern_sn_(
+            {DailySpeedPattern({{0.0, 1.0 / 3.0}, {kT700, 1.0}})}),
+        pattern_ne_(
+            {DailySpeedPattern({{0.0, 1.0 / 3.0}, {kT708, 0.1}})}),
+        pattern_se_(CapeCodPattern::ConstantSpeed(1.0)),
+        speed_sn_(&pattern_sn_, &calendar_),
+        speed_ne_(&pattern_ne_, &calendar_),
+        speed_se_(&pattern_se_, &calendar_) {}
+
+  Calendar calendar_;
+  CapeCodPattern pattern_sn_;
+  CapeCodPattern pattern_ne_;
+  CapeCodPattern pattern_se_;
+  EdgeSpeedView speed_sn_;
+  EdgeSpeedView speed_ne_;
+  EdgeSpeedView speed_se_;
+};
+
+TEST_F(PaperExampleTest, TravelTimePointQueries) {
+  // §4.3: T(l, s→n) = 6 before 6:54, (2/3)(7:00−l)+2 in between, 2 after.
+  EXPECT_NEAR(TravelTime(speed_sn_, 2.0, kT650), 6.0, 1e-9);
+  EXPECT_NEAR(TravelTime(speed_sn_, 2.0, kT654), 6.0, 1e-9);
+  EXPECT_NEAR(TravelTime(speed_sn_, 2.0, HhMm(6, 57)),
+              (2.0 / 3.0) * 3.0 + 2.0, 1e-9);
+  EXPECT_NEAR(TravelTime(speed_sn_, 2.0, kT700), 2.0, 1e-9);
+  EXPECT_NEAR(TravelTime(speed_sn_, 2.0, kT705), 2.0, 1e-9);
+  // s→e constant 6 minutes.
+  EXPECT_NEAR(TravelTime(speed_se_, 6.0, kT650), 6.0, 1e-9);
+  EXPECT_NEAR(TravelTime(speed_se_, 6.0, kT705), 6.0, 1e-9);
+}
+
+TEST_F(PaperExampleTest, EdgeFunctionForSnMatchesSection43) {
+  const PwlFunction f = EdgeTravelTimeFunction(speed_sn_, 2.0, kT650, kT705);
+  EXPECT_NEAR(f.Value(kT650), 6.0, 1e-9);
+  EXPECT_NEAR(f.Value(kT654), 6.0, 1e-9);
+  EXPECT_NEAR(f.Value(HhMm(6, 57)), 4.0, 1e-9);
+  EXPECT_NEAR(f.Value(kT700), 2.0, 1e-9);
+  EXPECT_NEAR(f.Value(kT705), 2.0, 1e-9);
+  // Three linear pieces: constant, slope −2/3, constant.
+  EXPECT_EQ(f.NumPieces(), 3u);
+  EXPECT_NEAR(f.PieceAt(HhMm(6, 57)).slope, -2.0 / 3.0, 1e-9);
+}
+
+TEST_F(PaperExampleTest, EdgeFunctionForNeMatchesSection44) {
+  // §4.4: during [6:56, 7:07], τ(l, n→e) = 3 before 7:05 and
+  // 10 − (7/3)(7:08 − l) afterwards.
+  const PwlFunction f = EdgeTravelTimeFunction(speed_ne_, 1.0, kT656, kT707);
+  EXPECT_NEAR(f.Value(kT656), 3.0, 1e-9);
+  EXPECT_NEAR(f.Value(kT705), 3.0, 1e-9);
+  EXPECT_NEAR(f.Value(HhMm(7, 6)), 10.0 - (7.0 / 3.0) * 2.0, 1e-9);
+  EXPECT_NEAR(f.Value(kT707), 10.0 - (7.0 / 3.0) * 1.0, 1e-9);
+  EXPECT_EQ(f.NumPieces(), 2u);
+}
+
+TEST_F(PaperExampleTest, ExpandPathReproducesFigure5) {
+  const PwlFunction path_sn =
+      EdgeTravelTimeFunction(speed_sn_, 2.0, kT650, kT705);
+  const PwlFunction combined = ExpandPath(path_sn, speed_ne_, 1.0);
+  // §4.4's four pieces: 9, (2/3)(7:00−l)+5, 5, 12−(7/3)(7:06−l).
+  EXPECT_NEAR(combined.Value(kT650), 9.0, 1e-9);
+  EXPECT_NEAR(combined.Value(kT654), 9.0, 1e-9);
+  EXPECT_NEAR(combined.Value(HhMm(6, 57)), (2.0 / 3.0) * 3.0 + 5.0, 1e-9);
+  EXPECT_NEAR(combined.Value(kT700), 5.0, 1e-9);
+  EXPECT_NEAR(combined.Value(kT703), 5.0, 1e-9);
+  EXPECT_NEAR(combined.Value(kT705),
+              12.0 - (7.0 / 3.0) * (HhMm(7, 6) - kT705), 1e-9);
+  EXPECT_EQ(combined.NumPieces(), 4u);
+  // §4.5: the singleFP optimum is 5 minutes, attained from 7:00 on.
+  EXPECT_NEAR(combined.MinValue(), 5.0, 1e-9);
+  EXPECT_NEAR(combined.ArgMin(), kT700, 1e-6);
+}
+
+TEST_F(PaperExampleTest, ArrivalIntervalMatchesFigure4) {
+  // §4.4: the leaving interval at n is [6:56, 7:07].
+  const double arrive_lo = kT650 + TravelTime(speed_sn_, 2.0, kT650);
+  const double arrive_hi = kT705 + TravelTime(speed_sn_, 2.0, kT705);
+  EXPECT_NEAR(arrive_lo, kT656, 1e-9);
+  EXPECT_NEAR(arrive_hi, kT707, 1e-9);
+}
+
+TEST_F(PaperExampleTest, DepartureForArrivalInvertsTravelTime) {
+  for (double l : {kT650, kT654, HhMm(6, 58), kT700, kT703, kT705}) {
+    const double arrival = l + TravelTime(speed_sn_, 2.0, l);
+    EXPECT_NEAR(DepartureForArrival(speed_sn_, 2.0, arrival), l, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generic behaviour.
+
+TEST(TravelTimeTest, ZeroDistanceIsInstant) {
+  const Calendar cal = Calendar::SingleCategory();
+  const CapeCodPattern pat = CapeCodPattern::ConstantSpeed(1.0);
+  const EdgeSpeedView view(&pat, &cal);
+  EXPECT_DOUBLE_EQ(TravelTime(view, 0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(DepartureForArrival(view, 0.0, 100.0), 100.0);
+}
+
+TEST(TravelTimeTest, MidnightCrossingUsesNextDayCategory) {
+  // Workday ends at midnight; the next day is a non-workday with double the
+  // speed. Leaving at 23:50 on day 0 (a Friday if day 0 = Monday... here we
+  // use an explicit 2-day cycle) covers 10 minutes at 0.5 mpm (5 miles) and
+  // the rest at 1 mpm.
+  const Calendar cal({0, 1});
+  const CapeCodPattern pat({DailySpeedPattern::Constant(0.5),
+                            DailySpeedPattern::Constant(1.0)});
+  const EdgeSpeedView view(&pat, &cal);
+  const double leave = HhMm(23, 50);  // Day 0.
+  // 8 miles: 10 min * 0.5 = 5 miles by midnight, 3 more miles at 1 mpm.
+  EXPECT_NEAR(TravelTime(view, 8.0, leave), 13.0, 1e-9);
+  // And the inverse.
+  EXPECT_NEAR(DepartureForArrival(view, 8.0, leave + 13.0), leave, 1e-9);
+}
+
+TEST(TravelTimeTest, TraversalSpanningManyPieces) {
+  // Three speed regimes inside one traversal (the "more than two different
+  // speed patterns" case of §4.1).
+  const Calendar cal = Calendar::SingleCategory();
+  const CapeCodPattern pat({DailySpeedPattern(
+      {{0.0, 1.0}, {HhMm(1, 0), 0.25}, {HhMm(1, 20), 2.0}})});
+  const EdgeSpeedView view(&pat, &cal);
+  // Leave at 0:50: 10 min at 1 mpm = 10 mi, 20 min at 0.25 = 5 mi,
+  // 2.5 mi left at 2 mpm = 1.25 min. Total distance 17.5 mi in 31.25 min.
+  EXPECT_NEAR(TravelTime(view, 17.5, HhMm(0, 50)), 31.25, 1e-9);
+  const PwlFunction f =
+      EdgeTravelTimeFunction(view, 17.5, HhMm(0, 30), HhMm(1, 30));
+  EXPECT_NEAR(f.Value(HhMm(0, 50)), 31.25, 1e-9);
+}
+
+TEST(TravelTimeTest, SpeedViewBoundaries) {
+  const Calendar cal({0, 1});
+  const CapeCodPattern pat({DailySpeedPattern({{0.0, 1.0}, {HhMm(7, 0), 0.5}}),
+                            DailySpeedPattern::Constant(2.0)});
+  const EdgeSpeedView view(&pat, &cal);
+  EXPECT_DOUBLE_EQ(view.SpeedAt(HhMm(6, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(view.SpeedAt(HhMm(8, 0)), 0.5);
+  EXPECT_DOUBLE_EQ(view.SpeedAt(kMinutesPerDay + 10.0), 2.0);  // Day 1.
+  EXPECT_DOUBLE_EQ(view.NextBoundaryAfter(HhMm(6, 0)), HhMm(7, 0));
+  EXPECT_DOUBLE_EQ(view.NextBoundaryAfter(HhMm(8, 0)), kMinutesPerDay);
+  EXPECT_DOUBLE_EQ(view.PrevBoundaryBefore(HhMm(8, 0)), HhMm(7, 0));
+  EXPECT_DOUBLE_EQ(view.PrevBoundaryBefore(HhMm(6, 0)), 0.0);
+  // At exactly midnight, the previous boundary lies in the previous day.
+  EXPECT_DOUBLE_EQ(view.PrevBoundaryBefore(kMinutesPerDay), HhMm(7, 0));
+  EXPECT_DOUBLE_EQ(view.max_speed(), 2.0);
+  EXPECT_DOUBLE_EQ(view.min_speed(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over random patterns.
+
+class TravelTimePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static CapeCodPattern RandomPattern(util::Rng& rng) {
+    std::vector<DailySpeedPattern> cats;
+    const int ncats = static_cast<int>(rng.NextInt(1, 3));
+    for (int c = 0; c < ncats; ++c) {
+      std::vector<SpeedPiece> pieces;
+      pieces.push_back({0.0, rng.NextDouble(0.1, 1.2)});
+      const int extra = static_cast<int>(rng.NextInt(0, 5));
+      double start = 0.0;
+      for (int i = 0; i < extra; ++i) {
+        start += rng.NextDouble(30.0, 300.0);
+        if (start >= kMinutesPerDay - 1.0) break;
+        pieces.push_back({start, rng.NextDouble(0.1, 1.2)});
+      }
+      cats.push_back(DailySpeedPattern(std::move(pieces)));
+    }
+    return CapeCodPattern(std::move(cats));
+  }
+};
+
+TEST_P(TravelTimePropertyTest, FunctionMatchesDirectEvaluation) {
+  util::Rng rng(GetParam());
+  const CapeCodPattern pat = RandomPattern(rng);
+  std::vector<DayCategoryId> cycle;
+  for (int i = 0; i < 7; ++i) {
+    cycle.push_back(static_cast<DayCategoryId>(
+        rng.NextBounded(pat.num_categories())));
+  }
+  const Calendar cal(cycle);
+  const EdgeSpeedView view(&pat, &cal);
+  const double d = rng.NextDouble(0.05, 12.0);
+  const double lo = rng.NextDouble(0.0, 5.0 * kMinutesPerDay);
+  const double hi = lo + rng.NextDouble(1.0, 300.0);
+  const PwlFunction f = EdgeTravelTimeFunction(view, d, lo, hi);
+  for (int i = 0; i <= 300; ++i) {
+    const double l = lo + (hi - lo) * i / 300.0;
+    EXPECT_NEAR(f.Value(l), TravelTime(view, d, l), 1e-7)
+        << "l=" << l << " d=" << d;
+  }
+}
+
+TEST_P(TravelTimePropertyTest, FifoArrivalsAreMonotone) {
+  util::Rng rng(GetParam() ^ 0x12345);
+  const CapeCodPattern pat = RandomPattern(rng);
+  const Calendar cal = Calendar::SingleCategory();
+  const EdgeSpeedView view(&pat, &cal);
+  const double d = rng.NextDouble(0.05, 8.0);
+  double prev_arrival = -1.0;
+  for (int i = 0; i <= 500; ++i) {
+    const double l = i * 3.0;
+    const double arrival = l + TravelTime(view, d, l);
+    EXPECT_GE(arrival, prev_arrival - 1e-9) << "FIFO violated at l=" << l;
+    prev_arrival = arrival;
+  }
+}
+
+TEST_P(TravelTimePropertyTest, InverseIsConsistentEverywhere) {
+  util::Rng rng(GetParam() ^ 0xfeed);
+  const CapeCodPattern pat = RandomPattern(rng);
+  const Calendar cal = Calendar::SingleCategory();
+  const EdgeSpeedView view(&pat, &cal);
+  const double d = rng.NextDouble(0.05, 8.0);
+  for (int i = 0; i < 100; ++i) {
+    const double l = rng.NextDouble(0.0, 3.0 * kMinutesPerDay);
+    const double arrival = l + TravelTime(view, d, l);
+    EXPECT_NEAR(DepartureForArrival(view, d, arrival), l, 1e-7);
+  }
+}
+
+TEST_P(TravelTimePropertyTest, ComposeMatchesPointwiseDefinition) {
+  util::Rng rng(GetParam() ^ 0xbeef);
+  const CapeCodPattern pat1 = RandomPattern(rng);
+  const CapeCodPattern pat2 = RandomPattern(rng);
+  const Calendar cal = Calendar::SingleCategory();
+  const EdgeSpeedView v1(&pat1, &cal);
+  const EdgeSpeedView v2(&pat2, &cal);
+  const double d1 = rng.NextDouble(0.1, 6.0);
+  const double d2 = rng.NextDouble(0.1, 6.0);
+  const double lo = rng.NextDouble(0.0, kMinutesPerDay);
+  const double hi = lo + rng.NextDouble(5.0, 240.0);
+  const PwlFunction first = EdgeTravelTimeFunction(v1, d1, lo, hi);
+  const PwlFunction combined = ExpandPath(first, v2, d2);
+  for (int i = 0; i <= 200; ++i) {
+    const double l = lo + (hi - lo) * i / 200.0;
+    const double t1 = TravelTime(v1, d1, l);
+    const double expected = t1 + TravelTime(v2, d2, l + t1);
+    EXPECT_NEAR(combined.Value(l), expected, 1e-7) << "l=" << l;
+  }
+}
+
+TEST_P(TravelTimePropertyTest, ReverseFunctionMatchesDirectInverse) {
+  util::Rng rng(GetParam() ^ 0xc0ffee);
+  const CapeCodPattern pat = RandomPattern(rng);
+  const Calendar cal = Calendar::SingleCategory();
+  const EdgeSpeedView view(&pat, &cal);
+  const double d = rng.NextDouble(0.1, 6.0);
+  const double lo = rng.NextDouble(0.0, 2.0 * kMinutesPerDay);
+  const double hi = lo + rng.NextDouble(5.0, 300.0);
+  const PwlFunction rho = EdgeReverseTravelTimeFunction(view, d, lo, hi);
+  for (int i = 0; i <= 200; ++i) {
+    const double arrival = lo + (hi - lo) * i / 200.0;
+    const double expected =
+        arrival - DepartureForArrival(view, d, arrival);
+    EXPECT_NEAR(rho.Value(arrival), expected, 1e-7) << "a=" << arrival;
+  }
+}
+
+TEST_P(TravelTimePropertyTest, ExpandReverseMatchesPointwiseDefinition) {
+  util::Rng rng(GetParam() ^ 0xd00d);
+  const CapeCodPattern pat1 = RandomPattern(rng);
+  const CapeCodPattern pat2 = RandomPattern(rng);
+  const Calendar cal = Calendar::SingleCategory();
+  const EdgeSpeedView v1(&pat1, &cal);
+  const EdgeSpeedView v2(&pat2, &cal);
+  const double d1 = rng.NextDouble(0.1, 5.0);
+  const double d2 = rng.NextDouble(0.1, 5.0);
+  const double lo = rng.NextDouble(60.0, kMinutesPerDay);
+  const double hi = lo + rng.NextDouble(5.0, 200.0);
+  // R = reverse function of the last edge; extend backwards across the
+  // earlier edge.
+  const PwlFunction last = EdgeReverseTravelTimeFunction(v2, d2, lo, hi);
+  const PwlFunction combined = ExpandPathReverse(last, v1, d1);
+  for (int i = 0; i <= 150; ++i) {
+    const double arrival = lo + (hi - lo) * i / 150.0;
+    const double mid_arrival =
+        DepartureForArrival(v2, d2, arrival);  // Arrival at the middle node.
+    const double departure = DepartureForArrival(v1, d1, mid_arrival);
+    EXPECT_NEAR(combined.Value(arrival), arrival - departure, 1e-7)
+        << "a=" << arrival;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TravelTimePropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+}  // namespace
+}  // namespace capefp::tdf

@@ -1,0 +1,34 @@
+#include "src/util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace capefp::util {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  CAPEFP_CHECK(true);
+  CAPEFP_CHECK_EQ(1, 1);
+  CAPEFP_CHECK_LT(1, 2) << "unused message";
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(CAPEFP_CHECK(false) << "boom", "CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingCheckIncludesMessage) {
+  EXPECT_DEATH(CAPEFP_CHECK_EQ(1, 2) << "context 42", "context 42");
+}
+
+TEST(CheckTest, CheckInsideIfElseBindsCorrectly) {
+  // Regression guard for the dangling-else shape of the macro.
+  bool reached_else = false;
+  if (1 == 1)
+    CAPEFP_CHECK(true);
+  else
+    reached_else = true;
+  EXPECT_FALSE(reached_else);
+}
+
+}  // namespace
+}  // namespace capefp::util

@@ -1,0 +1,52 @@
+#include "src/util/crc32.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace capefp::util {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // 32 zero bytes (RFC 3720 test vector).
+  unsigned char zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8a9136aau);
+  // 32 0xff bytes.
+  unsigned char ones[32];
+  std::memset(ones, 0xff, sizeof(ones));
+  EXPECT_EQ(Crc32c(ones, sizeof(ones)), 0x62a8ab43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); split += 7) {
+    const uint32_t first = Crc32c(data.data(), split);
+    const uint32_t resumed =
+        Crc32c(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(resumed, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data(64, 'x');
+  const uint32_t baseline = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); byte += 9) {
+    std::string mutated = data;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ 0x01);
+    EXPECT_NE(Crc32c(mutated.data(), mutated.size()), baseline)
+        << "flip at byte " << byte;
+  }
+}
+
+TEST(Crc32cTest, DistinctInputsDistinctSums) {
+  EXPECT_NE(Crc32c("abc", 3), Crc32c("abd", 3));
+  EXPECT_NE(Crc32c("abc", 3), Crc32c("cba", 3));
+}
+
+}  // namespace
+}  // namespace capefp::util

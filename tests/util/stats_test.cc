@@ -1,0 +1,62 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace capefp::util {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.1180339887, 1e-9);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75.0), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 30.0);
+}
+
+TEST(SummaryTest, SingleSample) {
+  Summary s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, AddAfterPercentileKeepsWorking) {
+  Summary s;
+  s.Add(5.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.Add(0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SummaryTest, ToStringMentionsCount) {
+  Summary s;
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_NE(s.ToString().find("n=2"), std::string::npos);
+  Summary empty;
+  EXPECT_EQ(empty.ToString(), "n=0");
+}
+
+TEST(WallTimerTest, MeasuresNonNegativeTime) {
+  WallTimer t;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  t.Restart();
+  EXPECT_GE(t.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace capefp::util

@@ -1,0 +1,328 @@
+// capefp_cli — command-line front end for the library.
+//
+// Subcommands:
+//   generate   write a synthetic Suffolk-style network to a text file
+//   build-ccam convert a network text file into a CCAM page file
+//   inspect    print statistics about a CCAM page file
+//   query      run allFP / singleFP / arrival queries on a network
+//   geojson    export a network as GeoJSON for map visualization
+//   selftest   run the whole pipeline end-to-end in a temp directory
+//
+// Examples:
+//   capefp_cli generate --out=/tmp/city.net --seed=42
+//   capefp_cli build-ccam --net=/tmp/city.net --out=/tmp/city.ccam
+//   capefp_cli inspect --db=/tmp/city.ccam
+//   capefp_cli query --net=/tmp/city.net --from=12 --to=931 ...
+//       ... --leave-lo=7:00 --leave-hi=9:00
+//   capefp_cli query --net=/tmp/city.net --from=12 --to=931 ...
+//       ... --arrive-lo=8:45 --arrive-hi=9:00
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/capefp.h"
+#include "src/util/check.h"
+
+namespace capefp::tools {
+namespace {
+
+// --- tiny flag handling ----------------------------------------------------
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    flags[arg.substr(0, eq)] =
+        eq == std::string::npos ? "1" : arg.substr(eq + 1);
+  }
+  return flags;
+}
+
+std::string GetFlag(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::string RequireFlag(const std::map<std::string, std::string>& flags,
+                        const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) {
+    std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+    std::exit(2);
+  }
+  return it->second;
+}
+
+// Parses "H:MM" or plain minutes into minutes from midnight.
+double ParseClock(const std::string& text) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) return std::stod(text);
+  return tdf::HhMm(std::stoi(text.substr(0, colon)),
+                   std::stoi(text.substr(colon + 1)));
+}
+
+std::string FormatClock(double minutes) {
+  const int total_seconds = static_cast<int>(minutes * 60.0 + 0.5);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d:%02d:%02d", total_seconds / 3600,
+                (total_seconds / 60) % 60, total_seconds % 60);
+  return buf;
+}
+
+// --- subcommands -------------------------------------------------------------
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  gen::SuffolkOptions options;
+  options.seed = std::stoull(GetFlag(flags, "seed", "42"));
+  options.extent_miles = std::stod(GetFlag(flags, "extent", "12"));
+  options.city_radius_miles =
+      std::stod(GetFlag(flags, "city-radius", "2.5"));
+  options.suburb_spacing_miles =
+      std::stod(GetFlag(flags, "spacing", "0.114"));
+  options.target_segments =
+      static_cast<int>(std::stol(GetFlag(flags, "segments", "20461")));
+  const std::string out = RequireFlag(flags, "out");
+
+  const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(options);
+  const util::Status status = network::WriteNetworkFile(sn.network, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu nodes, %zu directed edges (%zu segments)\n",
+              out.c_str(), sn.network.num_nodes(), sn.network.num_edges(),
+              sn.network.num_edges() / 2);
+  return 0;
+}
+
+int CmdBuildCcam(const std::map<std::string, std::string>& flags) {
+  const std::string net_path = RequireFlag(flags, "net");
+  const std::string out = RequireFlag(flags, "out");
+  auto net = network::ReadNetworkFile(net_path);
+  if (!net.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  storage::CcamBuildOptions build;
+  build.page_size =
+      static_cast<uint32_t>(std::stoul(GetFlag(flags, "page-size", "2048")));
+  auto report = storage::BuildCcamFile(*net, out, build);
+  if (!report.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u data + %u index pages (%u total), "
+              "%.1f%% intra-page edges\n",
+              out.c_str(), report->data_pages, report->index_pages,
+              report->total_pages, 100.0 * report->intra_page_edge_fraction);
+  return 0;
+}
+
+int CmdInspect(const std::map<std::string, std::string>& flags) {
+  const std::string db = RequireFlag(flags, "db");
+  auto store = storage::CcamStore::Open(db);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  auto height = (*store)->IndexHeight();
+  std::printf("%s:\n", db.c_str());
+  std::printf("  nodes:          %zu\n", (*store)->num_nodes());
+  std::printf("  patterns:       %zu\n", (*store)->patterns().size());
+  std::printf("  calendar cycle: %zu days\n",
+              (*store)->calendar().cycle().size());
+  std::printf("  max speed:      %.3f miles/min (%.0f mph)\n",
+              (*store)->max_speed(), (*store)->max_speed() * 60.0);
+  std::printf("  page size:      %u bytes\n", (*store)->page_size());
+  std::printf("  file pages:     %u\n", (*store)->file_pages());
+  std::printf("  index height:   %d\n", height.ok() ? *height : -1);
+  return 0;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags) {
+  const std::string net_path = RequireFlag(flags, "net");
+  auto net = network::ReadNetworkFile(net_path);
+  if (!net.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const auto from =
+      static_cast<network::NodeId>(std::stol(RequireFlag(flags, "from")));
+  const auto to =
+      static_cast<network::NodeId>(std::stol(RequireFlag(flags, "to")));
+  if (from < 0 || static_cast<size_t>(from) >= net->num_nodes() || to < 0 ||
+      static_cast<size_t>(to) >= net->num_nodes()) {
+    std::fprintf(stderr, "node ids must be in [0, %zu)\n", net->num_nodes());
+    return 2;
+  }
+
+  core::EngineOptions engine_options;
+  engine_options.boundary_grid_dim =
+      static_cast<int>(std::stol(GetFlag(flags, "grid", "16")));
+  auto engine = core::FastestPathEngine::Create(&*net, engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  if (flags.count("arrive-lo") != 0) {
+    // Arrival-interval query.
+    const double lo = ParseClock(RequireFlag(flags, "arrive-lo"));
+    const double hi = ParseClock(RequireFlag(flags, "arrive-hi"));
+    const core::ReverseAllFpResult all =
+        (*engine)->ArrivalAllFastestPaths({from, to, lo, hi});
+    if (!all.found) {
+      std::printf("no route from %d to %d\n", from, to);
+      return 1;
+    }
+    std::printf("arrival window [%s, %s], %zu fastest path(s):\n",
+                FormatClock(lo).c_str(), FormatClock(hi).c_str(),
+                all.pieces.size());
+    for (const core::ReverseAllFpPiece& piece : all.pieces) {
+      const double mid = 0.5 * (piece.arrive_lo + piece.arrive_hi);
+      std::printf("  arrive [%s, %s]: %zu hops, e.g. leave %s\n",
+                  FormatClock(piece.arrive_lo).c_str(),
+                  FormatClock(piece.arrive_hi).c_str(),
+                  piece.path.size() - 1,
+                  FormatClock(mid - all.border->Value(mid)).c_str());
+    }
+    return 0;
+  }
+
+  const double lo = ParseClock(GetFlag(flags, "leave-lo", "7:00"));
+  const double hi = ParseClock(GetFlag(flags, "leave-hi", "9:00"));
+  const core::AllFpResult all =
+      (*engine)->AllFastestPaths({from, to, lo, hi});
+  if (!all.found) {
+    std::printf("no route from %d to %d\n", from, to);
+    return 1;
+  }
+  std::printf("leaving window [%s, %s], %zu fastest path(s), "
+              "%lld expansions:\n",
+              FormatClock(lo).c_str(), FormatClock(hi).c_str(),
+              all.pieces.size(),
+              static_cast<long long>(all.stats.expansions));
+  for (const core::AllFpPiece& piece : all.pieces) {
+    std::printf("  leave [%s, %s): %zu hops, travel %.1f-%.1f min\n",
+                FormatClock(piece.leave_lo).c_str(),
+                FormatClock(piece.leave_hi).c_str(), piece.path.size() - 1,
+                all.border->Restricted(piece.leave_lo, piece.leave_hi)
+                    .MinValue(),
+                all.border->Restricted(piece.leave_lo, piece.leave_hi)
+                    .MaxValue());
+  }
+  const core::SingleFpResult single =
+      (*engine)->SingleFastestPath({from, to, lo, hi});
+  std::printf("best departure: %s (%.1f min)\n",
+              FormatClock(single.best_leave_time).c_str(),
+              single.best_travel_minutes);
+  if (flags.count("print-path") != 0) {
+    std::printf("path:");
+    for (network::NodeId node : single.path) std::printf(" %d", node);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdGeoJson(const std::map<std::string, std::string>& flags) {
+  const std::string net_path = RequireFlag(flags, "net");
+  const std::string out = RequireFlag(flags, "out");
+  auto net = network::ReadNetworkFile(net_path);
+  if (!net.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const util::Status status = network::WriteGeoJsonFile(*net, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdSelftest(const std::map<std::string, std::string>& flags) {
+  const std::string dir = GetFlag(flags, "dir", "/tmp");
+  const std::string net_path = dir + "/capefp_selftest.net";
+  const std::string db_path = dir + "/capefp_selftest.ccam";
+
+  // 1. Generate a small city and persist it.
+  gen::SuffolkOptions options = gen::SuffolkOptions::Small();
+  const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(options);
+  CAPEFP_CHECK(network::WriteNetworkFile(sn.network, net_path).ok());
+
+  // 2. Reload and verify scale.
+  auto net = network::ReadNetworkFile(net_path);
+  CAPEFP_CHECK(net.ok()) << net.status().ToString();
+  CAPEFP_CHECK_EQ(net->num_nodes(), sn.network.num_nodes());
+
+  // 3. Build + open the page file.
+  auto report = storage::BuildCcamFile(*net, db_path, {});
+  CAPEFP_CHECK(report.ok()) << report.status().ToString();
+  auto store = storage::CcamStore::Open(db_path);
+  CAPEFP_CHECK(store.ok()) << store.status().ToString();
+  CAPEFP_CHECK_EQ((*store)->num_nodes(), net->num_nodes());
+
+  // 4. Query through the engine, both in memory and disk-backed, and
+  // compare borders.
+  core::EngineOptions disk_options;
+  disk_options.ccam_path = db_path;
+  auto disk_engine = core::FastestPathEngine::Create(&*net, disk_options);
+  CAPEFP_CHECK(disk_engine.ok());
+  auto mem_engine = core::FastestPathEngine::Create(&*net, {});
+  CAPEFP_CHECK(mem_engine.ok());
+  const auto target = static_cast<network::NodeId>(net->num_nodes() - 1);
+  const core::ProfileQuery query{0, target, tdf::HhMm(7, 0),
+                                 tdf::HhMm(9, 0)};
+  const core::AllFpResult a = (*disk_engine)->AllFastestPaths(query);
+  const core::AllFpResult b = (*mem_engine)->AllFastestPaths(query);
+  CAPEFP_CHECK_EQ(a.found, b.found);
+  if (a.found) {
+    CAPEFP_CHECK(tdf::PwlFunction::ApproxEqual(*a.border, *b.border, 1e-9));
+  }
+
+  std::remove(net_path.c_str());
+  std::remove(db_path.c_str());
+  std::printf("selftest OK (%zu nodes, disk == memory)\n", net->num_nodes());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: capefp_cli <generate|build-ccam|inspect|query|geojson|"
+               "selftest> [--flags]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "build-ccam") return CmdBuildCcam(flags);
+  if (command == "inspect") return CmdInspect(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "geojson") return CmdGeoJson(flags);
+  if (command == "selftest") return CmdSelftest(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace capefp::tools
+
+int main(int argc, char** argv) { return capefp::tools::Main(argc, argv); }
