@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_constant_speed"
+  "../bench/bench_constant_speed.pdb"
+  "CMakeFiles/bench_constant_speed.dir/bench_constant_speed.cc.o"
+  "CMakeFiles/bench_constant_speed.dir/bench_constant_speed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constant_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hierarchical"
+  "../bench/bench_hierarchical.pdb"
+  "CMakeFiles/bench_hierarchical.dir/bench_hierarchical.cc.o"
+  "CMakeFiles/bench_hierarchical.dir/bench_hierarchical.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_pwl"
+  "../bench/bench_micro_pwl.pdb"
+  "CMakeFiles/bench_micro_pwl.dir/bench_micro_pwl.cc.o"
+  "CMakeFiles/bench_micro_pwl.dir/bench_micro_pwl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pwl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

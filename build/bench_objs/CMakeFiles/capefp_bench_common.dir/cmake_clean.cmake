@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capefp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/capefp_bench_common.dir/bench_common.cc.o.d"
+  "libcapefp_bench_common.a"
+  "libcapefp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capefp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

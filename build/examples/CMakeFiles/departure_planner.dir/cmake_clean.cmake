@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/departure_planner.dir/departure_planner.cpp.o"
+  "CMakeFiles/departure_planner.dir/departure_planner.cpp.o.d"
+  "departure_planner"
+  "departure_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/departure_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_inspect.dir/network_inspect.cpp.o"
+  "CMakeFiles/network_inspect.dir/network_inspect.cpp.o.d"
+  "network_inspect"
+  "network_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

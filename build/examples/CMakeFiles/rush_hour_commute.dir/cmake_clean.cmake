@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rush_hour_commute.dir/rush_hour_commute.cpp.o"
+  "CMakeFiles/rush_hour_commute.dir/rush_hour_commute.cpp.o.d"
+  "rush_hour_commute"
+  "rush_hour_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rush_hour_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/CMakeFiles/capefp.dir/core/analysis.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/analysis.cc.o.d"
+  "/root/repo/src/core/boundary_estimator.cc" "src/CMakeFiles/capefp.dir/core/boundary_estimator.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/boundary_estimator.cc.o.d"
+  "/root/repo/src/core/constant_speed_solver.cc" "src/CMakeFiles/capefp.dir/core/constant_speed_solver.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/constant_speed_solver.cc.o.d"
+  "/root/repo/src/core/discrete_solver.cc" "src/CMakeFiles/capefp.dir/core/discrete_solver.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/discrete_solver.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/capefp.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/capefp.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/hierarchical.cc" "src/CMakeFiles/capefp.dir/core/hierarchical.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/hierarchical.cc.o.d"
+  "/root/repo/src/core/lower_border.cc" "src/CMakeFiles/capefp.dir/core/lower_border.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/lower_border.cc.o.d"
+  "/root/repo/src/core/profile_envelope.cc" "src/CMakeFiles/capefp.dir/core/profile_envelope.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/profile_envelope.cc.o.d"
+  "/root/repo/src/core/profile_search.cc" "src/CMakeFiles/capefp.dir/core/profile_search.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/profile_search.cc.o.d"
+  "/root/repo/src/core/reverse_profile_search.cc" "src/CMakeFiles/capefp.dir/core/reverse_profile_search.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/reverse_profile_search.cc.o.d"
+  "/root/repo/src/core/td_astar.cc" "src/CMakeFiles/capefp.dir/core/td_astar.cc.o" "gcc" "src/CMakeFiles/capefp.dir/core/td_astar.cc.o.d"
+  "/root/repo/src/gen/random_network.cc" "src/CMakeFiles/capefp.dir/gen/random_network.cc.o" "gcc" "src/CMakeFiles/capefp.dir/gen/random_network.cc.o.d"
+  "/root/repo/src/gen/suffolk_generator.cc" "src/CMakeFiles/capefp.dir/gen/suffolk_generator.cc.o" "gcc" "src/CMakeFiles/capefp.dir/gen/suffolk_generator.cc.o.d"
+  "/root/repo/src/gen/table1_schema.cc" "src/CMakeFiles/capefp.dir/gen/table1_schema.cc.o" "gcc" "src/CMakeFiles/capefp.dir/gen/table1_schema.cc.o.d"
+  "/root/repo/src/geo/hilbert.cc" "src/CMakeFiles/capefp.dir/geo/hilbert.cc.o" "gcc" "src/CMakeFiles/capefp.dir/geo/hilbert.cc.o.d"
+  "/root/repo/src/geo/point.cc" "src/CMakeFiles/capefp.dir/geo/point.cc.o" "gcc" "src/CMakeFiles/capefp.dir/geo/point.cc.o.d"
+  "/root/repo/src/network/accessor.cc" "src/CMakeFiles/capefp.dir/network/accessor.cc.o" "gcc" "src/CMakeFiles/capefp.dir/network/accessor.cc.o.d"
+  "/root/repo/src/network/network_io.cc" "src/CMakeFiles/capefp.dir/network/network_io.cc.o" "gcc" "src/CMakeFiles/capefp.dir/network/network_io.cc.o.d"
+  "/root/repo/src/network/road_network.cc" "src/CMakeFiles/capefp.dir/network/road_network.cc.o" "gcc" "src/CMakeFiles/capefp.dir/network/road_network.cc.o.d"
+  "/root/repo/src/storage/bplus_tree.cc" "src/CMakeFiles/capefp.dir/storage/bplus_tree.cc.o" "gcc" "src/CMakeFiles/capefp.dir/storage/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/capefp.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/capefp.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/ccam_accessor.cc" "src/CMakeFiles/capefp.dir/storage/ccam_accessor.cc.o" "gcc" "src/CMakeFiles/capefp.dir/storage/ccam_accessor.cc.o.d"
+  "/root/repo/src/storage/ccam_builder.cc" "src/CMakeFiles/capefp.dir/storage/ccam_builder.cc.o" "gcc" "src/CMakeFiles/capefp.dir/storage/ccam_builder.cc.o.d"
+  "/root/repo/src/storage/ccam_store.cc" "src/CMakeFiles/capefp.dir/storage/ccam_store.cc.o" "gcc" "src/CMakeFiles/capefp.dir/storage/ccam_store.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/capefp.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/capefp.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/capefp.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/capefp.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/tdf/pwl_function.cc" "src/CMakeFiles/capefp.dir/tdf/pwl_function.cc.o" "gcc" "src/CMakeFiles/capefp.dir/tdf/pwl_function.cc.o.d"
+  "/root/repo/src/tdf/speed_pattern.cc" "src/CMakeFiles/capefp.dir/tdf/speed_pattern.cc.o" "gcc" "src/CMakeFiles/capefp.dir/tdf/speed_pattern.cc.o.d"
+  "/root/repo/src/tdf/travel_time.cc" "src/CMakeFiles/capefp.dir/tdf/travel_time.cc.o" "gcc" "src/CMakeFiles/capefp.dir/tdf/travel_time.cc.o.d"
+  "/root/repo/src/util/crc32.cc" "src/CMakeFiles/capefp.dir/util/crc32.cc.o" "gcc" "src/CMakeFiles/capefp.dir/util/crc32.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/capefp.dir/util/random.cc.o" "gcc" "src/CMakeFiles/capefp.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/capefp.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/capefp.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/capefp.dir/util/status.cc.o" "gcc" "src/CMakeFiles/capefp.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

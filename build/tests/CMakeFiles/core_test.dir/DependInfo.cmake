@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cc" "tests/CMakeFiles/core_test.dir/core/analysis_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/analysis_test.cc.o.d"
+  "/root/repo/tests/core/constant_speed_solver_test.cc" "tests/CMakeFiles/core_test.dir/core/constant_speed_solver_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/constant_speed_solver_test.cc.o.d"
+  "/root/repo/tests/core/discrete_solver_test.cc" "tests/CMakeFiles/core_test.dir/core/discrete_solver_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/discrete_solver_test.cc.o.d"
+  "/root/repo/tests/core/engine_test.cc" "tests/CMakeFiles/core_test.dir/core/engine_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/engine_test.cc.o.d"
+  "/root/repo/tests/core/estimator_test.cc" "tests/CMakeFiles/core_test.dir/core/estimator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/estimator_test.cc.o.d"
+  "/root/repo/tests/core/hierarchical_test.cc" "tests/CMakeFiles/core_test.dir/core/hierarchical_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hierarchical_test.cc.o.d"
+  "/root/repo/tests/core/lower_border_test.cc" "tests/CMakeFiles/core_test.dir/core/lower_border_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lower_border_test.cc.o.d"
+  "/root/repo/tests/core/paper_example_test.cc" "tests/CMakeFiles/core_test.dir/core/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/paper_example_test.cc.o.d"
+  "/root/repo/tests/core/profile_envelope_test.cc" "tests/CMakeFiles/core_test.dir/core/profile_envelope_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/profile_envelope_test.cc.o.d"
+  "/root/repo/tests/core/profile_search_test.cc" "tests/CMakeFiles/core_test.dir/core/profile_search_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/profile_search_test.cc.o.d"
+  "/root/repo/tests/core/reverse_profile_search_test.cc" "tests/CMakeFiles/core_test.dir/core/reverse_profile_search_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/reverse_profile_search_test.cc.o.d"
+  "/root/repo/tests/core/td_astar_test.cc" "tests/CMakeFiles/core_test.dir/core/td_astar_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/td_astar_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capefp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

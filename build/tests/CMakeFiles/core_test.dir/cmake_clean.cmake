@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analysis_test.cc.o"
+  "CMakeFiles/core_test.dir/core/analysis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/constant_speed_solver_test.cc.o"
+  "CMakeFiles/core_test.dir/core/constant_speed_solver_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/discrete_solver_test.cc.o"
+  "CMakeFiles/core_test.dir/core/discrete_solver_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/engine_test.cc.o"
+  "CMakeFiles/core_test.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/estimator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/estimator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hierarchical_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hierarchical_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/lower_border_test.cc.o"
+  "CMakeFiles/core_test.dir/core/lower_border_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/paper_example_test.cc.o"
+  "CMakeFiles/core_test.dir/core/paper_example_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/profile_envelope_test.cc.o"
+  "CMakeFiles/core_test.dir/core/profile_envelope_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/profile_search_test.cc.o"
+  "CMakeFiles/core_test.dir/core/profile_search_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/reverse_profile_search_test.cc.o"
+  "CMakeFiles/core_test.dir/core/reverse_profile_search_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/td_astar_test.cc.o"
+  "CMakeFiles/core_test.dir/core/td_astar_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gen/random_network_test.cc" "tests/CMakeFiles/gen_test.dir/gen/random_network_test.cc.o" "gcc" "tests/CMakeFiles/gen_test.dir/gen/random_network_test.cc.o.d"
+  "/root/repo/tests/gen/suffolk_generator_test.cc" "tests/CMakeFiles/gen_test.dir/gen/suffolk_generator_test.cc.o" "gcc" "tests/CMakeFiles/gen_test.dir/gen/suffolk_generator_test.cc.o.d"
+  "/root/repo/tests/gen/table1_schema_test.cc" "tests/CMakeFiles/gen_test.dir/gen/table1_schema_test.cc.o" "gcc" "tests/CMakeFiles/gen_test.dir/gen/table1_schema_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capefp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

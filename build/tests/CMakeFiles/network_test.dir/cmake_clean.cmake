@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_test.dir/network/accessor_test.cc.o"
+  "CMakeFiles/network_test.dir/network/accessor_test.cc.o.d"
+  "CMakeFiles/network_test.dir/network/network_io_test.cc.o"
+  "CMakeFiles/network_test.dir/network/network_io_test.cc.o.d"
+  "CMakeFiles/network_test.dir/network/road_network_test.cc.o"
+  "CMakeFiles/network_test.dir/network/road_network_test.cc.o.d"
+  "network_test"
+  "network_test.pdb"
+  "network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/bplus_tree_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/bplus_tree_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/ccam_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/ccam_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/corruption_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/corruption_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/pager_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/pager_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/slotted_page_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/slotted_page_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

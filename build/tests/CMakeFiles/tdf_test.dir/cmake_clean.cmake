@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdf_test.dir/tdf/pwl_function_test.cc.o"
+  "CMakeFiles/tdf_test.dir/tdf/pwl_function_test.cc.o.d"
+  "CMakeFiles/tdf_test.dir/tdf/speed_pattern_test.cc.o"
+  "CMakeFiles/tdf_test.dir/tdf/speed_pattern_test.cc.o.d"
+  "CMakeFiles/tdf_test.dir/tdf/travel_time_test.cc.o"
+  "CMakeFiles/tdf_test.dir/tdf/travel_time_test.cc.o.d"
+  "tdf_test"
+  "tdf_test.pdb"
+  "tdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

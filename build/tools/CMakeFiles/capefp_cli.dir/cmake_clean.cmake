@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capefp_cli.dir/capefp_cli.cc.o"
+  "CMakeFiles/capefp_cli.dir/capefp_cli.cc.o.d"
+  "capefp_cli"
+  "capefp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capefp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
