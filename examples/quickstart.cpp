@@ -29,7 +29,7 @@ using capefp::tdf::HhMm;
 
 std::string ClockTime(double minutes) {
   const int total_seconds = static_cast<int>(minutes * 60.0 + 0.5);
-  char buf[16];
+  char buf[32];
   std::snprintf(buf, sizeof(buf), "%d:%02d:%02d", total_seconds / 3600,
                 (total_seconds / 60) % 60, total_seconds % 60);
   return buf;

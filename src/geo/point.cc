@@ -36,7 +36,7 @@ bool BoundingBox::Contains(const Point& p) const {
 
 std::string BoundingBox::ToString() const {
   if (empty_) return "[empty]";
-  char buf[96];
+  char buf[256];
   std::snprintf(buf, sizeof(buf), "[(%.3f,%.3f)-(%.3f,%.3f)]", lo_.x, lo_.y,
                 hi_.x, hi_.y);
   return buf;

@@ -1,6 +1,8 @@
 #include "src/network/road_network.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "src/util/check.h"
 
@@ -112,6 +114,117 @@ double RoadNetwork::max_speed() const {
     v = std::max(v, p.max_speed());
   }
   return v;
+}
+
+util::Status RoadNetwork::ValidateInvariants() const {
+  char buf[256];
+  if (out_edges_.size() != locations_.size() ||
+      in_edges_.size() != locations_.size()) {
+    std::snprintf(buf, sizeof(buf),
+                  "network: adjacency sizes (out=%zu, in=%zu) != node count "
+                  "%zu",
+                  out_edges_.size(), in_edges_.size(), locations_.size());
+    return util::Status::InvalidArgument(buf);
+  }
+  for (size_t i = 0; i < locations_.size(); ++i) {
+    const geo::Point& p = locations_[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      std::snprintf(buf, sizeof(buf),
+                    "network: node %zu location not finite: (%g,%g)", i, p.x,
+                    p.y);
+      return util::Status::InvalidArgument(buf);
+    }
+    if (!bbox_.Contains(p)) {
+      std::snprintf(buf, sizeof(buf),
+                    "network: node %zu at (%g,%g) outside bounding box %s", i,
+                    p.x, p.y, bbox_.ToString().c_str());
+      return util::Status::InvalidArgument(buf);
+    }
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const Edge& edge = edges_[e];
+    if (edge.from < 0 || static_cast<size_t>(edge.from) >= num_nodes() ||
+        edge.to < 0 || static_cast<size_t>(edge.to) >= num_nodes()) {
+      std::snprintf(buf, sizeof(buf),
+                    "network: edge %zu has dangling endpoint %d -> %d "
+                    "(%zu nodes)",
+                    e, edge.from, edge.to, num_nodes());
+      return util::Status::InvalidArgument(buf);
+    }
+    if (edge.from == edge.to) {
+      std::snprintf(buf, sizeof(buf), "network: edge %zu is a self loop at %d",
+                    e, edge.from);
+      return util::Status::InvalidArgument(buf);
+    }
+    if (!std::isfinite(edge.distance_miles) || edge.distance_miles <= 0.0) {
+      std::snprintf(buf, sizeof(buf),
+                    "network: edge %zu distance %g is not positive", e,
+                    edge.distance_miles);
+      return util::Status::InvalidArgument(buf);
+    }
+    if (edge.pattern < 0 ||
+        static_cast<size_t>(edge.pattern) >= num_patterns()) {
+      std::snprintf(buf, sizeof(buf),
+                    "network: edge %zu references unknown pattern %d "
+                    "(%zu registered)",
+                    e, edge.pattern, num_patterns());
+      return util::Status::InvalidArgument(buf);
+    }
+    for (tdf::DayCategoryId category : calendar_.cycle()) {
+      if (static_cast<size_t>(category) >=
+          patterns_[static_cast<size_t>(edge.pattern)].num_categories()) {
+        std::snprintf(buf, sizeof(buf),
+                      "network: edge %zu pattern %d lacks calendar day "
+                      "category %d",
+                      e, edge.pattern, category);
+        return util::Status::InvalidArgument(buf);
+      }
+    }
+  }
+  // Adjacency-list bijection: every edge id in exactly the right lists,
+  // each exactly once.
+  std::vector<uint8_t> seen_out(edges_.size(), 0);
+  std::vector<uint8_t> seen_in(edges_.size(), 0);
+  for (size_t node = 0; node < locations_.size(); ++node) {
+    for (EdgeId e : out_edges_[node]) {
+      if (e < 0 || static_cast<size_t>(e) >= edges_.size() ||
+          seen_out[static_cast<size_t>(e)]++ != 0 ||
+          edges_[static_cast<size_t>(e)].from !=
+              static_cast<NodeId>(node)) {
+        std::snprintf(buf, sizeof(buf),
+                      "network: out-list of node %zu holds bad edge id %d",
+                      node, e);
+        return util::Status::InvalidArgument(buf);
+      }
+    }
+    for (EdgeId e : in_edges_[node]) {
+      if (e < 0 || static_cast<size_t>(e) >= edges_.size() ||
+          seen_in[static_cast<size_t>(e)]++ != 0 ||
+          edges_[static_cast<size_t>(e)].to != static_cast<NodeId>(node)) {
+        std::snprintf(buf, sizeof(buf),
+                      "network: in-list of node %zu holds bad edge id %d",
+                      node, e);
+        return util::Status::InvalidArgument(buf);
+      }
+    }
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (!seen_out[e] || !seen_in[e]) {
+      std::snprintf(buf, sizeof(buf),
+                    "network: edge %zu missing from %s adjacency list", e,
+                    !seen_out[e] ? "out" : "in");
+      return util::Status::InvalidArgument(buf);
+    }
+  }
+  for (size_t p = 0; p < patterns_.size(); ++p) {
+    const util::Status pattern_status = patterns_[p].ValidateInvariants();
+    if (!pattern_status.ok()) {
+      std::snprintf(buf, sizeof(buf), "network: pattern %zu: %s", p,
+                    pattern_status.message().c_str());
+      return util::Status::InvalidArgument(buf);
+    }
+  }
+  return util::Status::Ok();
 }
 
 double RoadNetwork::MinEdgeTravelTime(EdgeId edge_id) const {

@@ -16,6 +16,7 @@
 #include "src/geo/point.h"
 #include "src/tdf/speed_pattern.h"
 #include "src/tdf/travel_time.h"
+#include "src/util/status.h"
 
 namespace capefp::network {
 
@@ -97,6 +98,15 @@ class RoadNetwork {
 
   // Bounding box of all node locations.
   const geo::BoundingBox& bounding_box() const { return bbox_; }
+
+  // Deep structural audit: adjacency-list sizes match the node count; every
+  // edge has in-range endpoints (no dangling references), a positive finite
+  // distance, and a registered pattern covering every calendar category;
+  // every edge id appears exactly once in its tail's out-list and its
+  // head's in-list; every location is finite and inside the bounding box;
+  // every interned pattern validates. Returns OK or InvalidArgument naming
+  // the first violation.
+  util::Status ValidateInvariants() const;
 
  private:
   tdf::Calendar calendar_;

@@ -1,5 +1,6 @@
 #include "src/storage/bplus_tree.h"
 
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -77,6 +78,41 @@ size_t LeafLowerBound(const char* page, uint64_t key) {
   return lo;
 }
 
+// Node-local structural audit used by the mutation-site DCHECKs: node type
+// known, entry count within the fanout bound, keys strictly increasing.
+// O(entries in one node) — cheap enough to run after every Put/Delete.
+util::Status ValidateNodePage(const char* page, uint32_t leaf_capacity,
+                              uint32_t internal_capacity) {
+  char buf[256];
+  const uint8_t type = NodeType(page);
+  if (type != kLeaf && type != kInternal) {
+    std::snprintf(buf, sizeof(buf), "b+tree node: unknown type %u", type);
+    return util::Status::Corruption(buf);
+  }
+  const size_t n = Count(page);
+  const uint32_t capacity = type == kLeaf ? leaf_capacity : internal_capacity;
+  if (n > capacity) {
+    std::snprintf(buf, sizeof(buf),
+                  "b+tree node: %zu entries exceed fanout bound %u", n,
+                  capacity);
+    return util::Status::Corruption(buf);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t prev =
+        type == kLeaf ? LeafKey(page, i - 1) : InternalKey(page, i - 1);
+    const uint64_t cur = type == kLeaf ? LeafKey(page, i) : InternalKey(page, i);
+    if (cur <= prev) {
+      std::snprintf(buf, sizeof(buf),
+                    "b+tree node: keys not strictly increasing at entry %zu "
+                    "(%llu then %llu)",
+                    i, static_cast<unsigned long long>(prev),
+                    static_cast<unsigned long long>(cur));
+      return util::Status::Corruption(buf);
+    }
+  }
+  return util::Status::Ok();
+}
+
 // Child to descend into: first entry with key <= separator, else rightmost.
 uint32_t DescendChild(const char* page, uint64_t key, size_t* index_out) {
   const size_t n = Count(page);
@@ -102,11 +138,13 @@ BPlusTree::BPlusTree(BufferPool* pool, PageId root)
 }
 
 uint32_t BPlusTree::LeafCapacity() const {
-  return (pool_->page_size() - kEntriesOff) / kLeafStride;
+  return static_cast<uint32_t>((pool_->page_size() - kEntriesOff) /
+                               kLeafStride);
 }
 
 uint32_t BPlusTree::InternalCapacity() const {
-  return (pool_->page_size() - kEntriesOff) / kInternalStride;
+  return static_cast<uint32_t>((pool_->page_size() - kEntriesOff) /
+                               kInternalStride);
 }
 
 util::Status BPlusTree::Init() {
@@ -163,6 +201,8 @@ util::StatusOr<BPlusTree::SplitResult> BPlusTree::PutRec(PageId page_id,
                    (n - slot) * kLeafStride);
       SetLeafEntry(page, slot, key, value);
       SetCount(page, static_cast<uint16_t>(n + 1));
+      CAPEFP_DCHECK_OK(
+          ValidateNodePage(page, LeafCapacity(), InternalCapacity()));
       return SplitResult{};
     }
     // Split: collect entries (plus the new one), give the upper half to a
@@ -190,6 +230,10 @@ util::StatusOr<BPlusTree::SplitResult> BPlusTree::PutRec(PageId page_id,
       SetLeafEntry(page, i, entries[i].first, entries[i].second);
     }
     SetNext(page, right_or->page_id());
+    CAPEFP_DCHECK_OK(
+        ValidateNodePage(page, LeafCapacity(), InternalCapacity()));
+    CAPEFP_DCHECK_OK(
+        ValidateNodePage(right, LeafCapacity(), InternalCapacity()));
     return SplitResult{true, entries[mid - 1].first, right_or->page_id()};
   }
 
@@ -231,6 +275,8 @@ util::StatusOr<BPlusTree::SplitResult> BPlusTree::PutRec(PageId page_id,
       SetInternalEntry(page, i, entries[i].first, entries[i].second);
     }
     SetNext(page, rightmost);
+    CAPEFP_DCHECK_OK(
+        ValidateNodePage(page, LeafCapacity(), InternalCapacity()));
     return SplitResult{};
   }
 
@@ -252,6 +298,8 @@ util::StatusOr<BPlusTree::SplitResult> BPlusTree::PutRec(PageId page_id,
     SetInternalEntry(page, i, entries[i].first, entries[i].second);
   }
   SetNext(page, entries[mid].second);
+  CAPEFP_DCHECK_OK(ValidateNodePage(page, LeafCapacity(), InternalCapacity()));
+  CAPEFP_DCHECK_OK(ValidateNodePage(right, LeafCapacity(), InternalCapacity()));
   return SplitResult{true, entries[mid].first, right_or->page_id()};
 }
 
@@ -295,6 +343,8 @@ util::Status BPlusTree::Delete(uint64_t key) {
                  page + kEntriesOff + (slot + 1) * kLeafStride,
                  (n - slot - 1) * kLeafStride);
     SetCount(page, static_cast<uint16_t>(n - 1));
+    CAPEFP_DCHECK_OK(
+        ValidateNodePage(page, LeafCapacity(), InternalCapacity()));
     return util::Status::Ok();
   }
 }
@@ -346,12 +396,16 @@ util::StatusOr<int> BPlusTree::Height() {
 
 util::Status BPlusTree::ValidateRec(PageId page_id, uint64_t lo, uint64_t hi,
                                     int depth, int* leaf_depth,
-                                    PageId* prev_leaf) {
+                                    PageId* prev_leaf,
+                                    std::vector<PageId>* visited_pages) {
   auto handle_or = pool_->Acquire(page_id);
   if (!handle_or.ok()) return handle_or.status();
+  if (visited_pages != nullptr) visited_pages->push_back(page_id);
   PageHandle handle = std::move(*handle_or);
   const char* page = handle.data();
   const size_t n = Count(page);
+  CAPEFP_RETURN_IF_ERROR(
+      ValidateNodePage(page, LeafCapacity(), InternalCapacity()));
 
   if (NodeType(page) == kLeaf) {
     if (*leaf_depth < 0) {
@@ -397,8 +451,8 @@ util::Status BPlusTree::ValidateRec(PageId page_id, uint64_t lo, uint64_t hi,
     const PageId child = InternalChild(page, i);
     // Copy what we need, then release before recursing (pin budget).
     handle.Release();
-    CAPEFP_RETURN_IF_ERROR(
-        ValidateRec(child, child_lo, sep, depth + 1, leaf_depth, prev_leaf));
+    CAPEFP_RETURN_IF_ERROR(ValidateRec(child, child_lo, sep, depth + 1,
+                                       leaf_depth, prev_leaf, visited_pages));
     auto re_or = pool_->Acquire(page_id);
     if (!re_or.ok()) return re_or.status();
     handle = std::move(*re_or);
@@ -408,14 +462,15 @@ util::Status BPlusTree::ValidateRec(PageId page_id, uint64_t lo, uint64_t hi,
   const PageId rightmost = Next(page);
   handle.Release();
   return ValidateRec(rightmost, child_lo, hi, depth + 1, leaf_depth,
-                     prev_leaf);
+                     prev_leaf, visited_pages);
 }
 
-util::Status BPlusTree::Validate() {
+util::Status BPlusTree::ValidateInvariants(std::vector<PageId>* visited_pages) {
   if (root_ == kInvalidPage) return util::Status::Ok();
   int leaf_depth = -1;
   PageId prev_leaf = kInvalidPage;
-  return ValidateRec(root_, 0, ~0ull, 0, &leaf_depth, &prev_leaf);
+  return ValidateRec(root_, 0, ~0ull, 0, &leaf_depth, &prev_leaf,
+                     visited_pages);
 }
 
 }  // namespace capefp::storage

@@ -53,9 +53,17 @@ class BPlusTree {
   // Tree height in levels (1 = a single leaf).
   util::StatusOr<int> Height();
 
-  // Verifies ordering, separator, and leaf-chain invariants; Corruption on
-  // violation. Used by tests.
-  util::Status Validate();
+  // Deep structural audit: key ordering within and across nodes, separator
+  // ranges, fanout bounds (no node over capacity), uniform leaf depth, and
+  // leaf-chain consistency. Returns OK or Corruption naming the violated
+  // invariant. O(pages); mutation sites additionally run node-local audits
+  // under CAPEFP_DCHECK. If `visited_pages` is non-null, every page id the
+  // traversal touches is appended (used by CcamStore::DeepValidate to
+  // classify index pages).
+  util::Status ValidateInvariants(std::vector<PageId>* visited_pages = nullptr);
+
+  // Back-compat alias for ValidateInvariants().
+  util::Status Validate() { return ValidateInvariants(); }
 
  private:
   struct SplitResult {
@@ -67,7 +75,8 @@ class BPlusTree {
   util::StatusOr<SplitResult> PutRec(PageId page, uint64_t key,
                                      uint64_t value);
   util::Status ValidateRec(PageId page, uint64_t lo, uint64_t hi, int depth,
-                           int* leaf_depth, PageId* prev_leaf);
+                           int* leaf_depth, PageId* prev_leaf,
+                           std::vector<PageId>* visited_pages);
 
   uint32_t LeafCapacity() const;
   uint32_t InternalCapacity() const;

@@ -1,5 +1,7 @@
 #include "src/storage/buffer_pool.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "src/util/check.h"
@@ -67,6 +69,103 @@ void BufferPool::Unpin(size_t frame_index, bool dirty) {
     f.lru_pos = lru_.insert(lru_.end(), frame_index);
     f.in_lru = true;
   }
+  CAPEFP_DCHECK_OK(ValidateInvariants());
+}
+
+util::Status BufferPool::ValidateInvariants() const {
+  char buf[256];
+  size_t mapped = 0;
+  std::vector<uint8_t> free_count(frames_.size(), 0);
+  for (size_t idx : free_frames_) {
+    if (idx >= frames_.size()) {
+      std::snprintf(buf, sizeof(buf),
+                    "buffer pool: free list holds bad frame index %zu", idx);
+      return util::Status::Internal(buf);
+    }
+    ++free_count[idx];
+  }
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.pin_count < 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "buffer pool: frame %zu pin count %d is negative", i,
+                    f.pin_count);
+      return util::Status::Internal(buf);
+    }
+    if (f.page_id == kInvalidPage) {
+      if (f.pin_count != 0 || f.in_lru || f.dirty) {
+        std::snprintf(buf, sizeof(buf),
+                      "buffer pool: unmapped frame %zu has state "
+                      "(pins=%d, lru=%d, dirty=%d)",
+                      i, f.pin_count, f.in_lru ? 1 : 0, f.dirty ? 1 : 0);
+        return util::Status::Internal(buf);
+      }
+      if (free_count[i] != 1) {
+        std::snprintf(buf, sizeof(buf),
+                      "buffer pool: unmapped frame %zu on the free list %u "
+                      "times (want 1)",
+                      i, free_count[i]);
+        return util::Status::Internal(buf);
+      }
+      continue;
+    }
+    if (free_count[i] != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "buffer pool: mapped frame %zu (page %u) also on the "
+                    "free list",
+                    i, f.page_id);
+      return util::Status::Internal(buf);
+    }
+    ++mapped;
+    const auto it = page_to_frame_.find(f.page_id);
+    if (it == page_to_frame_.end() || it->second != i) {
+      std::snprintf(buf, sizeof(buf),
+                    "buffer pool: frame %zu holds page %u but the page table "
+                    "maps it to %s",
+                    i, f.page_id,
+                    it == page_to_frame_.end() ? "nothing" : "another frame");
+      return util::Status::Internal(buf);
+    }
+    if (f.in_lru != (f.pin_count == 0)) {
+      std::snprintf(buf, sizeof(buf),
+                    "buffer pool: frame %zu (page %u) pin ledger broken: "
+                    "pins=%d but in_lru=%d",
+                    i, f.page_id, f.pin_count, f.in_lru ? 1 : 0);
+      return util::Status::Internal(buf);
+    }
+    if (f.in_lru && *f.lru_pos != i) {
+      std::snprintf(buf, sizeof(buf),
+                    "buffer pool: frame %zu LRU position points at frame %zu",
+                    i, *f.lru_pos);
+      return util::Status::Internal(buf);
+    }
+    if (f.data.size() != pager_->page_size()) {
+      std::snprintf(buf, sizeof(buf),
+                    "buffer pool: frame %zu buffer is %zu bytes, page size "
+                    "is %u",
+                    i, f.data.size(), pager_->page_size());
+      return util::Status::Internal(buf);
+    }
+  }
+  if (mapped != page_to_frame_.size()) {
+    std::snprintf(buf, sizeof(buf),
+                  "buffer pool: %zu mapped frames but %zu page-table entries",
+                  mapped, page_to_frame_.size());
+    return util::Status::Internal(buf);
+  }
+  const size_t unpinned =
+      static_cast<size_t>(std::count_if(frames_.begin(), frames_.end(),
+                                        [](const Frame& f) {
+                                          return f.in_lru;
+                                        }));
+  if (unpinned != lru_.size()) {
+    std::snprintf(buf, sizeof(buf),
+                  "buffer pool: %zu frames flagged in_lru but LRU list has "
+                  "%zu entries",
+                  unpinned, lru_.size());
+    return util::Status::Internal(buf);
+  }
+  return util::Status::Ok();
 }
 
 util::StatusOr<size_t> BufferPool::GrabFrame() {
@@ -120,6 +219,7 @@ util::StatusOr<PageHandle> BufferPool::Acquire(PageId id) {
   f.dirty = false;
   f.in_lru = false;
   page_to_frame_[id] = idx;
+  CAPEFP_DCHECK_OK(ValidateInvariants());
   return PageHandle(this, idx, id);
 }
 
@@ -136,6 +236,7 @@ util::StatusOr<PageHandle> BufferPool::AllocateAndAcquire() {
   f.dirty = true;
   f.in_lru = false;
   page_to_frame_[*id_or] = idx;
+  CAPEFP_DCHECK_OK(ValidateInvariants());
   return PageHandle(this, idx, *id_or);
 }
 
@@ -166,6 +267,7 @@ util::Status BufferPool::FreePage(PageId id) {
     free_frames_.push_back(it->second);
     page_to_frame_.erase(it);
   }
+  CAPEFP_DCHECK_OK(ValidateInvariants());
   return pager_->FreePage(id);
 }
 

@@ -93,6 +93,13 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats(); }
 
+  // Deep audit of the frame ledger: every frame is either mapped (its page
+  // id resolves back to it through the page table) or on the free list;
+  // pin counts are non-negative; a frame sits in the LRU list iff it is
+  // mapped and unpinned, and its stored LRU position points back at it.
+  // Returns OK or Internal naming the inconsistent frame. O(capacity).
+  util::Status ValidateInvariants() const;
+
  private:
   friend class PageHandle;
 

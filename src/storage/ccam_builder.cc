@@ -37,6 +37,8 @@ util::StatusOr<CcamBuildReport> BuildCcamFile(
     const CcamBuildOptions& options) {
   const size_t n = net.num_nodes();
   if (n == 0) return util::Status::InvalidArgument("empty network");
+  // One full structural audit of the input before it is frozen into pages.
+  CAPEFP_DCHECK_OK(net.ValidateInvariants());
 
   // --- Serialize all node records.
   std::vector<std::string> records(n);
@@ -164,6 +166,7 @@ util::StatusOr<CcamBuildReport> BuildCcamFile(
           (static_cast<uint64_t>(handle_or->page_id()) << 32) |
           static_cast<uint16_t>(slot);
     }
+    CAPEFP_DCHECK_OK(sp.ValidateInvariants());
     ++data_pages;
   }
 

@@ -1,6 +1,8 @@
 #include "src/storage/ccam_store.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 
@@ -114,7 +116,8 @@ util::StatusOr<Meta> ReadMeta(BufferPool* pool) {
 
 util::StatusOr<PageId> WriteBlobChain(BufferPool* pool,
                                       const std::string& blob) {
-  const uint32_t payload = pool->page_size() - sizeof(uint32_t);
+  const auto payload =
+      static_cast<uint32_t>(pool->page_size() - sizeof(uint32_t));
   PageId head = kInvalidPage;
   PageHandle prev;
   size_t offset = 0;
@@ -140,7 +143,8 @@ util::StatusOr<PageId> WriteBlobChain(BufferPool* pool,
 
 util::StatusOr<std::string> ReadBlobChain(BufferPool* pool, PageId head,
                                           uint32_t total_bytes) {
-  const uint32_t payload = pool->page_size() - sizeof(uint32_t);
+  const auto payload =
+      static_cast<uint32_t>(pool->page_size() - sizeof(uint32_t));
   std::string blob;
   blob.reserve(total_bytes);
   PageId page_id = head;
@@ -314,6 +318,254 @@ util::Status CcamStore::DeleteEdge(network::NodeId node, network::NodeId to) {
   edges.erase(it);
   // Shrinking always fits in place.
   return RewriteRecord(node, *locator_or, *record_or);
+}
+
+namespace {
+
+// Page classes for the DeepValidate census. kData is the default for any
+// client page not claimed by another class.
+enum class PageClass : uint8_t { kData = 0, kMeta, kSchema, kIndex, kFree };
+
+const char* PageClassName(PageClass c) {
+  switch (c) {
+    case PageClass::kData: return "data";
+    case PageClass::kMeta: return "meta";
+    case PageClass::kSchema: return "schema";
+    case PageClass::kIndex: return "index";
+    case PageClass::kFree: return "free";
+  }
+  return "?";
+}
+
+}  // namespace
+
+util::Status CcamStore::DeepValidate(CcamDeepValidateReport* report) {
+  char msg[256];
+  const uint32_t total_pages = pager_->num_pages();
+  // Client pages are 1..total_pages-1; class defaults to kData and the
+  // claims below must never collide.
+  std::vector<PageClass> page_class(total_pages, PageClass::kData);
+  auto claim = [&](PageId id, PageClass c) -> util::Status {
+    if (id == 0 || id >= total_pages) {
+      std::snprintf(msg, sizeof(msg),
+                    "%s structure references page %u outside the file "
+                    "(%u pages)",
+                    PageClassName(c), id, total_pages);
+      return util::Status::Corruption(msg);
+    }
+    if (page_class[id] != PageClass::kData) {
+      std::snprintf(msg, sizeof(msg),
+                    "page %u claimed as both %s and %s", id,
+                    PageClassName(page_class[id]), PageClassName(c));
+      return util::Status::Corruption(msg);
+    }
+    page_class[id] = c;
+    return util::Status::Ok();
+  };
+
+  // --- Meta page.
+  auto meta_or = ccam_internal::ReadMeta(pool_.get());
+  if (!meta_or.ok()) return meta_or.status();
+  CAPEFP_RETURN_IF_ERROR(claim(ccam_internal::kMetaPage, PageClass::kMeta));
+  if (meta_or->num_nodes != num_nodes_) {
+    std::snprintf(msg, sizeof(msg),
+                  "meta page says %u nodes but the open store has %zu",
+                  meta_or->num_nodes, num_nodes_);
+    return util::Status::Corruption(msg);
+  }
+
+  // --- Free list.
+  auto free_or = pager_->FreeListPages();
+  if (!free_or.ok()) return free_or.status();
+  for (PageId id : *free_or) {
+    CAPEFP_RETURN_IF_ERROR(claim(id, PageClass::kFree));
+  }
+
+  // --- Schema blob chain: walk exactly the pages WriteBlobChain produced.
+  const auto payload =
+      static_cast<uint32_t>(pool_->page_size() - sizeof(uint32_t));
+  uint32_t schema_pages = 0;
+  {
+    PageId id = meta_or->schema_head;
+    uint32_t remaining = meta_or->schema_bytes;
+    do {
+      if (id == kInvalidPage) {
+        std::snprintf(msg, sizeof(msg),
+                      "schema chain ends with %u of %u bytes unread",
+                      remaining, meta_or->schema_bytes);
+        return util::Status::Corruption(msg);
+      }
+      CAPEFP_RETURN_IF_ERROR(claim(id, PageClass::kSchema));
+      ++schema_pages;
+      auto handle_or = pool_->Acquire(id);
+      if (!handle_or.ok()) return handle_or.status();
+      uint32_t next;
+      std::memcpy(&next, handle_or->data(), sizeof(next));
+      remaining -= std::min(payload, remaining);
+      id = next;
+    } while (remaining > 0);
+    // Re-parse the blob and audit every pattern it defines.
+    auto blob_or = ccam_internal::ReadBlobChain(
+        pool_.get(), meta_or->schema_head, meta_or->schema_bytes);
+    if (!blob_or.ok()) return blob_or.status();
+    std::istringstream in(*blob_or);
+    auto schedule_or = network::ReadScheduleText(in);
+    if (!schedule_or.ok()) return schedule_or.status();
+    if (schedule_or->patterns.size() != patterns_.size()) {
+      std::snprintf(msg, sizeof(msg),
+                    "schema blob defines %zu patterns but the open store "
+                    "holds %zu",
+                    schedule_or->patterns.size(), patterns_.size());
+      return util::Status::Corruption(msg);
+    }
+    for (size_t p = 0; p < schedule_or->patterns.size(); ++p) {
+      const util::Status s = schedule_or->patterns[p].ValidateInvariants();
+      if (!s.ok()) {
+        return util::Status::Corruption("schema pattern " + std::to_string(p) +
+                                        ": " + s.message());
+      }
+    }
+  }
+
+  // --- Index: full structural audit, collecting the tree's page set.
+  std::vector<PageId> tree_pages;
+  CAPEFP_RETURN_IF_ERROR(tree_->ValidateInvariants(&tree_pages));
+  for (PageId id : tree_pages) {
+    CAPEFP_RETURN_IF_ERROR(claim(id, PageClass::kIndex));
+  }
+
+  // --- Locators: every node id 0..n-1 present, each pointing at a distinct
+  // live slot on a data page whose record decodes and stays in range.
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  CAPEFP_RETURN_IF_ERROR(tree_->Scan(0, ~0ull, &entries));
+  if (entries.size() != num_nodes_) {
+    std::snprintf(msg, sizeof(msg),
+                  "index holds %zu entries for %zu nodes", entries.size(),
+                  num_nodes_);
+    return util::Status::Corruption(msg);
+  }
+  uint64_t total_edges = 0;
+  std::vector<uint64_t> referenced;
+  referenced.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].first != i) {
+      std::snprintf(msg, sizeof(msg),
+                    "index key %llu where node id %zu was expected",
+                    static_cast<unsigned long long>(entries[i].first), i);
+      return util::Status::Corruption(msg);
+    }
+    const uint64_t locator = entries[i].second;
+    const PageId page_id = LocatorPage(locator);
+    const uint16_t slot = LocatorSlot(locator);
+    if (page_id == 0 || page_id >= total_pages ||
+        page_class[page_id] != PageClass::kData) {
+      std::snprintf(msg, sizeof(msg),
+                    "node %zu locator points at page %u (class %s), not a "
+                    "data page",
+                    i, page_id,
+                    page_id < total_pages ? PageClassName(page_class[page_id])
+                                          : "out-of-file");
+      return util::Status::Corruption(msg);
+    }
+    referenced.push_back(locator);
+    auto handle_or = pool_->Acquire(page_id);
+    if (!handle_or.ok()) return handle_or.status();
+    SlottedPage sp(const_cast<char*>(handle_or->data()), pool_->page_size());
+    if (slot >= sp.slot_count()) {
+      std::snprintf(msg, sizeof(msg),
+                    "node %zu locator slot %u out of range on page %u "
+                    "(%u slots)",
+                    i, slot, page_id, sp.slot_count());
+      return util::Status::Corruption(msg);
+    }
+    const std::string_view bytes = sp.Record(slot);
+    if (bytes.empty()) {
+      std::snprintf(msg, sizeof(msg),
+                    "node %zu locator points at dead slot %u on page %u", i,
+                    slot, page_id);
+      return util::Status::Corruption(msg);
+    }
+    auto record_or = DecodeNodeRecord(bytes);
+    if (!record_or.ok()) {
+      std::snprintf(msg, sizeof(msg), "node %zu (page %u slot %u): %s", i,
+                    page_id, slot, record_or.status().message().c_str());
+      return util::Status::Corruption(msg);
+    }
+    if (!std::isfinite(record_or->location.x) ||
+        !std::isfinite(record_or->location.y)) {
+      std::snprintf(msg, sizeof(msg), "node %zu location is not finite", i);
+      return util::Status::Corruption(msg);
+    }
+    for (const network::NeighborEdge& e : record_or->edges) {
+      if (e.to < 0 || static_cast<size_t>(e.to) >= num_nodes_) {
+        std::snprintf(msg, sizeof(msg),
+                      "node %zu has an edge to out-of-range node %d", i,
+                      static_cast<int>(e.to));
+        return util::Status::Corruption(msg);
+      }
+      if (e.pattern < 0 ||
+          static_cast<size_t>(e.pattern) >= patterns_.size()) {
+        std::snprintf(msg, sizeof(msg),
+                      "node %zu edge uses out-of-range pattern %d", i,
+                      static_cast<int>(e.pattern));
+        return util::Status::Corruption(msg);
+      }
+      if (!(e.distance_miles > 0.0) || !std::isfinite(e.distance_miles)) {
+        std::snprintf(msg, sizeof(msg),
+                      "node %zu edge to %d has non-positive distance %g", i,
+                      static_cast<int>(e.to), e.distance_miles);
+        return util::Status::Corruption(msg);
+      }
+      ++total_edges;
+    }
+  }
+  std::sort(referenced.begin(), referenced.end());
+  const auto dup = std::adjacent_find(referenced.begin(), referenced.end());
+  if (dup != referenced.end()) {
+    std::snprintf(msg, sizeof(msg),
+                  "two index entries share the locator page %u slot %u",
+                  LocatorPage(*dup), LocatorSlot(*dup));
+    return util::Status::Corruption(msg);
+  }
+
+  // --- Data pages: structural audit plus the record/locator bijection
+  // (every live record is referenced by exactly one index entry).
+  uint32_t data_pages = 0;
+  uint64_t live_records = 0;
+  for (PageId id = 2; id < total_pages; ++id) {
+    if (page_class[id] != PageClass::kData) continue;
+    ++data_pages;
+    auto handle_or = pool_->Acquire(id);
+    if (!handle_or.ok()) return handle_or.status();
+    SlottedPage sp(const_cast<char*>(handle_or->data()), pool_->page_size());
+    const util::Status s = sp.ValidateInvariants();
+    if (!s.ok()) {
+      return util::Status::Corruption("data page " + std::to_string(id) +
+                                      ": " + s.message());
+    }
+    for (uint16_t slot = 0; slot < sp.slot_count(); ++slot) {
+      if (!sp.Record(slot).empty()) ++live_records;
+    }
+  }
+  if (live_records != num_nodes_) {
+    std::snprintf(msg, sizeof(msg),
+                  "data pages hold %llu live records for %zu indexed nodes "
+                  "(orphaned records)",
+                  static_cast<unsigned long long>(live_records), num_nodes_);
+    return util::Status::Corruption(msg);
+  }
+
+  if (report != nullptr) {
+    report->total_pages = total_pages;
+    report->meta_pages = 1;
+    report->schema_pages = schema_pages;
+    report->index_pages = static_cast<uint32_t>(tree_pages.size());
+    report->data_pages = data_pages;
+    report->free_pages = static_cast<uint32_t>(free_or->size());
+    report->records = live_records;
+    report->edges = total_edges;
+  }
+  return util::Status::Ok();
 }
 
 util::Status CcamStore::Flush() {

@@ -54,6 +54,18 @@ struct CcamStats {
   PagerStats pager;
 };
 
+// Page census produced by CcamStore::DeepValidate.
+struct CcamDeepValidateReport {
+  uint32_t total_pages = 0;   // Including the pager header page.
+  uint32_t meta_pages = 0;    // Always 1 on success.
+  uint32_t schema_pages = 0;  // Blob chain length.
+  uint32_t index_pages = 0;   // B+-tree nodes.
+  uint32_t data_pages = 0;    // Slotted record pages.
+  uint32_t free_pages = 0;    // On the pager free list.
+  uint64_t records = 0;       // Live node records decoded.
+  uint64_t edges = 0;         // Successor entries across all records.
+};
+
 class CcamStore {
  public:
   // Opens an existing CCAM file (see CcamBuilder to create one).
@@ -94,6 +106,15 @@ class CcamStore {
 
   // Index depth (B+-tree height), for diagnostics.
   util::StatusOr<int> IndexHeight() { return tree_->Height(); }
+
+  // Page-by-page structural audit of the whole file. Classifies every page
+  // (meta / schema / index / data / free), checks the classes are disjoint,
+  // runs the B+-tree and slotted-page validators, decodes every record
+  // reachable through the index, and checks record/locator bijection (no
+  // orphan records, no double-referenced slots, every locator live).
+  // Returns the first violation as Corruption with a page-precise message.
+  // O(file) page reads; `report`, if non-null, receives the page census.
+  util::Status DeepValidate(CcamDeepValidateReport* report = nullptr);
 
  private:
   CcamStore(std::unique_ptr<Pager> pager, size_t pool_pages);

@@ -184,6 +184,26 @@ util::Status Pager::FreePage(PageId id) {
   return util::Status::Ok();
 }
 
+util::StatusOr<std::vector<PageId>> Pager::FreeListPages() {
+  std::vector<PageId> pages;
+  std::vector<char> buf(page_size_);
+  PageId id = free_head_;
+  while (id != kInvalidPage) {
+    if (id == 0 || id >= num_pages_) {
+      return util::Status::Corruption("free list links to page " +
+                                      std::to_string(id) +
+                                      " outside the file");
+    }
+    if (pages.size() >= num_pages_) {
+      return util::Status::Corruption("free list cycle detected");
+    }
+    pages.push_back(id);
+    CAPEFP_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+    id = DecodeU32(buf.data());
+  }
+  return pages;
+}
+
 util::Status Pager::Sync() {
   CAPEFP_RETURN_IF_ERROR(WriteHeader());
   if (std::fflush(file_) != 0) {

@@ -68,6 +68,11 @@ class Pager {
   // Flushes buffered writes and the header to the OS.
   util::Status Sync();
 
+  // Walks the free list and returns the freed page ids in chain order.
+  // Corruption if the chain links out of bounds or cycles (used by
+  // CcamStore::DeepValidate to classify free pages).
+  util::StatusOr<std::vector<PageId>> FreeListPages();
+
   const PagerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PagerStats(); }
 

@@ -1,5 +1,7 @@
 #include "src/storage/slotted_page.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -72,6 +74,7 @@ int SlottedPage::AppendRecord(std::string_view record) {
   SetSlot(slot, free_off, static_cast<uint16_t>(record.size()));
   StoreU16(data_, static_cast<uint16_t>(slot + 1));
   StoreU16(data_ + 2, static_cast<uint16_t>(free_off + record.size()));
+  CAPEFP_DCHECK_OK(ValidateInvariants());
   return slot;
 }
 
@@ -93,7 +96,58 @@ bool SlottedPage::UpdateRecordInPlace(uint16_t slot,
   if (record.size() > SlotLength(slot)) return false;
   std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
   SetSlot(slot, SlotOffset(slot), static_cast<uint16_t>(record.size()));
+  CAPEFP_DCHECK_OK(ValidateInvariants());
   return true;
+}
+
+util::Status SlottedPage::ValidateInvariants() const {
+  char buf[256];
+  const uint32_t n = slot_count();
+  const uint32_t free_off = LoadU16(data_ + 2);
+  if (kHeaderBytes + kSlotBytes * n > page_size_) {
+    std::snprintf(buf, sizeof(buf),
+                  "slotted page: %u slots overflow a %u-byte page", n,
+                  page_size_);
+    return util::Status::Corruption(buf);
+  }
+  const uint32_t dir_start = page_size_ - kSlotBytes * n;
+  if (free_off < kHeaderBytes || free_off > dir_start) {
+    std::snprintf(buf, sizeof(buf),
+                  "slotted page: free offset %u outside [%u, %u]", free_off,
+                  kHeaderBytes, dir_start);
+    return util::Status::Corruption(buf);
+  }
+  // Live records, sorted by offset, must tile [header, free_off) without
+  // overlap.
+  std::vector<std::pair<uint32_t, uint32_t>> live;  // (offset, slot)
+  live.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    const uint32_t length = SlotLength(static_cast<uint16_t>(s));
+    if (length == 0) continue;  // Deleted slot.
+    const uint32_t offset = SlotOffset(static_cast<uint16_t>(s));
+    if (offset < kHeaderBytes || offset + length > free_off) {
+      std::snprintf(buf, sizeof(buf),
+                    "slotted page: slot %u record [%u, %u) outside record "
+                    "area [%u, %u)",
+                    s, offset, offset + length, kHeaderBytes, free_off);
+      return util::Status::Corruption(buf);
+    }
+    live.emplace_back(offset, s);
+  }
+  std::sort(live.begin(), live.end());
+  for (size_t i = 1; i < live.size(); ++i) {
+    const uint32_t prev_slot = live[i - 1].second;
+    const uint32_t prev_end =
+        live[i - 1].first + SlotLength(static_cast<uint16_t>(prev_slot));
+    if (live[i].first < prev_end) {
+      std::snprintf(buf, sizeof(buf),
+                    "slotted page: slot %u (offset %u) overlaps slot %u "
+                    "(ends at %u)",
+                    live[i].second, live[i].first, prev_slot, prev_end);
+      return util::Status::Corruption(buf);
+    }
+  }
+  return util::Status::Ok();
 }
 
 void SlottedPage::Compact() {
@@ -113,6 +167,7 @@ void SlottedPage::Compact() {
     free_off = static_cast<uint16_t>(free_off + records[s].size());
   }
   StoreU16(data_ + 2, free_off);
+  CAPEFP_DCHECK_OK(ValidateInvariants());
 }
 
 }  // namespace capefp::storage

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/util/status.h"
+
 namespace capefp::storage {
 
 // A non-owning view over one page buffer. The caller guarantees `data`
@@ -50,6 +52,14 @@ class SlottedPage {
 
   // Rewrites live records contiguously, preserving slot indices.
   void Compact();
+
+  // Deep audit of the page structure: the slot directory fits the page,
+  // free_off lies between the header and the directory, every live slot's
+  // [offset, offset+length) sits inside [header, free_off), and no two
+  // live records overlap. Returns OK or Corruption naming the offending
+  // slot and offsets. (Whole-page bit rot is covered separately by the
+  // pager's per-page CRC trailer.)
+  util::Status ValidateInvariants() const;
 
  private:
   uint16_t SlotOffset(uint16_t slot) const;

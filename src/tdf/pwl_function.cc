@@ -39,6 +39,55 @@ PwlFunction::PwlFunction(std::vector<Breakpoint> breakpoints) {
   CAPEFP_CHECK(!breakpoints.empty());
   points_.reserve(breakpoints.size());
   for (const Breakpoint& p : breakpoints) AppendNormalized(points_, p);
+  CAPEFP_DCHECK_OK(ValidateInvariants());
+}
+
+PwlFunction PwlFunction::UnsafeFromBreakpointsForTest(
+    std::vector<Breakpoint> breakpoints) {
+  return PwlFunction(UnsafeTag{}, std::move(breakpoints));
+}
+
+util::Status PwlFunction::ValidateInvariants(Kind kind) const {
+  if (points_.empty()) {
+    return util::Status::InvalidArgument("pwl: no breakpoints");
+  }
+  char buf[256];
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Breakpoint& p = points_[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      std::snprintf(buf, sizeof(buf),
+                    "pwl: breakpoint %zu not finite: (%g,%g)", i, p.x, p.y);
+      return util::Status::InvalidArgument(buf);
+    }
+    if (i == 0) continue;
+    const Breakpoint& q = points_[i - 1];
+    if (p.x <= q.x) {
+      std::snprintf(buf, sizeof(buf),
+                    "pwl: abscissae not strictly increasing at breakpoint "
+                    "%zu: x[%zu]=%.12g, x[%zu]=%.12g",
+                    i, i - 1, q.x, i, p.x);
+      return util::Status::InvalidArgument(buf);
+    }
+    // FIFO tolerances match the composition code (travel_time.cc), which
+    // admits up to 1e-6 minutes of accumulated arithmetic slack.
+    if (kind == Kind::kForwardTravelTime &&
+        p.x + p.y < q.x + q.y - 1e-6) {
+      std::snprintf(buf, sizeof(buf),
+                    "pwl: FIFO violated (slope < -1) on piece %zu: "
+                    "arrival drops from %.12g to %.12g",
+                    i - 1, q.x + q.y, p.x + p.y);
+      return util::Status::InvalidArgument(buf);
+    }
+    if (kind == Kind::kReverseTravelTime &&
+        p.x - p.y < q.x - q.y - 1e-6) {
+      std::snprintf(buf, sizeof(buf),
+                    "pwl: reverse FIFO violated (slope > +1) on piece %zu: "
+                    "departure drops from %.12g to %.12g",
+                    i - 1, q.x - q.y, p.x - p.y);
+      return util::Status::InvalidArgument(buf);
+    }
+  }
+  return util::Status::Ok();
 }
 
 PwlFunction PwlFunction::Constant(double lo, double hi, double value) {
@@ -221,7 +270,7 @@ bool PwlFunction::ApproxEqual(const PwlFunction& f, const PwlFunction& g,
 
 std::string PwlFunction::ToString() const {
   std::string out = "pwl{";
-  char buf[64];
+  char buf[256];
   for (size_t i = 0; i < points_.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "%s(%.6g,%.6g)", i == 0 ? "" : ",",
                   points_[i].x, points_[i].y);

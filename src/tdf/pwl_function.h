@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace capefp::tdf {
 
 // Absolute tolerance for time comparisons, in minutes (~60 ns).
@@ -100,7 +102,37 @@ class PwlFunction {
   // "pwl{(x0,y0),(x1,y1),...}" for diagnostics.
   std::string ToString() const;
 
+  // What a travel-time function must additionally satisfy, selected by the
+  // time axis it is anchored to (see ValidateInvariants()).
+  enum class Kind {
+    // Structural checks only.
+    kGeneric,
+    // τ(l) over leaving times: FIFO means the arrival l + τ(l) is
+    // non-decreasing, i.e. every slope is >= -1 (§4.1, Eq. 1).
+    kForwardTravelTime,
+    // ρ(a) over arrival times: the implied departure a − ρ(a) is
+    // non-decreasing, i.e. every slope is <= +1.
+    kReverseTravelTime,
+  };
+
+  // Deep structural audit: at least one breakpoint, finite coordinates,
+  // strictly increasing abscissae (no duplicate x), and — for the
+  // travel-time kinds — the FIFO monotonicity above within a small
+  // tolerance. Returns OK or an InvalidArgument status naming the first
+  // violated invariant with its breakpoint index and values.
+  util::Status ValidateInvariants(Kind kind = Kind::kGeneric) const;
+
+  // Test-only escape hatch: builds a function from `breakpoints` verbatim,
+  // skipping constructor normalization and its CHECKs, so tests can hand
+  // ValidateInvariants() deliberately corrupt breakpoint lists.
+  static PwlFunction UnsafeFromBreakpointsForTest(
+      std::vector<Breakpoint> breakpoints);
+
  private:
+  struct UnsafeTag {};
+  PwlFunction(UnsafeTag, std::vector<Breakpoint> breakpoints)
+      : points_(std::move(breakpoints)) {}
+
   std::vector<Breakpoint> points_;
 };
 

@@ -53,9 +53,60 @@ double DailySpeedPattern::NextBoundaryAfter(double minute_of_day) const {
   return kMinutesPerDay;
 }
 
+util::Status DailySpeedPattern::ValidateInvariants() const {
+  if (pieces_.empty()) {
+    return util::Status::InvalidArgument("daily pattern: no pieces");
+  }
+  char buf[256];
+  if (pieces_.front().start_minute != 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "daily pattern: day not covered from midnight (first piece "
+                  "starts at %g)",
+                  pieces_.front().start_minute);
+    return util::Status::InvalidArgument(buf);
+  }
+  double lo = 0.0;
+  double hi = 0.0;
+  double prev = -1.0;
+  for (size_t i = 0; i < pieces_.size(); ++i) {
+    const SpeedPiece& p = pieces_[i];
+    if (!(p.start_minute > prev)) {
+      std::snprintf(buf, sizeof(buf),
+                    "daily pattern: piece %zu start %g does not increase past "
+                    "%g",
+                    i, p.start_minute, prev);
+      return util::Status::InvalidArgument(buf);
+    }
+    if (p.start_minute >= kMinutesPerDay) {
+      std::snprintf(buf, sizeof(buf),
+                    "daily pattern: piece %zu starts at %g, beyond the day "
+                    "(%g)",
+                    i, p.start_minute, kMinutesPerDay);
+      return util::Status::InvalidArgument(buf);
+    }
+    if (!std::isfinite(p.speed_mpm) || p.speed_mpm <= 0.0) {
+      std::snprintf(buf, sizeof(buf),
+                    "daily pattern: piece %zu speed %g is not positive", i,
+                    p.speed_mpm);
+      return util::Status::InvalidArgument(buf);
+    }
+    lo = i == 0 ? p.speed_mpm : std::min(lo, p.speed_mpm);
+    hi = std::max(hi, p.speed_mpm);
+    prev = p.start_minute;
+  }
+  if (lo != min_speed_ || hi != max_speed_) {
+    std::snprintf(buf, sizeof(buf),
+                  "daily pattern: cached speed range [%g,%g] != actual "
+                  "[%g,%g]",
+                  min_speed_, max_speed_, lo, hi);
+    return util::Status::InvalidArgument(buf);
+  }
+  return util::Status::Ok();
+}
+
 std::string DailySpeedPattern::ToString() const {
   std::string out = "pattern{";
-  char buf[64];
+  char buf[256];
   for (size_t i = 0; i < pieces_.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "%s[%.0f:%.3f mpm]", i == 0 ? "" : ",",
                   pieces_[i].start_minute, pieces_[i].speed_mpm);
@@ -74,6 +125,34 @@ CapeCodPattern::CapeCodPattern(std::vector<DailySpeedPattern> per_category)
     max_speed_ = std::max(max_speed_, p.max_speed());
     min_speed_ = std::min(min_speed_, p.min_speed());
   }
+}
+
+util::Status CapeCodPattern::ValidateInvariants() const {
+  if (per_category_.empty()) {
+    return util::Status::InvalidArgument("CapeCod pattern: no categories");
+  }
+  char buf[256];
+  double lo = 0.0;
+  double hi = 0.0;
+  for (size_t c = 0; c < per_category_.size(); ++c) {
+    const util::Status daily = per_category_[c].ValidateInvariants();
+    if (!daily.ok()) {
+      std::snprintf(buf, sizeof(buf), "CapeCod pattern: category %zu: %s", c,
+                    daily.message().c_str());
+      return util::Status::InvalidArgument(buf);
+    }
+    lo = c == 0 ? per_category_[c].min_speed()
+                : std::min(lo, per_category_[c].min_speed());
+    hi = std::max(hi, per_category_[c].max_speed());
+  }
+  if (lo != min_speed_ || hi != max_speed_) {
+    std::snprintf(buf, sizeof(buf),
+                  "CapeCod pattern: cached speed range [%g,%g] != actual "
+                  "[%g,%g]",
+                  min_speed_, max_speed_, lo, hi);
+    return util::Status::InvalidArgument(buf);
+  }
+  return util::Status::Ok();
 }
 
 CapeCodPattern CapeCodPattern::ConstantSpeed(double speed_mpm) {

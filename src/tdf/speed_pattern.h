@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace capefp::tdf {
 
 inline constexpr double kMinutesPerDay = 1440.0;
@@ -56,6 +58,13 @@ class DailySpeedPattern {
 
   std::string ToString() const;
 
+  // Deep audit of the constructor invariants plus cached-aggregate
+  // consistency: full-day coverage (first piece at minute 0, all starts in
+  // [0, kMinutesPerDay) and strictly increasing), positive finite speeds,
+  // and min/max caches matching the pieces. Returns OK or InvalidArgument
+  // with the offending piece index and values.
+  util::Status ValidateInvariants() const;
+
  private:
   std::vector<SpeedPiece> pieces_;
   double max_speed_ = 0.0;
@@ -76,6 +85,10 @@ class CapeCodPattern {
 
   double max_speed() const { return max_speed_; }
   double min_speed() const { return min_speed_; }
+
+  // Validates every per-category daily pattern and the aggregate speed
+  // caches. Returns OK or InvalidArgument naming the category at fault.
+  util::Status ValidateInvariants() const;
 
  private:
   std::vector<DailySpeedPattern> per_category_;

@@ -126,7 +126,10 @@ PwlFunction EdgeTravelTimeFunction(const EdgeSpeedView& speed,
     if (!pts.empty() && x <= pts.back().x + kTimeEps) continue;
     pts.push_back({x, TravelTime(speed, distance_miles, x)});
   }
-  return PwlFunction(std::move(pts));
+  PwlFunction result(std::move(pts));
+  CAPEFP_DCHECK_OK(
+      result.ValidateInvariants(PwlFunction::Kind::kForwardTravelTime));
+  return result;
 }
 
 namespace {
@@ -193,7 +196,11 @@ PwlFunction ComposeWithMap(const PwlFunction& path_tt,
         std::clamp(x + sign * t1, edge_tt.domain_lo(), edge_tt.domain_hi());
     pts.push_back({x, t1 + edge_tt.Value(arrive)});
   }
-  return PwlFunction(std::move(pts));
+  PwlFunction result(std::move(pts));
+  CAPEFP_DCHECK_OK(result.ValidateInvariants(
+      sign > 0 ? PwlFunction::Kind::kForwardTravelTime
+               : PwlFunction::Kind::kReverseTravelTime));
+  return result;
 }
 
 }  // namespace
@@ -248,7 +255,10 @@ PwlFunction EdgeReverseTravelTimeFunction(const EdgeSpeedView& speed,
     if (!pts.empty() && x <= pts.back().x + kTimeEps) continue;
     pts.push_back({x, reverse_tt(x)});
   }
-  return PwlFunction(std::move(pts));
+  PwlFunction result(std::move(pts));
+  CAPEFP_DCHECK_OK(
+      result.ValidateInvariants(PwlFunction::Kind::kReverseTravelTime));
+  return result;
 }
 
 PwlFunction ExpandPathReverse(const PwlFunction& path_rt,

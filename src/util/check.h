@@ -3,6 +3,12 @@
 // CHECK-style macros abort the process with a diagnostic; they guard
 // programming errors (violated preconditions and invariants), not
 // recoverable runtime conditions, which use util::Status instead.
+//
+// CAPEFP_DCHECK* variants compile to nothing under NDEBUG (release
+// builds); they carry the expensive structural invariant audits — e.g.
+// the ValidateInvariants() sweeps at mutation sites — that debug and
+// sanitizer builds run on every operation. See DESIGN.md, "Invariant
+// auditing".
 #ifndef CAPEFP_UTIL_CHECK_H_
 #define CAPEFP_UTIL_CHECK_H_
 
@@ -14,7 +20,8 @@
 namespace capefp::util {
 
 [[noreturn]] inline void CheckFail(const char* file, int line,
-                                   const char* expr, const std::string& msg) {
+                                   const char* expr,
+                                   const std::string& msg) noexcept {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
                msg.empty() ? "" : " - ", msg.c_str());
   std::abort();
@@ -28,7 +35,23 @@ class CheckFailer {
  public:
   CheckFailer(const char* file, int line, const char* expr)
       : file_(file), line_(line), expr_(expr) {}
-  ~CheckFailer() { CheckFail(file_, line_, expr_, stream_.str()); }
+
+  // The destructor never returns, and no exception may escape it: the
+  // message extraction is fenced so that an allocation failure degrades to
+  // the bare expression text instead of std::terminate via a throwing
+  // (implicitly noexcept) destructor.
+  [[noreturn]] ~CheckFailer() {
+    std::string msg;
+    try {
+      msg = stream_.str();
+    } catch (...) {
+      msg.clear();
+    }
+    CheckFail(file_, line_, expr_, msg);
+  }
+
+  CheckFailer(const CheckFailer&) = delete;
+  CheckFailer& operator=(const CheckFailer&) = delete;
 
   template <typename T>
   CheckFailer& operator<<(const T& value) {
@@ -58,11 +81,21 @@ class CheckFailer {
 #define CAPEFP_CHECK_GT(a, b) CAPEFP_CHECK((a) > (b))
 #define CAPEFP_CHECK_GE(a, b) CAPEFP_CHECK((a) >= (b))
 
+// CAPEFP_CHECK_OK / CAPEFP_DCHECK_OK live in util/status.h (they need the
+// Status type, which itself builds on this header).
+
 #ifdef NDEBUG
 #define CAPEFP_DCHECK(expr) \
   while (false) CAPEFP_CHECK(expr)
 #else
 #define CAPEFP_DCHECK(expr) CAPEFP_CHECK(expr)
 #endif
+
+#define CAPEFP_DCHECK_EQ(a, b) CAPEFP_DCHECK((a) == (b))
+#define CAPEFP_DCHECK_NE(a, b) CAPEFP_DCHECK((a) != (b))
+#define CAPEFP_DCHECK_LT(a, b) CAPEFP_DCHECK((a) < (b))
+#define CAPEFP_DCHECK_LE(a, b) CAPEFP_DCHECK((a) <= (b))
+#define CAPEFP_DCHECK_GT(a, b) CAPEFP_DCHECK((a) > (b))
+#define CAPEFP_DCHECK_GE(a, b) CAPEFP_DCHECK((a) >= (b))
 
 #endif  // CAPEFP_UTIL_CHECK_H_

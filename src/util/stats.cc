@@ -48,7 +48,7 @@ double Summary::percentile(double p) const {
 
 std::string Summary::ToString() const {
   if (samples_.empty()) return "n=0";
-  char buf[160];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "n=%zu mean=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f",
                 count(), mean(), min(), percentile(50.0), percentile(95.0),

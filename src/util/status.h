@@ -119,4 +119,25 @@ class StatusOr {
     if (!capefp_status_.ok()) return capefp_status_; \
   } while (false)
 
+// Aborts with the status message unless the Status-returning expression is
+// OK. Use for invariants whose violation descriptions live in a validator
+// (e.g. ValidateInvariants()) rather than at the call site.
+#define CAPEFP_CHECK_OK(expr)                                          \
+  do {                                                                 \
+    const ::capefp::util::Status capefp_check_status_ = (expr);        \
+    CAPEFP_CHECK(capefp_check_status_.ok())                            \
+        << #expr << " returned " << capefp_check_status_.ToString();   \
+  } while (false)
+
+// Debug-only form: the expression is NOT evaluated under NDEBUG, so
+// arbitrarily expensive audits (full-structure validation sweeps) can sit
+// on hot mutation paths and cost nothing in release builds.
+#ifdef NDEBUG
+#define CAPEFP_DCHECK_OK(expr) \
+  do {                         \
+  } while (false)
+#else
+#define CAPEFP_DCHECK_OK(expr) CAPEFP_CHECK_OK(expr)
+#endif
+
 #endif  // CAPEFP_UTIL_STATUS_H_

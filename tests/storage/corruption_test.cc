@@ -3,15 +3,19 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/gen/random_network.h"
+#include "src/storage/bplus_tree.h"
+#include "src/storage/buffer_pool.h"
 #include "src/storage/ccam_builder.h"
 #include "src/storage/ccam_store.h"
 #include "src/storage/pager.h"
+#include "src/storage/slotted_page.h"
 #include "src/util/random.h"
 
 namespace capefp::storage {
@@ -152,6 +156,212 @@ TEST_F(CorruptionTest, CcamFindNodeSurfacesCorruptPages) {
   auto store = CcamStore::Open(path_);
   ASSERT_TRUE(store.ok());
   EXPECT_TRUE((*store)->FindNode(0).ok());
+}
+
+// --- structural (CRC-consistent) corruption: the invariant validators must
+// catch damage the checksum cannot see. -------------------------------------
+
+void StoreU16At(char* page, size_t offset, uint16_t v) {
+  std::memcpy(page + offset, &v, sizeof(v));
+}
+
+// Slot directory entry `slot` lives at page_size - 4*(slot+1):
+// [u16 offset][u16 length].
+void SetRawSlot(char* page, uint32_t page_size, uint16_t slot,
+                uint16_t offset, uint16_t length) {
+  StoreU16At(page, page_size - 4 * (slot + 1u), offset);
+  StoreU16At(page, page_size - 4 * (slot + 1u) + 2, length);
+}
+
+TEST(SlottedPageCorruptionTest, SlotCountOverflowingPageIsRejected) {
+  std::vector<char> buf(256, 0);
+  SlottedPage page(buf.data(), 256);
+  page.Format();
+  ASSERT_TRUE(page.ValidateInvariants().ok());
+  StoreU16At(buf.data(), 0, 500);  // 500 slots cannot fit 256 bytes.
+  const util::Status status = page.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("500 slots overflow"), std::string::npos);
+}
+
+TEST(SlottedPageCorruptionTest, FreeOffsetOutsideRecordAreaIsRejected) {
+  std::vector<char> buf(256, 0);
+  SlottedPage page(buf.data(), 256);
+  page.Format();
+  ASSERT_GE(page.AppendRecord("hello"), 0);
+  StoreU16At(buf.data(), 2, 255);  // Past the slot directory.
+  const util::Status status = page.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("free offset 255"), std::string::npos);
+}
+
+TEST(SlottedPageCorruptionTest, RecordPointingPastFreeOffsetIsRejected) {
+  std::vector<char> buf(256, 0);
+  SlottedPage page(buf.data(), 256);
+  page.Format();
+  ASSERT_EQ(page.AppendRecord("abcdef"), 0);
+  // Push the record's extent beyond the used area.
+  SetRawSlot(buf.data(), 256, 0, /*offset=*/200, /*length=*/6);
+  const util::Status status = page.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("slot 0"), std::string::npos);
+  EXPECT_NE(status.message().find("outside record area"), std::string::npos);
+}
+
+TEST(SlottedPageCorruptionTest, OverlappingRecordsAreRejected) {
+  std::vector<char> buf(256, 0);
+  SlottedPage page(buf.data(), 256);
+  page.Format();
+  ASSERT_EQ(page.AppendRecord("aaaaaaaa"), 0);  // [4, 12)
+  ASSERT_EQ(page.AppendRecord("bbbbbbbb"), 1);  // [12, 20)
+  ASSERT_TRUE(page.ValidateInvariants().ok());
+  // Drag slot 1 back so it overlaps slot 0's bytes.
+  SetRawSlot(buf.data(), 256, 1, /*offset=*/8, /*length=*/8);
+  const util::Status status = page.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("overlaps"), std::string::npos);
+}
+
+class BPlusTreeCorruptionTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kPageSize = 256;  // Leaf fanout (256-8)/16 = 15.
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/capefp_btree_corruption.db";
+    auto pager = Pager::Create(path_, kPageSize);
+    ASSERT_TRUE(pager.ok());
+    pager_ = std::move(*pager);
+    pool_ = std::make_unique<BufferPool>(pager_.get(), 16);
+    tree_ = std::make_unique<BPlusTree>(pool_.get(), kInvalidPage);
+    ASSERT_TRUE(tree_->Init().ok());
+    for (uint64_t k = 0; k < 60; ++k) {  // Forces leaf and root splits.
+      ASSERT_TRUE(tree_->Put(k * 2, k).ok());
+    }
+    ASSERT_TRUE(tree_->ValidateInvariants().ok());
+  }
+
+  void TearDown() override {
+    tree_.reset();
+    pool_.reset();
+    pager_.reset();
+    std::remove(path_.c_str());
+  }
+
+  // Leftmost leaf page id (root is internal after 60 inserts).
+  PageId LeftmostLeaf() {
+    PageId id = tree_->root();
+    for (;;) {
+      auto handle = pool_->Acquire(id);
+      EXPECT_TRUE(handle.ok());
+      const char* page = handle->data();
+      if (page[0] == 1) return id;  // kLeaf.
+      uint32_t child;                // First child of an internal node.
+      std::memcpy(&child, page + 8 + 8, sizeof(child));
+      id = child;
+    }
+  }
+
+  // Mutates `page_id` in place through the buffer pool (CRC stays valid on
+  // write-back, so only the structural validator can object).
+  void CorruptPage(PageId page_id, size_t offset, const void* bytes,
+                   size_t len) {
+    auto handle = pool_->Acquire(page_id);
+    ASSERT_TRUE(handle.ok());
+    std::memcpy(handle->mutable_data() + offset, bytes, len);
+  }
+
+  std::string path_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BPlusTreeCorruptionTest, UnknownNodeTypeIsRejected) {
+  const uint8_t bogus = 9;
+  CorruptPage(LeftmostLeaf(), 0, &bogus, 1);
+  const util::Status status = tree_->ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown type 9"), std::string::npos);
+}
+
+TEST_F(BPlusTreeCorruptionTest, FanoutOverflowIsRejected) {
+  const uint16_t count = 200;  // Far above the 15-entry leaf capacity.
+  CorruptPage(LeftmostLeaf(), 2, &count, sizeof(count));
+  const util::Status status = tree_->ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("exceed fanout bound"), std::string::npos);
+}
+
+TEST_F(BPlusTreeCorruptionTest, OutOfOrderKeysAreRejected) {
+  const uint64_t huge = ~0ull - 1;  // Entry 0 now exceeds entry 1.
+  CorruptPage(LeftmostLeaf(), 8, &huge, sizeof(huge));
+  const util::Status status = tree_->ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not strictly increasing"),
+            std::string::npos);
+}
+
+TEST_F(BPlusTreeCorruptionTest, BrokenLeafChainIsRejected) {
+  const uint32_t nowhere = kInvalidPage;  // First leaf no longer links on.
+  CorruptPage(LeftmostLeaf(), 4, &nowhere, sizeof(nowhere));
+  const util::Status status = tree_->ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("broken leaf chain"), std::string::npos);
+}
+
+TEST_F(BPlusTreeCorruptionTest, KeyOutsideSeparatorRangeIsRejected) {
+  // Smuggle a key above the subtree's separator into the leftmost leaf's
+  // *last* entry: order within the leaf stays fine (999 exceeds every other
+  // key there), so only the cross-node range check can see it.
+  const PageId leaf = LeftmostLeaf();
+  uint16_t count = 0;
+  {
+    auto handle = pool_->Acquire(leaf);
+    ASSERT_TRUE(handle.ok());
+    std::memcpy(&count, handle->data() + 2, sizeof(count));
+    ASSERT_GT(count, 0);
+  }
+  const uint64_t huge = 999;  // Max key overall is 118; any separator < 999.
+  CorruptPage(leaf, 8 + (count - 1u) * 16u, &huge, sizeof(huge));
+  const util::Status status = tree_->ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("separator range"), std::string::npos);
+}
+
+TEST(CcamDeepValidateCorruptionTest, InflatedMetaNodeCountIsRejected) {
+  const std::string path =
+      ::testing::TempDir() + "/capefp_deep_corruption.db";
+  gen::RandomNetworkOptions opt;
+  opt.seed = 7;
+  opt.num_nodes = 60;
+  const network::RoadNetwork net = gen::MakeRandomNetwork(opt);
+  ASSERT_TRUE(BuildCcamFile(net, path, {}).ok());
+  {
+    auto store = CcamStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    EXPECT_TRUE((*store)->DeepValidate().ok());
+  }
+  // Bump num_nodes on the meta page through the pager, so the CRC is
+  // rewritten and only DeepValidate's cross-checks can notice.
+  {
+    auto pager = Pager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    std::vector<char> page((*pager)->page_size());
+    ASSERT_TRUE((*pager)->ReadPage(1, page.data()).ok());
+    uint32_t num_nodes;
+    std::memcpy(&num_nodes, page.data() + 4, sizeof(num_nodes));
+    ++num_nodes;
+    std::memcpy(page.data() + 4, &num_nodes, sizeof(num_nodes));
+    ASSERT_TRUE((*pager)->WritePage(1, page.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  auto store = CcamStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  const util::Status status = (*store)->DeepValidate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("index holds 60 entries for 61 nodes"),
+            std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

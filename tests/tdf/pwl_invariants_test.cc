@@ -1,0 +1,104 @@
+// Invariant-validator tests for PwlFunction: feed deliberately broken
+// breakpoint vectors through the test-only unsafe factory (bypassing the
+// normalizing constructor) and check each violation is rejected with a
+// message precise enough to debug from.
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tdf/pwl_function.h"
+
+namespace capefp::tdf {
+namespace {
+
+using Kind = PwlFunction::Kind;
+
+PwlFunction Unsafe(std::vector<Breakpoint> pts) {
+  return PwlFunction::UnsafeFromBreakpointsForTest(std::move(pts));
+}
+
+TEST(PwlInvariantsTest, WellFormedFunctionPasses) {
+  const PwlFunction f({{0.0, 5.0}, {10.0, 7.0}, {20.0, 4.0}});
+  EXPECT_TRUE(f.ValidateInvariants().ok());
+  EXPECT_TRUE(f.ValidateInvariants(Kind::kForwardTravelTime).ok());
+}
+
+TEST(PwlInvariantsTest, EmptyFunctionRejected) {
+  const PwlFunction f = Unsafe({});
+  const util::Status status = f.ValidateInvariants();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("no breakpoints"), std::string::npos);
+}
+
+TEST(PwlInvariantsTest, NonFiniteOrdinateRejectedWithIndex) {
+  const PwlFunction f =
+      Unsafe({{0.0, 1.0}, {5.0, std::numeric_limits<double>::infinity()}});
+  const util::Status status = f.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("breakpoint 1"), std::string::npos);
+  EXPECT_NE(status.message().find("not finite"), std::string::npos);
+}
+
+TEST(PwlInvariantsTest, OutOfOrderAbscissaeRejected) {
+  const PwlFunction f = Unsafe({{0.0, 1.0}, {10.0, 2.0}, {7.0, 3.0}});
+  const util::Status status = f.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("strictly increasing"), std::string::npos);
+  // The message names the offending pair.
+  EXPECT_NE(status.message().find("breakpoint 2"), std::string::npos);
+  EXPECT_NE(status.message().find("10"), std::string::npos);
+  EXPECT_NE(status.message().find("7"), std::string::npos);
+}
+
+TEST(PwlInvariantsTest, DuplicateAbscissaeRejected) {
+  const PwlFunction f = Unsafe({{0.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}});
+  const util::Status status = f.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("strictly increasing"), std::string::npos);
+}
+
+TEST(PwlInvariantsTest, ForwardFifoViolationRejected) {
+  // Arrival l + tau(l) drops from 20 to 12: slope well below -1.
+  const PwlFunction f = Unsafe({{0.0, 20.0}, {10.0, 2.0}});
+  EXPECT_TRUE(f.ValidateInvariants().ok());  // Generic: shape-only checks.
+  const util::Status status =
+      f.ValidateInvariants(Kind::kForwardTravelTime);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("FIFO violated"), std::string::npos);
+  EXPECT_NE(status.message().find("piece 0"), std::string::npos);
+}
+
+TEST(PwlInvariantsTest, SlopeExactlyMinusOneIsFifoLegal) {
+  // Arrival stays constant: the degenerate-but-legal FIFO boundary.
+  const PwlFunction f({{0.0, 20.0}, {10.0, 10.0}});
+  EXPECT_TRUE(f.ValidateInvariants(Kind::kForwardTravelTime).ok());
+}
+
+TEST(PwlInvariantsTest, ReverseFifoUsesTheMirroredRule) {
+  // rho rises with slope 2 > +1: departure a - rho(a) decreases. Legal as
+  // a forward function, illegal as a reverse one.
+  const PwlFunction steep({{0.0, 1.0}, {10.0, 21.0}});
+  EXPECT_TRUE(steep.ValidateInvariants(Kind::kForwardTravelTime).ok());
+  const util::Status status =
+      steep.ValidateInvariants(Kind::kReverseTravelTime);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("reverse FIFO violated"),
+            std::string::npos);
+  // And the mirror image: slope -2 is fine in reverse, bad forward.
+  const PwlFunction drop({{0.0, 21.0}, {10.0, 1.0}});
+  EXPECT_TRUE(drop.ValidateInvariants(Kind::kReverseTravelTime).ok());
+  EXPECT_FALSE(drop.ValidateInvariants(Kind::kForwardTravelTime).ok());
+}
+
+TEST(PwlInvariantsTest, NormalizingConstructorProducesValidFunctions) {
+  // The public constructor drops collinear interior points; whatever it
+  // builds must pass the validator (its DCHECK relies on this).
+  const PwlFunction f({{0.0, 1.0}, {5.0, 2.0}, {10.0, 3.0}, {12.0, 9.0}});
+  EXPECT_TRUE(f.ValidateInvariants().ok());
+  EXPECT_EQ(f.breakpoints().size(), 3u);  // {5,2} is collinear and dropped.
+}
+
+}  // namespace
+}  // namespace capefp::tdf

@@ -1,0 +1,405 @@
+// capefp_audit — deep validation and randomized differential self-checks.
+//
+// Modes:
+//   capefp_audit --db=<path>
+//       Page-by-page structural audit of an existing CCAM page file
+//       (CcamStore::DeepValidate) with a page census on success.
+//
+//   capefp_audit --selfcheck [--seeds=N] [--dir=D]
+//       For each seed: generate a random network, audit it, freeze it into
+//       a CCAM file, deep-validate the file (also after edge mutations),
+//       then cross-check the three solvers against each other —
+//       ProfileSearch (memory and disk-backed), fixed-departure TdAStar,
+//       and the discrete-time baseline — and validate every intermediate
+//       envelope. Finally, corrupt copies of the file (a raw bit flip and a
+//       CRC-consistent semantic edit) and require both to be rejected with
+//       a diagnostic. Exit 0 only if every seed passes.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/capefp.h"
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+#include "src/util/random.h"
+
+namespace capefp::tools {
+namespace {
+
+// Cross-solver agreement tolerance (minutes), matching the unit tests.
+constexpr double kTol = 1e-6;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    flags[arg.substr(0, eq)] =
+        eq == std::string::npos ? "1" : arg.substr(eq + 1);
+  }
+  return flags;
+}
+
+std::string GetFlag(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+// --- file manipulation helpers for the corruption drills --------------------
+
+bool CopyFile(const std::string& from, const std::string& to) {
+  std::FILE* in = std::fopen(from.c_str(), "rb");
+  if (in == nullptr) return false;
+  std::FILE* out = std::fopen(to.c_str(), "wb");
+  if (out == nullptr) {
+    std::fclose(in);
+    return false;
+  }
+  char buf[4096];
+  size_t n;
+  bool ok = true;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    if (std::fwrite(buf, 1, n, out) != n) {
+      ok = false;
+      break;
+    }
+  }
+  std::fclose(in);
+  ok = std::fclose(out) == 0 && ok;
+  return ok;
+}
+
+long FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+// XORs one byte at `offset`; the page CRC is left stale, so the pager must
+// reject the page on read.
+bool FlipByteAt(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return false;
+  unsigned char b;
+  bool ok = std::fseek(f, offset, SEEK_SET) == 0 &&
+            std::fread(&b, 1, 1, f) == 1;
+  b ^= 0x40;
+  ok = ok && std::fseek(f, offset, SEEK_SET) == 0 &&
+       std::fwrite(&b, 1, 1, f) == 1;
+  return std::fclose(f) == 0 && ok;
+}
+
+// Rewrites page `page_id` after mutating payload byte `offset_in_page`,
+// recomputing the CRC trailer so only the *structural* validators can catch
+// the damage. The CCAM meta page stores num_nodes in its second u32.
+bool CorruptMetaNumNodes(const std::string& path, uint32_t page_size) {
+  const long stride = static_cast<long>(page_size) + 4;
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return false;
+  std::vector<char> page(page_size);
+  bool ok = std::fseek(f, stride, SEEK_SET) == 0 &&  // Page 1 = CCAM meta.
+            std::fread(page.data(), 1, page_size, f) == page_size;
+  uint32_t num_nodes;
+  std::memcpy(&num_nodes, page.data() + 4, sizeof(num_nodes));
+  ++num_nodes;  // Claim one more node than the index holds.
+  std::memcpy(page.data() + 4, &num_nodes, sizeof(num_nodes));
+  const uint32_t crc = util::Crc32c(page.data(), page_size);
+  ok = ok && std::fseek(f, stride, SEEK_SET) == 0 &&
+       std::fwrite(page.data(), 1, page_size, f) == page_size &&
+       std::fwrite(&crc, 1, sizeof(crc), f) == sizeof(crc);
+  return std::fclose(f) == 0 && ok;
+}
+
+// Opens + deep-validates `path`; returns true (and prints the diagnostic)
+// if either step rejects the file, false if it passes clean.
+bool IsRejected(const std::string& path, const char* drill) {
+  auto store = storage::CcamStore::Open(path);
+  util::Status status =
+      store.ok() ? (*store)->DeepValidate() : store.status();
+  if (status.ok()) {
+    std::fprintf(stderr, "FAIL [%s]: corrupted file passed the audit\n",
+                 drill);
+    return false;
+  }
+  std::printf("    rejected [%s]: %s\n", drill, status.ToString().c_str());
+  return true;
+}
+
+// --- subcommands ------------------------------------------------------------
+
+int CmdDb(const std::string& path) {
+  auto store = storage::CcamStore::Open(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  storage::CcamDeepValidateReport report;
+  const util::Status status = (*store)->DeepValidate(&report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "AUDIT FAILED: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK\n", path.c_str());
+  std::printf("  pages:   %u total = 1 header + %u meta + %u schema + %u "
+              "index + %u data + %u free\n",
+              report.total_pages, report.meta_pages, report.schema_pages,
+              report.index_pages, report.data_pages, report.free_pages);
+  std::printf("  records: %llu nodes, %llu successor edges\n",
+              static_cast<unsigned long long>(report.records),
+              static_cast<unsigned long long>(report.edges));
+  return 0;
+}
+
+// One full differential pass over a single generated network.
+bool RunSeed(uint64_t seed, const std::string& dir) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  const std::string db = dir + "/audit_" + std::to_string(seed) + ".ccam";
+  const std::string engine_db = db + ".engine";
+  const std::string bad = db + ".bad";
+  bool ok = true;
+
+  // 1. Generate and audit the in-memory network.
+  gen::RandomNetworkOptions gen_options;
+  gen_options.seed = seed;
+  gen_options.num_nodes = static_cast<int>(30 + rng.NextBounded(50));
+  gen_options.num_patterns = static_cast<int>(2 + rng.NextBounded(3));
+  const network::RoadNetwork net = gen::MakeRandomNetwork(gen_options);
+  CAPEFP_CHECK_OK(net.ValidateInvariants());
+
+  // 2. Freeze to disk and deep-validate the page file.
+  storage::CcamBuildOptions build;
+  build.page_size = rng.NextBool(0.5) ? 512 : 1024;
+  auto report_or = storage::BuildCcamFile(net, db, build);
+  CAPEFP_CHECK(report_or.ok()) << report_or.status().ToString();
+  {
+    auto store = storage::CcamStore::Open(db);
+    CAPEFP_CHECK(store.ok()) << store.status().ToString();
+    storage::CcamDeepValidateReport report;
+    CAPEFP_CHECK_OK((*store)->DeepValidate(&report));
+    CAPEFP_CHECK_EQ(report.records, net.num_nodes());
+
+    // 2b. Mutate through the store (exercises in-place updates, compaction
+    // and relocation) and re-audit after every phase.
+    const int mutations = static_cast<int>(3 + rng.NextBounded(5));
+    std::vector<std::pair<network::NodeId, network::NodeId>> added;
+    for (int m = 0; m < mutations; ++m) {
+      const auto from = static_cast<network::NodeId>(
+          rng.NextBounded(static_cast<uint64_t>(net.num_nodes())));
+      const auto to = static_cast<network::NodeId>(
+          rng.NextBounded(static_cast<uint64_t>(net.num_nodes())));
+      if (to == from) continue;
+      network::NeighborEdge edge;
+      edge.to = to;
+      edge.distance_miles = rng.NextDouble(0.1, 2.0);
+      edge.pattern = 0;
+      edge.road_class = network::RoadClass::kLocalOutsideCity;
+      CAPEFP_CHECK_OK((*store)->InsertEdge(from, edge));
+      added.emplace_back(from, to);
+    }
+    CAPEFP_CHECK_OK((*store)->DeepValidate());
+    for (const auto& [from, to] : added) {
+      CAPEFP_CHECK_OK((*store)->DeleteEdge(from, to));
+    }
+    CAPEFP_CHECK_OK((*store)->Flush());
+    CAPEFP_CHECK_OK((*store)->DeepValidate());
+  }
+
+  // 3. Differential solver checks: memory vs disk profile search, border vs
+  // fixed-departure A*, border vs the discrete baseline.
+  auto mem_engine = core::FastestPathEngine::Create(&net, {});
+  CAPEFP_CHECK(mem_engine.ok()) << mem_engine.status().ToString();
+  core::EngineOptions disk_options;
+  disk_options.ccam_path = engine_db;
+  disk_options.ccam_page_size = build.page_size;
+  auto disk_engine = core::FastestPathEngine::Create(&net, disk_options);
+  CAPEFP_CHECK(disk_engine.ok()) << disk_engine.status().ToString();
+  network::InMemoryAccessor accessor(&net);
+  core::ZeroEstimator zero;
+
+  const int num_queries = 3;
+  for (int q = 0; q < num_queries && ok; ++q) {
+    const auto source = static_cast<network::NodeId>(
+        rng.NextBounded(static_cast<uint64_t>(net.num_nodes())));
+    const auto target = static_cast<network::NodeId>(
+        rng.NextBounded(static_cast<uint64_t>(net.num_nodes())));
+    const double lo = rng.NextDouble(0.0, tdf::kMinutesPerDay - 300.0);
+    const double hi = lo + rng.NextDouble(30.0, 240.0);
+    const core::ProfileQuery query{source, target, lo, hi};
+
+    const core::AllFpResult mem = (*mem_engine)->AllFastestPaths(query);
+    const core::AllFpResult disk = (*disk_engine)->AllFastestPaths(query);
+    CAPEFP_CHECK_EQ(mem.found, disk.found);
+    if (!mem.found) continue;  // Random nets are strongly connected; rare.
+
+    // Disk-backed and in-memory searches must build the same border.
+    if (!tdf::PwlFunction::ApproxEqual(*mem.border, *disk.border, kTol)) {
+      std::fprintf(stderr,
+                   "FAIL seed %llu: disk and memory borders differ "
+                   "(%d -> %d, [%.3f, %.3f])\n",
+                   static_cast<unsigned long long>(seed), source, target, lo,
+                   hi);
+      ok = false;
+      break;
+    }
+    // The border is itself a travel-time envelope: audit it.
+    CAPEFP_CHECK_OK(mem.border->ValidateInvariants(
+        tdf::PwlFunction::Kind::kForwardTravelTime));
+
+    // singleFP must attain the border minimum, and its path must really
+    // cost that much when walked edge by edge.
+    const core::SingleFpResult single =
+        (*mem_engine)->SingleFastestPath(query);
+    CAPEFP_CHECK(single.found);
+    if (std::fabs(single.best_travel_minutes - mem.border->MinValue()) >
+        kTol) {
+      std::fprintf(stderr,
+                   "FAIL seed %llu: singleFP %.9f != border min %.9f\n",
+                   static_cast<unsigned long long>(seed),
+                   single.best_travel_minutes, mem.border->MinValue());
+      ok = false;
+      break;
+    }
+    const double walked = core::EvaluatePathTravelTime(
+        &accessor, single.path, single.best_leave_time);
+    if (std::fabs(walked - single.best_travel_minutes) > kTol) {
+      std::fprintf(stderr,
+                   "FAIL seed %llu: singleFP path walks in %.9f, claimed "
+                   "%.9f\n",
+                   static_cast<unsigned long long>(seed), walked,
+                   single.best_travel_minutes);
+      ok = false;
+      break;
+    }
+
+    // At sampled instants the border must match an independent
+    // fixed-departure A*, and the piece owning the instant must be a path
+    // that really achieves the border value.
+    for (int i = 0; i < 5 && ok; ++i) {
+      const double leave = rng.NextDouble(lo, hi);
+      const core::TdAStarResult fixed =
+          (*mem_engine)->FastestPathAt(source, target, leave);
+      CAPEFP_CHECK(fixed.found);
+      const double border_value = mem.border->Value(leave);
+      if (std::fabs(fixed.travel_time_minutes - border_value) > kTol) {
+        std::fprintf(stderr,
+                     "FAIL seed %llu: TdAStar %.9f != border %.9f at "
+                     "leave %.4f\n",
+                     static_cast<unsigned long long>(seed),
+                     fixed.travel_time_minutes, border_value, leave);
+        ok = false;
+        break;
+      }
+      for (const core::AllFpPiece& piece : mem.pieces) {
+        if (leave < piece.leave_lo || leave > piece.leave_hi) continue;
+        const double via_piece =
+            core::EvaluatePathTravelTime(&accessor, piece.path, leave);
+        if (std::fabs(via_piece - border_value) > kTol) {
+          std::fprintf(stderr,
+                       "FAIL seed %llu: allFP piece walks in %.9f, border "
+                       "says %.9f at leave %.4f\n",
+                       static_cast<unsigned long long>(seed), via_piece,
+                       border_value, leave);
+          ok = false;
+        }
+        break;
+      }
+    }
+    if (!ok) break;
+
+    // The discrete baseline probes exact instants, so its best must equal
+    // the border minimum over exactly those instants.
+    core::DiscreteQuery dq;
+    dq.source = source;
+    dq.target = target;
+    dq.leave_lo = lo;
+    dq.leave_hi = hi;
+    dq.step_minutes = (hi - lo) / 7.0;
+    const core::DiscreteSingleFpResult discrete =
+        core::DiscreteSingleFp(&accessor, &zero, dq);
+    CAPEFP_CHECK(discrete.found);
+    double expected = mem.border->Value(lo);
+    for (double l = lo; l < hi; l += dq.step_minutes) {
+      expected = std::min(expected, mem.border->Value(l));
+    }
+    if (std::fabs(discrete.best_travel_minutes - expected) > kTol) {
+      std::fprintf(stderr,
+                   "FAIL seed %llu: discrete best %.9f != border-over-"
+                   "probes %.9f\n",
+                   static_cast<unsigned long long>(seed),
+                   discrete.best_travel_minutes, expected);
+      ok = false;
+      break;
+    }
+  }
+
+  // 4. Corruption drills: both a raw bit flip (caught by the page CRC) and
+  // a CRC-consistent semantic edit (caught by DeepValidate) must be
+  // rejected.
+  if (ok) {
+    const long size = FileSize(db);
+    const long stride = static_cast<long>(build.page_size) + 4;
+    CAPEFP_CHECK_GT(size, 2 * stride);
+    // Any byte from page 1 onward; every client page is read by the audit.
+    const long offset =
+        stride + static_cast<long>(rng.NextBounded(
+                     static_cast<uint64_t>(size - stride)));
+    CAPEFP_CHECK(CopyFile(db, bad));
+    CAPEFP_CHECK(FlipByteAt(bad, offset));
+    ok = IsRejected(bad, "bit flip") && ok;
+
+    CAPEFP_CHECK(CopyFile(db, bad));
+    CAPEFP_CHECK(CorruptMetaNumNodes(bad, build.page_size));
+    ok = IsRejected(bad, "meta node count") && ok;
+  }
+
+  std::remove(db.c_str());
+  std::remove(engine_db.c_str());
+  std::remove(bad.c_str());
+  return ok;
+}
+
+int CmdSelfcheck(const std::map<std::string, std::string>& flags) {
+  const int seeds = std::atoi(GetFlag(flags, "seeds", "10").c_str());
+  const std::string dir = GetFlag(flags, "dir", "/tmp");
+  int failures = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    std::printf("  seed %d/%d\n", s, seeds);
+    if (!RunSeed(static_cast<uint64_t>(s), dir)) ++failures;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "selfcheck FAILED: %d of %d seeds\n", failures,
+                 seeds);
+    return 1;
+  }
+  std::printf("selfcheck OK (%d seeds)\n", seeds);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv);
+  if (flags.count("db") != 0) return CmdDb(flags.at("db"));
+  if (flags.count("selfcheck") != 0) return CmdSelfcheck(flags);
+  std::fprintf(stderr,
+               "usage: capefp_audit --db=<path> | --selfcheck [--seeds=N] "
+               "[--dir=D]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace capefp::tools
+
+int main(int argc, char** argv) { return capefp::tools::Main(argc, argv); }

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Correctness gate: builds and tests capefp under each sanitizer preset and
+# runs clang-tidy over src/. Intended for CI and pre-merge runs.
+#
+#   tools/run_checks.sh            # everything
+#   tools/run_checks.sh asan       # just ASan+UBSan build + tests
+#   tools/run_checks.sh tsan       # just TSan build + tests
+#   tools/run_checks.sh tidy       # just clang-tidy
+#
+# Sanitizer stages configure with CAPEFP_EXTRA_WARNINGS=ON so -Wshadow
+# -Wconversion regressions fail the gate. The tidy stage is skipped (with a
+# notice, not a failure) when clang-tidy is not installed.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+STAGES=("$@")
+if [[ ${#STAGES[@]} -eq 0 ]]; then
+  STAGES=(asan tsan tidy)
+fi
+
+run_sanitizer_stage() {
+  local preset="$1"
+  shift
+  local ctest_args=("$@")
+  echo "==> [${preset}] configure"
+  cmake --preset "${preset}" -DCAPEFP_EXTRA_WARNINGS=ON >/dev/null
+  echo "==> [${preset}] build"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  echo "==> [${preset}] ctest ${ctest_args[*]:-<all>}"
+  ctest --preset "${preset}" -j "${JOBS}" "${ctest_args[@]}"
+}
+
+run_tidy_stage() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> [tidy] clang-tidy not installed; skipping (install clang-tidy" \
+         "to enable this stage)"
+    return 0
+  fi
+  echo "==> [tidy] configure (compile database)"
+  cmake --preset tidy >/dev/null
+  local db="build-tidy"
+  mapfile -t sources < <(find src -name '*.cc' | sort)
+  echo "==> [tidy] clang-tidy over ${#sources[@]} files"
+  local log
+  log="$(mktemp)"
+  trap 'rm -f "${log}"' RETURN
+  local failed=0
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${db}" -quiet "${sources[@]}" 2>/dev/null \
+      | tee "${log}" || failed=1
+  else
+    for f in "${sources[@]}"; do
+      clang-tidy -p "${db}" --quiet "${f}" 2>/dev/null | tee -a "${log}" \
+        || failed=1
+    done
+  fi
+  # Fail on any diagnostic, not just hard errors: the committed .clang-tidy
+  # baseline is clean, so every warning here is a new one.
+  if grep -qE 'warning:|error:' "${log}"; then
+    echo "==> [tidy] FAILED: new clang-tidy diagnostics (see above)"
+    return 1
+  fi
+  if [[ ${failed} -ne 0 ]]; then
+    echo "==> [tidy] FAILED: clang-tidy exited non-zero"
+    return 1
+  fi
+  echo "==> [tidy] clean"
+}
+
+for stage in "${STAGES[@]}"; do
+  case "${stage}" in
+    asan)
+      # Full suite, including the randomized differential audit.
+      run_sanitizer_stage asan-ubsan
+      ;;
+    tsan)
+      # The engine is single-threaded today; unit + integration coverage is
+      # enough to catch sanitizer-visible issues without re-running the
+      # (slow, single-threaded) audit under TSan's ~10x overhead.
+      run_sanitizer_stage tsan -L 'unit|integration'
+      ;;
+    tidy)
+      run_tidy_stage
+      ;;
+    *)
+      echo "unknown stage '${stage}' (expected: asan, tsan, tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "==> all requested checks passed"
