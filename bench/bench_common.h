@@ -15,7 +15,9 @@
 namespace capefp::bench {
 
 // Minimal --key=value flag parser. Unknown flags abort with a message
-// listing `known` flags.
+// listing `known` flags. Every bench binary additionally understands
+// --json=<path> (machine-readable output destination, empty = none) and
+// --threads=<n>, so those never need to appear in `known`.
 class Flags {
  public:
   Flags(int argc, char** argv, const std::vector<std::string>& known);
@@ -25,9 +27,49 @@ class Flags {
   std::string GetString(const std::string& key,
                         const std::string& default_value) const;
 
+  // The shared flags (defaults when absent: "" and 1).
+  std::string json_path() const { return GetString("json", ""); }
+  int threads() const { return static_cast<int>(GetInt("threads", 1)); }
+
  private:
   std::map<std::string, std::string> values_;
 };
+
+// Streaming JSON writer for bench output: handles commas, nesting, and
+// string escaping; no dependency beyond the standard library. Usage:
+//   JsonWriter w;
+//   w.BeginObject(); w.Key("qps"); w.Double(123.4); w.EndObject();
+//   WriteFileOrDie(path, w.str());
+// Keys/values must alternate correctly inside objects; the writer CHECKs
+// balanced Begin/End but not key placement.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+
+  // The finished document; CHECKs that all scopes are closed.
+  const std::string& str() const;
+
+ private:
+  void BeforeValue();
+  void Indent();
+
+  std::string out_;
+  // One entry per open scope: the count of items emitted in it.
+  std::vector<int> scope_items_;
+  bool pending_key_ = false;
+};
+
+// Writes `content` to `path`, aborting with a message on failure.
+void WriteFileOrDie(const std::string& path, const std::string& content);
 
 // One source/target pair whose straight-line separation falls in a bucket.
 struct QueryPair {

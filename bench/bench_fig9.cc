@@ -12,6 +12,7 @@
 //   --grid=G          boundary estimator grid dimension (default 32)
 //   --mode=time|dist  boundary estimator weight mode (default time)
 //   --pool=P          buffer-pool pages for the CCAM store (default 256)
+//   --json=PATH       also write the per-bucket rows as JSON
 #include <cstdio>
 #include <string>
 
@@ -139,6 +140,48 @@ int Main(int argc, char** argv) {
                 row.all_naive.mean(), row.all_bd.mean(),
                 row.all_naive.mean() / row.all_bd.mean(),
                 row.faults.mean(), row.ms_all_bd.mean());
+  }
+  if (const std::string json_path = flags.json_path(); !json_path.empty()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String("bench_fig9");
+    w.Key("queries_per_bucket");
+    w.Int(queries);
+    w.Key("grid");
+    w.Int(grid);
+    w.Key("mode");
+    w.String(mode_name);
+    w.Key("buckets");
+    w.BeginArray();
+    for (const BucketRow& row : rows) {
+      w.BeginObject();
+      w.Key("distance_miles");
+      w.Double(row.distance);
+      w.Key("single_fp_expansions");
+      w.BeginObject();
+      w.Key("naive_lb_mean");
+      w.Double(row.single_naive.mean());
+      w.Key("bd_lb_mean");
+      w.Double(row.single_bd.mean());
+      w.EndObject();
+      w.Key("all_fp_expansions");
+      w.BeginObject();
+      w.Key("naive_lb_mean");
+      w.Double(row.all_naive.mean());
+      w.Key("bd_lb_mean");
+      w.Double(row.all_bd.mean());
+      w.EndObject();
+      w.Key("bd_lb_page_faults_mean");
+      w.Double(row.faults.mean());
+      w.Key("bd_lb_all_fp_ms_mean");
+      w.Double(row.ms_all_bd.mean());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    WriteFileOrDie(json_path, w.str() + "\n");
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   std::remove(db_path.c_str());
   return 0;

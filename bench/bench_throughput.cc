@@ -1,0 +1,240 @@
+// Batched query throughput: the §6.2 distance-bucketed allFP workload
+// replayed through FastestPathEngine::RunBatch at several thread counts,
+// with the edge-TTF cache on and off, reporting QPS, latency percentiles,
+// cache hit rates, and expansion counts. Results go to stdout as a table
+// and (by default) to BENCH_throughput.json — the repo's machine-readable
+// perf baseline.
+//
+// Flags:
+//   --queries=N        queries per 1-mile distance bucket (default 16)
+//   --buckets=B        distance buckets, 1..B miles (default 3)
+//   --seed=S           workload seed (default 1)
+//   --grid=G           boundary estimator grid dimension (default 16)
+//   --network=small|full  Suffolk scale (default full)
+//   --threads-list=L   comma-separated thread counts (default 1,2,4,8)
+//   --json=PATH        output path (default BENCH_throughput.json; "" = off)
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/engine.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace capefp::bench {
+namespace {
+
+struct ConfigResult {
+  int threads = 0;
+  bool cache = false;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  util::Summary latency_ms;
+  int64_t expansions = 0;
+  network::EdgeTtfCacheStats cache_stats;
+};
+
+std::vector<int> ParseThreadsList(const std::string& spec) {
+  std::vector<int> out;
+  size_t at = 0;
+  while (at < spec.size()) {
+    size_t comma = spec.find(',', at);
+    if (comma == std::string::npos) comma = spec.size();
+    out.push_back(std::stoi(spec.substr(at, comma - at)));
+    at = comma + 1;
+  }
+  CAPEFP_CHECK(!out.empty()) << "empty --threads-list";
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"queries", "buckets", "seed", "grid", "network",
+                     "threads-list"});
+  const int queries = static_cast<int>(flags.GetInt("queries", 16));
+  const int buckets = static_cast<int>(flags.GetInt("buckets", 3));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int grid = static_cast<int>(flags.GetInt("grid", 16));
+  const std::string network_kind = flags.GetString("network", "full");
+  const std::vector<int> thread_counts =
+      ParseThreadsList(flags.GetString("threads-list", "1,2,4,8"));
+  const std::string json_path =
+      flags.GetString("json", "BENCH_throughput.json");
+
+  gen::SuffolkOptions net_options;
+  if (network_kind == "small") net_options = gen::SuffolkOptions::Small();
+  net_options.seed = 42;
+  const auto sn = gen::GenerateSuffolkNetwork(net_options);
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  PrintHeader(
+      "Throughput: RunBatch over the distance-bucketed allFP workload",
+      {{"network nodes", std::to_string(sn.network.num_nodes())},
+       {"network segments", std::to_string(sn.network.num_edges() / 2)},
+       {"query interval", "07:00-10:00 workday (3h morning rush)"},
+       {"queries per bucket", std::to_string(queries)},
+       {"distance buckets", "1.." + std::to_string(buckets) + " miles"},
+       {"bdLB grid", std::to_string(grid)},
+       {"host hardware threads", std::to_string(hw_threads)}});
+
+  core::EngineOptions options;
+  options.boundary_grid_dim = grid;
+  auto engine_or = core::FastestPathEngine::Create(&sn.network, options);
+  CAPEFP_CHECK(engine_or.ok()) << engine_or.status().ToString();
+  core::FastestPathEngine& engine = **engine_or;
+
+  const double lo = tdf::HhMm(7, 0);
+  const double hi = tdf::HhMm(10, 0);
+  std::vector<core::ProfileQuery> workload;
+  for (int mile = 1; mile <= buckets; ++mile) {
+    const auto pairs =
+        SampleQueryPairs(sn.network, mile - 0.5, mile + 0.5, queries,
+                         seed * 1000 + static_cast<uint64_t>(mile));
+    for (const QueryPair& pair : pairs) {
+      workload.push_back({pair.source, pair.target, lo, hi});
+    }
+  }
+
+  // Reference run: results of every config must match it (the batch API
+  // promises bit-identical answers regardless of thread count; across
+  // cache settings the functions may differ in representation, so the
+  // border is compared approximately).
+  std::vector<core::AllFpResult> reference = engine.RunBatch(workload, 1);
+
+  std::vector<ConfigResult> results;
+  for (const bool cache_on : {true, false}) {
+    for (const int threads : thread_counts) {
+      engine.set_ttf_cache_enabled(cache_on);
+      engine.ClearTtfCache();  // Every config starts cold.
+      std::vector<double> per_query_ms;
+      util::WallTimer timer;
+      const std::vector<core::AllFpResult> batch =
+          engine.RunBatch(workload, threads, &per_query_ms);
+      ConfigResult config;
+      config.wall_ms = timer.ElapsedMillis();
+      config.threads = threads;
+      config.cache = cache_on;
+      config.qps =
+          static_cast<double>(workload.size()) / (config.wall_ms / 1000.0);
+      for (double ms : per_query_ms) config.latency_ms.Add(ms);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        CAPEFP_CHECK(batch[i].found);
+        config.expansions += batch[i].stats.expansions;
+        CAPEFP_CHECK(tdf::PwlFunction::ApproxEqual(
+            *batch[i].border, *reference[i].border, 1e-6))
+            << "config (threads=" << threads << ", cache=" << cache_on
+            << ") diverged from the reference on query " << i;
+      }
+      if (const auto stats = engine.ttf_cache_stats(); stats.has_value()) {
+        config.cache_stats = *stats;
+      }
+      results.push_back(config);
+      std::printf("threads=%d cache=%-3s  %8.1f ms  %7.1f qps  p50 %6.2f ms"
+                  "  p95 %6.2f ms  hit-rate %5.1f%%\n",
+                  threads, cache_on ? "on" : "off", config.wall_ms,
+                  config.qps, config.latency_ms.percentile(50),
+                  config.latency_ms.percentile(95),
+                  100.0 * config.cache_stats.hit_rate());
+    }
+  }
+  engine.set_ttf_cache_enabled(true);
+
+  double base_qps_cache = 0.0;
+  double base_qps_nocache = 0.0;
+  for (const ConfigResult& r : results) {
+    if (r.threads == 1) (r.cache ? base_qps_cache : base_qps_nocache) = r.qps;
+  }
+
+  if (!json_path.empty()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String("bench_throughput");
+    w.Key("workload");
+    w.BeginObject();
+    w.Key("network");
+    w.String(network_kind);
+    w.Key("nodes");
+    w.Uint(sn.network.num_nodes());
+    w.Key("segments");
+    w.Uint(sn.network.num_edges() / 2);
+    w.Key("queries");
+    w.Uint(workload.size());
+    w.Key("queries_per_bucket");
+    w.Int(queries);
+    w.Key("distance_buckets_miles");
+    w.Int(buckets);
+    w.Key("leave_interval_minutes");
+    w.BeginArray();
+    w.Double(lo);
+    w.Double(hi);
+    w.EndArray();
+    w.Key("estimator_grid");
+    w.Int(grid);
+    w.Key("seed");
+    w.Uint(seed);
+    w.EndObject();
+    w.Key("host");
+    w.BeginObject();
+    w.Key("hardware_concurrency");
+    w.Uint(hw_threads);
+    w.EndObject();
+    w.Key("configs");
+    w.BeginArray();
+    for (const ConfigResult& r : results) {
+      const double base = r.cache ? base_qps_cache : base_qps_nocache;
+      w.BeginObject();
+      w.Key("threads");
+      w.Int(r.threads);
+      w.Key("ttf_cache");
+      w.Bool(r.cache);
+      w.Key("wall_ms");
+      w.Double(r.wall_ms);
+      w.Key("qps");
+      w.Double(r.qps);
+      w.Key("speedup_vs_1_thread");
+      w.Double(base > 0.0 ? r.qps / base : 0.0);
+      w.Key("latency_ms");
+      w.BeginObject();
+      w.Key("mean");
+      w.Double(r.latency_ms.mean());
+      w.Key("p50");
+      w.Double(r.latency_ms.percentile(50));
+      w.Key("p95");
+      w.Double(r.latency_ms.percentile(95));
+      w.Key("max");
+      w.Double(r.latency_ms.max());
+      w.EndObject();
+      w.Key("expansions");
+      w.Int(r.expansions);
+      w.Key("ttf_cache_stats");
+      w.BeginObject();
+      w.Key("hits");
+      w.Uint(r.cache_stats.hits);
+      w.Key("misses");
+      w.Uint(r.cache_stats.misses);
+      w.Key("evictions");
+      w.Uint(r.cache_stats.evictions);
+      w.Key("bypasses");
+      w.Uint(r.cache_stats.bypasses);
+      w.Key("hit_rate");
+      w.Double(r.cache_stats.hit_rate());
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    WriteFileOrDie(json_path, w.str() + "\n");
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace capefp::bench
+
+int main(int argc, char** argv) { return capefp::bench::Main(argc, argv); }

@@ -1,5 +1,9 @@
 #include "src/core/engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/storage/ccam_builder.h"
@@ -42,6 +46,12 @@ util::StatusOr<std::unique_ptr<FastestPathEngine>> FastestPathEngine::Create(
     engine->store_ = std::move(*store);
     engine->disk_accessor_.emplace(engine->store_.get());
   }
+
+  if (options.ttf_cache_entries > 0) {
+    engine->ttf_cache_ =
+        std::make_unique<network::EdgeTtfCache>(options.ttf_cache_entries);
+    engine->set_ttf_cache_enabled(true);
+  }
   return engine;
 }
 
@@ -68,6 +78,54 @@ SingleFpResult FastestPathEngine::SingleFastestPath(
       MakeEstimator(query.target, BoundaryNodeEstimator::Direction::kToAnchor);
   ProfileSearch search(accessor(), estimator.get(), options_.search);
   return search.RunSingleFp(query);
+}
+
+std::vector<AllFpResult> FastestPathEngine::RunBatch(
+    std::span<const ProfileQuery> queries, int threads,
+    std::vector<double>* per_query_millis) {
+  std::vector<AllFpResult> results(queries.size());
+  if (per_query_millis != nullptr) {
+    per_query_millis->assign(queries.size(), 0.0);
+  }
+  if (queries.empty()) return results;
+
+  std::atomic<size_t> next{0};
+  // Queries are handed out one at a time, so stragglers cannot leave a
+  // whole stripe on one worker. Each worker reuses one Scratch across its
+  // queries; everything shared (network, boundary index, TTF cache, buffer
+  // pool) is immutable or internally synchronized.
+  auto worker = [&]() {
+    ProfileSearch::Scratch scratch;
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < queries.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      const auto start = std::chrono::steady_clock::now();
+      const ProfileQuery& query = queries[i];
+      auto estimator = MakeEstimator(
+          query.target, BoundaryNodeEstimator::Direction::kToAnchor);
+      ProfileSearch search(accessor(), estimator.get(), options_.search,
+                           &scratch);
+      results[i] = search.RunAllFp(query);
+      if (per_query_millis != nullptr) {
+        (*per_query_millis)[i] =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+      }
+    }
+  };
+
+  const int num_workers = std::max(
+      1, std::min(threads, static_cast<int>(queries.size())));
+  if (num_workers == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(num_workers));
+  for (int t = 0; t < num_workers; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  return results;
 }
 
 ReverseAllFpResult FastestPathEngine::ArrivalAllFastestPaths(
@@ -101,6 +159,31 @@ std::optional<storage::CcamStats> FastestPathEngine::storage_stats() const {
 
 void FastestPathEngine::ResetStorageStats() {
   if (store_ != nullptr) store_->ResetStats();
+}
+
+std::optional<network::EdgeTtfCacheStats> FastestPathEngine::ttf_cache_stats()
+    const {
+  if (ttf_cache_ == nullptr) return std::nullopt;
+  return ttf_cache_->stats();
+}
+
+void FastestPathEngine::ResetTtfCacheStats() {
+  if (ttf_cache_ != nullptr) ttf_cache_->ResetStats();
+}
+
+void FastestPathEngine::ClearTtfCache() {
+  if (ttf_cache_ != nullptr) ttf_cache_->Clear();
+}
+
+void FastestPathEngine::set_ttf_cache_enabled(bool enabled) {
+  network::EdgeTtfCache* cache = enabled ? ttf_cache_.get() : nullptr;
+  if (enabled && cache == nullptr) return;  // No cache to enable.
+  memory_accessor_->set_ttf_cache(cache);
+  if (disk_accessor_.has_value()) disk_accessor_->set_ttf_cache(cache);
+}
+
+bool FastestPathEngine::ttf_cache_enabled() const {
+  return memory_accessor_->ttf_cache() != nullptr;
 }
 
 }  // namespace capefp::core

@@ -13,7 +13,9 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/core/boundary_estimator.h"
 #include "src/core/profile_search.h"
@@ -43,6 +45,11 @@ struct EngineOptions {
   std::string ccam_path;
   uint32_t ccam_page_size = 2048;
   size_t ccam_buffer_pool_pages = 256;
+
+  // Capacity (entries) of the shared edge travel-time-function cache that
+  // memoizes per-(pattern, edge length, day) derived functions for the
+  // forward profile searches. 0 disables the cache entirely.
+  size_t ttf_cache_entries = 1 << 16;
 };
 
 class FastestPathEngine {
@@ -57,6 +64,16 @@ class FastestPathEngine {
   AllFpResult AllFastestPaths(const ProfileQuery& query);
   SingleFpResult SingleFastestPath(const ProfileQuery& query);
 
+  // Answers `queries` as AllFastestPaths would, one result per query in
+  // order, using up to `threads` worker threads. Workers share the network,
+  // boundary index, TTF cache, and (when disk-backed) the buffer pool, and
+  // keep private search state, so results are bit-identical to running the
+  // queries sequentially through this engine. If `per_query_millis` is
+  // non-null it receives one wall-clock latency per query.
+  std::vector<AllFpResult> RunBatch(
+      std::span<const ProfileQuery> queries, int threads,
+      std::vector<double>* per_query_millis = nullptr);
+
   // Arrival-interval variants (§2.1). Always in-memory (the CCAM store has
   // no predecessor lists).
   ReverseAllFpResult ArrivalAllFastestPaths(const ReverseProfileQuery& query);
@@ -70,6 +87,18 @@ class FastestPathEngine {
   // Storage statistics; nullopt when running purely in memory.
   std::optional<storage::CcamStats> storage_stats() const;
   void ResetStorageStats();
+
+  // Edge-TTF cache statistics; nullopt when the engine was created with
+  // ttf_cache_entries == 0.
+  std::optional<network::EdgeTtfCacheStats> ttf_cache_stats() const;
+  void ResetTtfCacheStats();
+  // Drops all cached functions (the next batch starts cold).
+  void ClearTtfCache();
+  // Detaches/reattaches the cache without discarding entries, so a
+  // benchmark can compare cached vs uncached runs on one engine. No effect
+  // when the engine has no cache.
+  void set_ttf_cache_enabled(bool enabled);
+  bool ttf_cache_enabled() const;
 
   bool disk_backed() const { return store_ != nullptr; }
   const network::RoadNetwork& road_network() const { return *network_; }
@@ -94,6 +123,7 @@ class FastestPathEngine {
   std::optional<BoundaryNodeIndex> boundary_index_;
   std::unique_ptr<storage::CcamStore> store_;
   std::optional<storage::CcamAccessor> disk_accessor_;
+  std::unique_ptr<network::EdgeTtfCache> ttf_cache_;
 };
 
 }  // namespace capefp::core

@@ -29,8 +29,12 @@ using MinHeap =
 
 ProfileSearch::ProfileSearch(network::NetworkAccessor* accessor,
                              TravelTimeEstimator* estimator,
-                             const ProfileSearchOptions& options)
-    : accessor_(accessor), estimator_(estimator), options_(options) {
+                             const ProfileSearchOptions& options,
+                             Scratch* scratch)
+    : accessor_(accessor),
+      estimator_(estimator),
+      options_(options),
+      scratch_(scratch) {
   CAPEFP_CHECK(accessor != nullptr);
   CAPEFP_CHECK(estimator != nullptr);
 }
@@ -66,7 +70,9 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
   queue.push({estimator_->Estimate(query.source), 0});
   ++stats->pushes;
 
-  std::vector<NeighborEdge> neighbors;
+  std::vector<NeighborEdge> local_neighbors;
+  std::vector<NeighborEdge>& neighbors =
+      scratch_ != nullptr ? scratch_->neighbors : local_neighbors;
   while (!queue.empty()) {
     const QueueEntry top = queue.top();
     queue.pop();
@@ -110,12 +116,18 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
 
     accessor_->GetSuccessors(node, &neighbors);
     for (const NeighborEdge& edge : neighbors) {
-      const tdf::EdgeSpeedView speed = accessor_->SpeedView(edge.pattern);
       // NOTE: label may dangle after labels->push_back below; copy first.
       const PwlFunction& path_tt =
           (*labels)[static_cast<size_t>(top.label)].travel_time;
-      PwlFunction combined =
-          tdf::ExpandPath(path_tt, speed, edge.distance_miles);
+      // §4.4 expansion, routed through the accessor so the edge function
+      // over the arrival interval can come from the shared TTF cache.
+      const double arrive_lo =
+          path_tt.domain_lo() + path_tt.Value(path_tt.domain_lo());
+      const double arrive_hi =
+          path_tt.domain_hi() + path_tt.Value(path_tt.domain_hi());
+      const PwlFunction edge_tt = accessor_->EdgeTtf(
+          edge.pattern, edge.distance_miles, arrive_lo, arrive_hi);
+      PwlFunction combined = tdf::ComposePathWithEdge(path_tt, edge_tt);
       const double estimate = estimator_->Estimate(edge.to);
       const double key = combined.MinValue() + estimate;
       if (!border.empty() && key >= border.MaxValue() - tdf::kTimeEps) {
@@ -139,7 +151,10 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
 
 SingleFpResult ProfileSearch::RunSingleFp(const ProfileQuery& query) {
   SingleFpResult result;
-  std::vector<Label> labels;
+  std::vector<Label> local_labels;
+  std::vector<Label>& labels =
+      scratch_ != nullptr ? scratch_->labels : local_labels;
+  labels.clear();
   int64_t first_target = -1;
   (void)Run(query, /*stop_at_first_target=*/true, &labels, &result.stats,
             &first_target);
@@ -155,7 +170,10 @@ SingleFpResult ProfileSearch::RunSingleFp(const ProfileQuery& query) {
 
 AllFpResult ProfileSearch::RunAllFp(const ProfileQuery& query) {
   AllFpResult result;
-  std::vector<Label> labels;
+  std::vector<Label> local_labels;
+  std::vector<Label>& labels =
+      scratch_ != nullptr ? scratch_->labels : local_labels;
+  labels.clear();
   int64_t first_target = -1;
   const LowerBorder border = Run(query, /*stop_at_first_target=*/false,
                                  &labels, &result.stats, &first_target);

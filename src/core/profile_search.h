@@ -99,9 +99,26 @@ struct AllFpResult {
 // Both calls are independent (no shared state between invocations).
 class ProfileSearch {
  public:
+  struct Label {
+    tdf::PwlFunction travel_time;
+    network::NodeId node;
+    int64_t parent;  // Label index, -1 for the source label.
+  };
+
+  // Reusable per-search allocations. A worker thread running many queries
+  // passes one Scratch to every ProfileSearch it constructs: the label
+  // arena and successor buffer keep their capacity across queries instead
+  // of reallocating from empty each time. Never share a Scratch between
+  // concurrently running searches.
+  struct Scratch {
+    std::vector<Label> labels;
+    std::vector<network::NeighborEdge> neighbors;
+  };
+
   ProfileSearch(network::NetworkAccessor* accessor,
                 TravelTimeEstimator* estimator,
-                const ProfileSearchOptions& options = {});
+                const ProfileSearchOptions& options = {},
+                Scratch* scratch = nullptr);
 
   // Stops at the first end-node path (§4.5).
   SingleFpResult RunSingleFp(const ProfileQuery& query);
@@ -110,12 +127,6 @@ class ProfileSearch {
   AllFpResult RunAllFp(const ProfileQuery& query);
 
  private:
-  struct Label {
-    tdf::PwlFunction travel_time;
-    network::NodeId node;
-    int64_t parent;  // Label index, -1 for the source label.
-  };
-
   // Shared engine; `stop_at_first_target` selects singleFP behaviour.
   // Returns the final border (empty if the target was never reached) and
   // the label arena for path reconstruction.
@@ -129,6 +140,7 @@ class ProfileSearch {
   network::NetworkAccessor* accessor_;
   TravelTimeEstimator* estimator_;
   ProfileSearchOptions options_;
+  Scratch* scratch_;  // Not owned; may be null.
 };
 
 }  // namespace capefp::core

@@ -1,8 +1,34 @@
 #include "src/network/accessor.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/util/check.h"
 
 namespace capefp::network {
+
+tdf::PwlFunction NetworkAccessor::EdgeTtf(PatternId pattern,
+                                          double distance_miles, double lo,
+                                          double hi) {
+  if (ttf_cache_ != nullptr) {
+    const double day_f = std::floor(lo / tdf::kMinutesPerDay);
+    const int64_t day = static_cast<int64_t>(day_f);
+    const double day_lo = day_f * tdf::kMinutesPerDay;
+    const double day_hi = day_lo + tdf::kMinutesPerDay;
+    if (lo >= day_lo - tdf::kTimeEps && hi <= day_hi + tdf::kTimeEps) {
+      const EdgeTtfCache::FunctionPtr full_day = ttf_cache_->GetOrDerive(
+          pattern, distance_miles, day, [&]() {
+            return tdf::EdgeTravelTimeFunction(SpeedView(pattern),
+                                               distance_miles, day_lo, day_hi);
+          });
+      return full_day->Restricted(std::max(lo, day_lo),
+                                  std::min(hi, day_hi));
+    }
+    ttf_cache_->RecordBypass();
+  }
+  return tdf::EdgeTravelTimeFunction(SpeedView(pattern), distance_miles, lo,
+                                     hi);
+}
 
 InMemoryAccessor::InMemoryAccessor(const RoadNetwork* network)
     : network_(network), max_speed_(network->max_speed()) {

@@ -16,6 +16,7 @@
 
 #include "src/geo/point.h"
 #include "src/network/road_network.h"
+#include "src/network/ttf_cache.h"
 #include "src/tdf/speed_pattern.h"
 #include "src/tdf/travel_time.h"
 
@@ -53,6 +54,25 @@ class NetworkAccessor {
   tdf::EdgeSpeedView SpeedView(PatternId id) const {
     return tdf::EdgeSpeedView(&Pattern(id), &calendar());
   }
+
+  // The edge travel-time function τ(l) for leaving times l in [lo, hi],
+  // equivalent to tdf::EdgeTravelTimeFunction over the same interval. With
+  // a cache attached and [lo, hi] inside one day, the function is cut from
+  // the memoized full-day derivation; multi-day intervals bypass the cache.
+  // Thread-safe when the attached cache is (the derivation itself only
+  // reads the immutable schema).
+  tdf::PwlFunction EdgeTtf(PatternId pattern, double distance_miles,
+                           double lo, double hi);
+
+  // Attaches a shared derived-function cache (not owned; null detaches).
+  // The cache may be shared by several accessors over networks with the
+  // same schema — e.g. the memory and disk accessors of one engine — since
+  // keys depend only on pattern id, edge length, and day.
+  void set_ttf_cache(EdgeTtfCache* cache) { ttf_cache_ = cache; }
+  EdgeTtfCache* ttf_cache() const { return ttf_cache_; }
+
+ private:
+  EdgeTtfCache* ttf_cache_ = nullptr;
 };
 
 // Accessor over an in-memory RoadNetwork (no I/O, no counters). The network

@@ -1,0 +1,60 @@
+#include "src/network/ttf_cache.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace capefp::network {
+
+EdgeTtfCache::EdgeTtfCache(size_t capacity_entries, size_t num_shards) {
+  CAPEFP_CHECK_GE(capacity_entries, 1u);
+  CAPEFP_CHECK_GE(num_shards, 1u);
+  num_shards = std::min(num_shards, capacity_entries);
+  shard_capacity_ = (capacity_entries + num_shards - 1) / num_shards;
+  shards_ = std::vector<Shard>(num_shards);
+}
+
+EdgeTtfCacheStats EdgeTtfCache::stats() const {
+  EdgeTtfCacheStats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+  }
+  out.bypasses = bypasses_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void EdgeTtfCache::ResetStats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.evictions = 0;
+  }
+  bypasses_.store(0, std::memory_order_relaxed);
+}
+
+void EdgeTtfCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.evictions = 0;
+  }
+  bypasses_.store(0, std::memory_order_relaxed);
+}
+
+size_t EdgeTtfCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+}  // namespace capefp::network

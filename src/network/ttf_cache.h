@@ -1,0 +1,167 @@
+// Sharded LRU cache of derived edge travel-time functions.
+//
+// Every ProfileSearch expansion needs the edge's piecewise-linear
+// travel-time function τ(l) over the arrival interval of the path being
+// extended. Deriving τ from the edge's CapeCod speed pattern (§4.4 of the
+// paper) walks the pattern's speed boundaries and is the single most
+// repeated computation of a query batch: the same edge is re-derived by
+// every label routed through it, in every query of the batch.
+//
+// The cache memoizes one *full-day* function per (pattern, distance, day)
+// key — the engine's EdgeTtf() answers any sub-interval of that day by
+// restriction, so queries with different (but same-day) leaving intervals
+// share entries. The day index pins the day category (and the category of
+// the following day, which a traversal crossing midnight reads), so
+// workday and non-workday lookups of the same edge are distinct entries and
+// never alias. Entries are immutable once derived; the derivation must be
+// a pure function of the key, which makes results independent of cache
+// state — a batch run and a sequential run produce bit-identical answers.
+//
+// Thread safety: fully internally synchronized. Keys are hashed onto
+// independently locked shards, so the read-mostly query workload contends
+// only on same-shard misses. Returned functions are shared_ptrs and stay
+// valid after eviction.
+#ifndef CAPEFP_NETWORK_TTF_CACHE_H_
+#define CAPEFP_NETWORK_TTF_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/network/road_network.h"
+#include "src/tdf/pwl_function.h"
+
+namespace capefp::network {
+
+// Aggregated counters (a snapshot across all shards). A "bypass" is a
+// request the cache declined to serve — the leaving interval spanned a
+// midnight, so no single day entry covers it.
+struct EdgeTtfCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bypasses = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups());
+  }
+};
+
+class EdgeTtfCache {
+ public:
+  using FunctionPtr = std::shared_ptr<const tdf::PwlFunction>;
+
+  // `capacity_entries` is the total entry budget, split evenly across
+  // `num_shards` (each shard keeps at least one entry).
+  explicit EdgeTtfCache(size_t capacity_entries, size_t num_shards = 8);
+
+  EdgeTtfCache(const EdgeTtfCache&) = delete;
+  EdgeTtfCache& operator=(const EdgeTtfCache&) = delete;
+
+  // The cached full-day function for (pattern, distance, day), deriving it
+  // with `derive` on a miss. `derive` runs under the shard lock and MUST be
+  // a pure function of the key (same key -> bit-identical function).
+  template <typename Fn>
+  FunctionPtr GetOrDerive(PatternId pattern, double distance_miles,
+                          int64_t day, Fn&& derive) {
+    const Key key = MakeKey(pattern, distance_miles, day);
+    Shard& shard = shards_[ShardIndex(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->second;
+    }
+    ++shard.misses;
+    FunctionPtr fn =
+        std::make_shared<const tdf::PwlFunction>(derive());
+    shard.lru.emplace_front(key, fn);
+    shard.map[key] = shard.lru.begin();
+    while (shard.map.size() > shard_capacity_) {
+      shard.map.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+    return fn;
+  }
+
+  // Counts a request the cache could not serve (multi-day interval).
+  void RecordBypass() {
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  EdgeTtfCacheStats stats() const;
+  void ResetStats();
+
+  // Drops every entry (and resets counters); the next batch starts cold.
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return shard_capacity_ * shards_.size(); }
+
+ private:
+  struct Key {
+    PatternId pattern = 0;
+    int64_t day = 0;
+    // Bit representation of the edge length: exact keying without
+    // tolerance games (equal edges have bit-equal stored distances).
+    uint64_t distance_bits = 0;
+
+    bool operator==(const Key& o) const {
+      return pattern == o.pattern && day == o.day &&
+             distance_bits == o.distance_bits;
+    }
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = static_cast<uint64_t>(k.pattern) * 0x9e3779b97f4a7c15ull;
+      h ^= static_cast<uint64_t>(k.day) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+      h ^= k.distance_bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<Key, FunctionPtr>> lru;  // Most recent first.
+    std::unordered_map<Key, std::list<std::pair<Key, FunctionPtr>>::iterator,
+                       KeyHash>
+        map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  static Key MakeKey(PatternId pattern, double distance_miles, int64_t day) {
+    Key key;
+    key.pattern = pattern;
+    key.day = day;
+    std::memcpy(&key.distance_bits, &distance_miles,
+                sizeof(key.distance_bits));
+    return key;
+  }
+
+  size_t ShardIndex(const Key& key) const {
+    return KeyHash()(key) % shards_.size();
+  }
+
+  size_t shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> bypasses_{0};
+};
+
+}  // namespace capefp::network
+
+#endif  // CAPEFP_NETWORK_TTF_CACHE_H_

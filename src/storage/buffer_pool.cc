@@ -43,7 +43,10 @@ const char* PageHandle::data() const {
 
 char* PageHandle::mutable_data() {
   CAPEFP_CHECK(valid());
-  pool_->frames_[frame_].dirty = true;
+  {
+    std::lock_guard<std::mutex> lock(pool_->mu_);
+    pool_->frames_[frame_].dirty = true;
+  }
   return pool_->frames_[frame_].data.data();
 }
 
@@ -62,6 +65,7 @@ BufferPool::~BufferPool() {
 }
 
 void BufferPool::Unpin(size_t frame_index, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& f = frames_[frame_index];
   CAPEFP_CHECK_GT(f.pin_count, 0);
   if (dirty) f.dirty = true;
@@ -69,10 +73,15 @@ void BufferPool::Unpin(size_t frame_index, bool dirty) {
     f.lru_pos = lru_.insert(lru_.end(), frame_index);
     f.in_lru = true;
   }
-  CAPEFP_DCHECK_OK(ValidateInvariants());
+  CAPEFP_DCHECK_OK(ValidateInvariantsLocked());
 }
 
 util::Status BufferPool::ValidateInvariants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ValidateInvariantsLocked();
+}
+
+util::Status BufferPool::ValidateInvariantsLocked() const {
   char buf[256];
   size_t mapped = 0;
   std::vector<uint8_t> free_count(frames_.size(), 0);
@@ -193,6 +202,7 @@ util::StatusOr<size_t> BufferPool::GrabFrame() {
 }
 
 util::StatusOr<PageHandle> BufferPool::Acquire(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     ++stats_.hits;
@@ -219,11 +229,12 @@ util::StatusOr<PageHandle> BufferPool::Acquire(PageId id) {
   f.dirty = false;
   f.in_lru = false;
   page_to_frame_[id] = idx;
-  CAPEFP_DCHECK_OK(ValidateInvariants());
+  CAPEFP_DCHECK_OK(ValidateInvariantsLocked());
   return PageHandle(this, idx, id);
 }
 
 util::StatusOr<PageHandle> BufferPool::AllocateAndAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
   auto id_or = pager_->AllocatePage();
   if (!id_or.ok()) return id_or.status();
   auto frame_or = GrabFrame();
@@ -236,11 +247,12 @@ util::StatusOr<PageHandle> BufferPool::AllocateAndAcquire() {
   f.dirty = true;
   f.in_lru = false;
   page_to_frame_[*id_or] = idx;
-  CAPEFP_DCHECK_OK(ValidateInvariants());
+  CAPEFP_DCHECK_OK(ValidateInvariantsLocked());
   return PageHandle(this, idx, *id_or);
 }
 
 util::Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.page_id != kInvalidPage && f.dirty) {
       CAPEFP_RETURN_IF_ERROR(pager_->WritePage(f.page_id, f.data.data()));
@@ -252,6 +264,7 @@ util::Status BufferPool::FlushAll() {
 }
 
 util::Status BufferPool::FreePage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     Frame& f = frames_[it->second];
@@ -267,7 +280,7 @@ util::Status BufferPool::FreePage(PageId id) {
     free_frames_.push_back(it->second);
     page_to_frame_.erase(it);
   }
-  CAPEFP_DCHECK_OK(ValidateInvariants());
+  CAPEFP_DCHECK_OK(ValidateInvariantsLocked());
   return pager_->FreePage(id);
 }
 

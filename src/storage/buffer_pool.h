@@ -7,12 +7,22 @@
 //
 // Pages are pinned through RAII PageHandles. Pinned frames are never
 // evicted; acquiring more distinct pages than the pool capacity while all
-// are pinned is an error. Not thread-safe.
+// are pinned is an error.
+//
+// Thread-safe for concurrent readers: a mutex guards the page table, LRU
+// list, pin ledger, and counters, so a single pool (and its pager) can be
+// shared by parallel query workers. PageHandle::data() is deliberately
+// lock-free — the frame array never reallocates and a pinned frame's bytes
+// cannot be evicted or overwritten, so the pin taken under the lock in
+// Acquire() is the synchronization point. Writers (mutable_data) must not
+// run concurrently with FlushAll on the same page; the build path that
+// mutates pages is single-threaded.
 #ifndef CAPEFP_STORAGE_BUFFER_POOL_H_
 #define CAPEFP_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -90,8 +100,14 @@ class BufferPool {
   uint32_t page_size() const { return pager_->page_size(); }
   Pager* pager() const { return pager_; }
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = BufferPoolStats();
+  }
 
   // Deep audit of the frame ledger: every frame is either mapped (its page
   // id resolves back to it through the page table) or on the free list;
@@ -116,7 +132,11 @@ class BufferPool {
   void Unpin(size_t frame_index, bool dirty);
   // Finds a frame to (re)use, evicting an unpinned LRU victim if needed.
   util::StatusOr<size_t> GrabFrame();
+  util::Status ValidateInvariantsLocked() const;
 
+  // Guards everything below except the page *bytes* of pinned frames
+  // (see the class comment).
+  mutable std::mutex mu_;
   Pager* pager_;
   size_t capacity_;
   std::vector<Frame> frames_;

@@ -111,6 +111,16 @@ util::Status Pager::WriteHeader() {
 }
 
 util::Status Pager::ReadPage(PageId id, char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadPageLocked(id, buf);
+}
+
+util::Status Pager::WritePage(PageId id, const char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WritePageLocked(id, buf);
+}
+
+util::Status Pager::ReadPageLocked(PageId id, char* buf) {
   if (id == 0 || id >= num_pages_) {
     return util::Status::OutOfRange("page id out of range");
   }
@@ -134,7 +144,7 @@ util::Status Pager::ReadPage(PageId id, char* buf) {
   return util::Status::Ok();
 }
 
-util::Status Pager::WritePage(PageId id, const char* buf) {
+util::Status Pager::WritePageLocked(PageId id, const char* buf) {
   if (id == 0 || id >= num_pages_) {
     return util::Status::OutOfRange("page id out of range");
   }
@@ -153,11 +163,12 @@ util::Status Pager::WritePage(PageId id, const char* buf) {
 }
 
 util::StatusOr<PageId> Pager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (free_head_ != kInvalidPage) {
     const PageId id = free_head_;
     // The free list chains through the first 4 bytes of each free page.
     std::vector<char> buf(page_size_);
-    CAPEFP_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+    CAPEFP_RETURN_IF_ERROR(ReadPageLocked(id, buf.data()));
     free_head_ = DecodeU32(buf.data());
     return id;
   }
@@ -165,7 +176,7 @@ util::StatusOr<PageId> Pager::AllocatePage() {
   ++num_pages_;
   // Extend the file so the new page is addressable.
   std::vector<char> zeros(page_size_, 0);
-  util::Status status = WritePage(id, zeros.data());
+  util::Status status = WritePageLocked(id, zeros.data());
   if (!status.ok()) {
     --num_pages_;
     return status;
@@ -174,17 +185,19 @@ util::StatusOr<PageId> Pager::AllocatePage() {
 }
 
 util::Status Pager::FreePage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id == 0 || id >= num_pages_) {
     return util::Status::OutOfRange("page id out of range");
   }
   std::vector<char> buf(page_size_, 0);
   EncodeU32(buf.data(), free_head_);
-  CAPEFP_RETURN_IF_ERROR(WritePage(id, buf.data()));
+  CAPEFP_RETURN_IF_ERROR(WritePageLocked(id, buf.data()));
   free_head_ = id;
   return util::Status::Ok();
 }
 
 util::StatusOr<std::vector<PageId>> Pager::FreeListPages() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<PageId> pages;
   std::vector<char> buf(page_size_);
   PageId id = free_head_;
@@ -198,13 +211,14 @@ util::StatusOr<std::vector<PageId>> Pager::FreeListPages() {
       return util::Status::Corruption("free list cycle detected");
     }
     pages.push_back(id);
-    CAPEFP_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+    CAPEFP_RETURN_IF_ERROR(ReadPageLocked(id, buf.data()));
     id = DecodeU32(buf.data());
   }
   return pages;
 }
 
 util::Status Pager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   CAPEFP_RETURN_IF_ERROR(WriteHeader());
   if (std::fflush(file_) != 0) {
     return util::Status::IoError("fflush failed");

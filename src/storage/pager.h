@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,11 @@ struct PagerStats {
 };
 
 // Fixed-size page file. Page 0 holds the pager header and is not available
-// to clients; AllocatePage() hands out ids >= 1. Not thread-safe.
+// to clients; AllocatePage() hands out ids >= 1.
+//
+// Thread-safe: every public operation takes an internal mutex (the file
+// position, the shared I/O scratch buffer, and the free-list head all need
+// it), so concurrent readers through a shared BufferPool serialize here.
 class Pager {
  public:
   // Creates (truncating) a page file with the given page size
@@ -73,8 +78,14 @@ class Pager {
   // CcamStore::DeepValidate to classify free pages).
   util::StatusOr<std::vector<PageId>> FreeListPages();
 
-  const PagerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PagerStats(); }
+  PagerStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = PagerStats();
+  }
 
   static constexpr uint32_t kMinPageSize = 128;
 
@@ -83,9 +94,15 @@ class Pager {
         PageId free_head);
 
   util::Status WriteHeader();
+  // Unlocked bodies, for operations that compose several page I/Os under
+  // one mutex hold (AllocatePage, FreePage, FreeListPages).
+  util::Status ReadPageLocked(PageId id, char* buf);
+  util::Status WritePageLocked(PageId id, const char* buf);
   // On-disk bytes per page: payload plus the CRC trailer.
   uint32_t PhysicalPageSize() const { return page_size_ + sizeof(uint32_t); }
 
+  // Guards the file position, counters, free-list head, and I/O buffer.
+  mutable std::mutex mu_;
   std::FILE* file_;
   uint32_t page_size_;
   uint32_t num_pages_;

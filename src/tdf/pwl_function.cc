@@ -14,31 +14,37 @@ namespace {
 // its neighbours and can be dropped.
 constexpr double kCollinearEps = 1e-9;
 
-void AppendNormalized(std::vector<Breakpoint>& out, const Breakpoint& p) {
-  if (!out.empty()) {
-    CAPEFP_CHECK_GT(p.x, out.back().x) << "breakpoints must strictly increase";
-  }
-  // Drop the middle point of three (near-)collinear ones.
-  while (out.size() >= 2) {
-    const Breakpoint& a = out[out.size() - 2];
-    const Breakpoint& b = out[out.size() - 1];
-    const double t = (b.x - a.x) / (p.x - a.x);
-    const double interp = a.y + t * (p.y - a.y);
-    if (std::fabs(b.y - interp) <= kCollinearEps) {
-      out.pop_back();
-    } else {
-      break;
-    }
-  }
-  out.push_back(p);
-}
-
 }  // namespace
 
-PwlFunction::PwlFunction(std::vector<Breakpoint> breakpoints) {
-  CAPEFP_CHECK(!breakpoints.empty());
-  points_.reserve(breakpoints.size());
-  for (const Breakpoint& p : breakpoints) AppendNormalized(points_, p);
+// Normalizes in place (no second allocation — construction is the hottest
+// allocation site of the search inner loop): `kept` is the length of the
+// normalized prefix, always <= the read cursor, so reads stay ahead of
+// writes.
+PwlFunction::PwlFunction(std::vector<Breakpoint> breakpoints)
+    : points_(std::move(breakpoints)) {
+  CAPEFP_CHECK(!points_.empty());
+  size_t kept = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Breakpoint p = points_[i];
+    if (kept > 0) {
+      CAPEFP_CHECK_GT(p.x, points_[kept - 1].x)
+          << "breakpoints must strictly increase";
+    }
+    // Drop the middle point of three (near-)collinear ones.
+    while (kept >= 2) {
+      const Breakpoint& a = points_[kept - 2];
+      const Breakpoint& b = points_[kept - 1];
+      const double t = (b.x - a.x) / (p.x - a.x);
+      const double interp = a.y + t * (p.y - a.y);
+      if (std::fabs(b.y - interp) <= kCollinearEps) {
+        --kept;
+      } else {
+        break;
+      }
+    }
+    points_[kept++] = p;
+  }
+  points_.resize(kept);
   CAPEFP_DCHECK_OK(ValidateInvariants());
 }
 
@@ -171,6 +177,7 @@ PwlFunction PwlFunction::Restricted(double lo, double hi) const {
   const double clo = std::clamp(lo, domain_lo(), domain_hi());
   const double chi = std::clamp(hi, domain_lo(), domain_hi());
   std::vector<Breakpoint> pts;
+  pts.reserve(points_.size() + 2);
   pts.push_back({clo, Value(clo)});
   for (const Breakpoint& p : points_) {
     if (p.x > clo + kTimeEps && p.x < chi - kTimeEps) pts.push_back(p);
@@ -199,6 +206,7 @@ std::vector<double> UnionXs(const PwlFunction& f, const PwlFunction& g) {
   }
   std::sort(xs.begin(), xs.end());
   std::vector<double> out;
+  out.reserve(xs.size());
   for (double x : xs) {
     if (out.empty() || x > out.back() + kTimeEps) out.push_back(x);
   }
@@ -236,14 +244,18 @@ std::vector<double> MergedGrid(const PwlFunction& f, const PwlFunction& g) {
 
 PwlFunction PwlFunction::Sum(const PwlFunction& f, const PwlFunction& g) {
   CheckSameDomain(f, g);
+  const std::vector<double> xs = UnionXs(f, g);
   std::vector<Breakpoint> pts;
-  for (double x : UnionXs(f, g)) pts.push_back({x, f.Value(x) + g.Value(x)});
+  pts.reserve(xs.size());
+  for (double x : xs) pts.push_back({x, f.Value(x) + g.Value(x)});
   return PwlFunction(std::move(pts));
 }
 
 PwlFunction PwlFunction::Min(const PwlFunction& f, const PwlFunction& g) {
+  const std::vector<double> grid = MergedGrid(f, g);
   std::vector<Breakpoint> pts;
-  for (double x : MergedGrid(f, g)) {
+  pts.reserve(grid.size());
+  for (double x : grid) {
     pts.push_back({x, std::min(f.Value(x), g.Value(x))});
   }
   return PwlFunction(std::move(pts));

@@ -103,7 +103,10 @@ PwlFunction EdgeTravelTimeFunction(const EdgeSpeedView& speed,
     return PwlFunction({{lo, tt}});
   }
 
-  std::vector<double> candidates = {lo, hi};
+  std::vector<double> candidates;
+  candidates.reserve(16);
+  candidates.push_back(lo);
+  candidates.push_back(hi);
   // Case 1 breakpoints: the departure time crosses a speed boundary.
   for (double b = speed.NextBoundaryAfter(lo); b < hi - kTimeEps;
        b = speed.NextBoundaryAfter(b)) {
@@ -230,7 +233,10 @@ PwlFunction EdgeReverseTravelTimeFunction(const EdgeSpeedView& speed,
     return PwlFunction({{lo, reverse_tt(lo)}});
   }
 
-  std::vector<double> candidates = {lo, hi};
+  std::vector<double> candidates;
+  candidates.reserve(16);
+  candidates.push_back(lo);
+  candidates.push_back(hi);
   // Breakpoints where the arrival time crosses a speed boundary.
   for (double b = speed.NextBoundaryAfter(lo); b < hi - kTimeEps;
        b = speed.NextBoundaryAfter(b)) {

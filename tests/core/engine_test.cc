@@ -9,6 +9,7 @@
 #include "src/gen/random_network.h"
 #include "src/gen/suffolk_generator.h"
 #include "src/util/random.h"
+#include "tests/testing/temp_path.h"
 
 namespace capefp::core {
 namespace {
@@ -56,7 +57,7 @@ TEST_F(EngineTest, ArrivalQueriesWork) {
 }
 
 TEST_F(EngineTest, DiskBackedMatchesInMemory) {
-  const std::string path = ::testing::TempDir() + "/engine_test.ccam";
+  const std::string path = capefp::testing::UniqueTempPath("engine_test.ccam");
   EngineOptions disk_options;
   disk_options.ccam_path = path;
   auto disk = FastestPathEngine::Create(&sn_.network, disk_options);

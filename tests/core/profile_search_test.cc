@@ -15,6 +15,7 @@
 #include "src/storage/ccam_builder.h"
 #include "src/storage/ccam_store.h"
 #include "src/util/random.h"
+#include "tests/testing/temp_path.h"
 
 namespace capefp::core {
 namespace {
@@ -241,7 +242,7 @@ TEST(ProfileSearchTest, BoundaryEstimatorGivesSameBorderAsNaive) {
 
 TEST(ProfileSearchTest, CcamAccessorGivesIdenticalResults) {
   const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
-  const std::string path = ::testing::TempDir() + "/profile_ccam.db";
+  const std::string path = capefp::testing::UniqueTempPath("profile_ccam.db");
   ASSERT_TRUE(storage::BuildCcamFile(sn.network, path, {}).ok());
   auto store_or = storage::CcamStore::Open(path);
   ASSERT_TRUE(store_or.ok());

@@ -8,6 +8,7 @@
 
 #include "src/capefp.h"
 #include "src/util/random.h"
+#include "tests/testing/temp_path.h"
 
 namespace capefp {
 namespace {
@@ -159,7 +160,7 @@ TEST(RobustnessTest, ConcurrentConstQueriesAgree) {
 // buffer pool — no pin-budget deadlocks in the B+-tree descent.
 TEST(RobustnessTest, CcamWorksWithTinyBufferPool) {
   const auto sn = gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
-  const std::string path = ::testing::TempDir() + "/tiny_pool.ccam";
+  const std::string path = capefp::testing::UniqueTempPath("tiny_pool.ccam");
   ASSERT_TRUE(storage::BuildCcamFile(sn.network, path, {}).ok());
   storage::CcamOpenOptions open;
   open.buffer_pool_pages = 2;

@@ -8,6 +8,7 @@
 
 #include "src/capefp.h"
 #include "src/util/random.h"
+#include "tests/testing/temp_path.h"
 
 namespace capefp {
 namespace {
@@ -138,8 +139,8 @@ TEST(ScenarioSuiteTest, FullPipelineGenerateSaveLoadStoreQuery) {
   options.target_segments = 0;
   const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(options);
 
-  const std::string net_path = ::testing::TempDir() + "/pipeline.net";
-  const std::string db_path = ::testing::TempDir() + "/pipeline.ccam";
+  const std::string net_path = capefp::testing::UniqueTempPath("pipeline.net");
+  const std::string db_path = capefp::testing::UniqueTempPath("pipeline.ccam");
   ASSERT_TRUE(network::WriteNetworkFile(sn.network, net_path).ok());
   auto reloaded = network::ReadNetworkFile(net_path);
   ASSERT_TRUE(reloaded.ok());

@@ -9,6 +9,7 @@
 
 #include "src/gen/random_network.h"
 #include "src/gen/suffolk_generator.h"
+#include "tests/testing/temp_path.h"
 
 namespace capefp::network {
 namespace {
@@ -73,7 +74,7 @@ TEST(NetworkIoTest, FileRoundTrip) {
   gen::RandomNetworkOptions opt;
   opt.num_nodes = 10;
   const RoadNetwork original = gen::MakeRandomNetwork(opt);
-  const std::string path = ::testing::TempDir() + "/capefp_io_test.net";
+  const std::string path = capefp::testing::UniqueTempPath("capefp_io_test.net");
   ASSERT_TRUE(WriteNetworkFile(original, path).ok());
   auto restored = ReadNetworkFile(path);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
@@ -158,7 +159,7 @@ TEST(NetworkIoTest, GeoJsonExportIsWellFormedAndDeduplicatesPairs) {
 TEST(NetworkIoTest, GeoJsonFileRoundTrip) {
   const auto generated =
       gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small());
-  const std::string path = ::testing::TempDir() + "/capefp_geo.json";
+  const std::string path = capefp::testing::UniqueTempPath("capefp_geo.json");
   ASSERT_TRUE(WriteGeoJsonFile(generated.network, path).ok());
   std::ifstream in(path);
   ASSERT_TRUE(in.good());

@@ -1,0 +1,195 @@
+#include "src/network/ttf_cache.h"
+
+#include "gtest/gtest.h"
+#include "src/network/accessor.h"
+#include "src/network/road_network.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/tdf/travel_time.h"
+
+namespace capefp::network {
+namespace {
+
+using tdf::HhMm;
+using tdf::kMinutesPerDay;
+using tdf::MphToMpm;
+using tdf::PwlFunction;
+
+// A two-category network: one node pair joined by an edge whose pattern is
+// slow in the workday morning rush and constant on non-workdays.
+RoadNetwork MakeTwoCategoryNetwork() {
+  std::vector<tdf::DailySpeedPattern> per_category;
+  per_category.push_back(tdf::DailySpeedPattern(
+      {{0.0, MphToMpm(45.0)},
+       {HhMm(7, 0), MphToMpm(20.0)},
+       {HhMm(10, 0), MphToMpm(45.0)}}));
+  per_category.push_back(tdf::DailySpeedPattern::Constant(MphToMpm(45.0)));
+
+  RoadNetwork net(tdf::Calendar::StandardWeek(0, 1));
+  net.AddPattern(tdf::CapeCodPattern(std::move(per_category)));
+  net.AddNode({0.0, 0.0});
+  net.AddNode({1.0, 0.0});
+  net.AddEdge(0, 1, 1.0, 0, RoadClass::kLocalOutsideCity);
+  return net;
+}
+
+TEST(EdgeTtfCacheTest, HitAndMissCounters) {
+  EdgeTtfCache cache(/*capacity_entries=*/64);
+  int derivations = 0;
+  auto derive = [&]() {
+    ++derivations;
+    return PwlFunction::Constant(0.0, kMinutesPerDay, 5.0);
+  };
+
+  auto first = cache.GetOrDerive(/*pattern=*/0, /*distance_miles=*/1.0,
+                                 /*day=*/0, derive);
+  auto second = cache.GetOrDerive(0, 1.0, 0, derive);
+  EXPECT_EQ(derivations, 1);
+  EXPECT_EQ(first.get(), second.get());  // Same shared entry.
+
+  const EdgeTtfCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.lookups(), 2u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.RecordBypass();
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+
+  cache.ResetStats();
+  const EdgeTtfCacheStats reset = cache.stats();
+  EXPECT_EQ(reset.hits, 0u);
+  EXPECT_EQ(reset.misses, 0u);
+  EXPECT_EQ(reset.bypasses, 0u);
+  EXPECT_EQ(cache.size(), 1u);  // Entries survive a stats reset...
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);  // ...but not a Clear.
+}
+
+TEST(EdgeTtfCacheTest, DistinctKeysGetDistinctEntries) {
+  EdgeTtfCache cache(64);
+  auto derive_at = [](double value) {
+    return [value]() {
+      return PwlFunction::Constant(0.0, kMinutesPerDay, value);
+    };
+  };
+  // Different pattern, different length, different day: all distinct.
+  (void)cache.GetOrDerive(0, 1.0, 0, derive_at(1.0));
+  (void)cache.GetOrDerive(1, 1.0, 0, derive_at(2.0));
+  (void)cache.GetOrDerive(0, 2.0, 0, derive_at(3.0));
+  (void)cache.GetOrDerive(0, 1.0, 1, derive_at(4.0));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().misses, 4u);
+
+  // Each key returns its own cached value.
+  auto again = cache.GetOrDerive(0, 2.0, 0, derive_at(-1.0));
+  EXPECT_DOUBLE_EQ(again->Value(0.0), 3.0);
+}
+
+TEST(EdgeTtfCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and deterministic.
+  EdgeTtfCache cache(/*capacity_entries=*/2, /*num_shards=*/1);
+  auto derive = []() {
+    return PwlFunction::Constant(0.0, kMinutesPerDay, 1.0);
+  };
+  (void)cache.GetOrDerive(0, 1.0, 0, derive);  // key A
+  (void)cache.GetOrDerive(1, 1.0, 0, derive);  // key B
+  (void)cache.GetOrDerive(0, 1.0, 0, derive);  // touch A -> B is LRU
+  (void)cache.GetOrDerive(2, 1.0, 0, derive);  // key C evicts B
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // A and C are resident; B must be re-derived.
+  (void)cache.GetOrDerive(0, 1.0, 0, derive);
+  (void)cache.GetOrDerive(2, 1.0, 0, derive);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  const uint64_t misses_before = cache.stats().misses;
+  (void)cache.GetOrDerive(1, 1.0, 0, derive);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(EdgeTtfCacheTest, EvictedFunctionStaysValid) {
+  EdgeTtfCache cache(/*capacity_entries=*/1, /*num_shards=*/1);
+  auto held = cache.GetOrDerive(0, 1.0, 0, []() {
+    return PwlFunction::Constant(0.0, kMinutesPerDay, 7.0);
+  });
+  (void)cache.GetOrDerive(1, 1.0, 0, []() {
+    return PwlFunction::Constant(0.0, kMinutesPerDay, 9.0);
+  });
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_DOUBLE_EQ(held->Value(100.0), 7.0);  // shared_ptr keeps it alive.
+}
+
+// The accessor-level contract the profile search relies on: cached lookups
+// of the same edge on a workday vs a weekend day must produce the two
+// different day-category functions, each matching direct derivation.
+TEST(EdgeTtfAccessorTest, DayCategorySeparation) {
+  const RoadNetwork net = MakeTwoCategoryNetwork();
+  InMemoryAccessor accessor(&net);
+  EdgeTtfCache cache(64);
+  accessor.set_ttf_cache(&cache);
+
+  // Day 0 is a Monday (category 0), day 5 a Saturday (category 1).
+  const double monday_lo = HhMm(7, 30);
+  const double monday_hi = HhMm(9, 30);
+  const double saturday_lo = 5 * kMinutesPerDay + HhMm(7, 30);
+  const double saturday_hi = 5 * kMinutesPerDay + HhMm(9, 30);
+
+  const PwlFunction monday =
+      accessor.EdgeTtf(0, 1.0, monday_lo, monday_hi);
+  const PwlFunction saturday =
+      accessor.EdgeTtf(0, 1.0, saturday_lo, saturday_hi);
+  EXPECT_EQ(cache.size(), 2u);  // One full-day entry per day index.
+
+  // Rush hour at 20 mph vs weekend 45 mph: clearly different functions.
+  EXPECT_GT(monday.Value(HhMm(8, 0)), 2.5);
+  EXPECT_LT(saturday.Value(5 * kMinutesPerDay + HhMm(8, 0)), 1.5);
+
+  // Both match uncached derivation over the same interval.
+  const PwlFunction monday_direct = tdf::EdgeTravelTimeFunction(
+      accessor.SpeedView(0), 1.0, monday_lo, monday_hi);
+  const PwlFunction saturday_direct = tdf::EdgeTravelTimeFunction(
+      accessor.SpeedView(0), 1.0, saturday_lo, saturday_hi);
+  EXPECT_TRUE(PwlFunction::ApproxEqual(monday, monday_direct, 1e-9));
+  EXPECT_TRUE(PwlFunction::ApproxEqual(saturday, saturday_direct, 1e-9));
+
+  // Served from the cache on repeat.
+  const uint64_t misses = cache.stats().misses;
+  (void)accessor.EdgeTtf(0, 1.0, monday_lo, monday_hi);
+  (void)accessor.EdgeTtf(0, 1.0, saturday_lo, saturday_hi);
+  EXPECT_EQ(cache.stats().misses, misses);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(EdgeTtfAccessorTest, MidnightSpanningIntervalBypassesCache) {
+  const RoadNetwork net = MakeTwoCategoryNetwork();
+  InMemoryAccessor accessor(&net);
+  EdgeTtfCache cache(64);
+  accessor.set_ttf_cache(&cache);
+
+  const double lo = HhMm(23, 0);
+  const double hi = kMinutesPerDay + HhMm(1, 0);  // Crosses midnight.
+  const PwlFunction crossing = accessor.EdgeTtf(0, 1.0, lo, hi);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+
+  const PwlFunction direct = tdf::EdgeTravelTimeFunction(
+      accessor.SpeedView(0), 1.0, lo, hi);
+  EXPECT_TRUE(PwlFunction::ApproxEqual(crossing, direct, 1e-9));
+}
+
+TEST(EdgeTtfAccessorTest, NoCacheAttachedDerivesDirectly) {
+  const RoadNetwork net = MakeTwoCategoryNetwork();
+  InMemoryAccessor accessor(&net);
+  ASSERT_EQ(accessor.ttf_cache(), nullptr);
+
+  const PwlFunction f = accessor.EdgeTtf(0, 1.0, HhMm(8, 0), HhMm(9, 0));
+  const PwlFunction direct = tdf::EdgeTravelTimeFunction(
+      accessor.SpeedView(0), 1.0, HhMm(8, 0), HhMm(9, 0));
+  EXPECT_TRUE(PwlFunction::ApproxEqual(f, direct, 1e-12));
+}
+
+}  // namespace
+}  // namespace capefp::network

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "src/util/random.h"
+#include "tests/testing/temp_path.h"
 
 namespace capefp::storage {
 namespace {
@@ -19,7 +20,7 @@ class BPlusTreeTest : public ::testing::Test {
   void Recreate(uint32_t page_size, size_t pool_pages) {
     pool_.reset();
     pager_.reset();
-    path_ = ::testing::TempDir() + "/bptree_test.db";
+    path_ = capefp::testing::UniqueTempPath("bptree_test.db");
     auto pager_or = Pager::Create(path_, page_size);
     ASSERT_TRUE(pager_or.ok());
     pager_ = std::move(*pager_or);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "src/util/random.h"
+#include "tests/testing/temp_path.h"
 
 namespace capefp::storage {
 namespace {
@@ -16,7 +17,7 @@ namespace {
 class BufferPoolTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/bufpool_test.db";
+    path_ = capefp::testing::UniqueTempPath("bufpool_test.db");
     auto pager_or = Pager::Create(path_, 256);
     ASSERT_TRUE(pager_or.ok());
     pager_ = std::move(*pager_or);

@@ -9,6 +9,7 @@
 #include "src/storage/ccam_accessor.h"
 #include "src/storage/ccam_builder.h"
 #include "src/storage/ccam_store.h"
+#include "tests/testing/temp_path.h"
 
 namespace capefp::storage {
 namespace {
@@ -21,7 +22,7 @@ class CcamTest : public ::testing::Test {
  protected:
   std::string path_;
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/ccam_test.db";
+    path_ = capefp::testing::UniqueTempPath("ccam_test.db");
   }
   void TearDown() override { std::remove(path_.c_str()); }
 };

@@ -17,6 +17,7 @@
 #include "src/storage/pager.h"
 #include "src/storage/slotted_page.h"
 #include "src/util/random.h"
+#include "tests/testing/temp_path.h"
 
 namespace capefp::storage {
 namespace {
@@ -45,7 +46,7 @@ long FileSize(const std::string& path) {
 class CorruptionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/capefp_corruption.db";
+    path_ = capefp::testing::UniqueTempPath("capefp_corruption.db");
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;
@@ -227,7 +228,7 @@ class BPlusTreeCorruptionTest : public ::testing::Test {
   static constexpr uint32_t kPageSize = 256;  // Leaf fanout (256-8)/16 = 15.
 
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/capefp_btree_corruption.db";
+    path_ = capefp::testing::UniqueTempPath("capefp_btree_corruption.db");
     auto pager = Pager::Create(path_, kPageSize);
     ASSERT_TRUE(pager.ok());
     pager_ = std::move(*pager);
@@ -330,7 +331,7 @@ TEST_F(BPlusTreeCorruptionTest, KeyOutsideSeparatorRangeIsRejected) {
 
 TEST(CcamDeepValidateCorruptionTest, InflatedMetaNodeCountIsRejected) {
   const std::string path =
-      ::testing::TempDir() + "/capefp_deep_corruption.db";
+      capefp::testing::UniqueTempPath("capefp_deep_corruption.db");
   gen::RandomNetworkOptions opt;
   opt.seed = 7;
   opt.num_nodes = 60;

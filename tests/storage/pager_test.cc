@@ -5,6 +5,7 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "tests/testing/temp_path.h"
 
 namespace capefp::storage {
 namespace {
@@ -12,7 +13,8 @@ namespace {
 class PagerTest : public ::testing::Test {
  protected:
   std::string Path(const char* name) {
-    return ::testing::TempDir() + "/pager_" + name + ".db";
+    return capefp::testing::UniqueTempPath(std::string("pager_") + name +
+                                           ".db");
   }
   void TearDown() override {
     for (const std::string& p : created_) std::remove(p.c_str());

@@ -1,0 +1,24 @@
+// Per-process unique temp paths for test fixtures.
+//
+// Parallel ctest (`ctest -j`) runs every discovered test in its own
+// process; fixtures that hard-code one filename under TempDir() clobber
+// each other's files when two instances overlap. A pid suffix makes the
+// path unique per process while staying stable within one test.
+#ifndef CAPEFP_TESTS_TESTING_TEMP_PATH_H_
+#define CAPEFP_TESTS_TESTING_TEMP_PATH_H_
+
+#include <unistd.h>
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace capefp::testing {
+
+inline std::string UniqueTempPath(const std::string& stem) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + stem;
+}
+
+}  // namespace capefp::testing
+
+#endif  // CAPEFP_TESTS_TESTING_TEMP_PATH_H_

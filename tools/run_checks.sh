@@ -77,10 +77,12 @@ for stage in "${STAGES[@]}"; do
       run_sanitizer_stage asan-ubsan
       ;;
     tsan)
-      # The engine is single-threaded today; unit + integration coverage is
-      # enough to catch sanitizer-visible issues without re-running the
+      # Unit + integration covers the genuinely multi-threaded pieces —
+      # parallel_engine_test drives RunBatch workers over the shared TTF
+      # cache / buffer pool / pager, and the bench-smoke label runs
+      # bench_throughput's tiny batched workload — without re-running the
       # (slow, single-threaded) audit under TSan's ~10x overhead.
-      run_sanitizer_stage tsan -L 'unit|integration'
+      run_sanitizer_stage tsan -L 'unit|integration|bench-smoke'
       ;;
     tidy)
       run_tidy_stage
