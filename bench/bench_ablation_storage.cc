@@ -26,6 +26,9 @@ namespace {
 struct RunStats {
   util::Summary faults;
   util::Summary hits;
+  // Per-query pool hit rate, via BufferPoolStats::hit_rate() (guarded
+  // against zero lookups) rather than a hand-rolled ratio.
+  util::Summary hit_rate;
 };
 
 RunStats RunQueries(storage::CcamStore* store,
@@ -38,8 +41,10 @@ RunStats RunQueries(storage::CcamStore* store,
     const auto result = core::TdAStar(&accessor, pair.source, pair.target,
                                       tdf::HhMm(8, 0), &est);
     CAPEFP_CHECK(result.found);
-    stats.faults.Add(static_cast<double>(store->stats().pool.faults));
-    stats.hits.Add(static_cast<double>(store->stats().pool.hits));
+    const storage::CcamStats after = store->stats();
+    stats.faults.Add(static_cast<double>(after.pool.faults));
+    stats.hits.Add(static_cast<double>(after.pool.hits));
+    stats.hit_rate.Add(after.hit_rate());
   }
   return stats;
 }
@@ -57,8 +62,9 @@ int Main(int argc, char** argv) {
   const auto pairs = SampleQueryPairs(sn.network, 4.0, 8.0, queries, seed);
   const std::string db_path = "/tmp/capefp_storage_ablation.ccam";
 
-  std::printf("%10s %8s %12s %14s %14s %12s\n", "page(B)", "pool",
-              "file pages", "faults/query", "hits/query", "intra-edge");
+  std::printf("%10s %8s %12s %14s %14s %10s %12s\n", "page(B)", "pool",
+              "file pages", "faults/query", "hits/query", "hit-rate",
+              "intra-edge");
   for (uint32_t page_size : {1024u, 2048u, 4096u, 8192u}) {
     storage::CcamBuildOptions build;
     build.page_size = page_size;
@@ -70,9 +76,9 @@ int Main(int argc, char** argv) {
       auto store = storage::CcamStore::Open(db_path, open);
       CAPEFP_CHECK(store.ok()) << store.status().ToString();
       const RunStats stats = RunQueries(store->get(), pairs);
-      std::printf("%10u %8zu %12u %14.0f %14.0f %11.1f%%\n", page_size, pool,
-                  report->total_pages, stats.faults.mean(),
-                  stats.hits.mean(),
+      std::printf("%10u %8zu %12u %14.0f %14.0f %9.1f%% %11.1f%%\n",
+                  page_size, pool, report->total_pages, stats.faults.mean(),
+                  stats.hits.mean(), 100.0 * stats.hit_rate.mean(),
                   100.0 * report->intra_page_edge_fraction);
     }
   }

@@ -53,126 +53,6 @@ std::string Flags::GetString(const std::string& key,
   return it == values_.end() ? default_value : it->second;
 }
 
-void JsonWriter::BeforeValue() {
-  if (pending_key_) {
-    pending_key_ = false;
-    return;  // "key": was just emitted; the value follows inline.
-  }
-  if (!scope_items_.empty()) {
-    if (scope_items_.back() > 0) out_ += ',';
-    ++scope_items_.back();
-    out_ += '\n';
-    Indent();
-  }
-}
-
-void JsonWriter::Indent() {
-  out_.append(2 * scope_items_.size(), ' ');
-}
-
-void JsonWriter::BeginObject() {
-  BeforeValue();
-  out_ += '{';
-  scope_items_.push_back(0);
-}
-
-void JsonWriter::EndObject() {
-  CAPEFP_CHECK(!scope_items_.empty());
-  const int items = scope_items_.back();
-  scope_items_.pop_back();
-  if (items > 0) {
-    out_ += '\n';
-    Indent();
-  }
-  out_ += '}';
-}
-
-void JsonWriter::BeginArray() {
-  BeforeValue();
-  out_ += '[';
-  scope_items_.push_back(0);
-}
-
-void JsonWriter::EndArray() {
-  CAPEFP_CHECK(!scope_items_.empty());
-  const int items = scope_items_.back();
-  scope_items_.pop_back();
-  if (items > 0) {
-    out_ += '\n';
-    Indent();
-  }
-  out_ += ']';
-}
-
-namespace {
-
-void AppendEscaped(std::string* out, const std::string& s) {
-  *out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      case '\r': *out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-  *out += '"';
-}
-
-}  // namespace
-
-void JsonWriter::Key(const std::string& name) {
-  CAPEFP_CHECK(!pending_key_);
-  BeforeValue();
-  AppendEscaped(&out_, name);
-  out_ += ": ";
-  pending_key_ = true;
-}
-
-void JsonWriter::String(const std::string& value) {
-  BeforeValue();
-  AppendEscaped(&out_, value);
-}
-
-void JsonWriter::Int(int64_t value) {
-  BeforeValue();
-  out_ += std::to_string(value);
-}
-
-void JsonWriter::Uint(uint64_t value) {
-  BeforeValue();
-  out_ += std::to_string(value);
-}
-
-void JsonWriter::Double(double value) {
-  BeforeValue();
-  char buf[64];
-  // %.17g round-trips; trim to something readable but lossless enough for
-  // latencies and rates.
-  std::snprintf(buf, sizeof(buf), "%.10g", value);
-  out_ += buf;
-}
-
-void JsonWriter::Bool(bool value) {
-  BeforeValue();
-  out_ += value ? "true" : "false";
-}
-
-const std::string& JsonWriter::str() const {
-  CAPEFP_CHECK(scope_items_.empty()) << "unclosed JSON scope";
-  CAPEFP_CHECK(!pending_key_) << "dangling JSON key";
-  return out_;
-}
-
 void WriteFileOrDie(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   CAPEFP_CHECK(f != nullptr) << "cannot open " << path << " for writing";

@@ -11,6 +11,7 @@
 
 #include "src/gen/suffolk_generator.h"
 #include "src/network/road_network.h"
+#include "src/util/json_writer.h"
 
 namespace capefp::bench {
 
@@ -35,38 +36,10 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
-// Streaming JSON writer for bench output: handles commas, nesting, and
-// string escaping; no dependency beyond the standard library. Usage:
-//   JsonWriter w;
-//   w.BeginObject(); w.Key("qps"); w.Double(123.4); w.EndObject();
-//   WriteFileOrDie(path, w.str());
-// Keys/values must alternate correctly inside objects; the writer CHECKs
-// balanced Begin/End but not key placement.
-class JsonWriter {
- public:
-  void BeginObject();
-  void EndObject();
-  void BeginArray();
-  void EndArray();
-  void Key(const std::string& name);
-  void String(const std::string& value);
-  void Int(int64_t value);
-  void Uint(uint64_t value);
-  void Double(double value);
-  void Bool(bool value);
-
-  // The finished document; CHECKs that all scopes are closed.
-  const std::string& str() const;
-
- private:
-  void BeforeValue();
-  void Indent();
-
-  std::string out_;
-  // One entry per open scope: the count of items emitted in it.
-  std::vector<int> scope_items_;
-  bool pending_key_ = false;
-};
+// Streaming JSON writer for bench output. Lives in src/util (the
+// observability layer renders metric snapshots through it too); aliased
+// here so bench code keeps its historical spelling.
+using JsonWriter = util::JsonWriter;
 
 // Writes `content` to `path`, aborting with a message on failure.
 void WriteFileOrDie(const std::string& path, const std::string& content);

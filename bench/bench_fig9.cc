@@ -20,6 +20,7 @@
 #include "src/core/boundary_estimator.h"
 #include "src/core/estimator.h"
 #include "src/core/profile_search.h"
+#include "src/obs/metrics.h"
 #include "src/storage/ccam_accessor.h"
 #include "src/storage/ccam_builder.h"
 #include "src/storage/ccam_store.h"
@@ -69,6 +70,12 @@ int Main(int argc, char** argv) {
   auto store = storage::CcamStore::Open(db_path, open_options);
   CAPEFP_CHECK(store.ok()) << store.status().ToString();
   storage::CcamAccessor accessor(store->get());
+  // Storage counters as a metric tree, snapshotted into the JSON output.
+  // Note the per-query ResetStats below, so the final snapshot covers the
+  // last bucket's bdLB allFP query (a representative single-query I/O
+  // profile), not the whole run.
+  obs::MetricsRegistry registry;
+  (*store)->RegisterMetrics(&registry, "capefp.storage");
 
   // Estimator precomputation (offline, in-memory network).
   core::BoundaryIndexOptions index_options;
@@ -179,6 +186,8 @@ int Main(int argc, char** argv) {
       w.EndObject();
     }
     w.EndArray();
+    w.Key("storage_metrics_last_query");
+    registry.Snapshot().WriteJson(&w);
     w.EndObject();
     WriteFileOrDie(json_path, w.str() + "\n");
     std::printf("\nwrote %s\n", json_path.c_str());

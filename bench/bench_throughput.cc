@@ -21,6 +21,7 @@
 #include "bench/bench_common.h"
 #include "src/core/engine.h"
 #include "src/gen/suffolk_generator.h"
+#include "src/obs/metrics.h"
 #include "src/tdf/speed_pattern.h"
 #include "src/util/check.h"
 #include "src/util/stats.h"
@@ -36,6 +37,10 @@ struct ConfigResult {
   util::Summary latency_ms;
   int64_t expansions = 0;
   network::EdgeTtfCacheStats cache_stats;
+  // This config's movement of the engine metric tree (counters diffed
+  // against the pre-run snapshot) and its batch-local latency histogram.
+  obs::MetricsSnapshot metrics_delta;
+  obs::HistogramSnapshot batch_latency;
 };
 
 std::vector<int> ParseThreadsList(const std::string& spec) {
@@ -110,22 +115,24 @@ int Main(int argc, char** argv) {
     for (const int threads : thread_counts) {
       engine.set_ttf_cache_enabled(cache_on);
       engine.ClearTtfCache();  // Every config starts cold.
-      std::vector<double> per_query_ms;
+      const obs::MetricsSnapshot before = engine.metrics()->Snapshot();
       util::WallTimer timer;
-      const std::vector<core::AllFpResult> batch =
-          engine.RunBatch(workload, threads, &per_query_ms);
+      const core::BatchResult batch =
+          engine.RunBatchWithMetrics(workload, threads);
       ConfigResult config;
       config.wall_ms = timer.ElapsedMillis();
       config.threads = threads;
       config.cache = cache_on;
       config.qps =
           static_cast<double>(workload.size()) / (config.wall_ms / 1000.0);
-      for (double ms : per_query_ms) config.latency_ms.Add(ms);
-      for (size_t i = 0; i < batch.size(); ++i) {
-        CAPEFP_CHECK(batch[i].found);
-        config.expansions += batch[i].stats.expansions;
+      config.metrics_delta = batch.metrics.DeltaSince(before);
+      config.batch_latency = batch.latency_ms;
+      for (double ms : batch.per_query_millis) config.latency_ms.Add(ms);
+      for (size_t i = 0; i < batch.results.size(); ++i) {
+        CAPEFP_CHECK(batch.results[i].found);
+        config.expansions += batch.results[i].stats.expansions;
         CAPEFP_CHECK(tdf::PwlFunction::ApproxEqual(
-            *batch[i].border, *reference[i].border, 1e-6))
+            *batch.results[i].border, *reference[i].border, 1e-6))
             << "config (threads=" << threads << ", cache=" << cache_on
             << ") diverged from the reference on query " << i;
       }
@@ -224,6 +231,21 @@ int Main(int argc, char** argv) {
       w.Key("hit_rate");
       w.Double(r.cache_stats.hit_rate());
       w.EndObject();
+      w.Key("batch_latency_ms");
+      w.BeginObject();
+      w.Key("count");
+      w.Uint(r.batch_latency.count);
+      w.Key("mean");
+      w.Double(r.batch_latency.mean());
+      w.Key("p50");
+      w.Double(r.batch_latency.Percentile(50.0));
+      w.Key("p95");
+      w.Double(r.batch_latency.Percentile(95.0));
+      w.Key("p99");
+      w.Double(r.batch_latency.Percentile(99.0));
+      w.EndObject();
+      w.Key("metrics");
+      r.metrics_delta.WriteJson(&w);
       w.EndObject();
     }
     w.EndArray();

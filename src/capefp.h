@@ -22,6 +22,8 @@
 #include "src/gen/table1_schema.h"          // the paper's speed schema
 #include "src/network/network_io.h"         // text interchange format
 #include "src/network/road_network.h"       // the CapeCod network model
+#include "src/obs/metrics.h"                // counters / histograms
+#include "src/obs/trace.h"                  // per-query span traces
 #include "src/storage/ccam_builder.h"       // CCAM page-file builder
 #include "src/storage/ccam_store.h"         // disk store (§2.2)
 #include "src/tdf/speed_pattern.h"          // CapeCod patterns (§2.1)

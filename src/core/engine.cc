@@ -52,7 +52,27 @@ util::StatusOr<std::unique_ptr<FastestPathEngine>> FastestPathEngine::Create(
         std::make_unique<network::EdgeTtfCache>(options.ttf_cache_entries);
     engine->set_ttf_cache_enabled(true);
   }
+  engine->InitMetrics();
   return engine;
+}
+
+void FastestPathEngine::InitMetrics() {
+  queries_total_ = metrics_.GetCounter("capefp.engine.queries");
+  batches_total_ = metrics_.GetCounter("capefp.engine.batches");
+  td_queries_total_ = metrics_.GetCounter("capefp.engine.td_queries");
+  query_latency_ms_ = metrics_.GetHistogram("capefp.engine.query_latency_ms");
+  search_expansions_ = metrics_.GetCounter("capefp.search.expansions");
+  search_pushes_ = metrics_.GetCounter("capefp.search.pushes");
+  search_pruned_dominated_ =
+      metrics_.GetCounter("capefp.search.pruned_dominated");
+  search_pruned_bound_ = metrics_.GetCounter("capefp.search.pruned_bound");
+  td_expanded_nodes_ = metrics_.GetCounter("capefp.td_astar.expanded_nodes");
+  if (ttf_cache_ != nullptr) {
+    ttf_cache_->RegisterMetrics(&metrics_, "capefp.ttf_cache");
+  }
+  if (store_ != nullptr) {
+    store_->RegisterMetrics(&metrics_, "capefp.storage");
+  }
 }
 
 std::unique_ptr<TravelTimeEstimator> FastestPathEngine::MakeEstimator(
@@ -65,19 +85,167 @@ std::unique_ptr<TravelTimeEstimator> FastestPathEngine::MakeEstimator(
   return std::make_unique<EuclideanEstimator>(accessor(), anchor);
 }
 
-AllFpResult FastestPathEngine::AllFastestPaths(const ProfileQuery& query) {
-  auto estimator =
-      MakeEstimator(query.target, BoundaryNodeEstimator::Direction::kToAnchor);
-  ProfileSearch search(accessor(), estimator.get(), options_.search);
-  return search.RunAllFp(query);
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
-SingleFpResult FastestPathEngine::SingleFastestPath(
-    const ProfileQuery& query) {
-  auto estimator =
-      MakeEstimator(query.target, BoundaryNodeEstimator::Direction::kToAnchor);
-  ProfileSearch search(accessor(), estimator.get(), options_.search);
-  return search.RunSingleFp(query);
+uint64_t AsU64(int64_t v) { return v < 0 ? 0 : static_cast<uint64_t>(v); }
+
+}  // namespace
+
+AllFpResult FastestPathEngine::RunOneAllFp(const ProfileQuery& query,
+                                           ProfileSearch::Scratch* scratch,
+                                           obs::Trace* trace,
+                                           double* elapsed_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  const bool tracing = trace != nullptr;
+
+  // Storage and cache movement is attributed by before/after deltas of the
+  // components' own counters (exact when queries run sequentially; see the
+  // RunBatchWithMetrics comment for the concurrent caveat).
+  std::optional<storage::CcamStats> storage_before;
+  std::optional<network::EdgeTtfCacheStats> cache_before;
+  obs::Trace::Span root;
+  if (tracing) {
+    storage_before = storage_stats();
+    cache_before = ttf_cache_stats();
+    root = trace->StartSpan("query.all_fp");
+    root.AddAttr("source", static_cast<double>(query.source));
+    root.AddAttr("target", static_cast<double>(query.target));
+  }
+
+  std::unique_ptr<TravelTimeEstimator> estimator;
+  {
+    obs::Trace::Span est_span =
+        tracing ? trace->StartSpan("estimator") : obs::Trace::Span();
+    estimator = MakeEstimator(query.target,
+                              BoundaryNodeEstimator::Direction::kToAnchor);
+  }
+
+  AllFpResult result;
+  {
+    obs::Trace::Span search_span =
+        tracing ? trace->StartSpan("search") : obs::Trace::Span();
+    ProfileSearch search(accessor(), estimator.get(), options_.search,
+                         scratch, trace);
+    result = search.RunAllFp(query);
+    if (tracing) {
+      if (cache_before.has_value()) {
+        const network::EdgeTtfCacheStats after = *ttf_cache_stats();
+        search_span.AddAttr(
+            "ttf_cache_hits",
+            static_cast<double>(after.hits - cache_before->hits));
+        search_span.AddAttr(
+            "ttf_cache_misses",
+            static_cast<double>(after.misses - cache_before->misses));
+      }
+      if (storage_before.has_value()) {
+        const storage::CcamStats after = *storage_stats();
+        const uint64_t reads =
+            after.pager.page_reads - storage_before->pager.page_reads;
+        const uint64_t writes =
+            after.pager.page_writes - storage_before->pager.page_writes;
+        const double io_ms =
+            after.pager.io_millis() - storage_before->pager.io_millis();
+        if (reads + writes > 0) {
+          trace->AddLeaf("storage_io", io_ms, reads + writes);
+        }
+        search_span.AddAttr(
+            "pages_hit",
+            static_cast<double>(after.pool.hits - storage_before->pool.hits));
+        search_span.AddAttr("pages_faulted",
+                            static_cast<double>(after.pool.faults -
+                                                storage_before->pool.faults));
+      }
+    }
+  }
+
+  const double ms = MillisSince(start);
+  if (elapsed_ms != nullptr) *elapsed_ms = ms;
+  queries_total_->Add(1);
+  query_latency_ms_->Record(ms);
+  search_expansions_->Add(AsU64(result.stats.expansions));
+  search_pushes_->Add(AsU64(result.stats.pushes));
+  search_pruned_dominated_->Add(AsU64(result.stats.pruned_dominated));
+  search_pruned_bound_->Add(AsU64(result.stats.pruned_bound));
+  return result;
+}
+
+AllFpResult FastestPathEngine::AllFastestPaths(const ProfileQuery& query,
+                                               obs::Trace* trace) {
+  return RunOneAllFp(query, /*scratch=*/nullptr, trace,
+                     /*elapsed_ms=*/nullptr);
+}
+
+SingleFpResult FastestPathEngine::SingleFastestPath(const ProfileQuery& query,
+                                                    obs::Trace* trace) {
+  const auto start = std::chrono::steady_clock::now();
+  const bool tracing = trace != nullptr;
+  obs::Trace::Span root =
+      tracing ? trace->StartSpan("query.single_fp") : obs::Trace::Span();
+  std::unique_ptr<TravelTimeEstimator> estimator;
+  {
+    obs::Trace::Span est_span =
+        tracing ? trace->StartSpan("estimator") : obs::Trace::Span();
+    estimator = MakeEstimator(query.target,
+                              BoundaryNodeEstimator::Direction::kToAnchor);
+  }
+  SingleFpResult result;
+  {
+    obs::Trace::Span search_span =
+        tracing ? trace->StartSpan("search") : obs::Trace::Span();
+    ProfileSearch search(accessor(), estimator.get(), options_.search,
+                         /*scratch=*/nullptr, trace);
+    result = search.RunSingleFp(query);
+  }
+  queries_total_->Add(1);
+  query_latency_ms_->Record(MillisSince(start));
+  search_expansions_->Add(AsU64(result.stats.expansions));
+  search_pushes_->Add(AsU64(result.stats.pushes));
+  search_pruned_dominated_->Add(AsU64(result.stats.pruned_dominated));
+  search_pruned_bound_->Add(AsU64(result.stats.pruned_bound));
+  return result;
+}
+
+void FastestPathEngine::RunBatchImpl(std::span<const ProfileQuery> queries,
+                                     int threads,
+                                     std::vector<AllFpResult>* results,
+                                     std::vector<double>* per_query_millis,
+                                     std::vector<obs::Trace>* traces,
+                                     obs::Histogram* batch_latency) {
+  std::atomic<size_t> next{0};
+  // Queries are handed out one at a time, so stragglers cannot leave a
+  // whole stripe on one worker. Each worker reuses one Scratch across its
+  // queries; everything shared (network, boundary index, TTF cache, buffer
+  // pool) is immutable or internally synchronized, and a query's trace is
+  // touched only by the worker that claimed it.
+  auto worker = [&]() {
+    ProfileSearch::Scratch scratch;
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < queries.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      double ms = 0.0;
+      obs::Trace* trace = traces != nullptr ? &(*traces)[i] : nullptr;
+      (*results)[i] = RunOneAllFp(queries[i], &scratch, trace, &ms);
+      if (per_query_millis != nullptr) (*per_query_millis)[i] = ms;
+      if (batch_latency != nullptr) batch_latency->Record(ms);
+    }
+  };
+
+  const int num_workers = std::max(
+      1, std::min(threads, static_cast<int>(queries.size())));
+  if (num_workers == 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(num_workers));
+  for (int t = 0; t < num_workers; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
 }
 
 std::vector<AllFpResult> FastestPathEngine::RunBatch(
@@ -88,44 +256,31 @@ std::vector<AllFpResult> FastestPathEngine::RunBatch(
     per_query_millis->assign(queries.size(), 0.0);
   }
   if (queries.empty()) return results;
-
-  std::atomic<size_t> next{0};
-  // Queries are handed out one at a time, so stragglers cannot leave a
-  // whole stripe on one worker. Each worker reuses one Scratch across its
-  // queries; everything shared (network, boundary index, TTF cache, buffer
-  // pool) is immutable or internally synchronized.
-  auto worker = [&]() {
-    ProfileSearch::Scratch scratch;
-    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
-         i < queries.size();
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
-      const auto start = std::chrono::steady_clock::now();
-      const ProfileQuery& query = queries[i];
-      auto estimator = MakeEstimator(
-          query.target, BoundaryNodeEstimator::Direction::kToAnchor);
-      ProfileSearch search(accessor(), estimator.get(), options_.search,
-                           &scratch);
-      results[i] = search.RunAllFp(query);
-      if (per_query_millis != nullptr) {
-        (*per_query_millis)[i] =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-      }
-    }
-  };
-
-  const int num_workers = std::max(
-      1, std::min(threads, static_cast<int>(queries.size())));
-  if (num_workers == 1) {
-    worker();
-    return results;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(num_workers));
-  for (int t = 0; t < num_workers; ++t) pool.emplace_back(worker);
-  for (std::thread& th : pool) th.join();
+  batches_total_->Add(1);
+  RunBatchImpl(queries, threads, &results, per_query_millis,
+               /*traces=*/nullptr, /*batch_latency=*/nullptr);
   return results;
+}
+
+BatchResult FastestPathEngine::RunBatchWithMetrics(
+    std::span<const ProfileQuery> queries, int threads,
+    std::vector<obs::Trace>* traces) {
+  BatchResult batch;
+  batch.results.resize(queries.size());
+  batch.per_query_millis.assign(queries.size(), 0.0);
+  if (traces != nullptr) {
+    traces->clear();
+    traces->resize(queries.size());
+  }
+  obs::Histogram latency;
+  if (!queries.empty()) {
+    batches_total_->Add(1);
+    RunBatchImpl(queries, threads, &batch.results, &batch.per_query_millis,
+                 traces, &latency);
+  }
+  batch.latency_ms = latency.Snapshot();
+  batch.metrics = metrics_.Snapshot();
+  return batch;
 }
 
 ReverseAllFpResult FastestPathEngine::ArrivalAllFastestPaths(
@@ -146,10 +301,23 @@ ReverseSingleFpResult FastestPathEngine::ArrivalSingleFastestPath(
 
 TdAStarResult FastestPathEngine::FastestPathAt(network::NodeId source,
                                                network::NodeId target,
-                                               double leave_time) {
-  auto estimator =
-      MakeEstimator(target, BoundaryNodeEstimator::Direction::kToAnchor);
-  return TdAStar(accessor(), source, target, leave_time, estimator.get());
+                                               double leave_time,
+                                               obs::Trace* trace) {
+  const bool tracing = trace != nullptr;
+  obs::Trace::Span root =
+      tracing ? trace->StartSpan("query.fixed_departure") : obs::Trace::Span();
+  std::unique_ptr<TravelTimeEstimator> estimator;
+  {
+    obs::Trace::Span est_span =
+        tracing ? trace->StartSpan("estimator") : obs::Trace::Span();
+    estimator = MakeEstimator(target,
+                              BoundaryNodeEstimator::Direction::kToAnchor);
+  }
+  TdAStarResult result =
+      TdAStar(accessor(), source, target, leave_time, estimator.get(), trace);
+  td_queries_total_->Add(1);
+  td_expanded_nodes_->Add(AsU64(result.expanded_nodes));
+  return result;
 }
 
 std::optional<storage::CcamStats> FastestPathEngine::storage_stats() const {

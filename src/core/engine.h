@@ -22,6 +22,8 @@
 #include "src/core/reverse_profile_search.h"
 #include "src/core/td_astar.h"
 #include "src/network/accessor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/storage/ccam_accessor.h"
 #include "src/storage/ccam_store.h"
 #include "src/util/status.h"
@@ -52,6 +54,19 @@ struct EngineOptions {
   size_t ttf_cache_entries = 1 << 16;
 };
 
+// A RunBatchWithMetrics answer: the per-query results plus the batch's
+// observability payload, ready to embed in a bench JSON or print.
+struct BatchResult {
+  std::vector<AllFpResult> results;
+  // Wall-clock latency per query, in order.
+  std::vector<double> per_query_millis;
+  // Batch-local latency histogram (counts exactly this batch's queries).
+  obs::HistogramSnapshot latency_ms;
+  // Engine registry snapshot taken after the batch (cumulative; diff two
+  // snapshots with DeltaSince for per-batch counters).
+  obs::MetricsSnapshot metrics;
+};
+
 class FastestPathEngine {
  public:
   // `network` must outlive the engine. Builds the estimator index (and the
@@ -60,9 +75,13 @@ class FastestPathEngine {
       const network::RoadNetwork* network, const EngineOptions& options = {});
 
   // Time-interval queries (§4). Leaving times in minutes from midnight of
-  // day 0 of the network calendar.
-  AllFpResult AllFastestPaths(const ProfileQuery& query);
-  SingleFpResult SingleFastestPath(const ProfileQuery& query);
+  // day 0 of the network calendar. `trace`, when non-null, receives the
+  // query's span tree (root "query.all_fp" / "query.single_fp" with
+  // "estimator" and "search" children; see DESIGN.md §7).
+  AllFpResult AllFastestPaths(const ProfileQuery& query,
+                              obs::Trace* trace = nullptr);
+  SingleFpResult SingleFastestPath(const ProfileQuery& query,
+                                   obs::Trace* trace = nullptr);
 
   // Answers `queries` as AllFastestPaths would, one result per query in
   // order, using up to `threads` worker threads. Workers share the network,
@@ -74,6 +93,16 @@ class FastestPathEngine {
       std::span<const ProfileQuery> queries, int threads,
       std::vector<double>* per_query_millis = nullptr);
 
+  // RunBatch plus the batch's observability payload: per-query latencies, a
+  // batch-local latency histogram, and a registry snapshot taken after the
+  // batch. `traces`, when non-null, is resized to queries.size() and trace
+  // i records query i's spans (each query is traced by exactly one worker,
+  // so the traces need no locking; per-query storage/cache deltas inside a
+  // concurrent batch attribute shared-stats movement approximately).
+  BatchResult RunBatchWithMetrics(std::span<const ProfileQuery> queries,
+                                  int threads,
+                                  std::vector<obs::Trace>* traces = nullptr);
+
   // Arrival-interval variants (§2.1). Always in-memory (the CCAM store has
   // no predecessor lists).
   ReverseAllFpResult ArrivalAllFastestPaths(const ReverseProfileQuery& query);
@@ -82,7 +111,13 @@ class FastestPathEngine {
 
   // Fixed-departure fastest path (the degenerate single-instant case).
   TdAStarResult FastestPathAt(network::NodeId source, network::NodeId target,
-                              double leave_time);
+                              double leave_time,
+                              obs::Trace* trace = nullptr);
+
+  // The engine's metric tree ("capefp.*"): engine counters and latency
+  // histograms plus callback metrics for the TTF cache and the CCAM
+  // storage stack. Valid for the engine's lifetime.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
 
   // Storage statistics; nullopt when running purely in memory.
   std::optional<storage::CcamStats> storage_stats() const;
@@ -107,6 +142,25 @@ class FastestPathEngine {
   FastestPathEngine(const network::RoadNetwork* network,
                     const EngineOptions& options);
 
+  // Registers the engine counters/histograms and the component callback
+  // metrics (called once from Create, after store_/ttf_cache_ exist).
+  void InitMetrics();
+
+  // The one traced+metered allFP path, shared by AllFastestPaths and the
+  // batch workers. `scratch` and `trace` may be null; `elapsed_ms`, if
+  // non-null, receives the query wall-clock time.
+  AllFpResult RunOneAllFp(const ProfileQuery& query,
+                          ProfileSearch::Scratch* scratch, obs::Trace* trace,
+                          double* elapsed_ms);
+
+  // Shared worker-pool body of RunBatch / RunBatchWithMetrics. `traces`
+  // (pre-sized) and `batch_latency` may be null.
+  void RunBatchImpl(std::span<const ProfileQuery> queries, int threads,
+                    std::vector<AllFpResult>* results,
+                    std::vector<double>* per_query_millis,
+                    std::vector<obs::Trace>* traces,
+                    obs::Histogram* batch_latency);
+
   // Builds the per-query estimator anchored at `anchor`.
   std::unique_ptr<TravelTimeEstimator> MakeEstimator(
       network::NodeId anchor, BoundaryNodeEstimator::Direction direction);
@@ -124,6 +178,19 @@ class FastestPathEngine {
   std::unique_ptr<storage::CcamStore> store_;
   std::optional<storage::CcamAccessor> disk_accessor_;
   std::unique_ptr<network::EdgeTtfCache> ttf_cache_;
+
+  obs::MetricsRegistry metrics_;
+  // Handles cached at InitMetrics time so the per-query cost is a few
+  // striped atomic adds (no registry lock on the hot path).
+  obs::Counter* queries_total_ = nullptr;
+  obs::Counter* batches_total_ = nullptr;
+  obs::Counter* td_queries_total_ = nullptr;
+  obs::Histogram* query_latency_ms_ = nullptr;
+  obs::Counter* search_expansions_ = nullptr;
+  obs::Counter* search_pushes_ = nullptr;
+  obs::Counter* search_pruned_dominated_ = nullptr;
+  obs::Counter* search_pruned_bound_ = nullptr;
+  obs::Counter* td_expanded_nodes_ = nullptr;
 };
 
 }  // namespace capefp::core

@@ -1,10 +1,12 @@
 #include "src/core/profile_search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/obs/trace.h"
 #include "src/tdf/travel_time.h"
 #include "src/util/check.h"
 
@@ -25,16 +27,24 @@ struct QueueEntry {
 using MinHeap =
     std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
 
+using TraceClock = std::chrono::steady_clock;
+
+double MillisSince(TraceClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(TraceClock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 ProfileSearch::ProfileSearch(network::NetworkAccessor* accessor,
                              TravelTimeEstimator* estimator,
                              const ProfileSearchOptions& options,
-                             Scratch* scratch)
+                             Scratch* scratch, obs::Trace* trace)
     : accessor_(accessor),
       estimator_(estimator),
       options_(options),
-      scratch_(scratch) {
+      scratch_(scratch),
+      trace_(trace) {
   CAPEFP_CHECK(accessor != nullptr);
   CAPEFP_CHECK(estimator != nullptr);
 }
@@ -73,6 +83,11 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
   std::vector<NeighborEdge> local_neighbors;
   std::vector<NeighborEdge>& neighbors =
       scratch_ != nullptr ? scratch_->neighbors : local_neighbors;
+  // Per-edge derivations are far too frequent for a span each; accumulate
+  // locally and flush one aggregated leaf when the search ends.
+  const bool tracing = trace_ != nullptr;
+  double edge_ttf_ms = 0.0;
+  uint64_t edge_ttf_calls = 0;
   while (!queue.empty()) {
     const QueueEntry top = queue.top();
     queue.pop();
@@ -125,8 +140,14 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
           path_tt.domain_lo() + path_tt.Value(path_tt.domain_lo());
       const double arrive_hi =
           path_tt.domain_hi() + path_tt.Value(path_tt.domain_hi());
+      TraceClock::time_point ttf_start;
+      if (tracing) ttf_start = TraceClock::now();
       const PwlFunction edge_tt = accessor_->EdgeTtf(
           edge.pattern, edge.distance_miles, arrive_lo, arrive_hi);
+      if (tracing) {
+        edge_ttf_ms += MillisSince(ttf_start);
+        ++edge_ttf_calls;
+      }
       PwlFunction combined = tdf::ComposePathWithEdge(path_tt, edge_tt);
       const double estimate = estimator_->Estimate(edge.to);
       const double key = combined.MinValue() + estimate;
@@ -146,6 +167,19 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
     }
   }
   stats->distinct_nodes = static_cast<int64_t>(distinct_nodes.size());
+  if (tracing) {
+    if (edge_ttf_calls > 0) {
+      trace_->AddLeaf("edge_ttf", edge_ttf_ms, edge_ttf_calls);
+    }
+    trace_->AddAttr("expansions", static_cast<double>(stats->expansions));
+    trace_->AddAttr("distinct_nodes",
+                    static_cast<double>(stats->distinct_nodes));
+    trace_->AddAttr("pushes", static_cast<double>(stats->pushes));
+    trace_->AddAttr("pruned_dominated",
+                    static_cast<double>(stats->pruned_dominated));
+    trace_->AddAttr("pruned_bound",
+                    static_cast<double>(stats->pruned_bound));
+  }
   return border;
 }
 

@@ -27,6 +27,10 @@
 #include "src/network/accessor.h"
 #include "src/tdf/pwl_function.h"
 
+namespace capefp::obs {
+class Trace;
+}  // namespace capefp::obs
+
 namespace capefp::core {
 
 struct ProfileQuery {
@@ -115,10 +119,14 @@ class ProfileSearch {
     std::vector<network::NeighborEdge> neighbors;
   };
 
+  // `trace`, when non-null, receives an aggregated "edge_ttf" leaf (total
+  // derivation time and call count) plus the final SearchStats counters as
+  // attributes on the innermost open span. Tracing a search adds two clock
+  // reads per expanded edge; a null trace costs one branch.
   ProfileSearch(network::NetworkAccessor* accessor,
                 TravelTimeEstimator* estimator,
                 const ProfileSearchOptions& options = {},
-                Scratch* scratch = nullptr);
+                Scratch* scratch = nullptr, obs::Trace* trace = nullptr);
 
   // Stops at the first end-node path (§4.5).
   SingleFpResult RunSingleFp(const ProfileQuery& query);
@@ -141,6 +149,7 @@ class ProfileSearch {
   TravelTimeEstimator* estimator_;
   ProfileSearchOptions options_;
   Scratch* scratch_;  // Not owned; may be null.
+  obs::Trace* trace_;  // Not owned; may be null.
 };
 
 }  // namespace capefp::core

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "src/obs/trace.h"
 #include "src/tdf/travel_time.h"
 #include "src/util/check.h"
 
@@ -26,10 +27,12 @@ struct QueueEntry {
 
 TdAStarResult TdAStar(network::NetworkAccessor* accessor, NodeId source,
                       NodeId target, double leave_time,
-                      TravelTimeEstimator* estimator) {
+                      TravelTimeEstimator* estimator, obs::Trace* trace) {
   CAPEFP_CHECK(accessor != nullptr);
   CAPEFP_CHECK(estimator != nullptr);
   TdAStarResult result;
+  obs::Trace::Span span = trace != nullptr ? trace->StartSpan("td_astar")
+                                           : obs::Trace::Span();
 
   std::unordered_map<NodeId, double> best_arrival;
   std::unordered_map<NodeId, NodeId> parent;
@@ -59,6 +62,10 @@ TdAStarResult TdAStar(network::NetworkAccessor* accessor, NodeId source,
         result.path.push_back(at);
       }
       std::reverse(result.path.begin(), result.path.end());
+      if (span.active()) {
+        span.AddAttr("expanded_nodes",
+                     static_cast<double>(result.expanded_nodes));
+      }
       return result;
     }
     accessor->GetSuccessors(top.node, &neighbors);
@@ -75,6 +82,10 @@ TdAStarResult TdAStar(network::NetworkAccessor* accessor, NodeId source,
                     edge.to});
       }
     }
+  }
+  if (span.active()) {
+    span.AddAttr("expanded_nodes",
+                 static_cast<double>(result.expanded_nodes));
   }
   return result;  // Not found.
 }

@@ -14,6 +14,10 @@
 #include "src/core/estimator.h"
 #include "src/network/accessor.h"
 
+namespace capefp::obs {
+class Trace;
+}  // namespace capefp::obs
+
 namespace capefp::core {
 
 struct TdAStarResult {
@@ -28,10 +32,12 @@ struct TdAStarResult {
 
 // Fastest path from `source` leaving at `leave_time` to `target`.
 // `estimator` must be anchored at `target` (pass a ZeroEstimator for plain
-// time-dependent Dijkstra).
+// time-dependent Dijkstra). `trace`, when non-null, gets a "td_astar"
+// span with the expanded-node count.
 TdAStarResult TdAStar(network::NetworkAccessor* accessor,
                       network::NodeId source, network::NodeId target,
-                      double leave_time, TravelTimeEstimator* estimator);
+                      double leave_time, TravelTimeEstimator* estimator,
+                      obs::Trace* trace = nullptr);
 
 // Travel time along the explicit `path` (node sequence) leaving the first
 // node at `leave_time`, evaluated under the accessor's true CapeCod

@@ -1,7 +1,9 @@
 #include "src/network/ttf_cache.h"
 
 #include <algorithm>
+#include <string>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace capefp::network {
@@ -55,6 +57,25 @@ size_t EdgeTtfCache::size() const {
     n += shard.map.size();
   }
   return n;
+}
+
+void EdgeTtfCache::RegisterMetrics(obs::MetricsRegistry* registry,
+                                   const std::string& prefix) const {
+  registry->AddCallbackCounter(prefix + ".hits",
+                               [this] { return stats().hits; });
+  registry->AddCallbackCounter(prefix + ".misses",
+                               [this] { return stats().misses; });
+  registry->AddCallbackCounter(prefix + ".evictions",
+                               [this] { return stats().evictions; });
+  registry->AddCallbackCounter(prefix + ".bypasses",
+                               [this] { return stats().bypasses; });
+  registry->AddCallbackCounter(prefix + ".lookups",
+                               [this] { return stats().lookups(); });
+  registry->AddCallbackGauge(prefix + ".hit_rate",
+                             [this] { return stats().hit_rate(); });
+  registry->AddCallbackGauge(prefix + ".entries", [this] {
+    return static_cast<double>(size());
+  });
 }
 
 }  // namespace capefp::network

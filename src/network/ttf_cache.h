@@ -30,12 +30,17 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/network/road_network.h"
 #include "src/tdf/pwl_function.h"
+
+namespace capefp::obs {
+class MetricsRegistry;
+}  // namespace capefp::obs
 
 namespace capefp::network {
 
@@ -102,6 +107,13 @@ class EdgeTtfCache {
 
   EdgeTtfCacheStats stats() const;
   void ResetStats();
+
+  // Publishes this cache's counters into `registry` under `prefix`
+  // (e.g. "capefp.ttf_cache" -> "capefp.ttf_cache.hits"). Registered as
+  // callback metrics polled at snapshot time, so the hot path pays
+  // nothing. The cache must outlive the registry's snapshots.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
 
   // Drops every entry (and resets counters); the next batch starts cold.
   void Clear();

@@ -1,0 +1,310 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace capefp::obs {
+
+size_t Counter::StripeIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+void Gauge::Set(double value) {
+  bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  uint64_t observed = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(
+      observed, std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  CAPEFP_CHECK(p >= 0.0 && p <= 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target && counts[i] > 0) {
+      if (i >= bounds.size()) return bounds.back();  // Overflow bucket.
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double into =
+          (target - static_cast<double>(cumulative - counts[i])) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+  }
+  return bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  CAPEFP_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CAPEFP_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::Record(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      observed,
+      std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + value),
+      std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snapshot.count += snapshot.counts[i];
+  }
+  snapshot.sum =
+      std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  return snapshot;
+}
+
+std::vector<double> Histogram::LatencyBucketsMs() {
+  return {0.01, 0.02, 0.05, 0.1,   0.2,   0.5,   1.0,    2.0,    5.0,
+          10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0};
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::AddCallbackCounter(std::string_view name,
+                                         std::function<uint64_t()> fn) {
+  CAPEFP_CHECK(fn != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_counters_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+void MetricsRegistry::AddCallbackGauge(std::string_view name,
+                                       std::function<double()> fn) {
+  CAPEFP_CHECK(fn != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_gauges_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, fn] : callback_counters_) {
+    snapshot.counters[name] = fn();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, fn] : callback_gauges_) {
+    snapshot.gauges[name] = fn();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    const auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end() && it->second <= value) {
+      value -= it->second;
+    }
+  }
+  for (auto& [name, histogram] : delta.histograms) {
+    const auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end() ||
+        it->second.counts.size() != histogram.counts.size() ||
+        it->second.count > histogram.count) {
+      continue;
+    }
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (it->second.counts[i] <= histogram.counts[i]) {
+        histogram.counts[i] -= it->second.counts[i];
+      }
+    }
+    histogram.count -= it->second.count;
+    histogram.sum -= it->second.sum;
+  }
+  return delta;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted tree paths map
+// onto underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      cumulative += histogram.counts[i];
+      const std::string le = i < histogram.bounds.size()
+                                 ? FormatDouble(histogram.bounds[i])
+                                 : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_sum " + FormatDouble(histogram.sum) + "\n";
+    out += prom + "_count " + std::to_string(histogram.count) + "\n";
+  }
+  return out;
+}
+
+void MetricsSnapshot::WriteJson(util::JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, value] : counters) {
+    w->Key(name);
+    w->Uint(value);
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, value] : gauges) {
+    w->Key(name);
+    w->Double(value);
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, histogram] : histograms) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("count");
+    w->Uint(histogram.count);
+    w->Key("sum");
+    w->Double(histogram.sum);
+    w->Key("p50");
+    w->Double(histogram.Percentile(50.0));
+    w->Key("p95");
+    w->Double(histogram.Percentile(95.0));
+    w->Key("p99");
+    w->Double(histogram.Percentile(99.0));
+    w->Key("buckets");
+    w->BeginArray();
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (histogram.counts[i] == 0) continue;  // Keep the output compact.
+      w->BeginObject();
+      w->Key("le");
+      if (i < histogram.bounds.size()) {
+        w->Double(histogram.bounds[i]);
+      } else {
+        w->String("+Inf");
+      }
+      w->Key("count");
+      w->Uint(histogram.counts[i]);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  util::JsonWriter w;
+  WriteJson(&w);
+  return w.str();
+}
+
+}  // namespace capefp::obs

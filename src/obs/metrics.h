@@ -1,0 +1,181 @@
+// Lock-cheap metrics: named counters, gauges, and fixed-bucket histograms
+// behind one registry, with snapshot-on-read exposition.
+//
+// The paper's evaluation (§6) is phrased entirely in observable counters —
+// page accesses, expanded nodes, response time — and every perf PR needs
+// those numbers without a debugger attached. This registry is the single
+// namespace-scoped metric tree the engine, the edge-TTF cache, and the
+// storage stack publish into (names like "capefp.storage.pool.faults").
+//
+// Cost model:
+//   * Update paths (Counter::Add, Gauge::Set, Histogram::Record) are
+//     lock-free relaxed atomics; counters are striped across cache lines so
+//     RunBatch workers do not bounce one line. No update ever takes a lock.
+//   * Registration (GetCounter etc.) takes the registry mutex; callers
+//     register once at setup and cache the returned handle. Handles stay
+//     valid for the registry's lifetime.
+//   * Snapshot() takes the mutex, sums stripes, and polls callbacks — a
+//     read-side cost paid only when someone actually looks.
+//
+// Components that already maintain internal counters under their own locks
+// (BufferPool, Pager, EdgeTtfCache) publish through *callback* metrics:
+// the registry polls them at snapshot time instead of double-counting on
+// the hot path.
+#ifndef CAPEFP_OBS_METRICS_H_
+#define CAPEFP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/json_writer.h"
+
+namespace capefp::obs {
+
+// Monotonic counter. Add() is wait-free; Value() sums the stripes (reads
+// are monotone but not linearizable with concurrent writers — exact totals
+// require the writers to have finished, which is what snapshots report).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    cells_[StripeIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  // Threads are assigned round-robin to stripes on first touch.
+  static size_t StripeIndex();
+
+  Cell cells_[kStripes];
+};
+
+// Last-write-wins double value (queue depth, hit rate, config knobs).
+class Gauge {
+ public:
+  void Set(double value);
+  void Add(double delta);
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit_cast of 0.0 is all-zero.
+};
+
+// Point-in-time view of one histogram. `bounds` are the inclusive upper
+// bucket edges; `counts` has bounds.size() + 1 entries, the last being the
+// overflow (+Inf) bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  // Bucket-interpolated percentile, p in [0, 100]; 0 on an empty
+  // histogram. Overflow-bucket answers clamp to the last finite bound.
+  double Percentile(double p) const;
+};
+
+// Fixed-bucket histogram. Record() is lock-free (relaxed atomics on the
+// bucket counters and a CAS loop on the sum).
+class Histogram {
+ public:
+  // `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds = LatencyBucketsMs());
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Default buckets for millisecond latencies: 10µs .. 5s, roughly
+  // geometric (1-2-5 per decade).
+  static std::vector<double> LatencyBucketsMs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1.
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+// Everything the registry knew at one instant. Plain data: safe to copy,
+// diff, and serialize after the registry is gone.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Lookup helpers; 0 / empty when the name is absent.
+  uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+
+  // Counter/histogram deltas against an earlier snapshot of the same
+  // registry (gauges keep their current value). Used by benches to report
+  // per-config numbers from cumulative engine metrics.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  // Prometheus text exposition ('.' in names becomes '_').
+  std::string ToPrometheusText() const;
+  // Emits one JSON object value ({"counters": {...}, ...}) into `w`.
+  void WriteJson(util::JsonWriter* w) const;
+  std::string ToJson() const;
+};
+
+// Name -> metric tree. Metric names are dot-separated paths
+// ("capefp.search.expansions"); see DESIGN.md §7 for the naming scheme.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Create-or-get; the returned handle is valid for the registry's
+  // lifetime and safe to update from any thread.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  // On first call the histogram is created with `bounds`; later calls with
+  // the same name return the existing histogram regardless of bounds.
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds =
+                              Histogram::LatencyBucketsMs());
+
+  // Callback metrics, polled at Snapshot() time. `fn` must stay valid for
+  // the registry's lifetime and be safe to call from any snapshotting
+  // thread. Registering the same name again replaces the callback.
+  void AddCallbackCounter(std::string_view name,
+                          std::function<uint64_t()> fn);
+  void AddCallbackGauge(std::string_view name, std::function<double()> fn);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::function<uint64_t()>, std::less<>>
+      callback_counters_;
+  std::map<std::string, std::function<double()>, std::less<>>
+      callback_gauges_;
+};
+
+}  // namespace capefp::obs
+
+#endif  // CAPEFP_OBS_METRICS_H_

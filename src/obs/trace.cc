@@ -1,0 +1,214 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace capefp::obs {
+
+Trace::Span::Span(Span&& other) noexcept
+    : trace_(other.trace_), index_(other.index_) {
+  other.trace_ = nullptr;
+  other.index_ = -1;
+}
+
+Trace::Span& Trace::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    trace_ = other.trace_;
+    index_ = other.index_;
+    other.trace_ = nullptr;
+    other.index_ = -1;
+  }
+  return *this;
+}
+
+void Trace::Span::AddAttr(std::string_view key, double value) {
+  if (trace_ == nullptr) return;
+  trace_->spans_[static_cast<size_t>(index_)].attrs.emplace_back(
+      std::string(key), value);
+}
+
+void Trace::Span::End() {
+  if (trace_ == nullptr) return;
+  trace_->EndSpan(index_);
+  trace_ = nullptr;
+  index_ = -1;
+}
+
+Trace::Trace() : epoch_(Clock::now()) {}
+
+double Trace::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - epoch_)
+      .count();
+}
+
+Trace::Span Trace::StartSpan(std::string_view name) {
+  SpanData data;
+  data.name = std::string(name);
+  data.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  data.start_ms = ElapsedMs();
+  data.open = true;
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(data));
+  open_stack_.push_back(index);
+  return Span(this, index);
+}
+
+void Trace::EndSpan(int index) {
+  SpanData& data = spans_[static_cast<size_t>(index)];
+  CAPEFP_CHECK(data.open) << "span ended twice";
+  data.duration_ms = ElapsedMs() - data.start_ms;
+  data.open = false;
+  // Spans close LIFO under RAII; tolerate out-of-order ends by popping
+  // through the stack entry.
+  const auto it = std::find(open_stack_.begin(), open_stack_.end(), index);
+  if (it != open_stack_.end()) open_stack_.erase(it, open_stack_.end());
+}
+
+int Trace::LeafIndex(std::string_view name) {
+  const int parent = open_stack_.empty() ? -1 : open_stack_.back();
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].aggregated && spans_[i].parent == parent &&
+        spans_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  SpanData data;
+  data.name = std::string(name);
+  data.parent = parent;
+  data.start_ms = ElapsedMs();
+  data.count = 0;
+  data.aggregated = true;
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(data));
+  return index;
+}
+
+void Trace::AddLeaf(std::string_view name, double duration_ms,
+                    uint64_t count) {
+  SpanData& leaf = spans_[static_cast<size_t>(LeafIndex(name))];
+  leaf.duration_ms += duration_ms;
+  leaf.count += count;
+}
+
+void Trace::AddLeafAttr(std::string_view name, std::string_view key,
+                        double value) {
+  SpanData& leaf = spans_[static_cast<size_t>(LeafIndex(name))];
+  for (auto& [existing, accumulated] : leaf.attrs) {
+    if (existing == key) {
+      accumulated += value;
+      return;
+    }
+  }
+  leaf.attrs.emplace_back(std::string(key), value);
+}
+
+void Trace::AddAttr(std::string_view key, double value) {
+  if (open_stack_.empty()) return;
+  spans_[static_cast<size_t>(open_stack_.back())].attrs.emplace_back(
+      std::string(key), value);
+}
+
+namespace {
+
+std::string FormatAttrValue(double value) {
+  char buf[64];
+  // Counters are the common case; print them without a fraction.
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Trace::ToText() const {
+  // Children in insertion order per parent.
+  std::vector<std::vector<int>> children(spans_.size());
+  std::vector<int> roots;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent < 0) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      children[static_cast<size_t>(spans_[i].parent)].push_back(
+          static_cast<int>(i));
+    }
+  }
+  std::string out;
+  // Depth-first with explicit stack of (index, depth).
+  std::vector<std::pair<int, int>> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    const SpanData& span = spans_[static_cast<size_t>(index)];
+    out.append(static_cast<size_t>(2 * depth), ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", span.duration_ms);
+    out += span.name + "  " + buf + " ms";
+    if (span.count > 1) {
+      out += "  (x" + std::to_string(span.count) + ")";
+    }
+    if (!span.attrs.empty()) {
+      out += "  [";
+      for (size_t a = 0; a < span.attrs.size(); ++a) {
+        if (a > 0) out += " ";
+        out += span.attrs[a].first + "=" +
+               FormatAttrValue(span.attrs[a].second);
+      }
+      out += "]";
+    }
+    out += "\n";
+    const auto& kids = children[static_cast<size_t>(index)];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return out;
+}
+
+void Trace::WriteJson(util::JsonWriter* w) const {
+  w->BeginArray();
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanData& span = spans_[i];
+    w->BeginObject();
+    w->Key("id");
+    w->Int(static_cast<int64_t>(i));
+    w->Key("parent");
+    w->Int(span.parent);
+    w->Key("name");
+    w->String(span.name);
+    w->Key("start_ms");
+    w->Double(span.start_ms);
+    w->Key("duration_ms");
+    w->Double(span.duration_ms);
+    w->Key("count");
+    w->Uint(span.count);
+    if (!span.attrs.empty()) {
+      w->Key("attrs");
+      w->BeginObject();
+      for (const auto& [key, value] : span.attrs) {
+        w->Key(key);
+        w->Double(value);
+      }
+      w->EndObject();
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+std::string Trace::ToJson() const {
+  util::JsonWriter w;
+  WriteJson(&w);
+  return w.str();
+}
+
+}  // namespace capefp::obs

@@ -1,0 +1,113 @@
+// Per-query tracing: a tree of timed spans with numeric attributes.
+//
+// A Trace answers "why was this query slow": the engine opens a root span
+// per query, nests child spans for the estimator build and the search, and
+// the search accumulates leaf spans for repeated inner work (edge-TTF
+// derivations) plus attribute counters (expansions, cache hits, pages
+// faulted). Rendered as an indented span tree (ToText) or JSON.
+//
+//   obs::Trace trace;
+//   auto all = engine->AllFastestPaths(query, &trace);
+//   std::puts(trace.ToText().c_str());
+//
+// A Trace is deliberately NOT thread-safe: it belongs to one query on one
+// thread (RunBatch hands each worker its own per-query Trace). Tracing is
+// opt-in per query; a null Trace* everywhere costs nothing on the hot
+// path.
+#ifndef CAPEFP_OBS_TRACE_H_
+#define CAPEFP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/json_writer.h"
+
+namespace capefp::obs {
+
+class Trace {
+ public:
+  // One node of the span tree. `count` > 1 marks an aggregated leaf — a
+  // repeated inner operation merged into one node whose duration is the
+  // total across invocations.
+  struct SpanData {
+    std::string name;
+    int parent = -1;                 // Index into spans(); -1 for roots.
+    double start_ms = 0.0;           // Offset from the trace epoch.
+    double duration_ms = 0.0;
+    uint64_t count = 1;
+    std::vector<std::pair<std::string, double>> attrs;
+    bool open = false;
+    // True for AddLeaf/AddLeafAttr aggregation nodes (distinguishes them
+    // from closed StartSpan spans of the same name under the same parent).
+    bool aggregated = false;
+  };
+
+  // RAII handle on an open span; End() (or destruction) closes it and
+  // stamps the duration. Movable, not copyable.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { End(); }
+
+    void AddAttr(std::string_view key, double value);
+    void End();
+    bool active() const { return trace_ != nullptr; }
+
+   private:
+    friend class Trace;
+    Span(Trace* trace, int index) : trace_(trace), index_(index) {}
+
+    Trace* trace_ = nullptr;
+    int index_ = -1;
+  };
+
+  Trace();
+
+  // Opens a child of the innermost open span (a root when none is open).
+  Span StartSpan(std::string_view name);
+
+  // Merges `duration_ms` (over `count` invocations) into the aggregated
+  // leaf named `name` under the innermost open span, creating it on first
+  // use. For inner operations too frequent for a span each.
+  void AddLeaf(std::string_view name, double duration_ms,
+               uint64_t count = 1);
+  // Like AddLeaf, but also accumulates attribute `key` on that leaf.
+  void AddLeafAttr(std::string_view name, std::string_view key,
+                   double value);
+
+  // Sets attribute `key` on the innermost open span (ignored when no span
+  // is open).
+  void AddAttr(std::string_view key, double value);
+
+  const std::vector<SpanData>& spans() const { return spans_; }
+  double ElapsedMs() const;
+
+  // Indented span tree with durations and attributes, one span per line.
+  std::string ToText() const;
+  // Emits one JSON value (array of span objects) into `w`.
+  void WriteJson(util::JsonWriter* w) const;
+  std::string ToJson() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void EndSpan(int index);
+  // The aggregated leaf `name` under the current span, created on demand.
+  int LeafIndex(std::string_view name);
+
+  Clock::time_point epoch_;
+  std::vector<SpanData> spans_;
+  std::vector<int> open_stack_;  // Indices of open spans, outermost first.
+};
+
+}  // namespace capefp::obs
+
+#endif  // CAPEFP_OBS_TRACE_H_

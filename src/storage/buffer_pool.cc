@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace capefp::storage {
@@ -282,6 +284,23 @@ util::Status BufferPool::FreePage(PageId id) {
   }
   CAPEFP_DCHECK_OK(ValidateInvariantsLocked());
   return pager_->FreePage(id);
+}
+
+void BufferPool::RegisterMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& prefix) const {
+  registry->AddCallbackCounter(prefix + ".hits",
+                               [this] { return stats().hits; });
+  registry->AddCallbackCounter(prefix + ".faults",
+                               [this] { return stats().faults; });
+  registry->AddCallbackCounter(prefix + ".evictions",
+                               [this] { return stats().evictions; });
+  registry->AddCallbackCounter(prefix + ".writebacks",
+                               [this] { return stats().writebacks; });
+  registry->AddCallbackGauge(prefix + ".hit_rate",
+                             [this] { return stats().hit_rate(); });
+  registry->AddCallbackGauge(prefix + ".capacity_pages", [this] {
+    return static_cast<double>(capacity());
+  });
 }
 
 }  // namespace capefp::storage

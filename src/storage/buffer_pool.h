@@ -23,11 +23,16 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/storage/pager.h"
 #include "src/util/status.h"
+
+namespace capefp::obs {
+class MetricsRegistry;
+}  // namespace capefp::obs
 
 namespace capefp::storage {
 
@@ -71,6 +76,15 @@ struct BufferPoolStats {
   uint64_t faults = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
+
+  uint64_t lookups() const { return hits + faults; }
+  // Fraction of page acquisitions served from the pool; 0.0 before any
+  // lookup (never NaN).
+  double hit_rate() const {
+    return lookups() == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups());
+  }
 };
 
 class BufferPool {
@@ -108,6 +122,12 @@ class BufferPool {
     std::lock_guard<std::mutex> lock(mu_);
     stats_ = BufferPoolStats();
   }
+
+  // Publishes the pool counters into `registry` under `prefix` as
+  // snapshot-time callbacks (see obs::MetricsRegistry). The pool must
+  // outlive the registry's snapshots.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
 
   // Deep audit of the frame ledger: every frame is either mapped (its page
   // id resolves back to it through the page table) or on the free list;

@@ -588,4 +588,10 @@ void CcamStore::ResetStats() {
   pager_->ResetStats();
 }
 
+void CcamStore::RegisterMetrics(obs::MetricsRegistry* registry,
+                                const std::string& prefix) const {
+  pool_->RegisterMetrics(registry, prefix + ".pool");
+  pager_->RegisterMetrics(registry, prefix + ".pager");
+}
+
 }  // namespace capefp::storage

@@ -28,6 +28,10 @@
 #include "src/storage/pager.h"
 #include "src/util/status.h"
 
+namespace capefp::obs {
+class MetricsRegistry;
+}  // namespace capefp::obs
+
 namespace capefp::storage {
 
 // A node record parsed from a data page.
@@ -52,6 +56,11 @@ struct CcamOpenOptions {
 struct CcamStats {
   BufferPoolStats pool;
   PagerStats pager;
+
+  // The store's cache hit rate is the buffer pool's: every FindNode /
+  // index probe goes through the pool, and the pager below it has no
+  // hit/miss notion.
+  double hit_rate() const { return pool.hit_rate(); }
 };
 
 // Page census produced by CcamStore::DeepValidate.
@@ -99,6 +108,12 @@ class CcamStore {
 
   CcamStats stats() const;
   void ResetStats();
+
+  // Publishes the buffer-pool and pager counters into `registry` under
+  // `prefix` + ".pool" / ".pager" (snapshot-time callbacks; the store must
+  // outlive the registry's snapshots).
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
 
   // Pages currently used by the file (diagnostics / space benches).
   uint32_t file_pages() const { return pager_->num_pages(); }

@@ -1,8 +1,10 @@
 #include "src/storage/pager.h"
 
+#include <chrono>
 #include <cstring>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/crc32.h"
 
@@ -24,6 +26,15 @@ uint32_t DecodeU32(const char* buf) {
   uint32_t v;
   std::memcpy(&v, buf, sizeof(v));
   return v;
+}
+
+using IoClock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(IoClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(IoClock::now() -
+                                                            start)
+          .count());
 }
 
 }  // namespace
@@ -124,6 +135,7 @@ util::Status Pager::ReadPageLocked(PageId id, char* buf) {
   if (id == 0 || id >= num_pages_) {
     return util::Status::OutOfRange("page id out of range");
   }
+  const IoClock::time_point io_start = IoClock::now();
   const auto stride = static_cast<long>(PhysicalPageSize());
   const long offset = static_cast<long>(id) * stride;
   if (std::fseek(file_, offset, SEEK_SET) != 0 ||
@@ -141,6 +153,7 @@ util::Status Pager::ReadPageLocked(PageId id, char* buf) {
   }
   std::memcpy(buf, io_buffer_.data(), page_size_);
   ++stats_.page_reads;
+  stats_.read_micros += MicrosSince(io_start);
   return util::Status::Ok();
 }
 
@@ -148,6 +161,7 @@ util::Status Pager::WritePageLocked(PageId id, const char* buf) {
   if (id == 0 || id >= num_pages_) {
     return util::Status::OutOfRange("page id out of range");
   }
+  const IoClock::time_point io_start = IoClock::now();
   const auto stride = static_cast<long>(PhysicalPageSize());
   const long offset = static_cast<long>(id) * stride;
   std::memcpy(io_buffer_.data(), buf, page_size_);
@@ -159,6 +173,7 @@ util::Status Pager::WritePageLocked(PageId id, const char* buf) {
     return util::Status::IoError("page write failed");
   }
   ++stats_.page_writes;
+  stats_.write_micros += MicrosSince(io_start);
   return util::Status::Ok();
 }
 
@@ -215,6 +230,21 @@ util::StatusOr<std::vector<PageId>> Pager::FreeListPages() {
     id = DecodeU32(buf.data());
   }
   return pages;
+}
+
+void Pager::RegisterMetrics(obs::MetricsRegistry* registry,
+                            const std::string& prefix) const {
+  registry->AddCallbackCounter(prefix + ".page_reads",
+                               [this] { return stats().page_reads; });
+  registry->AddCallbackCounter(prefix + ".page_writes",
+                               [this] { return stats().page_writes; });
+  registry->AddCallbackCounter(prefix + ".read_micros",
+                               [this] { return stats().read_micros; });
+  registry->AddCallbackCounter(prefix + ".write_micros",
+                               [this] { return stats().write_micros; });
+  registry->AddCallbackGauge(prefix + ".file_pages", [this] {
+    return static_cast<double>(num_pages());
+  });
 }
 
 util::Status Pager::Sync() {

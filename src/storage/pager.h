@@ -20,15 +20,37 @@
 
 #include "src/util/status.h"
 
+namespace capefp::obs {
+class MetricsRegistry;
+}  // namespace capefp::obs
+
 namespace capefp::storage {
 
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPage = 0xffffffffu;
 
-// Cumulative physical I/O counters.
+// Cumulative physical I/O counters. The microsecond totals time the
+// physical fseek+fread/fwrite (plus CRC handling) so per-query I/O *time*
+// is observable, not just operation counts; two steady_clock reads per
+// page are noise next to the file I/O itself.
 struct PagerStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
+  uint64_t read_micros = 0;
+  uint64_t write_micros = 0;
+
+  uint64_t total_ios() const { return page_reads + page_writes; }
+  double io_millis() const {
+    return static_cast<double>(read_micros + write_micros) / 1000.0;
+  }
+  // Mean physical read cost; 0.0 before any read (never NaN). The pager
+  // has no hit/miss notion — cache hit rates live one layer up in
+  // BufferPoolStats::hit_rate().
+  double avg_read_micros() const {
+    return page_reads == 0 ? 0.0
+                           : static_cast<double>(read_micros) /
+                                 static_cast<double>(page_reads);
+  }
 };
 
 // Fixed-size page file. Page 0 holds the pager header and is not available
@@ -86,6 +108,12 @@ class Pager {
     std::lock_guard<std::mutex> lock(mu_);
     stats_ = PagerStats();
   }
+
+  // Publishes the pager's I/O counters into `registry` under `prefix` as
+  // snapshot-time callbacks. The pager must outlive the registry's
+  // snapshots.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
 
   static constexpr uint32_t kMinPageSize = 128;
 

@@ -1,0 +1,47 @@
+// Streaming JSON writer: handles commas, nesting, and string escaping with
+// no dependency beyond the standard library. Originally private to the
+// bench binaries; promoted to util so library code (the observability
+// subsystem's metric and trace exposition) can emit JSON too. Usage:
+//   JsonWriter w;
+//   w.BeginObject(); w.Key("qps"); w.Double(123.4); w.EndObject();
+//   use w.str();
+// Keys/values must alternate correctly inside objects; the writer CHECKs
+// balanced Begin/End but not key placement.
+#ifndef CAPEFP_UTIL_JSON_WRITER_H_
+#define CAPEFP_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capefp::util {
+
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+
+  // The finished document; CHECKs that all scopes are closed.
+  const std::string& str() const;
+
+ private:
+  void BeforeValue();
+  void Indent();
+
+  std::string out_;
+  // One entry per open scope: the count of items emitted in it.
+  std::vector<int> scope_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace capefp::util
+
+#endif  // CAPEFP_UTIL_JSON_WRITER_H_

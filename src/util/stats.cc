@@ -15,7 +15,7 @@ void Summary::Add(double sample) {
 }
 
 double Summary::mean() const {
-  CAPEFP_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   return sum_ / static_cast<double>(samples_.size());
 }
 
@@ -24,7 +24,7 @@ double Summary::min() const { return percentile(0.0); }
 double Summary::max() const { return percentile(100.0); }
 
 double Summary::stddev() const {
-  CAPEFP_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   const double m = mean();
   double acc = 0.0;
   for (double s : samples_) acc += (s - m) * (s - m);
@@ -32,8 +32,8 @@ double Summary::stddev() const {
 }
 
 double Summary::percentile(double p) const {
-  CAPEFP_CHECK(!samples_.empty());
   CAPEFP_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;

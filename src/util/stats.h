@@ -10,6 +10,10 @@
 namespace capefp::util {
 
 // Accumulates scalar samples and reports summary statistics.
+//
+// Empty-summary contract: every accessor is safe to call with no samples
+// and returns 0.0 (and ToString() returns "n=0"); check count() when 0 is
+// a meaningful sample value.
 class Summary {
  public:
   void Add(double sample);
@@ -20,7 +24,7 @@ class Summary {
   double min() const;
   double max() const;
   double stddev() const;
-  // Linear-interpolated percentile, `p` in [0, 100].
+  // Linear-interpolated percentile, `p` in [0, 100]; 0.0 when empty.
   double percentile(double p) const;
 
   // One-line summary: "n=.. mean=.. min=.. p50=.. p95=.. max=..".

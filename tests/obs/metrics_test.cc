@@ -1,0 +1,193 @@
+#include "src/obs/metrics.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace capefp::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddAndNegativeValues) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_EQ(g.Value(), 2.5);
+  g.Add(-3.0);
+  EXPECT_EQ(g.Value(), -0.5);
+}
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Record(0.5);
+  h.Record(5.0);
+  h.Record(50.0);
+  h.Record(500.0);  // Overflow bucket.
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 555.5);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 555.5 / 4.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsSafe) {
+  Histogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_EQ(snap.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesAndClamps) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.Record(1.5);  // All in the (1, 2] bucket.
+  const HistogramSnapshot snap = h.Snapshot();
+  const double p50 = snap.Percentile(50.0);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  h.Record(1000.0);  // Overflow answers clamp to the last finite bound.
+  EXPECT_LE(h.Snapshot().Percentile(100.0), 4.0);
+}
+
+TEST(RegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("capefp.test.counter");
+  Counter* b = registry.GetCounter("capefp.test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("capefp.test.other"), a);
+}
+
+TEST(RegistryTest, SnapshotSeesAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(7);
+  registry.GetGauge("g")->Set(1.25);
+  registry.GetHistogram("h")->Record(3.0);
+  registry.AddCallbackCounter("cb.counter", [] { return uint64_t{11}; });
+  registry.AddCallbackGauge("cb.gauge", [] { return 0.5; });
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("c"), 7u);
+  EXPECT_EQ(snap.counter("cb.counter"), 11u);
+  EXPECT_EQ(snap.counter("absent"), 0u);
+  EXPECT_EQ(snap.gauge("g"), 1.25);
+  EXPECT_EQ(snap.gauge("cb.gauge"), 0.5);
+  ASSERT_EQ(snap.histograms.count("h"), 1u);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+}
+
+TEST(RegistryTest, DeltaSinceSubtractsCountersAndHistograms) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Histogram* h = registry.GetHistogram("h");
+  c->Add(5);
+  h->Record(1.0);
+  const MetricsSnapshot before = registry.Snapshot();
+  c->Add(3);
+  h->Record(2.0);
+  h->Record(3.0);
+  const MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counter("c"), 3u);
+  EXPECT_EQ(delta.histograms.at("h").count, 2u);
+  EXPECT_DOUBLE_EQ(delta.histograms.at("h").sum, 5.0);
+}
+
+TEST(RegistryTest, PrometheusTextSanitizesNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("capefp.search.expansions")->Add(3);
+  registry.GetGauge("capefp.pool.hit-rate")->Set(0.5);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("capefp_search_expansions 3"), std::string::npos);
+  EXPECT_NE(text.find("capefp_pool_hit_rate"), std::string::npos);
+  EXPECT_EQ(text.find("capefp.search"), std::string::npos);
+}
+
+TEST(RegistryTest, HistogramPrometheusBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {1.0, 2.0});
+  h->Record(0.5);
+  h->Record(1.5);
+  h->Record(99.0);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonRoundTripsBasicShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(2);
+  registry.GetHistogram("h")->Record(1.0);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// The TSan tier runs this binary: four threads hammer one counter, one
+// gauge, and one histogram while a fifth snapshots concurrently; every
+// increment must land (atomics may not lose updates, snapshots must not
+// tear the totals once writers finish).
+TEST(MetricsThreadingTest, ConcurrentUpdatesLoseNothing) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hammer.counter");
+  Gauge* gauge = registry.GetGauge("hammer.gauge");
+  Histogram* hist = registry.GetHistogram("hammer.hist", {0.5, 1.5, 2.5});
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = registry.Snapshot();
+      const uint64_t now = snap.counter("hammer.counter");
+      // Counter reads are monotone even mid-hammer.
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+        gauge->Set(static_cast<double>(t));
+        hist->Record(static_cast<double>(i % 3));
+      }
+    });
+  }
+  for (std::thread& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("hammer.counter"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const HistogramSnapshot h = snap.histograms.at("hammer.hist");
+  EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : h.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, h.count);
+  const double g = snap.gauge("hammer.gauge");
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, kThreads);
+}
+
+}  // namespace
+}  // namespace capefp::obs

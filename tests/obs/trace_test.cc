@@ -1,0 +1,162 @@
+#include "src/obs/trace.h"
+
+#include <string>
+#include <utility>
+
+#include "gtest/gtest.h"
+
+namespace capefp::obs {
+namespace {
+
+// Finds the unique span with this name, or -1.
+int FindSpan(const Trace& trace, const std::string& name) {
+  int found = -1;
+  for (size_t i = 0; i < trace.spans().size(); ++i) {
+    if (trace.spans()[i].name == name) {
+      EXPECT_EQ(found, -1) << "duplicate span " << name;
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+TEST(TraceTest, SpansNestUnderTheInnermostOpenSpan) {
+  Trace trace;
+  {
+    Trace::Span root = trace.StartSpan("root");
+    {
+      Trace::Span child = trace.StartSpan("child");
+      Trace::Span grandchild = trace.StartSpan("grandchild");
+    }
+    Trace::Span sibling = trace.StartSpan("sibling");
+  }
+  const int root = FindSpan(trace, "root");
+  const int child = FindSpan(trace, "child");
+  const int grandchild = FindSpan(trace, "grandchild");
+  const int sibling = FindSpan(trace, "sibling");
+  ASSERT_GE(root, 0);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(root)].parent, -1);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(child)].parent, root);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(grandchild)].parent, child);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(sibling)].parent, root);
+}
+
+TEST(TraceTest, EndStampsDurationAndClosesTheSpan) {
+  Trace trace;
+  Trace::Span span = trace.StartSpan("work");
+  EXPECT_TRUE(span.active());
+  span.End();
+  EXPECT_FALSE(span.active());
+  span.End();  // Idempotent on an inactive handle.
+  const Trace::SpanData& data = trace.spans()[0];
+  EXPECT_FALSE(data.open);
+  EXPECT_GE(data.duration_ms, 0.0);
+  EXPECT_GE(data.start_ms, 0.0);
+}
+
+TEST(TraceTest, SpanIsMovable) {
+  Trace trace;
+  Trace::Span a = trace.StartSpan("moved");
+  Trace::Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.active());
+  b.AddAttr("k", 1.0);
+  b.End();
+  EXPECT_FALSE(trace.spans()[0].open);
+  ASSERT_EQ(trace.spans()[0].attrs.size(), 1u);
+  EXPECT_EQ(trace.spans()[0].attrs[0].first, "k");
+}
+
+TEST(TraceTest, AddLeafAggregatesRepeatedWorkIntoOneNode) {
+  Trace trace;
+  {
+    Trace::Span root = trace.StartSpan("search");
+    trace.AddLeaf("edge_ttf", 0.25, 10);
+    trace.AddLeaf("edge_ttf", 0.75, 30);
+    trace.AddLeaf("storage_io", 1.0);
+  }
+  const int root = FindSpan(trace, "search");
+  const int leaf = FindSpan(trace, "edge_ttf");
+  ASSERT_GE(leaf, 0);
+  const Trace::SpanData& data = trace.spans()[static_cast<size_t>(leaf)];
+  EXPECT_EQ(data.parent, root);
+  EXPECT_EQ(data.count, 40u);
+  EXPECT_DOUBLE_EQ(data.duration_ms, 1.0);
+  EXPECT_GE(FindSpan(trace, "storage_io"), 0);
+}
+
+TEST(TraceTest, AddLeafAttrAccumulatesPerKey) {
+  Trace trace;
+  Trace::Span root = trace.StartSpan("search");
+  trace.AddLeafAttr("edge_ttf", "points", 4.0);
+  trace.AddLeafAttr("edge_ttf", "points", 6.0);
+  trace.AddLeafAttr("edge_ttf", "segments", 1.0);
+  root.End();
+  const int leaf = FindSpan(trace, "edge_ttf");
+  ASSERT_GE(leaf, 0);
+  const Trace::SpanData& data = trace.spans()[static_cast<size_t>(leaf)];
+  ASSERT_EQ(data.attrs.size(), 2u);
+  EXPECT_EQ(data.attrs[0].first, "points");
+  EXPECT_DOUBLE_EQ(data.attrs[0].second, 10.0);
+  EXPECT_EQ(data.attrs[1].first, "segments");
+  EXPECT_DOUBLE_EQ(data.attrs[1].second, 1.0);
+}
+
+TEST(TraceTest, TraceAddAttrTargetsTheInnermostOpenSpan) {
+  Trace trace;
+  trace.AddAttr("ignored", 1.0);  // No open span: silently dropped.
+  EXPECT_TRUE(trace.spans().empty());
+  Trace::Span outer = trace.StartSpan("outer");
+  {
+    Trace::Span inner = trace.StartSpan("inner");
+    trace.AddAttr("depth", 2.0);
+  }
+  trace.AddAttr("depth", 1.0);
+  outer.End();
+  const int outer_id = FindSpan(trace, "outer");
+  const int inner_id = FindSpan(trace, "inner");
+  ASSERT_EQ(trace.spans()[static_cast<size_t>(inner_id)].attrs.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      trace.spans()[static_cast<size_t>(inner_id)].attrs[0].second, 2.0);
+  ASSERT_EQ(trace.spans()[static_cast<size_t>(outer_id)].attrs.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      trace.spans()[static_cast<size_t>(outer_id)].attrs[0].second, 1.0);
+}
+
+TEST(TraceTest, ToTextIndentsChildrenAndShowsCountsAndAttrs) {
+  Trace trace;
+  {
+    Trace::Span root = trace.StartSpan("query.all_fp");
+    root.AddAttr("source", 0.0);
+    {
+      Trace::Span search = trace.StartSpan("search");
+      trace.AddLeaf("edge_ttf", 0.5, 51);
+    }
+  }
+  const std::string text = trace.ToText();
+  EXPECT_NE(text.find("query.all_fp"), std::string::npos);
+  EXPECT_NE(text.find("[source=0]"), std::string::npos);
+  EXPECT_NE(text.find("\n  search"), std::string::npos);
+  EXPECT_NE(text.find("\n    edge_ttf"), std::string::npos);
+  EXPECT_NE(text.find("(x51)"), std::string::npos);
+  EXPECT_NE(text.find("ms"), std::string::npos);
+}
+
+TEST(TraceTest, JsonListsSpansWithParentLinks) {
+  Trace trace;
+  {
+    Trace::Span root = trace.StartSpan("root");
+    Trace::Span child = trace.StartSpan("child");
+    child.AddAttr("n", 3.0);
+  }
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"name\": \"root\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"child\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\": -1"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"attrs\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace capefp::obs

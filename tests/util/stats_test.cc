@@ -42,6 +42,20 @@ TEST(SummaryTest, AddAfterPercentileKeepsWorking) {
   EXPECT_DOUBLE_EQ(s.max(), 5.0);
 }
 
+TEST(SummaryTest, EmptySummaryIsSafeEverywhere) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 0.0);
+  EXPECT_EQ(s.ToString(), "n=0");
+}
+
 TEST(SummaryTest, ToStringMentionsCount) {
   Summary s;
   s.Add(1.0);

@@ -346,6 +346,20 @@ bool RunSeed(uint64_t seed, const std::string& dir) {
     }
   }
 
+  // One-line observability snapshot for the seed: the disk engine's metric
+  // tree ties the differential queries' search work to physical I/O.
+  if (ok) {
+    const obs::MetricsSnapshot snap = (*disk_engine)->metrics()->Snapshot();
+    std::printf("    metrics: %llu expansions, %llu page reads, "
+                "pool hit rate %.2f, ttf-cache hit rate %.2f\n",
+                static_cast<unsigned long long>(
+                    snap.counter("capefp.search.expansions")),
+                static_cast<unsigned long long>(
+                    snap.counter("capefp.storage.pager.page_reads")),
+                snap.gauge("capefp.storage.pool.hit_rate"),
+                snap.gauge("capefp.ttf_cache.hit_rate"));
+  }
+
   // 4. Corruption drills: both a raw bit flip (caught by the page CRC) and
   // a CRC-consistent semantic edit (caught by DeepValidate) must be
   // rejected.

@@ -5,6 +5,8 @@
 //   build-ccam convert a network text file into a CCAM page file
 //   inspect    print statistics about a CCAM page file
 //   query      run allFP / singleFP / arrival queries on a network
+//              (--trace prints the query's span tree)
+//   stats      run a sampled query batch and print the engine metrics
 //   geojson    export a network as GeoJSON for map visualization
 //   selftest   run the whole pipeline end-to-end in a temp directory
 //
@@ -13,9 +15,10 @@
 //   capefp_cli build-ccam --net=/tmp/city.net --out=/tmp/city.ccam
 //   capefp_cli inspect --db=/tmp/city.ccam
 //   capefp_cli query --net=/tmp/city.net --from=12 --to=931 ...
-//       ... --leave-lo=7:00 --leave-hi=9:00
+//       ... --leave-lo=7:00 --leave-hi=9:00 --trace
 //   capefp_cli query --net=/tmp/city.net --from=12 --to=931 ...
 //       ... --arrive-lo=8:45 --arrive-hi=9:00
+//   capefp_cli stats --net=/tmp/city.net --queries=64 --threads=4
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +29,7 @@
 
 #include "src/capefp.h"
 #include "src/util/check.h"
+#include "src/util/random.h"
 
 namespace capefp::tools {
 namespace {
@@ -206,11 +210,16 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
 
   const double lo = ParseClock(GetFlag(flags, "leave-lo", "7:00"));
   const double hi = ParseClock(GetFlag(flags, "leave-hi", "9:00"));
-  const core::AllFpResult all =
-      (*engine)->AllFastestPaths({from, to, lo, hi});
+  const bool want_trace = flags.count("trace") != 0;
+  obs::Trace trace;
+  const core::AllFpResult all = (*engine)->AllFastestPaths(
+      {from, to, lo, hi}, want_trace ? &trace : nullptr);
   if (!all.found) {
     std::printf("no route from %d to %d\n", from, to);
     return 1;
+  }
+  if (want_trace) {
+    std::printf("trace:\n%s", trace.ToText().c_str());
   }
   std::printf("leaving window [%s, %s], %zu fastest path(s), "
               "%lld expansions:\n",
@@ -235,6 +244,69 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
     std::printf("path:");
     for (network::NodeId node : single.path) std::printf(" %d", node);
     std::printf("\n");
+  }
+  return 0;
+}
+
+// Runs a batch of sampled allFP queries and prints the engine metric tree
+// (Prometheus text by default, --format=json for JSON). By default the
+// engine is disk-backed through a temporary CCAM file so the storage
+// counters are live; --mem skips the page file.
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  const std::string net_path = RequireFlag(flags, "net");
+  auto net = network::ReadNetworkFile(net_path);
+  if (!net.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+
+  core::EngineOptions engine_options;
+  engine_options.boundary_grid_dim =
+      static_cast<int>(std::stol(GetFlag(flags, "grid", "16")));
+  const bool in_memory = flags.count("mem") != 0;
+  std::string db_path;
+  if (!in_memory) {
+    db_path = GetFlag(flags, "dir", "/tmp") + "/capefp_stats.ccam";
+    engine_options.ccam_path = db_path;
+  }
+  auto engine = core::FastestPathEngine::Create(&*net, engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  const int num_queries =
+      static_cast<int>(std::stol(GetFlag(flags, "queries", "32")));
+  const int threads =
+      static_cast<int>(std::stol(GetFlag(flags, "threads", "4")));
+  const double lo = ParseClock(GetFlag(flags, "leave-lo", "7:00"));
+  const double hi = ParseClock(GetFlag(flags, "leave-hi", "9:00"));
+  util::Rng rng(std::stoull(GetFlag(flags, "seed", "42")));
+  std::vector<core::ProfileQuery> queries;
+  queries.reserve(static_cast<size_t>(num_queries));
+  while (queries.size() < static_cast<size_t>(num_queries)) {
+    const auto s = static_cast<network::NodeId>(
+        rng.NextBounded(net->num_nodes()));
+    const auto t = static_cast<network::NodeId>(
+        rng.NextBounded(net->num_nodes()));
+    if (s == t) continue;
+    queries.push_back({s, t, lo, hi});
+  }
+
+  const core::BatchResult batch =
+      (*engine)->RunBatchWithMetrics(queries, threads);
+  if (!db_path.empty()) std::remove(db_path.c_str());
+
+  std::printf("# %d queries on %d thread(s): mean %.3f ms, p50 %.3f ms, "
+              "p95 %.3f ms\n",
+              num_queries, threads, batch.latency_ms.mean(),
+              batch.latency_ms.Percentile(50.0),
+              batch.latency_ms.Percentile(95.0));
+  if (GetFlag(flags, "format", "prom") == "json") {
+    std::printf("%s\n", batch.metrics.ToJson().c_str());
+  } else {
+    std::fputs(batch.metrics.ToPrometheusText().c_str(), stdout);
   }
   return 0;
 }
@@ -304,8 +376,8 @@ int CmdSelftest(const std::map<std::string, std::string>& flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: capefp_cli <generate|build-ccam|inspect|query|geojson|"
-               "selftest> [--flags]\n");
+               "usage: capefp_cli <generate|build-ccam|inspect|query|stats|"
+               "geojson|selftest> [--flags]\n");
   return 2;
 }
 
@@ -317,6 +389,7 @@ int Main(int argc, char** argv) {
   if (command == "build-ccam") return CmdBuildCcam(flags);
   if (command == "inspect") return CmdInspect(flags);
   if (command == "query") return CmdQuery(flags);
+  if (command == "stats") return CmdStats(flags);
   if (command == "geojson") return CmdGeoJson(flags);
   if (command == "selftest") return CmdSelftest(flags);
   return Usage();

@@ -5,6 +5,7 @@
 #   tools/run_checks.sh            # everything
 #   tools/run_checks.sh asan       # just ASan+UBSan build + tests
 #   tools/run_checks.sh tsan       # just TSan build + tests
+#   tools/run_checks.sh obs        # just the observability tier (both presets)
 #   tools/run_checks.sh tidy       # just clang-tidy
 #
 # Sanitizer stages configure with CAPEFP_EXTRA_WARNINGS=ON so -Wshadow
@@ -77,18 +78,27 @@ for stage in "${STAGES[@]}"; do
       run_sanitizer_stage asan-ubsan
       ;;
     tsan)
-      # Unit + integration covers the genuinely multi-threaded pieces —
-      # parallel_engine_test drives RunBatch workers over the shared TTF
-      # cache / buffer pool / pager, and the bench-smoke label runs
-      # bench_throughput's tiny batched workload — without re-running the
-      # (slow, single-threaded) audit under TSan's ~10x overhead.
-      run_sanitizer_stage tsan -L 'unit|integration|bench-smoke'
+      # Unit + integration + obs covers the genuinely multi-threaded
+      # pieces — parallel_engine_test drives RunBatch workers over the
+      # shared TTF cache / buffer pool / pager, obs_test hammers the
+      # metrics registry from four writer threads under a concurrent
+      # snapshotter, and the bench-smoke label runs bench_throughput's
+      # tiny batched workload — without re-running the (slow,
+      # single-threaded) audit under TSan's ~10x overhead.
+      run_sanitizer_stage tsan -L 'unit|integration|bench-smoke|obs'
+      ;;
+    obs)
+      # The observability tier on its own: metrics/trace unit tests plus
+      # the trace-vs-registry reconciliation test, under both sanitizer
+      # presets (the TSan leg is what certifies the lock-cheap counters).
+      run_sanitizer_stage asan-ubsan -L obs
+      run_sanitizer_stage tsan -L obs
       ;;
     tidy)
       run_tidy_stage
       ;;
     *)
-      echo "unknown stage '${stage}' (expected: asan, tsan, tidy)" >&2
+      echo "unknown stage '${stage}' (expected: asan, tsan, obs, tidy)" >&2
       exit 2
       ;;
   esac
