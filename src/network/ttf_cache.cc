@@ -19,7 +19,7 @@ EdgeTtfCache::EdgeTtfCache(size_t capacity_entries, size_t num_shards) {
 EdgeTtfCacheStats EdgeTtfCache::stats() const {
   EdgeTtfCacheStats out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.evictions += shard.evictions;
@@ -30,7 +30,7 @@ EdgeTtfCacheStats EdgeTtfCache::stats() const {
 
 void EdgeTtfCache::ResetStats() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     shard.hits = 0;
     shard.misses = 0;
     shard.evictions = 0;
@@ -40,7 +40,7 @@ void EdgeTtfCache::ResetStats() {
 
 void EdgeTtfCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     shard.lru.clear();
     shard.map.clear();
     shard.hits = 0;
@@ -53,7 +53,7 @@ void EdgeTtfCache::Clear() {
 size_t EdgeTtfCache::size() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     n += shard.map.size();
   }
   return n;

@@ -20,7 +20,10 @@
 // Thread safety: fully internally synchronized. Keys are hashed onto
 // independently locked shards, so the read-mostly query workload contends
 // only on same-shard misses. Returned functions are shared_ptrs and stay
-// valid after eviction.
+// valid after eviction. Each shard's LRU state is CAPEFP_GUARDED_BY its
+// own mutex, so under CAPEFP_THREAD_SAFETY the compiler proves no shard
+// structure is ever touched without that shard's lock; shard locks are
+// leaves — nothing is acquired while one is held.
 #ifndef CAPEFP_NETWORK_TTF_CACHE_H_
 #define CAPEFP_NETWORK_TTF_CACHE_H_
 
@@ -29,7 +32,6 @@
 #include <cstring>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -37,6 +39,8 @@
 
 #include "src/network/road_network.h"
 #include "src/tdf/pwl_function.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace capefp::obs {
 class MetricsRegistry;
@@ -80,7 +84,7 @@ class EdgeTtfCache {
                           int64_t day, Fn&& derive) {
     const Key key = MakeKey(pattern, distance_miles, day);
     Shard& shard = shards_[ShardIndex(key)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       ++shard.hits;
@@ -146,14 +150,15 @@ class EdgeTtfCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<std::pair<Key, FunctionPtr>> lru;  // Most recent first.
+    mutable util::Mutex mu;
+    // Most recent first.
+    std::list<std::pair<Key, FunctionPtr>> lru CAPEFP_GUARDED_BY(mu);
     std::unordered_map<Key, std::list<std::pair<Key, FunctionPtr>>::iterator,
                        KeyHash>
-        map;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+        map CAPEFP_GUARDED_BY(mu);
+    uint64_t hits CAPEFP_GUARDED_BY(mu) = 0;
+    uint64_t misses CAPEFP_GUARDED_BY(mu) = 0;
+    uint64_t evictions CAPEFP_GUARDED_BY(mu) = 0;
   };
 
   static Key MakeKey(PatternId pattern, double distance_miles, int64_t day) {

@@ -93,7 +93,7 @@ std::vector<double> Histogram::LatencyBucketsMs() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -103,7 +103,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -113,7 +113,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -127,19 +127,19 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 void MetricsRegistry::AddCallbackCounter(std::string_view name,
                                          std::function<uint64_t()> fn) {
   CAPEFP_CHECK(fn != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   callback_counters_.insert_or_assign(std::string(name), std::move(fn));
 }
 
 void MetricsRegistry::AddCallbackGauge(std::string_view name,
                                        std::function<double()> fn) {
   CAPEFP_CHECK(fn != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   callback_gauges_.insert_or_assign(std::string(name), std::move(fn));
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();

@@ -29,12 +29,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/util/json_writer.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace capefp::obs {
 
@@ -148,32 +149,43 @@ class MetricsRegistry {
 
   // Create-or-get; the returned handle is valid for the registry's
   // lifetime and safe to update from any thread.
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  Counter* GetCounter(std::string_view name) CAPEFP_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) CAPEFP_EXCLUDES(mu_);
   // On first call the histogram is created with `bounds`; later calls with
   // the same name return the existing histogram regardless of bounds.
   Histogram* GetHistogram(std::string_view name,
                           std::vector<double> bounds =
-                              Histogram::LatencyBucketsMs());
+                              Histogram::LatencyBucketsMs())
+      CAPEFP_EXCLUDES(mu_);
 
   // Callback metrics, polled at Snapshot() time. `fn` must stay valid for
   // the registry's lifetime and be safe to call from any snapshotting
   // thread. Registering the same name again replaces the callback.
+  // Snapshot() invokes callbacks while holding the registry mutex, so a
+  // callback must never call back into this registry (self-deadlock) —
+  // component stats() getters that take only their own component lock are
+  // the intended shape (see DESIGN.md §6's lock-order table).
   void AddCallbackCounter(std::string_view name,
-                          std::function<uint64_t()> fn);
-  void AddCallbackGauge(std::string_view name, std::function<double()> fn);
+                          std::function<uint64_t()> fn) CAPEFP_EXCLUDES(mu_);
+  void AddCallbackGauge(std::string_view name, std::function<double()> fn)
+      CAPEFP_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const CAPEFP_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Guards name resolution and snapshotting only; metric updates go
+  // through the returned handles, never this mutex.
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CAPEFP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CAPEFP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CAPEFP_GUARDED_BY(mu_);
   std::map<std::string, std::function<uint64_t()>, std::less<>>
-      callback_counters_;
+      callback_counters_ CAPEFP_GUARDED_BY(mu_);
   std::map<std::string, std::function<double()>, std::less<>>
-      callback_gauges_;
+      callback_gauges_ CAPEFP_GUARDED_BY(mu_);
 };
 
 }  // namespace capefp::obs

@@ -17,18 +17,26 @@
 // Acquire() is the synchronization point. Writers (mutable_data) must not
 // run concurrently with FlushAll on the same page; the build path that
 // mutates pages is single-threaded.
+//
+// The guarded members below are compiler-checked under
+// CAPEFP_THREAD_SAFETY, and mu_ is declared CAPEFP_ACQUIRED_BEFORE the
+// pager's mutex — the one cross-component lock order in the repo
+// (Acquire() faults pages while holding the pool lock; nothing in the
+// pager calls back into the pool). The pin-protected data() path is the
+// single sanctioned CAPEFP_NO_THREAD_SAFETY_ANALYSIS exception.
 #ifndef CAPEFP_STORAGE_BUFFER_POOL_H_
 #define CAPEFP_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/storage/pager.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace capefp::obs {
 class MetricsRegistry;
@@ -97,29 +105,29 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Pins the page, reading it from disk on a miss.
-  util::StatusOr<PageHandle> Acquire(PageId id);
+  util::StatusOr<PageHandle> Acquire(PageId id) CAPEFP_EXCLUDES(mu_);
 
   // Allocates a fresh page from the pager and pins it zero-filled and
   // dirty (no physical read).
-  util::StatusOr<PageHandle> AllocateAndAcquire();
+  util::StatusOr<PageHandle> AllocateAndAcquire() CAPEFP_EXCLUDES(mu_);
 
   // Writes back all dirty frames (pinned or not) and syncs the pager.
-  util::Status FlushAll();
+  util::Status FlushAll() CAPEFP_EXCLUDES(mu_);
 
   // Drops `id` from the cache without write-back and frees it in the pager.
   // The page must not be pinned.
-  util::Status FreePage(PageId id);
+  util::Status FreePage(PageId id) CAPEFP_EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
   uint32_t page_size() const { return pager_->page_size(); }
   Pager* pager() const { return pager_; }
 
-  BufferPoolStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  BufferPoolStats stats() const CAPEFP_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
     return stats_;
   }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ResetStats() CAPEFP_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
     stats_ = BufferPoolStats();
   }
 
@@ -134,7 +142,7 @@ class BufferPool {
   // pin counts are non-negative; a frame sits in the LRU list iff it is
   // mapped and unpinned, and its stored LRU position points back at it.
   // Returns OK or Internal naming the inconsistent frame. O(capacity).
-  util::Status ValidateInvariants() const;
+  util::Status ValidateInvariants() const CAPEFP_EXCLUDES(mu_);
 
  private:
   friend class PageHandle;
@@ -149,22 +157,25 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  void Unpin(size_t frame_index, bool dirty);
+  void Unpin(size_t frame_index, bool dirty) CAPEFP_EXCLUDES(mu_);
   // Finds a frame to (re)use, evicting an unpinned LRU victim if needed.
-  util::StatusOr<size_t> GrabFrame();
-  util::Status ValidateInvariantsLocked() const;
+  util::StatusOr<size_t> GrabFrame() CAPEFP_REQUIRES(mu_);
+  util::Status ValidateInvariantsLocked() const CAPEFP_REQUIRES(mu_);
 
   // Guards everything below except the page *bytes* of pinned frames
-  // (see the class comment).
-  mutable std::mutex mu_;
+  // (see the class comment). Always acquired before the pager's mutex:
+  // Acquire()/GrabFrame() fault and write back pages under mu_, so the
+  // compiler holds every future path to pool → pager under
+  // -Wthread-safety-beta.
+  mutable util::Mutex mu_ CAPEFP_ACQUIRED_BEFORE(pager_->mu_);
   Pager* pager_;
   size_t capacity_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_to_frame_;
+  std::vector<Frame> frames_ CAPEFP_GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> page_to_frame_ CAPEFP_GUARDED_BY(mu_);
   // Unpinned frames, least recently used first.
-  std::list<size_t> lru_;
-  std::vector<size_t> free_frames_;
-  BufferPoolStats stats_;
+  std::list<size_t> lru_ CAPEFP_GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ CAPEFP_GUARDED_BY(mu_);
+  BufferPoolStats stats_ CAPEFP_GUARDED_BY(mu_);
 };
 
 }  // namespace capefp::storage

@@ -48,9 +48,13 @@ Pager::Pager(std::FILE* file, uint32_t page_size, uint32_t num_pages,
       io_buffer_(PhysicalPageSize()) {}
 
 Pager::~Pager() {
+  // The lock is uncontended here (destruction implies exclusive access);
+  // held so the analysis sees the guarded members' last rites checked.
+  util::MutexLock lock(&mu_);
   if (file_ != nullptr) {
     WriteHeader();  // Best effort; Sync() reports errors to callers.
     std::fclose(file_);
+    file_ = nullptr;
   }
 }
 
@@ -65,8 +69,12 @@ util::StatusOr<std::unique_ptr<Pager>> Pager::Create(const std::string& path,
   }
   auto pager = std::unique_ptr<Pager>(
       new Pager(file, page_size, /*num_pages=*/1, kInvalidPage));
-  // Materialize the header page.
-  CAPEFP_RETURN_IF_ERROR(pager->WriteHeader());
+  {
+    // Materialize the header page. Nobody else can hold a brand-new
+    // pager's lock; taken to satisfy WriteHeader's REQUIRES contract.
+    util::MutexLock lock(&pager->mu_);
+    CAPEFP_RETURN_IF_ERROR(pager->WriteHeader());
+  }
   return pager;
 }
 
@@ -122,12 +130,12 @@ util::Status Pager::WriteHeader() {
 }
 
 util::Status Pager::ReadPage(PageId id, char* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return ReadPageLocked(id, buf);
 }
 
 util::Status Pager::WritePage(PageId id, const char* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return WritePageLocked(id, buf);
 }
 
@@ -178,7 +186,7 @@ util::Status Pager::WritePageLocked(PageId id, const char* buf) {
 }
 
 util::StatusOr<PageId> Pager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (free_head_ != kInvalidPage) {
     const PageId id = free_head_;
     // The free list chains through the first 4 bytes of each free page.
@@ -200,7 +208,7 @@ util::StatusOr<PageId> Pager::AllocatePage() {
 }
 
 util::Status Pager::FreePage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (id == 0 || id >= num_pages_) {
     return util::Status::OutOfRange("page id out of range");
   }
@@ -212,7 +220,7 @@ util::Status Pager::FreePage(PageId id) {
 }
 
 util::StatusOr<std::vector<PageId>> Pager::FreeListPages() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<PageId> pages;
   std::vector<char> buf(page_size_);
   PageId id = free_head_;
@@ -248,7 +256,7 @@ void Pager::RegisterMetrics(obs::MetricsRegistry* registry,
 }
 
 util::Status Pager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   CAPEFP_RETURN_IF_ERROR(WriteHeader());
   if (std::fflush(file_) != 0) {
     return util::Status::IoError("fflush failed");

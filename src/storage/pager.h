@@ -14,11 +14,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace capefp::obs {
 class MetricsRegistry;
@@ -59,6 +60,10 @@ struct PagerStats {
 // Thread-safe: every public operation takes an internal mutex (the file
 // position, the shared I/O scratch buffer, and the free-list head all need
 // it), so concurrent readers through a shared BufferPool serialize here.
+// The guarded members and the REQUIRES contracts on the `*Locked()`
+// helpers are compiler-checked under CAPEFP_THREAD_SAFETY; the pool→pager
+// lock order is declared on BufferPool::mu_ (CAPEFP_ACQUIRED_BEFORE),
+// which is why BufferPool is a friend.
 class Pager {
  public:
   // Creates (truncating) a page file with the given page size
@@ -76,36 +81,39 @@ class Pager {
 
   uint32_t page_size() const { return page_size_; }
   // Total pages in the file, including the header page and freed pages.
-  uint32_t num_pages() const { return num_pages_; }
+  uint32_t num_pages() const CAPEFP_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
+    return num_pages_;
+  }
 
   // Reads page `id` into `buf` (page_size() bytes). Returns Corruption if
   // the stored checksum does not match the contents.
-  util::Status ReadPage(PageId id, char* buf);
+  util::Status ReadPage(PageId id, char* buf) CAPEFP_EXCLUDES(mu_);
 
   // Writes page `id` from `buf` (page_size() bytes).
-  util::Status WritePage(PageId id, const char* buf);
+  util::Status WritePage(PageId id, const char* buf) CAPEFP_EXCLUDES(mu_);
 
   // Allocates a page (recycling the free list first). Contents are
   // unspecified until written.
-  util::StatusOr<PageId> AllocatePage();
+  util::StatusOr<PageId> AllocatePage() CAPEFP_EXCLUDES(mu_);
 
   // Returns `id` to the free list.
-  util::Status FreePage(PageId id);
+  util::Status FreePage(PageId id) CAPEFP_EXCLUDES(mu_);
 
   // Flushes buffered writes and the header to the OS.
-  util::Status Sync();
+  util::Status Sync() CAPEFP_EXCLUDES(mu_);
 
   // Walks the free list and returns the freed page ids in chain order.
   // Corruption if the chain links out of bounds or cycles (used by
   // CcamStore::DeepValidate to classify free pages).
-  util::StatusOr<std::vector<PageId>> FreeListPages();
+  util::StatusOr<std::vector<PageId>> FreeListPages() CAPEFP_EXCLUDES(mu_);
 
-  PagerStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  PagerStats stats() const CAPEFP_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
     return stats_;
   }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ResetStats() CAPEFP_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
     stats_ = PagerStats();
   }
 
@@ -118,26 +126,31 @@ class Pager {
   static constexpr uint32_t kMinPageSize = 128;
 
  private:
+  // BufferPool::mu_ declares itself CAPEFP_ACQUIRED_BEFORE(pager_->mu_),
+  // which needs access to this class's private mutex member.
+  friend class BufferPool;
+
   Pager(std::FILE* file, uint32_t page_size, uint32_t num_pages,
         PageId free_head);
 
-  util::Status WriteHeader();
+  util::Status WriteHeader() CAPEFP_REQUIRES(mu_);
   // Unlocked bodies, for operations that compose several page I/Os under
   // one mutex hold (AllocatePage, FreePage, FreeListPages).
-  util::Status ReadPageLocked(PageId id, char* buf);
-  util::Status WritePageLocked(PageId id, const char* buf);
+  util::Status ReadPageLocked(PageId id, char* buf) CAPEFP_REQUIRES(mu_);
+  util::Status WritePageLocked(PageId id, const char* buf)
+      CAPEFP_REQUIRES(mu_);
   // On-disk bytes per page: payload plus the CRC trailer.
   uint32_t PhysicalPageSize() const { return page_size_ + sizeof(uint32_t); }
 
   // Guards the file position, counters, free-list head, and I/O buffer.
-  mutable std::mutex mu_;
-  std::FILE* file_;
-  uint32_t page_size_;
-  uint32_t num_pages_;
-  PageId free_head_;
-  PagerStats stats_;
+  mutable util::Mutex mu_;
+  std::FILE* file_ CAPEFP_GUARDED_BY(mu_);
+  uint32_t page_size_;  // Immutable after construction.
+  uint32_t num_pages_ CAPEFP_GUARDED_BY(mu_);
+  PageId free_head_ CAPEFP_GUARDED_BY(mu_);
+  PagerStats stats_ CAPEFP_GUARDED_BY(mu_);
   // Scratch buffer for trailer handling on the I/O path.
-  std::vector<char> io_buffer_;
+  std::vector<char> io_buffer_ CAPEFP_GUARDED_BY(mu_);
 };
 
 }  // namespace capefp::storage

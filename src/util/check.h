@@ -22,8 +22,11 @@ namespace capefp::util {
 [[noreturn]] inline void CheckFail(const char* file, int line,
                                    const char* expr,
                                    const std::string& msg) noexcept {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
-               msg.empty() ? "" : " - ", msg.c_str());
+  // The abort path must reach a human even when no Status channel exists;
+  // this is the one sanctioned stderr write in library code.
+  std::fprintf(  // capefp-lint: allow(io-in-src)
+      stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+      msg.empty() ? "" : " - ", msg.c_str());
   std::abort();
 }
 

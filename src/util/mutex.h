@@ -1,0 +1,56 @@
+// Capability-annotated mutex wrappers.
+//
+// util::Mutex is std::mutex dressed as a Clang Thread Safety *capability*:
+// members declared CAPEFP_GUARDED_BY(mu_) can only be touched while the
+// compiler can prove mu_ is held, and functions can state their locking
+// contract (CAPEFP_REQUIRES / CAPEFP_EXCLUDES) in the signature. On
+// non-Clang compilers the annotations vanish and this is a zero-cost
+// veneer over std::mutex.
+//
+// All of src/ locks through these types: the repo lint
+// (tools/capefp_lint.py, rule mutex-outside-util) rejects naked
+// std::mutex / std::lock_guard outside src/util, because a lock the
+// analysis cannot see is a lock it cannot check.
+#ifndef CAPEFP_UTIL_MUTEX_H_
+#define CAPEFP_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace capefp::util {
+
+// A standard mutex, visible to thread-safety analysis. Prefer MutexLock
+// over manual Lock()/Unlock() pairs.
+class CAPEFP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CAPEFP_ACQUIRE() { mu_.lock(); }
+  void Unlock() CAPEFP_RELEASE() { mu_.unlock(); }
+  bool TryLock() CAPEFP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock, the std::lock_guard of this vocabulary. Scoped-capability
+// semantics: the analysis treats the guarded region as exactly the
+// lexical lifetime of the MutexLock.
+class CAPEFP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) CAPEFP_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() CAPEFP_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace capefp::util
+
+#endif  // CAPEFP_UTIL_MUTEX_H_

@@ -1,0 +1,91 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// These macros turn the repo's lock-discipline comments ("guarded by mu_",
+// "lock order is pool -> pager") into compiler-checked facts: under Clang
+// with -Wthread-safety (CMake option CAPEFP_THREAD_SAFETY, preset
+// `thread-safety`), reading a CAPEFP_GUARDED_BY member without holding its
+// mutex — or acquiring locks against a CAPEFP_ACQUIRED_BEFORE order — is a
+// compile error. On compilers without the attribute (GCC) every macro
+// expands to nothing, so the annotated code builds everywhere.
+//
+// The vocabulary mirrors the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the
+// subset the codebase uses is defined. Annotate with the CAPEFP_ macros,
+// never the raw attributes, and take locks through util::Mutex /
+// util::MutexLock (src/util/mutex.h) — the repo lint
+// (tools/capefp_lint.py, rule mutex-outside-util) rejects naked std::mutex
+// outside src/util precisely so that every lock is visible to this
+// analysis.
+#ifndef CAPEFP_UTIL_THREAD_ANNOTATIONS_H_
+#define CAPEFP_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// On a data member: may only be read or written while holding `x`.
+#define CAPEFP_GUARDED_BY(x) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// On a pointer member: the *pointee* is protected by `x` (the pointer
+// itself is not).
+#define CAPEFP_PT_GUARDED_BY(x) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// On a function: the caller must hold the listed capabilities. This is how
+// the private `*Locked()` helpers declare their contract.
+#define CAPEFP_REQUIRES(...) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the listed capabilities.
+#define CAPEFP_ACQUIRE(...) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define CAPEFP_RELEASE(...) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define CAPEFP_TRY_ACQUIRE(...) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the listed capabilities
+// (non-reentrancy; documents self-deadlock hazards).
+#define CAPEFP_EXCLUDES(...) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// On a mutex member: whenever both are held, this one is acquired before
+// (resp. after) the listed mutexes. Violations are diagnosed under
+// -Wthread-safety-beta, which CAPEFP_THREAD_SAFETY enables; the repo's one
+// cross-component order, BufferPool::mu_ -> Pager::mu_, is encoded with
+// these (see src/storage/buffer_pool.h and DESIGN.md §6).
+#define CAPEFP_ACQUIRED_BEFORE(...) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define CAPEFP_ACQUIRED_AFTER(...) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// On a class: instances are capabilities (lockable objects).
+#define CAPEFP_CAPABILITY(x) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// On a class: RAII object that acquires a capability in its constructor
+// and releases it in its destructor (util::MutexLock).
+#define CAPEFP_SCOPED_CAPABILITY \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// On a function returning a reference to a mutex, so wrappers can expose
+// the capability they forward to.
+#define CAPEFP_RETURN_CAPABILITY(x) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// On a function: asserts (at analysis time, not runtime) that the
+// capability is held — for callbacks invoked only under a documented lock.
+#define CAPEFP_ASSERT_CAPABILITY(x) \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+// Escape hatch: disables the analysis for one function. Every use must
+// carry a comment explaining why the unchecked access is sound; the only
+// sanctioned pattern today is BufferPool's pin-protected lock-free
+// PageHandle::data() path (see buffer_pool.h's class comment).
+#define CAPEFP_NO_THREAD_SAFETY_ANALYSIS \
+  CAPEFP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CAPEFP_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,35 @@
+// MUST NOT COMPILE under -Wthread-safety-beta -Werror=thread-safety-beta.
+//
+// Violates the declared pool -> pager lock order. This mirrors the real
+// annotation on BufferPool::mu_ (CAPEFP_ACQUIRED_BEFORE(pager_->mu_));
+// the model below keeps both mutexes in one class, the shape Clang's
+// acquired_before checking handles most robustly, so this test pins the
+// analysis behavior itself. The harness asserts the compiler rejects this
+// TU with a diagnostic matching "must be acquired before".
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Engine {
+ public:
+  // Same order contract as BufferPool::mu_ -> Pager::mu_.
+  void Wrong() {
+    capefp::util::MutexLock pager_lock(&pager_mu_);
+    // BAD: acquiring the pool mutex while the pager mutex is held inverts
+    // the declared order.
+    capefp::util::MutexLock pool_lock(&pool_mu_);
+  }
+
+ private:
+  capefp::util::Mutex pool_mu_ CAPEFP_ACQUIRED_BEFORE(pager_mu_);
+  capefp::util::Mutex pager_mu_;
+};
+
+}  // namespace
+
+int main() {
+  Engine e;
+  e.Wrong();
+  return 0;
+}

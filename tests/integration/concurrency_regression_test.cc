@@ -1,0 +1,144 @@
+// Cross-component concurrency regression test (TSan tier).
+//
+// Exercises, at runtime, exactly the lock interactions the thread-safety
+// annotations encode statically:
+//   * EdgeTtfCache shard mutexes are leaves — worker threads hammer
+//     GetOrDerive on overlapping keys while a snapshotter thread polls the
+//     cache's callback metrics through MetricsRegistry::Snapshot().
+//   * MetricsRegistry::Snapshot() invokes callback metrics while holding
+//     the registry mutex; those callbacks take component stats locks
+//     (cache shard, pool, pager), pinning the registry -> component-stats
+//     order as deadlock-free.
+//   * BufferPool::Acquire() faults pages while holding the pool lock, the
+//     one declared cross-component order (pool before pager).
+//
+// The test has no timing assertions; its value is running the real lock
+// graph under ThreadSanitizer (tools/run_checks.sh tsan), where any data
+// race or lock inversion the annotations failed to rule out reports.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/network/ttf_cache.h"
+#include "src/obs/metrics.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/pager.h"
+#include "src/tdf/pwl_function.h"
+#include "src/tdf/speed_pattern.h"
+#include "tests/testing/temp_path.h"
+
+namespace capefp {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kIterations = 400;
+
+TEST(ConcurrencyRegressionTest, CacheMetricsAndPoolUnderContention) {
+  // Small capacities on purpose: evictions exercise the shard LRU and the
+  // pool's writeback path, not just the hit fast paths.
+  network::EdgeTtfCache cache(/*capacity_entries=*/32, /*num_shards=*/4);
+
+  const std::string path =
+      capefp::testing::UniqueTempPath("concurrency_regression.db");
+  auto pager_or = storage::Pager::Create(path, 256);
+  ASSERT_TRUE(pager_or.ok());
+  std::unique_ptr<storage::Pager> pager = std::move(*pager_or);
+  storage::BufferPool pool(pager.get(), /*capacity_frames=*/4);
+
+  // Seed more pages than frames so concurrent Acquire()s fault and evict,
+  // repeatedly taking the pool lock and then the pager lock underneath it.
+  std::vector<storage::PageId> pages;
+  for (int i = 0; i < 16; ++i) {
+    auto handle_or = pool.AllocateAndAcquire();
+    ASSERT_TRUE(handle_or.ok());
+    handle_or->mutable_data()[0] = static_cast<char>('a' + i % 26);
+    pages.push_back(handle_or->page_id());
+  }
+
+  obs::MetricsRegistry registry;
+  cache.RegisterMetrics(&registry, "test.cache");
+  pool.RegisterMetrics(&registry, "test.pool");
+  pager->RegisterMetrics(&registry, "test.pager");
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> derivations{0};
+
+  std::vector<std::thread> threads;
+  // Cache workers: overlapping key ranges force same-shard contention and
+  // concurrent derive-vs-hit interleavings.
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&cache, &derivations, w] {
+      for (int i = 0; i < kIterations; ++i) {
+        const network::PatternId pattern = (w + i) % 8;
+        const double distance = 1.0 + (i % 4);
+        auto fn = cache.GetOrDerive(pattern, distance, /*day=*/i % 2,
+                                    [&derivations] {
+                                      derivations.fetch_add(1);
+                                      return tdf::PwlFunction::Constant(
+                                          0.0, tdf::kMinutesPerDay, 5.0);
+                                    });
+        ASSERT_NE(fn, nullptr);
+        // Returned functions must stay readable even if evicted behind us.
+        ASSERT_GT(fn->Value(0.0), 0.0);
+        if (i % 16 == 0) cache.RecordBypass();
+      }
+    });
+  }
+  // Pool workers: Acquire faults under the pool lock, which takes the
+  // pager lock beneath it — the annotated pool -> pager order, exercised
+  // concurrently with the snapshotter reading both components' stats.
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&pool, &pages, w] {
+      for (int i = 0; i < kIterations; ++i) {
+        auto handle_or = pool.Acquire(pages[(w * 7 + i) % pages.size()]);
+        ASSERT_TRUE(handle_or.ok());
+        ASSERT_GE(handle_or->data()[0], 'a');
+      }
+    });
+  }
+  // Snapshotter: polls every callback metric (cache shard counters, pool
+  // stats, pager stats) under the registry mutex until workers finish.
+  threads.emplace_back([&registry, &stop] {
+    uint64_t snapshots = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::MetricsSnapshot snap = registry.Snapshot();
+      ASSERT_TRUE(snap.counters.count("test.cache.lookups"));
+      ASSERT_TRUE(snap.counters.count("test.pool.hits"));
+      ++snapshots;
+    }
+    ASSERT_GT(snapshots, 0u);
+  });
+
+  for (size_t i = 0; i + 1 < threads.size(); ++i) threads[i].join();
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+
+  // The counters the snapshotter raced against must add up coherently now
+  // that everything is quiescent.
+  const network::EdgeTtfCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups(), uint64_t{kWorkers} * kIterations);
+  EXPECT_EQ(stats.misses, derivations.load());
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.bypasses, uint64_t{kWorkers} * (kIterations / 16));
+  EXPECT_LE(cache.size(), cache.capacity());
+
+  const obs::MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.counters.at("test.cache.lookups"), stats.lookups());
+  // Every worker Acquire() is either a hit or a fault (the initial
+  // AllocateAndAcquire seeds count as allocations, not lookups).
+  EXPECT_EQ(final_snap.counters.at("test.pool.hits") +
+                final_snap.counters.at("test.pool.faults"),
+            uint64_t{2} * kIterations);
+
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pager.reset();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace capefp

@@ -1,0 +1,416 @@
+#!/usr/bin/env python3
+"""capefp domain lint: repo-specific static rules the compiler can't check.
+
+Runs as a ctest (label `lint`) and in tools/run_checks.sh. Rules:
+
+  mutex-outside-util   std::mutex / std::lock_guard / std::unique_lock /
+                       std::scoped_lock / std::shared_mutex /
+                       std::recursive_mutex / std::condition_variable in
+                       src/ outside src/util. Locks must go through
+                       util::Mutex / util::MutexLock
+                       (src/util/mutex.h) so Clang Thread Safety Analysis
+                       sees every acquisition.
+  dcheck-side-effect   CAPEFP_DCHECK* whose argument contains ++/--/an
+                       assignment. DCHECKs compile to nothing under
+                       NDEBUG, so a side effect inside one changes
+                       release-build behavior.
+  io-in-src            printf/fprintf/puts/fputs/putchar or
+                       std::cout/std::cerr/std::clog in src/. Library code
+                       reports through util::Status, obs, or JsonWriter —
+                       stdout/stderr belong to tools/ and bench/.
+                       (snprintf-style buffer formatting is fine.)
+  include-guard        Header guards in src/ must be CAPEFP_<PATH>_H_
+                       derived from the path (src/util/mutex.h ->
+                       CAPEFP_UTIL_MUTEX_H_).
+  own-header-first     foo.cc's first #include must be its own header
+                       "src/<dir>/foo.h" (catches headers that only
+                       compile because of include-order luck).
+  no-relative-include  Project includes in src/ are always repo-rooted
+                       ("src/..."), never "../" or "./".
+
+Suppression: append `// capefp-lint: allow(<rule-id>)` to the offending
+line. Every allow is a documented exception — keep a reason next to it.
+
+Usage:
+  capefp_lint.py --root /path/to/repo      # lint the tree, exit 1 on findings
+  capefp_lint.py --selftest                # prove each rule fires (ctest)
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+ALLOW_RE = re.compile(r"//\s*capefp-lint:\s*allow\(([a-z0-9-]+)\)")
+
+MUTEX_TOKEN_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable)\b"
+)
+
+IO_TOKEN_RE = re.compile(
+    r"\bstd::(?:cout|cerr|clog)\b|"
+    r"\b(?:std::)?(?:printf|fprintf|vfprintf|vprintf|puts|fputs|putchar|"
+    r"fputc)\s*\("
+)
+
+DCHECK_RE = re.compile(r"\bCAPEFP_DCHECK(?:_OK|_EQ|_NE|_LT|_LE|_GT|_GE)?\s*\(")
+
+# ++/-- or an assignment that is not ==, !=, <=, >= (compound assignments
+# included). Lookbehind keeps comparison operators out.
+SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--|[+\-*/%&|^]=|<<=|>>=|(?<![=!<>+\-*/%&|^])=(?!=)"
+)
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(text: str) -> str:
+    """Remove comments and string/char literals, preserving line structure.
+
+    Rule regexes then match only real code: a comment that *mentions*
+    std::mutex, or a diagnostic string containing "printf", never trips a
+    rule. Escapes inside literals are handled; raw strings are treated as
+    plain strings (good enough for this codebase, which has none).
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | dq | sq
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "dq"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "sq"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        else:  # dq / sq literal
+            quote = '"' if state == "dq" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # unterminated; keep line structure
+                state = "code"
+                out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules_by_line(raw_lines: list[str]) -> dict[int, set[str]]:
+    allows: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        for m in ALLOW_RE.finditer(line):
+            allows.setdefault(idx, set()).add(m.group(1))
+    return allows
+
+
+def balanced_arg(text: str, open_paren: int) -> str:
+    """Return the text between the paren at `open_paren` and its match."""
+    depth = 0
+    for j in range(open_paren, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : j]
+    return text[open_paren + 1 :]  # unbalanced (truncated file); best effort
+
+
+def expected_guard(relpath: Path) -> str:
+    # src/util/mutex.h -> CAPEFP_UTIL_MUTEX_H_ ; src/capefp.h ->
+    # CAPEFP_CAPEFP_H_ (the leading "src" is dropped).
+    parts = list(relpath.parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return f"CAPEFP_{stem.upper()}_"
+
+
+def lint_file(root: Path, path: Path) -> list[Finding]:
+    rel = path.relative_to(root)
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    allows = allowed_rules_by_line(raw_lines)
+    code = strip_code(raw)
+    code_lines = code.splitlines()
+    findings: list[Finding] = []
+
+    def report(rule: str, line_no: int, message: str) -> None:
+        if rule in allows.get(line_no, set()):
+            return
+        findings.append(Finding(rule, rel, line_no, message))
+
+    in_src = rel.parts[0] == "src"
+    in_util = in_src and len(rel.parts) > 1 and rel.parts[1] == "util"
+
+    for line_no, line in enumerate(code_lines, start=1):
+        if in_src and not in_util:
+            for m in MUTEX_TOKEN_RE.finditer(line):
+                report(
+                    "mutex-outside-util",
+                    line_no,
+                    f"{m.group(0)} outside src/util; use util::Mutex / "
+                    "util::MutexLock (src/util/mutex.h) so thread-safety "
+                    "analysis sees the lock",
+                )
+        if in_src:
+            for m in IO_TOKEN_RE.finditer(line):
+                report(
+                    "io-in-src",
+                    line_no,
+                    f"{m.group(0).strip()} in library code; report through "
+                    "util::Status / obs instead (stdout/stderr belong to "
+                    "tools/ and bench/)",
+                )
+
+    for m in DCHECK_RE.finditer(code):
+        line_no = code.count("\n", 0, m.start()) + 1
+        arg = balanced_arg(code, m.end() - 1)
+        effect = SIDE_EFFECT_RE.search(arg)
+        if effect:
+            report(
+                "dcheck-side-effect",
+                line_no,
+                f"'{effect.group(0)}' inside {m.group(0).strip('( ')}: "
+                "DCHECKs compile out under NDEBUG, so side effects change "
+                "release behavior",
+            )
+
+    if in_src and path.suffix in {".h", ".hpp"}:
+        guard = expected_guard(rel)
+        m = re.search(r"^#ifndef\s+(\S+)", code, re.MULTILINE)
+        if m is None:
+            report("include-guard", 1, f"missing header guard {guard}")
+        elif m.group(1) != guard:
+            line_no = code.count("\n", 0, m.start()) + 1
+            report(
+                "include-guard",
+                line_no,
+                f"header guard {m.group(1)} should be {guard}",
+            )
+
+    # Include rules read the *raw* line (the literal-stripper blanks quoted
+    # paths), gated on the stripped line so commented-out includes do not
+    # count.
+    def includes() -> list[tuple[int, str]]:
+        result = []
+        for line_no, stripped in enumerate(code_lines, start=1):
+            if not re.match(r"\s*#\s*include\b", stripped):
+                continue
+            m = re.match(r'\s*#\s*include\s+[<"]([^">]+)[">]',
+                         raw_lines[line_no - 1])
+            if m:
+                result.append((line_no, m.group(1)))
+        return result
+
+    if in_src:
+        included = includes()
+        for line_no, target in included:
+            if target.startswith(("../", "./")):
+                report(
+                    "no-relative-include",
+                    line_no,
+                    f'relative include "{target}"; use a repo-rooted '
+                    '"src/..." path',
+                )
+        if path.suffix in {".cc", ".cpp"}:
+            own_header = path.with_suffix(".h")
+            if own_header.exists() and included:
+                expected = own_header.relative_to(root).as_posix()
+                line_no, first = included[0]
+                if first != expected:
+                    report(
+                        "own-header-first",
+                        line_no,
+                        f'first include is "{first}"; a .cc includes its '
+                        f'own header "{expected}" first so the header is '
+                        "proven self-contained",
+                    )
+    return findings
+
+
+def lint_tree(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    scan_dirs = [root / "src", root / "tests", root / "bench",
+                 root / "examples"]
+    for base in scan_dirs:
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                findings.extend(lint_file(root, path))
+    return findings
+
+
+# --- self-test ------------------------------------------------------------
+
+SELFTEST_CASES = {
+    # rule-id -> (relative path, file contents). One seeded violation each.
+    "mutex-outside-util": (
+        "src/core/bad_mutex.cc",
+        '#include "src/core/bad_mutex.h"\n'
+        "#include <mutex>\n"
+        "std::mutex mu;  // naked\n",
+    ),
+    "dcheck-side-effect": (
+        "src/core/bad_dcheck.cc",
+        '#include "src/core/bad_dcheck.h"\n'
+        "void f(int n) { CAPEFP_DCHECK(n++ > 0); }\n",
+    ),
+    "io-in-src": (
+        "src/core/bad_io.cc",
+        '#include "src/core/bad_io.h"\n'
+        '#include <cstdio>\n'
+        'void g() { std::printf("hello\\n"); }\n',
+    ),
+    "include-guard": (
+        "src/core/bad_guard.h",
+        "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n",
+    ),
+    "no-relative-include": (
+        "src/core/bad_relative.cc",
+        '#include "src/core/bad_relative.h"\n'
+        '#include "../util/status.h"\n',
+    ),
+    "own-header-first": (
+        "src/core/bad_order.cc",
+        "#include <vector>\n"
+        '#include "src/core/bad_order.h"\n',
+    ),
+}
+
+CLEAN_FILE = (
+    "src/core/clean.cc",
+    '#include "src/core/clean.h"\n'
+    "#include <vector>\n"
+    "// a comment mentioning std::mutex and printf( must not fire\n"
+    'static const char* kMsg = "std::cerr in a string literal";\n'
+    "void h(int n) { CAPEFP_DCHECK(n == 0); CAPEFP_DCHECK_LE(n, 1); }\n"
+    "void i() { char b[8]; (void)b; std::snprintf(b, sizeof(b), \"x\"); }\n"
+    "// documented exception:\n"
+    "void j();  // fprintf( would fire here but: "
+    "// capefp-lint: allow(io-in-src)\n",
+)
+
+
+def selftest() -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="capefp_lint_selftest.") as tmp:
+        root = Path(tmp)
+        for rule, (rel, contents) in SELFTEST_CASES.items():
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(contents)
+            # own-header-first / no-relative-include need the own header
+            # present to engage the rule.
+            header = target.with_suffix(".h")
+            if target.suffix == ".cc" and not header.exists():
+                guard = expected_guard(header.relative_to(root))
+                header.write_text(
+                    f"#ifndef {guard}\n#define {guard}\n#endif  // {guard}\n"
+                )
+        clean_rel, clean_contents = CLEAN_FILE
+        clean = root / clean_rel
+        clean.write_text(clean_contents)
+        clean.with_suffix(".h").write_text(
+            "#ifndef CAPEFP_CORE_CLEAN_H_\n#define CAPEFP_CORE_CLEAN_H_\n"
+            "#endif  // CAPEFP_CORE_CLEAN_H_\n"
+        )
+
+        findings = lint_tree(root)
+        fired = {(f.rule, f.path.as_posix()) for f in findings}
+        for rule, (rel, _) in SELFTEST_CASES.items():
+            if (rule, rel) not in fired:
+                failures.append(f"rule {rule} did NOT fire on seeded {rel}")
+        for f in findings:
+            if f.path.as_posix() == clean_rel:
+                failures.append(f"false positive on clean file: {f}")
+            if f.path.as_posix().endswith("clean.h"):
+                failures.append(f"false positive on clean header: {f}")
+
+        # The seeded tree must fail as a whole (exit-1 contract).
+        if not findings:
+            failures.append("seeded tree produced no findings at all")
+
+    if failures:
+        print("capefp_lint selftest FAILED:")
+        for msg in failures:
+            print(f"  {msg}")
+        return 1
+    print(f"capefp_lint selftest ok ({len(SELFTEST_CASES)} rules fire, "
+          "clean file passes)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path.cwd(),
+                        help="repository root (default: cwd)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify each rule fires on a seeded violation")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"capefp_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"capefp_lint: {len(findings)} finding(s)")
+        return 1
+    print("capefp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,26 +1,73 @@
 #!/usr/bin/env bash
-# Correctness gate: builds and tests capefp under each sanitizer preset and
-# runs clang-tidy over src/. Intended for CI and pre-merge runs.
+# Correctness gate: builds and tests capefp under each sanitizer preset,
+# runs clang-tidy over src/, compiles the tree under Clang's thread-safety
+# analysis (plus the negative-compile cases), and runs the domain lint.
+# Intended for CI and pre-merge runs.
 #
-#   tools/run_checks.sh            # everything
-#   tools/run_checks.sh asan       # just ASan+UBSan build + tests
-#   tools/run_checks.sh tsan       # just TSan build + tests
-#   tools/run_checks.sh obs        # just the observability tier (both presets)
-#   tools/run_checks.sh tidy       # just clang-tidy
+#   tools/run_checks.sh                  # default: asan tsan tidy lint
+#   tools/run_checks.sh asan             # just ASan+UBSan build + tests
+#   tools/run_checks.sh tsan             # just TSan build + tests
+#   tools/run_checks.sh obs              # just the observability tier
+#   tools/run_checks.sh tidy             # just clang-tidy
+#   tools/run_checks.sh thread-safety    # -Wthread-safety build + compile-fail
+#   tools/run_checks.sh lint             # just tools/capefp_lint.py
+#
+# Flags:
+#   --require-tools   Tool-dependent stages (tidy, thread-safety, lint) FAIL
+#                     loudly instead of skipping when their tool (clang-tidy,
+#                     clang++, python3) is missing. CI passes this so a broken
+#                     tool install can't silently skip a gate; local runs
+#                     without it degrade gracefully.
 #
 # Sanitizer stages configure with CAPEFP_EXTRA_WARNINGS=ON so -Wshadow
-# -Wconversion regressions fail the gate. The tidy stage is skipped (with a
-# notice, not a failure) when clang-tidy is not installed.
+# -Wconversion regressions fail the gate.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${REPO_ROOT}"
 
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
-STAGES=("$@")
+REQUIRE_TOOLS=0
+STAGES=()
+for arg in "$@"; do
+  case "${arg}" in
+    --require-tools) REQUIRE_TOOLS=1 ;;
+    --*)
+      echo "unknown flag '${arg}' (expected: --require-tools)" >&2
+      exit 2
+      ;;
+    *) STAGES+=("${arg}") ;;
+  esac
+done
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(asan tsan tidy)
+  STAGES=(asan tsan tidy lint)
 fi
+
+# Skip-or-fail for tool-dependent stages: under --require-tools a missing
+# tool is a gate failure, otherwise a notice.
+missing_tool() {
+  local stage="$1" tool="$2"
+  if [[ ${REQUIRE_TOOLS} -eq 1 ]]; then
+    echo "==> [${stage}] FAILED: ${tool} not installed and --require-tools" \
+         "was given" >&2
+    return 1
+  fi
+  echo "==> [${stage}] ${tool} not installed; skipping (install ${tool} or" \
+       "pass --require-tools to make this fatal)"
+  return 0
+}
+
+find_clangxx() {
+  local c
+  for c in clang++ clang++-21 clang++-20 clang++-19 clang++-18 clang++-17 \
+           clang++-16 clang++-15 clang++-14; do
+    if command -v "${c}" >/dev/null 2>&1; then
+      echo "${c}"
+      return 0
+    fi
+  done
+  return 1
+}
 
 run_sanitizer_stage() {
   local preset="$1"
@@ -36,9 +83,8 @@ run_sanitizer_stage() {
 
 run_tidy_stage() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> [tidy] clang-tidy not installed; skipping (install clang-tidy" \
-         "to enable this stage)"
-    return 0
+    missing_tool tidy clang-tidy
+    return
   fi
   echo "==> [tidy] configure (compile database)"
   cmake --preset tidy >/dev/null
@@ -71,6 +117,42 @@ run_tidy_stage() {
   echo "==> [tidy] clean"
 }
 
+run_thread_safety_stage() {
+  local clangxx
+  if ! clangxx="$(find_clangxx)"; then
+    missing_tool thread-safety clang++
+    return
+  fi
+  # Full-tree build under -Wthread-safety -Werror=thread-safety: any
+  # unguarded access to an annotated member fails compilation. The preset's
+  # ctest leg then runs the negative-compile cases (label compile-fail),
+  # proving the analysis still *rejects* the seeded violations.
+  echo "==> [thread-safety] configure (${clangxx})"
+  CXX="${clangxx}" cmake --preset thread-safety >/dev/null
+  echo "==> [thread-safety] build (-Werror=thread-safety)"
+  cmake --build --preset thread-safety -j "${JOBS}"
+  echo "==> [thread-safety] ctest (negative-compile cases)"
+  ctest --preset thread-safety
+  echo "==> [thread-safety] clean"
+}
+
+run_lint_stage() {
+  local py
+  if command -v python3 >/dev/null 2>&1; then
+    py=python3
+  elif command -v python >/dev/null 2>&1; then
+    py=python
+  else
+    missing_tool lint python3
+    return
+  fi
+  echo "==> [lint] capefp_lint.py --selftest"
+  "${py}" tools/capefp_lint.py --selftest
+  echo "==> [lint] capefp_lint.py over the tree"
+  "${py}" tools/capefp_lint.py --root "${REPO_ROOT}"
+  echo "==> [lint] clean"
+}
+
 for stage in "${STAGES[@]}"; do
   case "${stage}" in
     asan)
@@ -80,8 +162,10 @@ for stage in "${STAGES[@]}"; do
     tsan)
       # Unit + integration + obs covers the genuinely multi-threaded
       # pieces — parallel_engine_test drives RunBatch workers over the
-      # shared TTF cache / buffer pool / pager, obs_test hammers the
-      # metrics registry from four writer threads under a concurrent
+      # shared TTF cache / buffer pool / pager,
+      # concurrency_regression_test races cache shard locks and metrics
+      # snapshot callbacks against buffer-pool traffic, obs_test hammers
+      # the metrics registry from four writer threads under a concurrent
       # snapshotter, and the bench-smoke label runs bench_throughput's
       # tiny batched workload — without re-running the (slow,
       # single-threaded) audit under TSan's ~10x overhead.
@@ -97,8 +181,15 @@ for stage in "${STAGES[@]}"; do
     tidy)
       run_tidy_stage
       ;;
+    thread-safety)
+      run_thread_safety_stage
+      ;;
+    lint)
+      run_lint_stage
+      ;;
     *)
-      echo "unknown stage '${stage}' (expected: asan, tsan, obs, tidy)" >&2
+      echo "unknown stage '${stage}' (expected: asan, tsan, obs, tidy," \
+           "thread-safety, lint)" >&2
       exit 2
       ;;
   esac
