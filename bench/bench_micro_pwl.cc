@@ -59,6 +59,72 @@ void BM_PwlMinEnvelope(benchmark::State& state) {
 }
 BENCHMARK(BM_PwlMinEnvelope)->Arg(4)->Arg(16)->Arg(64);
 
+// --- Destination-buffer (*Into) + arena variants of the hot operations.
+// These are what the search loops actually run (see DESIGN.md §8); the
+// allocating series above stay as-is for cross-PR comparability.
+
+void BM_PwlSumInto(benchmark::State& state) {
+  util::Rng rng(2);
+  const tdf::PwlFunction f =
+      RandomFunction(rng, 0.0, 180.0, static_cast<int>(state.range(0)));
+  const tdf::PwlFunction g =
+      RandomFunction(rng, 0.0, 180.0, static_cast<int>(state.range(0)));
+  tdf::PwlArena arena;
+  tdf::PwlFunction out(&arena);
+  for (auto _ : state) {
+    tdf::PwlFunction::SumInto(f, g, &out);
+    benchmark::DoNotOptimize(out.NumPieces());
+  }
+}
+BENCHMARK(BM_PwlSumInto)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PwlMinEnvelopeInto(benchmark::State& state) {
+  util::Rng rng(3);
+  const tdf::PwlFunction f =
+      RandomFunction(rng, 0.0, 180.0, static_cast<int>(state.range(0)));
+  const tdf::PwlFunction g =
+      RandomFunction(rng, 0.0, 180.0, static_cast<int>(state.range(0)));
+  tdf::PwlArena arena;
+  tdf::PwlFunction out(&arena);
+  for (auto _ : state) {
+    tdf::PwlFunction::LowerEnvelopeInto(f, g, &out);
+    benchmark::DoNotOptimize(out.NumPieces());
+  }
+}
+BENCHMARK(BM_PwlMinEnvelopeInto)->Arg(4)->Arg(16)->Arg(64);
+
+// n-way sum: one shared grid (SumMany) vs the chained pairwise Sum it
+// replaces (the chain re-grids after every step — the latent quadratic).
+void BM_PwlSumMany(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<tdf::PwlFunction> fs;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    fs.push_back(RandomFunction(rng, 0.0, 180.0, 12));
+  }
+  tdf::PwlFunction out;
+  for (auto _ : state) {
+    tdf::PwlFunction::SumManyInto(fs, &out);
+    benchmark::DoNotOptimize(out.NumPieces());
+  }
+}
+BENCHMARK(BM_PwlSumMany)->Arg(4)->Arg(16);
+
+void BM_PwlSumChain(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<tdf::PwlFunction> fs;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    fs.push_back(RandomFunction(rng, 0.0, 180.0, 12));
+  }
+  for (auto _ : state) {
+    tdf::PwlFunction acc = fs[0];
+    for (size_t i = 1; i < fs.size(); ++i) {
+      acc = tdf::PwlFunction::Sum(acc, fs[i]);
+    }
+    benchmark::DoNotOptimize(acc.NumPieces());
+  }
+}
+BENCHMARK(BM_PwlSumChain)->Arg(4)->Arg(16);
+
 void BM_EdgeTravelTimeFunction(benchmark::State& state) {
   const tdf::Calendar cal = tdf::Calendar::SingleCategory();
   const tdf::CapeCodPattern pat({tdf::DailySpeedPattern(
@@ -85,6 +151,39 @@ void BM_ExpandPath(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpandPath);
 
+void BM_EdgeTravelTimeFunctionInto(benchmark::State& state) {
+  const tdf::Calendar cal = tdf::Calendar::SingleCategory();
+  const tdf::CapeCodPattern pat({tdf::DailySpeedPattern(
+      {{0.0, 1.0}, {tdf::HhMm(7, 0), 0.3}, {tdf::HhMm(10, 0), 1.0},
+       {tdf::HhMm(16, 0), 0.5}, {tdf::HhMm(19, 0), 1.0}})});
+  const tdf::EdgeSpeedView view(&pat, &cal);
+  tdf::PwlArena arena;
+  tdf::PwlFunction out(&arena);
+  for (auto _ : state) {
+    tdf::EdgeTravelTimeFunctionInto(view, 2.0, tdf::HhMm(6, 30),
+                                    tdf::HhMm(9, 30), &out);
+    benchmark::DoNotOptimize(out.NumPieces());
+  }
+}
+BENCHMARK(BM_EdgeTravelTimeFunctionInto);
+
+void BM_ExpandPathInto(benchmark::State& state) {
+  const tdf::Calendar cal = tdf::Calendar::SingleCategory();
+  const tdf::CapeCodPattern pat({tdf::DailySpeedPattern(
+      {{0.0, 1.0}, {tdf::HhMm(7, 0), 0.3}, {tdf::HhMm(10, 0), 1.0}})});
+  const tdf::EdgeSpeedView view(&pat, &cal);
+  const tdf::PwlFunction path = tdf::EdgeTravelTimeFunction(
+      view, 3.0, tdf::HhMm(6, 30), tdf::HhMm(9, 30));
+  tdf::PwlArena arena;
+  tdf::PwlFunction edge_scratch(&arena);
+  tdf::PwlFunction out(&arena);
+  for (auto _ : state) {
+    tdf::ExpandPathInto(path, view, 1.5, &edge_scratch, &out);
+    benchmark::DoNotOptimize(out.NumPieces());
+  }
+}
+BENCHMARK(BM_ExpandPathInto);
+
 void BM_LowerBorderMerge(benchmark::State& state) {
   util::Rng rng(4);
   std::vector<tdf::PwlFunction> candidates;
@@ -100,6 +199,23 @@ void BM_LowerBorderMerge(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LowerBorderMerge);
+
+void BM_LowerBorderMergeArena(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<tdf::PwlFunction> candidates;
+  for (int i = 0; i < 64; ++i) {
+    candidates.push_back(RandomFunction(rng, 0.0, 180.0, 12));
+  }
+  tdf::PwlArena arena;
+  for (auto _ : state) {
+    core::LowerBorder border(0.0, 180.0, &arena);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      border.Merge(candidates[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(border.pieces().size());
+  }
+}
+BENCHMARK(BM_LowerBorderMergeArena);
 
 void BM_TravelTimePointQuery(benchmark::State& state) {
   const tdf::Calendar cal = tdf::Calendar::StandardWeek(0, 1);

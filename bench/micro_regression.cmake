@@ -1,0 +1,34 @@
+# ctest driver for the PWL microbench regression gate (label bench-smoke).
+# Runs the hot-path series of bench_micro_pwl with repetitions, then lets
+# tools/bench_compare.py compare the medians against the committed
+# BENCH_micro_pwl.json baseline (>15% slowdown on a named series fails).
+#
+# Inputs (all -D): BENCH_BIN, PYTHON, COMPARE, BASELINE, OUT_JSON, SERIES
+# (semicolon list, forwarded as comma-separated --series).
+
+string(REPLACE ";" "," series_csv "${SERIES}")
+string(REPLACE ";" "|" series_filter "${SERIES}")
+# Anchor the filter so e.g. BM_PwlSum/64 does not also pull in
+# BM_PwlSumMany or single-run rows of other series.
+execute_process(
+  COMMAND ${BENCH_BIN}
+          "--benchmark_filter=^(${series_filter})$"
+          --benchmark_repetitions=3
+          --benchmark_min_time=0.1
+          --benchmark_format=json
+          "--benchmark_out=${OUT_JSON}"
+  RESULT_VARIABLE bench_rv)
+if(NOT bench_rv EQUAL 0)
+  message(FATAL_ERROR "bench_micro_pwl failed (exit ${bench_rv})")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${OUT_JSON}
+          --series ${series_csv}
+  RESULT_VARIABLE compare_rv)
+if(NOT compare_rv EQUAL 0)
+  message(FATAL_ERROR
+    "bench_compare reported a regression vs BENCH_micro_pwl.json "
+    "(exit ${compare_rv}); regenerate the baseline if the slowdown is "
+    "intentional")
+endif()

@@ -206,27 +206,42 @@ double BoundaryNodeIndex::LowerBoundMinutes(NodeId from, NodeId to) const {
 BoundaryNodeEstimator::BoundaryNodeEstimator(const BoundaryNodeIndex* index,
                                              network::NetworkAccessor* accessor,
                                              network::NodeId anchor,
-                                             Direction direction)
+                                             Direction direction,
+                                             EstimatorScratch* scratch)
     : index_(index),
       accessor_(accessor),
       anchor_(anchor),
       direction_(direction),
       anchor_location_(accessor->Location(anchor)),
-      vmax_(accessor->max_speed()) {
+      vmax_(accessor->max_speed()),
+      scratch_(scratch) {
   CAPEFP_CHECK(index != nullptr);
   CAPEFP_CHECK_GT(vmax_, 0.0);
+  if (scratch_ != nullptr) scratch_->BeginQuery(accessor->num_nodes());
 }
 
-double BoundaryNodeEstimator::Estimate(network::NodeId node) {
-  const auto it = cache_.find(node);
-  if (it != cache_.end()) return it->second;
+double BoundaryNodeEstimator::Compute(network::NodeId node) {
   const double euclid =
       geo::EuclideanDistance(accessor_->Location(node), anchor_location_) /
       vmax_;
   const double boundary = direction_ == Direction::kToAnchor
                               ? index_->LowerBoundMinutes(node, anchor_)
                               : index_->LowerBoundMinutes(anchor_, node);
-  const double estimate = std::max(euclid, boundary);
+  return std::max(euclid, boundary);
+}
+
+double BoundaryNodeEstimator::Estimate(network::NodeId node) {
+  if (scratch_ != nullptr) {
+    const auto i = static_cast<size_t>(node);
+    if (scratch_->stamp[i] == scratch_->epoch) return scratch_->value[i];
+    const double estimate = Compute(node);
+    scratch_->stamp[i] = scratch_->epoch;
+    scratch_->value[i] = estimate;
+    return estimate;
+  }
+  const auto it = cache_.find(node);
+  if (it != cache_.end()) return it->second;
+  const double estimate = Compute(node);
   cache_.emplace(node, estimate);
   return estimate;
 }

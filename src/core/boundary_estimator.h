@@ -90,21 +90,28 @@ class BoundaryNodeEstimator : public TravelTimeEstimator {
     kFromAnchor,  // Estimate(node) bounds anchor ⇒ node (reverse search).
   };
 
-  // `index` and `accessor` must outlive the estimator.
+  // `index` and `accessor` must outlive the estimator. `scratch`
+  // (optional) replaces the internal per-node cache map with a reusable
+  // epoch-stamped array; it must outlive the estimator and not be shared
+  // with a concurrently live estimator.
   BoundaryNodeEstimator(const BoundaryNodeIndex* index,
                         network::NetworkAccessor* accessor,
                         network::NodeId anchor,
-                        Direction direction = Direction::kToAnchor);
+                        Direction direction = Direction::kToAnchor,
+                        EstimatorScratch* scratch = nullptr);
 
   double Estimate(network::NodeId node) override;
 
  private:
+  double Compute(network::NodeId node);
+
   const BoundaryNodeIndex* index_;
   network::NetworkAccessor* accessor_;
   network::NodeId anchor_;
   Direction direction_;
   geo::Point anchor_location_;
   double vmax_;
+  EstimatorScratch* scratch_;
   std::unordered_map<network::NodeId, double> cache_;
 };
 

@@ -67,6 +67,19 @@ void FastestPathEngine::InitMetrics() {
       metrics_.GetCounter("capefp.search.pruned_dominated");
   search_pruned_bound_ = metrics_.GetCounter("capefp.search.pruned_bound");
   td_expanded_nodes_ = metrics_.GetCounter("capefp.td_astar.expanded_nodes");
+  // Per-worker PWL-arena aggregates (see AccumulateArenaStats). Callbacks
+  // read engine atomics only — never the arenas themselves — so they are
+  // safe under the registry mutex and touch no per-worker state.
+  metrics_.AddCallbackCounter("capefp.tdf.arena.spills",
+                              [this] { return arena_spills_.load(); });
+  metrics_.AddCallbackCounter("capefp.tdf.arena.block_reuses",
+                              [this] { return arena_block_reuses_.load(); });
+  metrics_.AddCallbackGauge("capefp.tdf.arena.bytes", [this] {
+    return static_cast<double>(arena_bytes_.load());
+  });
+  metrics_.AddCallbackGauge("capefp.tdf.arena.high_water_bytes", [this] {
+    return static_cast<double>(arena_high_water_bytes_.load());
+  });
   if (ttf_cache_ != nullptr) {
     ttf_cache_->RegisterMetrics(&metrics_, "capefp.ttf_cache");
   }
@@ -76,13 +89,33 @@ void FastestPathEngine::InitMetrics() {
 }
 
 std::unique_ptr<TravelTimeEstimator> FastestPathEngine::MakeEstimator(
-    network::NodeId anchor, BoundaryNodeEstimator::Direction direction) {
+    network::NodeId anchor, BoundaryNodeEstimator::Direction direction,
+    EstimatorScratch* scratch) {
   if (boundary_index_.has_value()) {
     return std::make_unique<BoundaryNodeEstimator>(&*boundary_index_,
                                                    accessor(), anchor,
-                                                   direction);
+                                                   direction, scratch);
   }
-  return std::make_unique<EuclideanEstimator>(accessor(), anchor);
+  return std::make_unique<EuclideanEstimator>(accessor(), anchor, scratch);
+}
+
+void FastestPathEngine::AccumulateArenaStats(
+    const tdf::PwlArena::Stats& before, const tdf::PwlArena::Stats& after) {
+  arena_spills_.fetch_add(after.spills - before.spills,
+                          std::memory_order_relaxed);
+  arena_block_reuses_.fetch_add(after.block_reuses - before.block_reuses,
+                                std::memory_order_relaxed);
+  // Footprint/high-water are per-arena gauges; publish the engine-wide
+  // maximum seen across workers.
+  auto raise_to = [](std::atomic<uint64_t>& slot, uint64_t value) {
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !slot.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+  };
+  raise_to(arena_bytes_, after.footprint_bytes);
+  raise_to(arena_high_water_bytes_, after.high_water_bytes);
 }
 
 namespace {
@@ -103,6 +136,12 @@ AllFpResult FastestPathEngine::RunOneAllFp(const ProfileQuery& query,
                                            double* elapsed_ms) {
   const auto start = std::chrono::steady_clock::now();
   const bool tracing = trace != nullptr;
+  // One-shot callers get a local scratch so the estimator memo and arena
+  // metrics behave identically to the batch path (cold arena, so the first
+  // allocations count as spills — warm reuse is what RunBatch measures).
+  ProfileSearch::Scratch local_scratch;
+  ProfileSearch::Scratch* s = scratch != nullptr ? scratch : &local_scratch;
+  const tdf::PwlArena::Stats arena_before = s->arena.stats();
 
   // Storage and cache movement is attributed by before/after deltas of the
   // components' own counters (exact when queries run sequentially; see the
@@ -123,15 +162,16 @@ AllFpResult FastestPathEngine::RunOneAllFp(const ProfileQuery& query,
     obs::Trace::Span est_span =
         tracing ? trace->StartSpan("estimator") : obs::Trace::Span();
     estimator = MakeEstimator(query.target,
-                              BoundaryNodeEstimator::Direction::kToAnchor);
+                              BoundaryNodeEstimator::Direction::kToAnchor,
+                              &s->estimator);
   }
 
   AllFpResult result;
   {
     obs::Trace::Span search_span =
         tracing ? trace->StartSpan("search") : obs::Trace::Span();
-    ProfileSearch search(accessor(), estimator.get(), options_.search,
-                         scratch, trace);
+    ProfileSearch search(accessor(), estimator.get(), options_.search, s,
+                         trace);
     result = search.RunAllFp(query);
     if (tracing) {
       if (cache_before.has_value()) {
@@ -164,6 +204,7 @@ AllFpResult FastestPathEngine::RunOneAllFp(const ProfileQuery& query,
     }
   }
 
+  AccumulateArenaStats(arena_before, s->arena.stats());
   const double ms = MillisSince(start);
   if (elapsed_ms != nullptr) *elapsed_ms = ms;
   queries_total_->Add(1);
@@ -285,18 +326,32 @@ BatchResult FastestPathEngine::RunBatchWithMetrics(
 
 ReverseAllFpResult FastestPathEngine::ArrivalAllFastestPaths(
     const ReverseProfileQuery& query) {
-  auto estimator = MakeEstimator(
-      query.source, BoundaryNodeEstimator::Direction::kFromAnchor);
-  ReverseProfileSearch search(network_, estimator.get(), options_.search);
-  return search.RunAllFp(query);
+  ReverseProfileSearch::Scratch scratch;
+  auto estimator =
+      MakeEstimator(query.source,
+                    BoundaryNodeEstimator::Direction::kFromAnchor,
+                    &scratch.estimator);
+  ReverseProfileSearch search(network_, estimator.get(), options_.search,
+                              &scratch);
+  const tdf::PwlArena::Stats before = scratch.arena.stats();
+  ReverseAllFpResult result = search.RunAllFp(query);
+  AccumulateArenaStats(before, scratch.arena.stats());
+  return result;
 }
 
 ReverseSingleFpResult FastestPathEngine::ArrivalSingleFastestPath(
     const ReverseProfileQuery& query) {
-  auto estimator = MakeEstimator(
-      query.source, BoundaryNodeEstimator::Direction::kFromAnchor);
-  ReverseProfileSearch search(network_, estimator.get(), options_.search);
-  return search.RunSingleFp(query);
+  ReverseProfileSearch::Scratch scratch;
+  auto estimator =
+      MakeEstimator(query.source,
+                    BoundaryNodeEstimator::Direction::kFromAnchor,
+                    &scratch.estimator);
+  ReverseProfileSearch search(network_, estimator.get(), options_.search,
+                              &scratch);
+  const tdf::PwlArena::Stats before = scratch.arena.stats();
+  ReverseSingleFpResult result = search.RunSingleFp(query);
+  AccumulateArenaStats(before, scratch.arena.stats());
+  return result;
 }
 
 TdAStarResult FastestPathEngine::FastestPathAt(network::NodeId source,

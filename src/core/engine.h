@@ -11,6 +11,7 @@
 #ifndef CAPEFP_CORE_ENGINE_H_
 #define CAPEFP_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
@@ -161,9 +162,18 @@ class FastestPathEngine {
                     std::vector<obs::Trace>* traces,
                     obs::Histogram* batch_latency);
 
-  // Builds the per-query estimator anchored at `anchor`.
+  // Builds the per-query estimator anchored at `anchor`. `scratch`, when
+  // non-null, backs the estimator's per-node memo with dense epoch-stamped
+  // storage reused across queries.
   std::unique_ptr<TravelTimeEstimator> MakeEstimator(
-      network::NodeId anchor, BoundaryNodeEstimator::Direction direction);
+      network::NodeId anchor, BoundaryNodeEstimator::Direction direction,
+      EstimatorScratch* scratch = nullptr);
+
+  // Folds one query's arena-stat movement into the engine-wide atomics
+  // published under capefp.tdf.arena.* (called on the worker thread that
+  // owns `scratch`; the metric callbacks read only the atomics).
+  void AccumulateArenaStats(const tdf::PwlArena::Stats& before,
+                            const tdf::PwlArena::Stats& after);
 
   network::NetworkAccessor* accessor() {
     return store_ != nullptr
@@ -191,6 +201,15 @@ class FastestPathEngine {
   obs::Counter* search_pruned_dominated_ = nullptr;
   obs::Counter* search_pruned_bound_ = nullptr;
   obs::Counter* td_expanded_nodes_ = nullptr;
+
+  // Engine-wide aggregates of the per-worker PWL arenas, maintained by
+  // AccumulateArenaStats and exported as capefp.tdf.arena.* callback
+  // metrics. Atomics only: the metric callbacks never touch an arena (the
+  // arenas are strictly per-worker and die with their Scratch).
+  std::atomic<uint64_t> arena_spills_{0};
+  std::atomic<uint64_t> arena_block_reuses_{0};
+  std::atomic<uint64_t> arena_bytes_{0};
+  std::atomic<uint64_t> arena_high_water_bytes_{0};
 };
 
 }  // namespace capefp::core

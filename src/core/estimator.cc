@@ -5,14 +5,27 @@
 namespace capefp::core {
 
 EuclideanEstimator::EuclideanEstimator(network::NetworkAccessor* accessor,
-                                       network::NodeId anchor)
+                                       network::NodeId anchor,
+                                       EstimatorScratch* scratch)
     : accessor_(accessor),
       anchor_location_(accessor->Location(anchor)),
-      vmax_(accessor->max_speed()) {
+      vmax_(accessor->max_speed()),
+      scratch_(scratch) {
   CAPEFP_CHECK_GT(vmax_, 0.0);
+  if (scratch_ != nullptr) scratch_->BeginQuery(accessor->num_nodes());
 }
 
 double EuclideanEstimator::Estimate(network::NodeId node) {
+  if (scratch_ != nullptr) {
+    const auto i = static_cast<size_t>(node);
+    if (scratch_->stamp[i] == scratch_->epoch) return scratch_->value[i];
+    const double estimate =
+        geo::EuclideanDistance(accessor_->Location(node), anchor_location_) /
+        vmax_;
+    scratch_->stamp[i] = scratch_->epoch;
+    scratch_->value[i] = estimate;
+    return estimate;
+  }
   const auto it = cache_.find(node);
   if (it != cache_.end()) return it->second;
   const double estimate =

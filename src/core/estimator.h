@@ -8,11 +8,34 @@
 #ifndef CAPEFP_CORE_ESTIMATOR_H_
 #define CAPEFP_CORE_ESTIMATOR_H_
 
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "src/network/accessor.h"
 
 namespace capefp::core {
+
+// Reusable dense per-node estimate cache, epoch-stamped so successive
+// queries reuse the O(num_nodes) arrays without clearing them: an entry is
+// valid only when its stamp equals the current epoch. Owned by a per-worker
+// scratch (ProfileSearch::Scratch) and handed to one estimator at a time;
+// never shared across concurrently running estimators.
+struct EstimatorScratch {
+  std::vector<uint64_t> stamp;
+  std::vector<double> value;
+  uint64_t epoch = 0;
+
+  // Starts a new query over a network of `num_nodes` nodes, invalidating
+  // all cached estimates in O(1).
+  void BeginQuery(size_t num_nodes) {
+    if (stamp.size() < num_nodes) {
+      stamp.resize(num_nodes, 0);
+      value.resize(num_nodes, 0.0);
+    }
+    ++epoch;
+  }
+};
 
 // Estimates, for a fixed anchor node, a lower bound on the travel time (in
 // minutes) between `node` and the anchor, valid for every departure
@@ -34,9 +57,13 @@ class TravelTimeEstimator {
 // divided by the maximum speed in the network.
 class EuclideanEstimator : public TravelTimeEstimator {
  public:
-  // `accessor` must outlive the estimator.
+  // `accessor` must outlive the estimator. `scratch` (optional) replaces
+  // the internal per-node cache map with a reusable epoch-stamped array;
+  // it must outlive the estimator and not be shared with a concurrently
+  // live estimator.
   EuclideanEstimator(network::NetworkAccessor* accessor,
-                     network::NodeId anchor);
+                     network::NodeId anchor,
+                     EstimatorScratch* scratch = nullptr);
 
   double Estimate(network::NodeId node) override;
 
@@ -44,6 +71,7 @@ class EuclideanEstimator : public TravelTimeEstimator {
   network::NetworkAccessor* accessor_;
   geo::Point anchor_location_;
   double vmax_;
+  EstimatorScratch* scratch_;
   std::unordered_map<network::NodeId, double> cache_;
 };
 

@@ -10,13 +10,14 @@ namespace capefp::core {
 using tdf::kTimeEps;
 using tdf::PwlFunction;
 
-LowerBorder::LowerBorder(double lo, double hi) : lo_(lo), hi_(hi) {
+LowerBorder::LowerBorder(double lo, double hi, tdf::PwlArena* arena)
+    : lo_(lo), hi_(hi), arena_(arena), border_(arena), scratch_fn_(arena) {
   CAPEFP_CHECK_LE(lo, hi);
 }
 
 const PwlFunction& LowerBorder::function() const {
   CAPEFP_CHECK(!empty());
-  return *border_;
+  return border_;
 }
 
 double LowerBorder::MaxValue() const { return function().MaxValue(); }
@@ -29,7 +30,9 @@ void LowerBorder::Merge(const PwlFunction& f, int64_t tag) {
       << "merged function must cover the query interval";
   if (empty()) {
     border_ = f;
-    pieces_ = {{lo_, hi_, tag}};
+    has_border_ = true;
+    pieces_.clear();
+    pieces_.push_back({lo_, hi_, tag});
     return;
   }
 
@@ -41,14 +44,17 @@ void LowerBorder::Merge(const PwlFunction& f, int64_t tag) {
     return pieces_.back().tag;
   };
 
-  const std::vector<double> grid = tdf::MergedGrid(*border_, f);
-  std::vector<Piece> merged;
+  tdf::ScratchDoubles grid_scratch(arena_);
+  std::vector<double>& grid = *grid_scratch;
+  tdf::MergedGridInto(border_, f, &grid, arena_);
+  scratch_pieces_.clear();
+  std::vector<Piece>& merged = scratch_pieces_;
   for (size_t i = 0; i + 1 < grid.size(); ++i) {
     const double a = grid[i];
     const double b = grid[i + 1];
     const double mid = 0.5 * (a + b);
     // Strictly-below wins; ties keep the earlier path.
-    const bool takes_over = f.Value(mid) < border_->Value(mid) - kTimeEps;
+    const bool takes_over = f.Value(mid) < border_.Value(mid) - kTimeEps;
     const int64_t winner = takes_over ? tag : old_tag_at(mid);
     if (!merged.empty() && merged.back().tag == winner) {
       merged.back().hi = b;
@@ -58,11 +64,12 @@ void LowerBorder::Merge(const PwlFunction& f, int64_t tag) {
   }
   if (merged.empty()) {
     // Degenerate single-instant interval.
-    const bool takes_over = f.Value(lo_) < border_->Value(lo_) - kTimeEps;
+    const bool takes_over = f.Value(lo_) < border_.Value(lo_) - kTimeEps;
     merged.push_back({lo_, hi_, takes_over ? tag : pieces_.front().tag});
   }
-  pieces_ = std::move(merged);
-  border_ = PwlFunction::Min(*border_, f);
+  std::swap(pieces_, scratch_pieces_);
+  PwlFunction::LowerEnvelopeInto(border_, f, &scratch_fn_);
+  border_ = std::move(scratch_fn_);
 }
 
 }  // namespace capefp::core

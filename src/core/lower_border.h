@@ -9,19 +9,24 @@
 #define CAPEFP_CORE_LOWER_BORDER_H_
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
+#include "src/tdf/pwl_arena.h"
 #include "src/tdf/pwl_function.h"
 
 namespace capefp::core {
 
 class LowerBorder {
  public:
-  // The border will live on the leaving-time interval [lo, hi].
-  LowerBorder(double lo, double hi);
+  // The border will live on the leaving-time interval [lo, hi]. `arena`
+  // (optional) backs the border function and merge scratch so repeated
+  // Merge calls recycle breakpoint storage; it must outlive the border.
+  explicit LowerBorder(double lo, double hi, tdf::PwlArena* arena = nullptr);
 
-  bool empty() const { return !border_.has_value(); }
+  LowerBorder(LowerBorder&&) = default;
+  LowerBorder& operator=(LowerBorder&&) = default;
+
+  bool empty() const { return !has_border_; }
 
   // Current border function. Requires !empty().
   const tdf::PwlFunction& function() const;
@@ -51,8 +56,12 @@ class LowerBorder {
  private:
   double lo_;
   double hi_;
-  std::optional<tdf::PwlFunction> border_;
+  tdf::PwlArena* arena_;  // Not owned; may be null.
+  bool has_border_ = false;
+  tdf::PwlFunction border_;
+  tdf::PwlFunction scratch_fn_;  // Envelope destination, swapped with border_.
   std::vector<Piece> pieces_;
+  std::vector<Piece> scratch_pieces_;
 };
 
 }  // namespace capefp::core

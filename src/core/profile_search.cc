@@ -2,9 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "src/obs/trace.h"
 #include "src/tdf/travel_time.h"
@@ -17,15 +14,6 @@ namespace {
 using network::NeighborEdge;
 using network::NodeId;
 using tdf::PwlFunction;
-
-struct QueueEntry {
-  double key;  // min over I of (travel time + estimate).
-  int64_t label;
-  bool operator>(const QueueEntry& o) const { return key > o.key; }
-};
-
-using MinHeap =
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
 
 using TraceClock = std::chrono::steady_clock;
 
@@ -60,43 +48,45 @@ std::vector<NodeId> ProfileSearch::ReconstructPath(
 }
 
 LowerBorder ProfileSearch::Run(const ProfileQuery& query,
-                               bool stop_at_first_target,
-                               std::vector<Label>* labels, SearchStats* stats,
+                               bool stop_at_first_target, Scratch& s,
+                               SearchStats* stats,
                                int64_t* first_target_label) {
   CAPEFP_CHECK_LE(query.leave_lo, query.leave_hi);
   CAPEFP_CHECK_GE(query.source, 0);
   CAPEFP_CHECK_GE(query.target, 0);
   *first_target_label = -1;
 
-  LowerBorder border(query.leave_lo, query.leave_hi);
-  MinHeap queue;
+  LowerBorder border(query.leave_lo, query.leave_hi, &s.arena);
+  std::vector<Label>& labels = s.labels;
+  std::vector<HeapEntry>& heap = s.heap;
+  heap.clear();
+  const size_t num_nodes = accessor_->num_nodes();
   // Lower envelope of expanded (popped) functions per node, for dominance.
-  std::unordered_map<NodeId, PwlFunction> expanded_envelope;
-  std::unordered_set<NodeId> distinct_nodes;
+  s.envelope.BeginQuery(num_nodes);
+  s.seen.BeginQuery(num_nodes);
 
-  labels->push_back({PwlFunction::Constant(query.leave_lo, query.leave_hi,
-                                           0.0),
-                     query.source, -1});
-  queue.push({estimator_->Estimate(query.source), 0});
+  labels.push_back({PwlFunction::Constant(query.leave_lo, query.leave_hi,
+                                          0.0),
+                    query.source, -1});
+  heap.push_back({estimator_->Estimate(query.source), 0});
+  std::push_heap(heap.begin(), heap.end(), std::greater<>());
   ++stats->pushes;
 
-  std::vector<NeighborEdge> local_neighbors;
-  std::vector<NeighborEdge>& neighbors =
-      scratch_ != nullptr ? scratch_->neighbors : local_neighbors;
   // Per-edge derivations are far too frequent for a span each; accumulate
   // locally and flush one aggregated leaf when the search ends.
   const bool tracing = trace_ != nullptr;
   double edge_ttf_ms = 0.0;
   uint64_t edge_ttf_calls = 0;
-  while (!queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
+  while (!heap.empty()) {
+    const HeapEntry top = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+    heap.pop_back();
     // Termination (§4.6 step 5): the cheapest remaining path cannot improve
     // the border anywhere.
     if (!border.empty() && top.key >= border.MaxValue() - tdf::kTimeEps) {
       break;
     }
-    const Label& label = (*labels)[static_cast<size_t>(top.label)];
+    const Label& label = labels[static_cast<size_t>(top.label)];
     const NodeId node = label.node;
 
     if (node == query.target) {
@@ -109,31 +99,34 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
 
     // Dominance pruning against already-expanded paths at this node.
     if (options_.dominance_pruning) {
-      auto env = expanded_envelope.find(node);
-      if (env != expanded_envelope.end()) {
-        if (PwlFunction::DominatesOrEqual(label.travel_time, env->second)) {
+      PwlFunction* env = s.envelope.Find(node);
+      if (env != nullptr) {
+        if (PwlFunction::DominatesOrEqual(label.travel_time, *env,
+                                          tdf::kTimeEps, &s.arena)) {
           ++stats->pruned_dominated;
           continue;
         }
-        env->second = PwlFunction::Min(env->second, label.travel_time);
+        PwlFunction::LowerEnvelopeInto(*env, label.travel_time,
+                                       &s.envelope_tmp);
+        *env = std::move(s.envelope_tmp);
       } else {
-        expanded_envelope.emplace(node, label.travel_time);
+        *s.envelope.Insert(node, &s.arena) = label.travel_time;
       }
     }
 
     ++stats->expansions;
-    distinct_nodes.insert(node);
+    if (s.seen.Insert(node)) ++stats->distinct_nodes;
     if (options_.max_expansions > 0 &&
         stats->expansions >= options_.max_expansions) {
       stats->hit_expansion_cap = true;
       break;
     }
 
-    accessor_->GetSuccessors(node, &neighbors);
-    for (const NeighborEdge& edge : neighbors) {
-      // NOTE: label may dangle after labels->push_back below; copy first.
+    accessor_->GetSuccessors(node, &s.neighbors);
+    for (const NeighborEdge& edge : s.neighbors) {
+      // NOTE: label may dangle after labels.push_back below; re-read.
       const PwlFunction& path_tt =
-          (*labels)[static_cast<size_t>(top.label)].travel_time;
+          labels[static_cast<size_t>(top.label)].travel_time;
       // §4.4 expansion, routed through the accessor so the edge function
       // over the arrival interval can come from the shared TTF cache.
       const double arrive_lo =
@@ -142,31 +135,33 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
           path_tt.domain_hi() + path_tt.Value(path_tt.domain_hi());
       TraceClock::time_point ttf_start;
       if (tracing) ttf_start = TraceClock::now();
-      const PwlFunction edge_tt = accessor_->EdgeTtf(
-          edge.pattern, edge.distance_miles, arrive_lo, arrive_hi);
+      accessor_->EdgeTtfInto(edge.pattern, edge.distance_miles, arrive_lo,
+                             arrive_hi, &s.edge_fn);
       if (tracing) {
         edge_ttf_ms += MillisSince(ttf_start);
         ++edge_ttf_calls;
       }
-      PwlFunction combined = tdf::ComposePathWithEdge(path_tt, edge_tt);
+      tdf::ComposePathWithEdgeInto(path_tt, s.edge_fn, &s.combined);
       const double estimate = estimator_->Estimate(edge.to);
-      const double key = combined.MinValue() + estimate;
+      const double key = s.combined.MinValue() + estimate;
       if (!border.empty() && key >= border.MaxValue() - tdf::kTimeEps) {
         ++stats->pruned_bound;
         continue;
       }
-      if (options_.pointwise_bound_pruning && !border.empty() &&
-          PwlFunction::DominatesOrEqual(combined.Shifted(estimate),
-                                        border.function())) {
-        ++stats->pruned_bound;
-        continue;
+      if (options_.pointwise_bound_pruning && !border.empty()) {
+        s.combined.ShiftedInto(estimate, &s.shifted);
+        if (PwlFunction::DominatesOrEqual(s.shifted, border.function(),
+                                          tdf::kTimeEps, &s.arena)) {
+          ++stats->pruned_bound;
+          continue;
+        }
       }
-      labels->push_back({std::move(combined), edge.to, top.label});
-      queue.push({key, static_cast<int64_t>(labels->size()) - 1});
+      labels.push_back({std::move(s.combined), edge.to, top.label});
+      heap.push_back({key, static_cast<int64_t>(labels.size()) - 1});
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
       ++stats->pushes;
     }
   }
-  stats->distinct_nodes = static_cast<int64_t>(distinct_nodes.size());
   if (tracing) {
     if (edge_ttf_calls > 0) {
       trace_->AddLeaf("edge_ttf", edge_ttf_ms, edge_ttf_calls);
@@ -185,17 +180,16 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
 
 SingleFpResult ProfileSearch::RunSingleFp(const ProfileQuery& query) {
   SingleFpResult result;
-  std::vector<Label> local_labels;
-  std::vector<Label>& labels =
-      scratch_ != nullptr ? scratch_->labels : local_labels;
-  labels.clear();
+  Scratch local_scratch;
+  Scratch& s = scratch_ != nullptr ? *scratch_ : local_scratch;
+  s.labels.clear();
   int64_t first_target = -1;
-  (void)Run(query, /*stop_at_first_target=*/true, &labels, &result.stats,
+  (void)Run(query, /*stop_at_first_target=*/true, s, &result.stats,
             &first_target);
   if (first_target < 0) return result;
   result.found = true;
-  const Label& label = labels[static_cast<size_t>(first_target)];
-  result.path = ReconstructPath(labels, first_target);
+  const Label& label = s.labels[static_cast<size_t>(first_target)];
+  result.path = ReconstructPath(s.labels, first_target);
   result.travel_time = label.travel_time;
   result.best_leave_time = label.travel_time.ArgMin();
   result.best_travel_minutes = label.travel_time.MinValue();
@@ -204,19 +198,20 @@ SingleFpResult ProfileSearch::RunSingleFp(const ProfileQuery& query) {
 
 AllFpResult ProfileSearch::RunAllFp(const ProfileQuery& query) {
   AllFpResult result;
-  std::vector<Label> local_labels;
-  std::vector<Label>& labels =
-      scratch_ != nullptr ? scratch_->labels : local_labels;
-  labels.clear();
+  Scratch local_scratch;
+  Scratch& s = scratch_ != nullptr ? *scratch_ : local_scratch;
+  s.labels.clear();
   int64_t first_target = -1;
-  const LowerBorder border = Run(query, /*stop_at_first_target=*/false,
-                                 &labels, &result.stats, &first_target);
-  if (border.empty()) return result;
-  result.found = true;
-  result.border = border.function();
-  for (const LowerBorder::Piece& piece : border.pieces()) {
-    result.pieces.push_back(
-        {piece.lo, piece.hi, ReconstructPath(labels, piece.tag)});
+  {
+    const LowerBorder border = Run(query, /*stop_at_first_target=*/false, s,
+                                   &result.stats, &first_target);
+    if (border.empty()) return result;
+    result.found = true;
+    result.border = border.function();
+    for (const LowerBorder::Piece& piece : border.pieces()) {
+      result.pieces.push_back(
+          {piece.lo, piece.hi, ReconstructPath(s.labels, piece.tag)});
+    }
   }
   // Merge adjacent pieces whose *paths* coincide (distinct labels can
   // describe the same node sequence only via different parents, so this is

@@ -25,6 +25,7 @@
 #include "src/core/estimator.h"
 #include "src/core/lower_border.h"
 #include "src/network/accessor.h"
+#include "src/tdf/pwl_arena.h"
 #include "src/tdf/pwl_function.h"
 
 namespace capefp::obs {
@@ -32,6 +33,73 @@ class Trace;
 }  // namespace capefp::obs
 
 namespace capefp::core {
+
+// Dense epoch-stamped node set, reused across queries without O(num_nodes)
+// clearing: membership is valid only when the stamp equals the current
+// epoch (same scheme as EstimatorScratch).
+struct NodeEpochSet {
+  std::vector<uint64_t> stamp;
+  uint64_t epoch = 0;
+
+  void BeginQuery(size_t num_nodes) {
+    if (stamp.size() < num_nodes) stamp.resize(num_nodes, 0);
+    ++epoch;
+  }
+
+  // True the first time `node` is inserted this query.
+  bool Insert(network::NodeId node) {
+    uint64_t& s = stamp[static_cast<size_t>(node)];
+    if (s == epoch) return false;
+    s = epoch;
+    return true;
+  }
+};
+
+// Dense epoch-stamped node → PwlFunction map (the per-node lower envelope
+// of expanded paths used by dominance pruning). Functions live in a packed
+// vector, arena-bound, torn down at BeginQuery so their breakpoint blocks
+// recycle through the arena.
+struct NodeFunctionMap {
+  std::vector<uint64_t> stamp;
+  std::vector<uint32_t> slot;
+  std::vector<tdf::PwlFunction> fns;
+  uint64_t epoch = 0;
+
+  void BeginQuery(size_t num_nodes) {
+    if (stamp.size() < num_nodes) {
+      stamp.resize(num_nodes, 0);
+      slot.resize(num_nodes, 0);
+    }
+    ++epoch;
+    fns.clear();
+  }
+
+  // Null if `node` has no function this query. The pointer is invalidated
+  // by the next Insert.
+  tdf::PwlFunction* Find(network::NodeId node) {
+    const auto i = static_cast<size_t>(node);
+    return stamp[i] == epoch ? &fns[slot[i]] : nullptr;
+  }
+
+  // Registers an empty arena-bound function for `node` (must not already
+  // be present this query) and returns it for assignment.
+  tdf::PwlFunction* Insert(network::NodeId node, tdf::PwlArena* arena) {
+    const auto i = static_cast<size_t>(node);
+    stamp[i] = epoch;
+    slot[i] = static_cast<uint32_t>(fns.size());
+    fns.emplace_back(arena);
+    return &fns.back();
+  }
+};
+
+// Priority-queue entry of the profile searches; kept in a plain vector
+// driven by push_heap/pop_heap (replicating std::priority_queue exactly)
+// so the heap storage survives across queries in a Scratch.
+struct HeapEntry {
+  double key = 0.0;  // min over I of (travel time + estimate).
+  int64_t label = -1;
+  bool operator>(const HeapEntry& o) const { return key > o.key; }
+};
 
 struct ProfileQuery {
   network::NodeId source = network::kInvalidNode;
@@ -109,14 +177,30 @@ class ProfileSearch {
     int64_t parent;  // Label index, -1 for the source label.
   };
 
-  // Reusable per-search allocations. A worker thread running many queries
-  // passes one Scratch to every ProfileSearch it constructs: the label
-  // arena and successor buffer keep their capacity across queries instead
-  // of reallocating from empty each time. Never share a Scratch between
-  // concurrently running searches.
+  // Reusable per-search state. A worker thread running many queries passes
+  // one Scratch to every ProfileSearch (or ReverseProfileSearch) it
+  // constructs: the PWL arena, label vector, heap, dense per-node state and
+  // function buffers all keep their storage across queries, so a warm
+  // search loop reaches zero heap allocations per expansion (the arena's
+  // spill counter measures this; the engine publishes it under
+  // capefp.tdf.arena.*). Never share a Scratch between concurrently
+  // running searches — it is strictly per-worker state.
+  //
+  // Declaration order matters: `arena` comes first so every arena-bound
+  // member below it is destroyed while the arena is still alive.
   struct Scratch {
+    tdf::PwlArena arena;
     std::vector<Label> labels;
     std::vector<network::NeighborEdge> neighbors;
+    std::vector<HeapEntry> heap;
+    NodeFunctionMap envelope;
+    NodeEpochSet seen;
+    EstimatorScratch estimator;
+    // Reusable arena-bound destinations for the inner-loop Into operations.
+    tdf::PwlFunction edge_fn{&arena};
+    tdf::PwlFunction combined{&arena};
+    tdf::PwlFunction envelope_tmp{&arena};
+    tdf::PwlFunction shifted{&arena};
   };
 
   // `trace`, when non-null, receives an aggregated "edge_ttf" leaf (total
@@ -136,10 +220,10 @@ class ProfileSearch {
 
  private:
   // Shared engine; `stop_at_first_target` selects singleFP behaviour.
-  // Returns the final border (empty if the target was never reached) and
-  // the label arena for path reconstruction.
+  // Returns the final border (empty if the target was never reached); the
+  // label arena for path reconstruction lives in `scratch`.
   LowerBorder Run(const ProfileQuery& query, bool stop_at_first_target,
-                  std::vector<Label>* labels, SearchStats* stats,
+                  Scratch& scratch, SearchStats* stats,
                   int64_t* first_target_label);
 
   std::vector<network::NodeId> ReconstructPath(

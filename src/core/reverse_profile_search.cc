@@ -1,8 +1,6 @@
 #include "src/core/reverse_profile_search.h"
 
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
 
 #include "src/tdf/travel_time.h"
 #include "src/util/check.h"
@@ -15,21 +13,15 @@ using network::EdgeId;
 using network::NodeId;
 using tdf::PwlFunction;
 
-struct QueueEntry {
-  double key;
-  int64_t label;
-  bool operator>(const QueueEntry& o) const { return key > o.key; }
-};
-
-using MinHeap =
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
-
 }  // namespace
 
 ReverseProfileSearch::ReverseProfileSearch(
     const network::RoadNetwork* network, TravelTimeEstimator* estimator,
-    const ProfileSearchOptions& options)
-    : network_(network), estimator_(estimator), options_(options) {
+    const ProfileSearchOptions& options, Scratch* scratch)
+    : network_(network),
+      estimator_(estimator),
+      options_(options),
+      scratch_(scratch) {
   CAPEFP_CHECK(network != nullptr);
   CAPEFP_CHECK(estimator != nullptr);
 }
@@ -47,8 +39,7 @@ std::vector<NodeId> ReverseProfileSearch::ReconstructPath(
 }
 
 LowerBorder ReverseProfileSearch::Run(const ReverseProfileQuery& query,
-                                      bool stop_at_source,
-                                      std::vector<Label>* labels,
+                                      bool stop_at_source, Scratch& s,
                                       SearchStats* stats,
                                       int64_t* first_source_label) {
   CAPEFP_CHECK_LE(query.arrive_lo, query.arrive_hi);
@@ -56,27 +47,32 @@ LowerBorder ReverseProfileSearch::Run(const ReverseProfileQuery& query,
   CAPEFP_CHECK_GE(query.target, 0);
   *first_source_label = -1;
 
-  LowerBorder border(query.arrive_lo, query.arrive_hi);
-  MinHeap queue;
-  std::unordered_map<NodeId, PwlFunction> expanded_envelope;
-  std::unordered_set<NodeId> distinct_nodes;
+  LowerBorder border(query.arrive_lo, query.arrive_hi, &s.arena);
+  std::vector<Label>& labels = s.labels;
+  std::vector<HeapEntry>& heap = s.heap;
+  heap.clear();
+  const size_t num_nodes = network_->num_nodes();
+  s.envelope.BeginQuery(num_nodes);
+  s.seen.BeginQuery(num_nodes);
 
-  labels->push_back({PwlFunction::Constant(query.arrive_lo, query.arrive_hi,
-                                           0.0),
-                     query.target, -1});
-  queue.push({estimator_->Estimate(query.target), 0});
+  labels.push_back({PwlFunction::Constant(query.arrive_lo, query.arrive_hi,
+                                          0.0),
+                    query.target, -1});
+  heap.push_back({estimator_->Estimate(query.target), 0});
+  std::push_heap(heap.begin(), heap.end(), std::greater<>());
   ++stats->pushes;
 
-  while (!queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
+  while (!heap.empty()) {
+    const HeapEntry top = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+    heap.pop_back();
     if (!border.empty() && top.key >= border.MaxValue() - tdf::kTimeEps) {
       break;
     }
-    const NodeId node = (*labels)[static_cast<size_t>(top.label)].node;
+    const NodeId node = labels[static_cast<size_t>(top.label)].node;
 
     if (node == query.source) {
-      border.Merge((*labels)[static_cast<size_t>(top.label)].travel_time,
+      border.Merge(labels[static_cast<size_t>(top.label)].travel_time,
                    top.label);
       if (*first_source_label < 0) *first_source_label = top.label;
       if (stop_at_source) break;
@@ -85,21 +81,23 @@ LowerBorder ReverseProfileSearch::Run(const ReverseProfileQuery& query,
 
     if (options_.dominance_pruning) {
       const PwlFunction& tt =
-          (*labels)[static_cast<size_t>(top.label)].travel_time;
-      auto env = expanded_envelope.find(node);
-      if (env != expanded_envelope.end()) {
-        if (PwlFunction::DominatesOrEqual(tt, env->second)) {
+          labels[static_cast<size_t>(top.label)].travel_time;
+      PwlFunction* env = s.envelope.Find(node);
+      if (env != nullptr) {
+        if (PwlFunction::DominatesOrEqual(tt, *env, tdf::kTimeEps,
+                                          &s.arena)) {
           ++stats->pruned_dominated;
           continue;
         }
-        env->second = PwlFunction::Min(env->second, tt);
+        PwlFunction::LowerEnvelopeInto(*env, tt, &s.envelope_tmp);
+        *env = std::move(s.envelope_tmp);
       } else {
-        expanded_envelope.emplace(node, tt);
+        *s.envelope.Insert(node, &s.arena) = tt;
       }
     }
 
     ++stats->expansions;
-    distinct_nodes.insert(node);
+    if (s.seen.Insert(node)) ++stats->distinct_nodes;
     if (options_.max_expansions > 0 &&
         stats->expansions >= options_.max_expansions) {
       stats->hit_expansion_cap = true;
@@ -108,42 +106,47 @@ LowerBorder ReverseProfileSearch::Run(const ReverseProfileQuery& query,
 
     for (EdgeId edge_id : network_->InEdges(node)) {
       const network::Edge& edge = network_->edge(edge_id);
+      // NOTE: path_rt may dangle after labels.push_back below; re-read.
       const PwlFunction& path_rt =
-          (*labels)[static_cast<size_t>(top.label)].travel_time;
-      PwlFunction combined = tdf::ExpandPathReverse(
-          path_rt, network_->SpeedView(edge_id), edge.distance_miles);
+          labels[static_cast<size_t>(top.label)].travel_time;
+      tdf::ExpandPathReverseInto(path_rt, network_->SpeedView(edge_id),
+                                 edge.distance_miles, &s.edge_fn,
+                                 &s.combined);
       const double estimate = estimator_->Estimate(edge.from);
-      const double key = combined.MinValue() + estimate;
+      const double key = s.combined.MinValue() + estimate;
       if (!border.empty() && key >= border.MaxValue() - tdf::kTimeEps) {
         ++stats->pruned_bound;
         continue;
       }
-      if (options_.pointwise_bound_pruning && !border.empty() &&
-          PwlFunction::DominatesOrEqual(combined.Shifted(estimate),
-                                        border.function())) {
-        ++stats->pruned_bound;
-        continue;
+      if (options_.pointwise_bound_pruning && !border.empty()) {
+        s.combined.ShiftedInto(estimate, &s.shifted);
+        if (PwlFunction::DominatesOrEqual(s.shifted, border.function(),
+                                          tdf::kTimeEps, &s.arena)) {
+          ++stats->pruned_bound;
+          continue;
+        }
       }
-      labels->push_back({std::move(combined), edge.from, top.label});
-      queue.push({key, static_cast<int64_t>(labels->size()) - 1});
+      labels.push_back({std::move(s.combined), edge.from, top.label});
+      heap.push_back({key, static_cast<int64_t>(labels.size()) - 1});
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
       ++stats->pushes;
     }
   }
-  stats->distinct_nodes = static_cast<int64_t>(distinct_nodes.size());
   return border;
 }
 
 ReverseSingleFpResult ReverseProfileSearch::RunSingleFp(
     const ReverseProfileQuery& query) {
   ReverseSingleFpResult result;
-  std::vector<Label> labels;
+  Scratch local_scratch;
+  Scratch& s = scratch_ != nullptr ? *scratch_ : local_scratch;
+  s.labels.clear();
   int64_t first_source = -1;
-  (void)Run(query, /*stop_at_source=*/true, &labels, &result.stats,
-            &first_source);
+  (void)Run(query, /*stop_at_source=*/true, s, &result.stats, &first_source);
   if (first_source < 0) return result;
   result.found = true;
-  const Label& label = labels[static_cast<size_t>(first_source)];
-  result.path = ReconstructPath(labels, first_source);
+  const Label& label = s.labels[static_cast<size_t>(first_source)];
+  result.path = ReconstructPath(s.labels, first_source);
   result.travel_time = label.travel_time;
   result.best_arrive_time = label.travel_time.ArgMin();
   result.best_travel_minutes = label.travel_time.MinValue();
@@ -154,16 +157,20 @@ ReverseSingleFpResult ReverseProfileSearch::RunSingleFp(
 ReverseAllFpResult ReverseProfileSearch::RunAllFp(
     const ReverseProfileQuery& query) {
   ReverseAllFpResult result;
-  std::vector<Label> labels;
+  Scratch local_scratch;
+  Scratch& s = scratch_ != nullptr ? *scratch_ : local_scratch;
+  s.labels.clear();
   int64_t first_source = -1;
-  const LowerBorder border = Run(query, /*stop_at_source=*/false, &labels,
-                                 &result.stats, &first_source);
-  if (border.empty()) return result;
-  result.found = true;
-  result.border = border.function();
-  for (const LowerBorder::Piece& piece : border.pieces()) {
-    result.pieces.push_back(
-        {piece.lo, piece.hi, ReconstructPath(labels, piece.tag)});
+  {
+    const LowerBorder border = Run(query, /*stop_at_source=*/false, s,
+                                   &result.stats, &first_source);
+    if (border.empty()) return result;
+    result.found = true;
+    result.border = border.function();
+    for (const LowerBorder::Piece& piece : border.pieces()) {
+      result.pieces.push_back(
+          {piece.lo, piece.hi, ReconstructPath(s.labels, piece.tag)});
+    }
   }
   std::vector<ReverseAllFpPiece> merged;
   for (ReverseAllFpPiece& piece : result.pieces) {

@@ -61,25 +61,27 @@ struct ReverseAllFpResult {
 
 class ReverseProfileSearch {
  public:
+  // Shares ProfileSearch's label/scratch types: the travel_time member is a
+  // function of the arrival time at the target here, and `parent` points
+  // towards the target (-1 for the target label).
+  using Label = ProfileSearch::Label;
+  using Scratch = ProfileSearch::Scratch;
+
   // `estimator` must be anchored at query.source with
   // Direction::kFromAnchor semantics: Estimate(n) lower-bounds the travel
-  // time source ⇒ n.
+  // time source ⇒ n. `scratch` (optional, not owned) follows the same
+  // reuse rules as ProfileSearch::Scratch — strictly per-worker.
   ReverseProfileSearch(const network::RoadNetwork* network,
                        TravelTimeEstimator* estimator,
-                       const ProfileSearchOptions& options = {});
+                       const ProfileSearchOptions& options = {},
+                       Scratch* scratch = nullptr);
 
   ReverseSingleFpResult RunSingleFp(const ReverseProfileQuery& query);
   ReverseAllFpResult RunAllFp(const ReverseProfileQuery& query);
 
  private:
-  struct Label {
-    tdf::PwlFunction travel_time;  // Function of arrival time at target.
-    network::NodeId node;
-    int64_t parent;  // Label nearer the target; -1 for the target label.
-  };
-
   LowerBorder Run(const ReverseProfileQuery& query, bool stop_at_source,
-                  std::vector<Label>* labels, SearchStats* stats,
+                  Scratch& scratch, SearchStats* stats,
                   int64_t* first_source_label);
 
   std::vector<network::NodeId> ReconstructPath(
@@ -88,6 +90,7 @@ class ReverseProfileSearch {
   const network::RoadNetwork* network_;
   TravelTimeEstimator* estimator_;
   ProfileSearchOptions options_;
+  Scratch* scratch_;  // Not owned; may be null.
 };
 
 }  // namespace capefp::core

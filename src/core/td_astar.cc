@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
-#include <unordered_map>
 
 #include "src/obs/trace.h"
 #include "src/tdf/travel_time.h"
@@ -16,37 +14,40 @@ namespace {
 using network::NeighborEdge;
 using network::NodeId;
 
-struct QueueEntry {
-  double priority;  // arrival + estimate.
-  double arrival;
-  NodeId node;
-  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
-};
-
 }  // namespace
 
 TdAStarResult TdAStar(network::NetworkAccessor* accessor, NodeId source,
                       NodeId target, double leave_time,
-                      TravelTimeEstimator* estimator, obs::Trace* trace) {
+                      TravelTimeEstimator* estimator, obs::Trace* trace,
+                      TdAStarScratch* scratch) {
   CAPEFP_CHECK(accessor != nullptr);
   CAPEFP_CHECK(estimator != nullptr);
   TdAStarResult result;
   obs::Trace::Span span = trace != nullptr ? trace->StartSpan("td_astar")
                                            : obs::Trace::Span();
 
-  std::unordered_map<NodeId, double> best_arrival;
-  std::unordered_map<NodeId, NodeId> parent;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue;
-  best_arrival[source] = leave_time;
-  queue.push({leave_time + estimator->Estimate(source), leave_time, source});
+  TdAStarScratch local_scratch;
+  TdAStarScratch& s = scratch != nullptr ? *scratch : local_scratch;
+  s.BeginQuery(accessor->num_nodes());
+  std::vector<TdAStarQueueEntry>& heap = s.heap;
+  heap.clear();
 
-  std::vector<NeighborEdge> neighbors;
-  while (!queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
-    auto it = best_arrival.find(top.node);
-    if (it != best_arrival.end() && top.arrival > it->second + 1e-12) {
+  // An entry's node is stamped iff it has ever been pushed, so the stamp
+  // check below replicates the map lookup of the pre-scratch version
+  // exactly (a pushed node is always present in the map).
+  s.stamp[static_cast<size_t>(source)] = s.epoch;
+  s.best_arrival[static_cast<size_t>(source)] = leave_time;
+  heap.push_back({leave_time + estimator->Estimate(source), leave_time,
+                  source});
+  std::push_heap(heap.begin(), heap.end(), std::greater<>());
+
+  while (!heap.empty()) {
+    const TdAStarQueueEntry top = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+    heap.pop_back();
+    const auto top_i = static_cast<size_t>(top.node);
+    if (s.stamp[top_i] == s.epoch &&
+        top.arrival > s.best_arrival[top_i] + 1e-12) {
       continue;  // Stale entry.
     }
     ++result.expanded_nodes;
@@ -58,7 +59,7 @@ TdAStarResult TdAStar(network::NetworkAccessor* accessor, NodeId source,
       NodeId at = target;
       result.path.push_back(at);
       while (at != source) {
-        at = parent.at(at);
+        at = s.parent[static_cast<size_t>(at)];
         result.path.push_back(at);
       }
       std::reverse(result.path.begin(), result.path.end());
@@ -68,18 +69,21 @@ TdAStarResult TdAStar(network::NetworkAccessor* accessor, NodeId source,
       }
       return result;
     }
-    accessor->GetSuccessors(top.node, &neighbors);
-    for (const NeighborEdge& edge : neighbors) {
+    accessor->GetSuccessors(top.node, &s.neighbors);
+    for (const NeighborEdge& edge : s.neighbors) {
       const tdf::EdgeSpeedView speed = accessor->SpeedView(edge.pattern);
       const double arrival =
           top.arrival +
           tdf::TravelTime(speed, edge.distance_miles, top.arrival);
-      auto best = best_arrival.find(edge.to);
-      if (best == best_arrival.end() || arrival < best->second - 1e-12) {
-        best_arrival[edge.to] = arrival;
-        parent[edge.to] = top.node;
-        queue.push({arrival + estimator->Estimate(edge.to), arrival,
-                    edge.to});
+      const auto to_i = static_cast<size_t>(edge.to);
+      if (s.stamp[to_i] != s.epoch ||
+          arrival < s.best_arrival[to_i] - 1e-12) {
+        s.stamp[to_i] = s.epoch;
+        s.best_arrival[to_i] = arrival;
+        s.parent[to_i] = top.node;
+        heap.push_back({arrival + estimator->Estimate(edge.to), arrival,
+                        edge.to});
+        std::push_heap(heap.begin(), heap.end(), std::greater<>());
       }
     }
   }

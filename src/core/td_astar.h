@@ -20,6 +20,38 @@ class Trace;
 
 namespace capefp::core {
 
+// Priority-queue entry of TdAStar; lives in a plain vector driven by
+// push_heap/pop_heap so the storage survives across queries in a scratch.
+struct TdAStarQueueEntry {
+  double priority = 0.0;  // arrival + estimate.
+  double arrival = 0.0;
+  network::NodeId node = network::kInvalidNode;
+  bool operator>(const TdAStarQueueEntry& o) const {
+    return priority > o.priority;
+  }
+};
+
+// Reusable per-query state for TdAStar: dense epoch-stamped arrival/parent
+// arrays plus queue and neighbor storage that keep their capacity across
+// queries. Strictly per-worker, never shared between concurrent searches.
+struct TdAStarScratch {
+  std::vector<uint64_t> stamp;
+  std::vector<double> best_arrival;
+  std::vector<network::NodeId> parent;
+  std::vector<network::NeighborEdge> neighbors;
+  std::vector<TdAStarQueueEntry> heap;
+  uint64_t epoch = 0;
+
+  void BeginQuery(size_t num_nodes) {
+    if (stamp.size() < num_nodes) {
+      stamp.resize(num_nodes, 0);
+      best_arrival.resize(num_nodes, 0.0);
+      parent.resize(num_nodes, network::kInvalidNode);
+    }
+    ++epoch;
+  }
+};
+
 struct TdAStarResult {
   bool found = false;
   double travel_time_minutes = 0.0;
@@ -33,11 +65,13 @@ struct TdAStarResult {
 // Fastest path from `source` leaving at `leave_time` to `target`.
 // `estimator` must be anchored at `target` (pass a ZeroEstimator for plain
 // time-dependent Dijkstra). `trace`, when non-null, gets a "td_astar"
-// span with the expanded-node count.
+// span with the expanded-node count. `scratch`, when non-null, lets a
+// query loop reuse the search state across calls (local state otherwise).
 TdAStarResult TdAStar(network::NetworkAccessor* accessor,
                       network::NodeId source, network::NodeId target,
                       double leave_time, TravelTimeEstimator* estimator,
-                      obs::Trace* trace = nullptr);
+                      obs::Trace* trace = nullptr,
+                      TdAStarScratch* scratch = nullptr);
 
 // Travel time along the explicit `path` (node sequence) leaving the first
 // node at `leave_time`, evaluated under the accessor's true CapeCod

@@ -7,27 +7,44 @@
 
 namespace capefp::network {
 
-tdf::PwlFunction NetworkAccessor::EdgeTtf(PatternId pattern,
-                                          double distance_miles, double lo,
-                                          double hi) {
+void NetworkAccessor::EdgeTtfInto(PatternId pattern, double distance_miles,
+                                  double lo, double hi,
+                                  tdf::PwlFunction* out) {
   if (ttf_cache_ != nullptr) {
     const double day_f = std::floor(lo / tdf::kMinutesPerDay);
     const int64_t day = static_cast<int64_t>(day_f);
     const double day_lo = day_f * tdf::kMinutesPerDay;
     const double day_hi = day_lo + tdf::kMinutesPerDay;
     if (lo >= day_lo - tdf::kTimeEps && hi <= day_hi + tdf::kTimeEps) {
-      const EdgeTtfCache::FunctionPtr full_day = ttf_cache_->GetOrDerive(
-          pattern, distance_miles, day, [&]() {
-            return tdf::EdgeTravelTimeFunction(SpeedView(pattern),
-                                               distance_miles, day_lo, day_hi);
-          });
-      return full_day->Restricted(std::max(lo, day_lo),
-                                  std::min(hi, day_hi));
+      const EdgeTtfCache::FunctionPtr full_day = EdgeTtfFullDayShared(
+          pattern, distance_miles, day);
+      full_day->RestrictedInto(std::max(lo, day_lo), std::min(hi, day_hi),
+                               out);
+      return;
     }
     ttf_cache_->RecordBypass();
   }
-  return tdf::EdgeTravelTimeFunction(SpeedView(pattern), distance_miles, lo,
-                                     hi);
+  tdf::EdgeTravelTimeFunctionInto(SpeedView(pattern), distance_miles, lo, hi,
+                                  out);
+}
+
+tdf::PwlFunction NetworkAccessor::EdgeTtf(PatternId pattern,
+                                          double distance_miles, double lo,
+                                          double hi) {
+  tdf::PwlFunction out;
+  EdgeTtfInto(pattern, distance_miles, lo, hi, &out);
+  return out;
+}
+
+EdgeTtfCache::FunctionPtr NetworkAccessor::EdgeTtfFullDayShared(
+    PatternId pattern, double distance_miles, int64_t day) {
+  CAPEFP_CHECK(ttf_cache_ != nullptr);
+  const double day_lo = static_cast<double>(day) * tdf::kMinutesPerDay;
+  const double day_hi = day_lo + tdf::kMinutesPerDay;
+  return ttf_cache_->GetOrDerive(pattern, distance_miles, day, [&]() {
+    return tdf::EdgeTravelTimeFunction(SpeedView(pattern), distance_miles,
+                                       day_lo, day_hi);
+  });
 }
 
 InMemoryAccessor::InMemoryAccessor(const RoadNetwork* network)

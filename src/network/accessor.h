@@ -61,8 +61,22 @@ class NetworkAccessor {
   // the memoized full-day derivation; multi-day intervals bypass the cache.
   // Thread-safe when the attached cache is (the derivation itself only
   // reads the immutable schema).
+  //
+  // EdgeTtfInto is the implementation; it rebuilds the caller-owned `out`
+  // in place (reusing its storage and arena binding) with a result exactly
+  // equal to EdgeTtf's, so cache hits cut the shared full-day function
+  // directly into a reusable buffer instead of copying it.
   tdf::PwlFunction EdgeTtf(PatternId pattern, double distance_miles,
                            double lo, double hi);
+  void EdgeTtfInto(PatternId pattern, double distance_miles, double lo,
+                   double hi, tdf::PwlFunction* out);
+
+  // The memoized full-day function for `day` as a shared handle (no copy),
+  // for callers that want the whole-day view rather than a restriction.
+  // Requires an attached cache. Thread-safe when the cache is.
+  EdgeTtfCache::FunctionPtr EdgeTtfFullDayShared(PatternId pattern,
+                                                 double distance_miles,
+                                                 int64_t day);
 
   // Attaches a shared derived-function cache (not owned; null detaches).
   // The cache may be shared by several accessors over networks with the

@@ -1,0 +1,343 @@
+// Memory model of the PWL kernel: small-buffer breakpoint storage and the
+// per-query arena that recycles it (DESIGN.md §8).
+//
+// The §4.4 combination step creates one travel-time function per edge
+// expansion; measured on the §6.2 commute workload ~99% of those functions
+// have at most 8 breakpoints (see the histogram in DESIGN.md §8), so
+// BreakpointVec keeps up to kInlineBreakpoints breakpoints inline and only
+// functions beyond that touch heap blocks. A BreakpointVec bound to a
+// PwlArena draws those blocks from the arena's per-size-class freelist, so
+// a warm search loop reaches a steady state with zero heap allocations per
+// expansion; an unbound vec uses plain new[]/delete[].
+//
+// Ownership and lifetime rules:
+//  - An arena is single-threaded state: one arena per worker, never shared
+//    between concurrently running searches (mirrors ProfileSearch::Scratch).
+//  - Containers holding arena-bound functions must be declared *after* the
+//    arena (destroyed before it): releasing a block requires a live arena.
+//  - Copying never inherits a binding: a copy-constructed function owns
+//    plain heap (or inline) storage, so results copied out of a search
+//    (borders, label functions) are safe past the scratch's lifetime.
+//    Copy-assignment keeps the destination's binding and only copies
+//    contents. Moves carry the binding with the storage; a moved-from vec
+//    is empty but keeps its own binding, so scratch objects stay reusable.
+//  - Buffer reuse never changes arithmetic: a search using an arena is
+//    bit-identical to one without (the PR-2 determinism contract).
+#ifndef CAPEFP_TDF_PWL_ARENA_H_
+#define CAPEFP_TDF_PWL_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace capefp::tdf {
+
+// A breakpoint (x, f(x)) of a piecewise-linear function.
+struct Breakpoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Recycles breakpoint blocks and scratch double vectors across the many
+// PWL operations of one query (and across queries run on one Scratch).
+// Not thread-safe; see the file comment for the ownership rules.
+class PwlArena {
+ public:
+  struct Stats {
+    // Fresh heap allocations made on behalf of clients: new blocks, new
+    // scratch vectors, and scratch-vector growth observed at release. A
+    // warm arena runs at zero; this is the "allocations per expansion"
+    // metric (capefp.tdf.arena.spills).
+    uint64_t spills = 0;
+    // Block requests served from a freelist.
+    uint64_t block_reuses = 0;
+    // Bytes currently lent out to live containers.
+    uint64_t in_use_bytes = 0;
+    // Maximum of in_use_bytes, sampled at allocate/release boundaries.
+    uint64_t high_water_bytes = 0;
+    // Total heap owned by the arena (monotone until destruction).
+    uint64_t footprint_bytes = 0;
+  };
+
+  PwlArena() = default;
+  PwlArena(const PwlArena&) = delete;
+  PwlArena& operator=(const PwlArena&) = delete;
+
+  // A block of at least `min_capacity` breakpoints (actual capacity in
+  // `*capacity_out`): from the matching size-class freelist when possible,
+  // freshly allocated (counted as a spill) otherwise.
+  Breakpoint* AllocateBlock(size_t min_capacity, size_t* capacity_out) {
+    const size_t capacity = RoundUpCapacity(min_capacity);
+    *capacity_out = capacity;
+    const size_t cls = ClassIndex(capacity);
+    const uint64_t bytes = capacity * sizeof(Breakpoint);
+    Breakpoint* block;
+    if (cls < free_blocks_.size() && !free_blocks_[cls].empty()) {
+      block = free_blocks_[cls].back();
+      free_blocks_[cls].pop_back();
+      ++stats_.block_reuses;
+    } else {
+      owned_blocks_.emplace_back(new Breakpoint[capacity]);
+      block = owned_blocks_.back().get();
+      ++stats_.spills;
+      stats_.footprint_bytes += bytes;
+    }
+    stats_.in_use_bytes += bytes;
+    if (stats_.in_use_bytes > stats_.high_water_bytes) {
+      stats_.high_water_bytes = stats_.in_use_bytes;
+    }
+    return block;
+  }
+
+  // Returns a block obtained from AllocateBlock (with the capacity it
+  // reported) to its freelist.
+  void ReleaseBlock(Breakpoint* block, size_t capacity) {
+    const size_t cls = ClassIndex(capacity);
+    if (cls >= free_blocks_.size()) free_blocks_.resize(cls + 1);
+    free_blocks_[cls].push_back(block);
+    stats_.in_use_bytes -= capacity * sizeof(Breakpoint);
+  }
+
+  // Borrows a cleared scratch vector (pair with ReleaseDoubles; prefer the
+  // ScratchDoubles RAII wrapper below). `*capacity_out` records the
+  // capacity at acquire so growth can be detected on release.
+  std::vector<double>* AcquireDoubles(size_t* capacity_out) {
+    std::vector<double>* v;
+    if (!free_doubles_.empty()) {
+      v = free_doubles_.back();
+      free_doubles_.pop_back();
+    } else {
+      owned_doubles_.push_back(std::make_unique<std::vector<double>>());
+      v = owned_doubles_.back().get();
+      ++stats_.spills;
+    }
+    *capacity_out = v->capacity();
+    stats_.in_use_bytes += v->capacity() * sizeof(double);
+    if (stats_.in_use_bytes > stats_.high_water_bytes) {
+      stats_.high_water_bytes = stats_.in_use_bytes;
+    }
+    return v;
+  }
+
+  void ReleaseDoubles(std::vector<double>* v, size_t capacity_at_acquire) {
+    if (v->capacity() > capacity_at_acquire) {
+      // The borrower grew the vector: at least one heap reallocation
+      // happened mid-borrow. Coarse (multiple reallocations count once),
+      // but any growth keeps the steady-state metric honest at nonzero.
+      ++stats_.spills;
+      stats_.footprint_bytes +=
+          (v->capacity() - capacity_at_acquire) * sizeof(double);
+    }
+    stats_.in_use_bytes -= capacity_at_acquire * sizeof(double);
+    v->clear();
+    free_doubles_.push_back(v);
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Smallest heap block; the first spill out of the inline buffer (8
+  // breakpoints) doubles into this class.
+  static constexpr size_t kMinBlockCapacity = 16;
+
+  static size_t RoundUpCapacity(size_t min_capacity) {
+    size_t capacity = kMinBlockCapacity;
+    while (capacity < min_capacity) capacity *= 2;
+    return capacity;
+  }
+
+  static size_t ClassIndex(size_t capacity) {
+    size_t cls = 0;
+    for (size_t c = kMinBlockCapacity; c < capacity; c *= 2) ++cls;
+    return cls;
+  }
+
+  Stats stats_;
+  std::vector<std::vector<Breakpoint*>> free_blocks_;
+  std::vector<std::unique_ptr<Breakpoint[]>> owned_blocks_;
+  std::vector<std::vector<double>*> free_doubles_;
+  std::vector<std::unique_ptr<std::vector<double>>> owned_doubles_;
+};
+
+// RAII borrow of a scratch double vector: from `arena`'s pool when
+// non-null, a plain local vector otherwise (so the same kernel code serves
+// both the arena-backed hot path and the allocating wrappers).
+class ScratchDoubles {
+ public:
+  explicit ScratchDoubles(PwlArena* arena) : arena_(arena) {
+    if (arena_ != nullptr) {
+      borrowed_ = arena_->AcquireDoubles(&acquired_capacity_);
+    }
+  }
+  ~ScratchDoubles() {
+    if (arena_ != nullptr) {
+      arena_->ReleaseDoubles(borrowed_, acquired_capacity_);
+    }
+  }
+  ScratchDoubles(const ScratchDoubles&) = delete;
+  ScratchDoubles& operator=(const ScratchDoubles&) = delete;
+
+  std::vector<double>& get() { return arena_ != nullptr ? *borrowed_ : local_; }
+  std::vector<double>& operator*() { return get(); }
+
+ private:
+  PwlArena* arena_;
+  std::vector<double>* borrowed_ = nullptr;
+  size_t acquired_capacity_ = 0;
+  std::vector<double> local_;
+};
+
+// Breakpoint storage with an inline small-buffer and optional arena-backed
+// heap spill. Interface mirrors the std::vector subset the PWL kernel
+// uses; iterators are raw pointers. See the file comment for copy/move and
+// binding semantics.
+class BreakpointVec {
+ public:
+  // Covers ~99% of the label functions on the §6.2 workload (DESIGN.md §8).
+  static constexpr size_t kInlineBreakpoints = 8;
+
+  BreakpointVec() : BreakpointVec(static_cast<PwlArena*>(nullptr)) {}
+  explicit BreakpointVec(PwlArena* arena)
+      : data_(inline_),
+        size_(0),
+        capacity_(kInlineBreakpoints),
+        arena_(arena) {}
+  explicit BreakpointVec(const std::vector<Breakpoint>& points)
+      : BreakpointVec() {
+    assign(points.data(), points.data() + points.size());
+  }
+
+  BreakpointVec(const BreakpointVec& other) : BreakpointVec() {
+    assign(other.data_, other.data_ + other.size_);
+  }
+
+  // Keeps this vec's arena binding; copies contents only.
+  BreakpointVec& operator=(const BreakpointVec& other) {
+    if (this != &other) assign(other.data_, other.data_ + other.size_);
+    return *this;
+  }
+
+  BreakpointVec(BreakpointVec&& other) noexcept : arena_(other.arena_) {
+    StealFrom(&other);
+  }
+
+  // Takes the source's storage *and* binding; the source is left empty
+  // (inline) but keeps its own binding, so scratch objects stay reusable
+  // after being moved from.
+  BreakpointVec& operator=(BreakpointVec&& other) noexcept {
+    if (this == &other) return *this;
+    ReleaseHeap();
+    arena_ = other.arena_;
+    StealFrom(&other);
+    return *this;
+  }
+
+  ~BreakpointVec() { ReleaseHeap(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  bool is_inline() const { return data_ == inline_; }
+  PwlArena* arena() const { return arena_; }
+
+  Breakpoint* begin() { return data_; }
+  Breakpoint* end() { return data_ + size_; }
+  const Breakpoint* begin() const { return data_; }
+  const Breakpoint* end() const { return data_ + size_; }
+  const Breakpoint* data() const { return data_; }
+
+  Breakpoint& operator[](size_t i) { return data_[i]; }
+  const Breakpoint& operator[](size_t i) const { return data_[i]; }
+  Breakpoint& front() { return data_[0]; }
+  const Breakpoint& front() const { return data_[0]; }
+  Breakpoint& back() { return data_[size_ - 1]; }
+  const Breakpoint& back() const { return data_[size_ - 1]; }
+
+  void reserve(size_t min_capacity) {
+    if (min_capacity > capacity_) Grow(min_capacity);
+  }
+
+  // Keeps the current storage (inline or block) for reuse.
+  void clear() { size_ = 0; }
+
+  void push_back(const Breakpoint& p) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_++] = p;
+  }
+
+  // Shrink-only (the normalization pass truncates in place).
+  void resize(size_t n) {
+    CAPEFP_DCHECK_LE(n, static_cast<size_t>(size_));
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  void assign(const Breakpoint* first, const Breakpoint* last) {
+    const size_t n = static_cast<size_t>(last - first);
+    if (n > capacity_) {
+      // Old contents are dead; release before allocating so an arena can
+      // hand back a (larger) recycled block without copying.
+      ReleaseHeap();
+      Grow(n);
+    }
+    for (size_t i = 0; i < n; ++i) data_[i] = first[i];
+    size_ = static_cast<uint32_t>(n);
+  }
+
+ private:
+  void StealFrom(BreakpointVec* other) noexcept {
+    if (other->data_ == other->inline_) {
+      data_ = inline_;
+      capacity_ = kInlineBreakpoints;
+      size_ = other->size_;
+      for (uint32_t i = 0; i < size_; ++i) inline_[i] = other->inline_[i];
+    } else {
+      data_ = other->data_;
+      capacity_ = other->capacity_;
+      size_ = other->size_;
+      other->data_ = other->inline_;
+      other->capacity_ = kInlineBreakpoints;
+    }
+    other->size_ = 0;
+  }
+
+  void Grow(size_t min_capacity) {
+    size_t new_capacity;
+    Breakpoint* new_data;
+    const size_t want = std::max(min_capacity, 2 * static_cast<size_t>(capacity_));
+    if (arena_ != nullptr) {
+      new_data = arena_->AllocateBlock(want, &new_capacity);
+    } else {
+      new_capacity = want;
+      new_data = new Breakpoint[new_capacity];
+    }
+    for (uint32_t i = 0; i < size_; ++i) new_data[i] = data_[i];
+    ReleaseHeap();
+    data_ = new_data;
+    capacity_ = static_cast<uint32_t>(new_capacity);
+  }
+
+  void ReleaseHeap() {
+    if (data_ == inline_) return;
+    if (arena_ != nullptr) {
+      arena_->ReleaseBlock(data_, capacity_);
+    } else {
+      delete[] data_;
+    }
+    data_ = inline_;
+    capacity_ = kInlineBreakpoints;
+  }
+
+  Breakpoint* data_;
+  uint32_t size_;
+  uint32_t capacity_;
+  PwlArena* arena_;
+  Breakpoint inline_[kInlineBreakpoints];
+};
+
+}  // namespace capefp::tdf
+
+#endif  // CAPEFP_TDF_PWL_ARENA_H_

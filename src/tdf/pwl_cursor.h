@@ -1,0 +1,67 @@
+// Internal to the PWL kernel (pwl_function.cc, travel_time.cc).
+#ifndef CAPEFP_TDF_PWL_CURSOR_H_
+#define CAPEFP_TDF_PWL_CURSOR_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/tdf/pwl_function.h"
+
+namespace capefp::tdf {
+
+// Incremental segment finder over one function for (nearly) sorted query
+// sequences. Replicates PwlFunction::Value / PieceAt bit for bit — the same
+// clamp, the same upper_bound segment selection (found by walking the hint
+// index), and the same interpolation arithmetic — in amortized O(1) per
+// query instead of O(log n). A rare backward correction keeps it exact even
+// when FIFO slack makes a query sequence dip by up to ~1e-6.
+struct PwlCursor {
+  const Breakpoint* p;
+  size_t n;
+  double lo, hi;
+  size_t j = 0;  // Maintained as: first index with p[j].x > clamped query.
+
+  explicit PwlCursor(const PwlFunction& f)
+      : p(f.breakpoints().data()),
+        n(f.breakpoints().size()),
+        lo(f.domain_lo()),
+        hi(f.domain_hi()) {}
+
+  void Seek(double cx) {
+    while (j > 0 && p[j - 1].x > cx) --j;
+    while (j < n && p[j].x <= cx) ++j;
+  }
+
+  double Value(double x) {
+    const double cx = std::clamp(x, lo, hi);
+    Seek(cx);
+    if (j == 0) return p[0].y;
+    if (j == n) return p[n - 1].y;
+    const Breakpoint& a = p[j - 1];
+    const Breakpoint& b = p[j];
+    const double t = (cx - a.x) / (b.x - a.x);
+    return a.y + t * (b.y - a.y);
+  }
+
+  LinearPiece Piece(double x) {
+    if (n == 1) return {0.0, p[0].y};
+    const double cx = std::clamp(x, lo, hi);
+    Seek(cx);
+    size_t idx;  // Index of the piece's left endpoint.
+    if (j == n) {
+      idx = n - 2;
+    } else if (j == 0) {
+      idx = 0;
+    } else {
+      idx = j - 1;
+    }
+    const Breakpoint& a = p[idx];
+    const Breakpoint& b = p[idx + 1];
+    const double slope = (b.y - a.y) / (b.x - a.x);
+    return {slope, a.y - slope * a.x};
+  }
+};
+
+}  // namespace capefp::tdf
+
+#endif  // CAPEFP_TDF_PWL_CURSOR_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
+#include "src/tdf/pwl_cursor.h"
 #include "src/util/check.h"
 
 namespace capefp::tdf {
@@ -14,14 +16,51 @@ namespace {
 // its neighbours and can be dropped.
 constexpr double kCollinearEps = 1e-9;
 
+void CheckSameDomain(const PwlFunction& f, const PwlFunction& g) {
+  CAPEFP_CHECK(std::fabs(f.domain_lo() - g.domain_lo()) <= kTimeEps &&
+               std::fabs(f.domain_hi() - g.domain_hi()) <= kTimeEps)
+      << "domain mismatch: [" << f.domain_lo() << "," << f.domain_hi()
+      << "] vs [" << g.domain_lo() << "," << g.domain_hi() << "]";
+}
+
+// Sorted union of breakpoint x values of both functions, clamped to f's
+// domain, deduplicated within kTimeEps. Both inputs are sorted, so a merge
+// produces the same sequence the previous concatenate-sort-dedup did.
+void UnionXsInto(const PwlFunction& f, const PwlFunction& g,
+                 std::vector<double>* out) {
+  const BreakpointVec& fb = f.breakpoints();
+  const BreakpointVec& gb = g.breakpoints();
+  const double lo = f.domain_lo();
+  const double hi = f.domain_hi();
+  out->clear();
+  out->reserve(fb.size() + gb.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  size_t i = 0, j = 0;
+  while (i < fb.size() || j < gb.size()) {
+    const double fx = i < fb.size() ? fb[i].x : kInf;
+    const double gx = j < gb.size() ? std::clamp(gb[j].x, lo, hi) : kInf;
+    double x;
+    if (fx <= gx) {
+      x = fx;
+      ++i;
+    } else {
+      x = gx;
+      ++j;
+    }
+    if (out->empty() || x > out->back() + kTimeEps) out->push_back(x);
+  }
+  // Keep exact domain endpoints.
+  out->front() = lo;
+  out->back() = hi;
+}
+
 }  // namespace
 
 // Normalizes in place (no second allocation — construction is the hottest
 // allocation site of the search inner loop): `kept` is the length of the
 // normalized prefix, always <= the read cursor, so reads stay ahead of
 // writes.
-PwlFunction::PwlFunction(std::vector<Breakpoint> breakpoints)
-    : points_(std::move(breakpoints)) {
+void PwlFunction::NormalizeInPlace() {
   CAPEFP_CHECK(!points_.empty());
   size_t kept = 0;
   for (size_t i = 0; i < points_.size(); ++i) {
@@ -48,9 +87,14 @@ PwlFunction::PwlFunction(std::vector<Breakpoint> breakpoints)
   CAPEFP_DCHECK_OK(ValidateInvariants());
 }
 
+PwlFunction::PwlFunction(const std::vector<Breakpoint>& breakpoints)
+    : points_(breakpoints) {
+  NormalizeInPlace();
+}
+
 PwlFunction PwlFunction::UnsafeFromBreakpointsForTest(
     std::vector<Breakpoint> breakpoints) {
-  return PwlFunction(UnsafeTag{}, std::move(breakpoints));
+  return PwlFunction(UnsafeTag{}, breakpoints);
 }
 
 util::Status PwlFunction::ValidateInvariants(Kind kind) const {
@@ -164,108 +208,177 @@ LinearPiece PwlFunction::PieceAt(double x) const {
   return {slope, a.y - slope * a.x};
 }
 
-PwlFunction PwlFunction::Shifted(double dy) const {
-  std::vector<Breakpoint> pts = points_;
-  for (Breakpoint& p : pts) p.y += dy;
-  return PwlFunction(std::move(pts));
+void PwlFunction::ShiftedInto(double dy, PwlFunction* out) const {
+  CAPEFP_CHECK(out != this);
+  out->points_ = points_;
+  for (Breakpoint& p : out->points_) p.y += dy;
+  out->NormalizeInPlace();
 }
 
-PwlFunction PwlFunction::Restricted(double lo, double hi) const {
+PwlFunction PwlFunction::Shifted(double dy) const {
+  PwlFunction out;
+  ShiftedInto(dy, &out);
+  return out;
+}
+
+void PwlFunction::ShiftInPlace(double dy) {
+  for (Breakpoint& p : points_) p.y += dy;
+  NormalizeInPlace();
+}
+
+void PwlFunction::RestrictedInto(double lo, double hi,
+                                 PwlFunction* out) const {
+  CAPEFP_CHECK(out != this);
   CAPEFP_CHECK_GE(lo, domain_lo() - kTimeEps);
   CAPEFP_CHECK_LE(hi, domain_hi() + kTimeEps);
   CAPEFP_CHECK_LE(lo, hi + kTimeEps);
   const double clo = std::clamp(lo, domain_lo(), domain_hi());
   const double chi = std::clamp(hi, domain_lo(), domain_hi());
-  std::vector<Breakpoint> pts;
-  pts.reserve(points_.size() + 2);
-  pts.push_back({clo, Value(clo)});
+  out->StartRebuild(points_.size() + 2);
+  out->AppendBreakpoint(clo, Value(clo));
   for (const Breakpoint& p : points_) {
-    if (p.x > clo + kTimeEps && p.x < chi - kTimeEps) pts.push_back(p);
+    if (p.x > clo + kTimeEps && p.x < chi - kTimeEps) {
+      out->AppendBreakpoint(p.x, p.y);
+    }
   }
-  if (chi > clo + kTimeEps) pts.push_back({chi, Value(chi)});
-  return PwlFunction(std::move(pts));
+  if (chi > clo + kTimeEps) out->AppendBreakpoint(chi, Value(chi));
+  out->FinishRebuild();
 }
 
-namespace {
-
-void CheckSameDomain(const PwlFunction& f, const PwlFunction& g) {
-  CAPEFP_CHECK(std::fabs(f.domain_lo() - g.domain_lo()) <= kTimeEps &&
-               std::fabs(f.domain_hi() - g.domain_hi()) <= kTimeEps)
-      << "domain mismatch: [" << f.domain_lo() << "," << f.domain_hi()
-      << "] vs [" << g.domain_lo() << "," << g.domain_hi() << "]";
-}
-
-// Sorted union of breakpoint x values of both functions, clamped to f's
-// domain, deduplicated within kTimeEps.
-std::vector<double> UnionXs(const PwlFunction& f, const PwlFunction& g) {
-  std::vector<double> xs;
-  xs.reserve(f.breakpoints().size() + g.breakpoints().size());
-  for (const Breakpoint& p : f.breakpoints()) xs.push_back(p.x);
-  for (const Breakpoint& p : g.breakpoints()) {
-    xs.push_back(std::clamp(p.x, f.domain_lo(), f.domain_hi()));
-  }
-  std::sort(xs.begin(), xs.end());
-  std::vector<double> out;
-  out.reserve(xs.size());
-  for (double x : xs) {
-    if (out.empty() || x > out.back() + kTimeEps) out.push_back(x);
-  }
-  // Keep exact domain endpoints.
-  out.front() = f.domain_lo();
-  out.back() = f.domain_hi();
+PwlFunction PwlFunction::Restricted(double lo, double hi) const {
+  PwlFunction out;
+  RestrictedInto(lo, hi, &out);
   return out;
 }
 
-}  // namespace
-
-std::vector<double> MergedGrid(const PwlFunction& f, const PwlFunction& g) {
+void MergedGridInto(const PwlFunction& f, const PwlFunction& g,
+                    std::vector<double>* out, PwlArena* arena) {
   CheckSameDomain(f, g);
-  const std::vector<double> base = UnionXs(f, g);
-  std::vector<double> out;
-  out.reserve(base.size() * 2);
+  ScratchDoubles base_scratch(arena);
+  std::vector<double>& base = *base_scratch;
+  UnionXsInto(f, g, &base);
+  out->clear();
+  out->reserve(base.size() * 2);
+  PwlCursor cf(f);
+  PwlCursor cg(g);
   for (size_t i = 0; i + 1 < base.size(); ++i) {
     const double lo = base[i];
     const double hi = base[i + 1];
-    out.push_back(lo);
+    out->push_back(lo);
     const double mid = 0.5 * (lo + hi);
-    const LinearPiece pf = f.PieceAt(mid);
-    const LinearPiece pg = g.PieceAt(mid);
+    const LinearPiece pf = cf.Piece(mid);
+    const LinearPiece pg = cg.Piece(mid);
     const double dslope = pf.slope - pg.slope;
     if (std::fabs(dslope) > 1e-15) {
       const double cross = (pg.intercept - pf.intercept) / dslope;
       if (cross > lo + kTimeEps && cross < hi - kTimeEps) {
-        out.push_back(cross);
+        out->push_back(cross);
       }
     }
   }
-  out.push_back(base.back());
+  out->push_back(base.back());
+}
+
+std::vector<double> MergedGrid(const PwlFunction& f, const PwlFunction& g) {
+  std::vector<double> out;
+  MergedGridInto(f, g, &out);
   return out;
 }
 
-PwlFunction PwlFunction::Sum(const PwlFunction& f, const PwlFunction& g) {
+void PwlFunction::SumInto(const PwlFunction& f, const PwlFunction& g,
+                          PwlFunction* out) {
+  CAPEFP_CHECK(out != &f && out != &g);
   CheckSameDomain(f, g);
-  const std::vector<double> xs = UnionXs(f, g);
-  std::vector<Breakpoint> pts;
-  pts.reserve(xs.size());
-  for (double x : xs) pts.push_back({x, f.Value(x) + g.Value(x)});
-  return PwlFunction(std::move(pts));
+  ScratchDoubles xs_scratch(out->arena());
+  std::vector<double>& xs = *xs_scratch;
+  UnionXsInto(f, g, &xs);
+  out->StartRebuild(xs.size());
+  PwlCursor cf(f);
+  PwlCursor cg(g);
+  for (double x : xs) out->AppendBreakpoint(x, cf.Value(x) + cg.Value(x));
+  out->FinishRebuild();
+}
+
+PwlFunction PwlFunction::Sum(const PwlFunction& f, const PwlFunction& g) {
+  PwlFunction out;
+  SumInto(f, g, &out);
+  return out;
+}
+
+void PwlFunction::SumManyInto(std::span<const PwlFunction> fs,
+                              PwlFunction* out) {
+  CAPEFP_CHECK(!fs.empty());
+  for (const PwlFunction& f : fs) {
+    CAPEFP_CHECK(out != &f);
+    CheckSameDomain(fs.front(), f);
+  }
+  const double lo = fs.front().domain_lo();
+  const double hi = fs.front().domain_hi();
+  ScratchDoubles xs_scratch(out->arena());
+  std::vector<double>& xs = *xs_scratch;
+  xs.clear();
+  for (const PwlFunction& f : fs) {
+    for (const Breakpoint& p : f.breakpoints()) {
+      xs.push_back(std::clamp(p.x, lo, hi));
+    }
+  }
+  std::sort(xs.begin(), xs.end());
+  size_t kept = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (kept == 0 || xs[i] > xs[kept - 1] + kTimeEps) xs[kept++] = xs[i];
+  }
+  xs.resize(kept);
+  xs.front() = lo;
+  xs.back() = hi;
+  std::vector<PwlCursor> cursors;
+  cursors.reserve(fs.size());
+  for (const PwlFunction& f : fs) cursors.emplace_back(f);
+  out->StartRebuild(xs.size());
+  for (double x : xs) {
+    double y = 0.0;
+    for (PwlCursor& c : cursors) y += c.Value(x);
+    out->AppendBreakpoint(x, y);
+  }
+  out->FinishRebuild();
+}
+
+PwlFunction PwlFunction::SumMany(std::span<const PwlFunction> fs) {
+  PwlFunction out;
+  SumManyInto(fs, &out);
+  return out;
+}
+
+void PwlFunction::LowerEnvelopeInto(const PwlFunction& f, const PwlFunction& g,
+                                    PwlFunction* out) {
+  CAPEFP_CHECK(out != &f && out != &g);
+  ScratchDoubles grid_scratch(out->arena());
+  std::vector<double>& grid = *grid_scratch;
+  MergedGridInto(f, g, &grid, out->arena());
+  out->StartRebuild(grid.size());
+  PwlCursor cf(f);
+  PwlCursor cg(g);
+  for (double x : grid) {
+    out->AppendBreakpoint(x, std::min(cf.Value(x), cg.Value(x)));
+  }
+  out->FinishRebuild();
 }
 
 PwlFunction PwlFunction::Min(const PwlFunction& f, const PwlFunction& g) {
-  const std::vector<double> grid = MergedGrid(f, g);
-  std::vector<Breakpoint> pts;
-  pts.reserve(grid.size());
-  for (double x : grid) {
-    pts.push_back({x, std::min(f.Value(x), g.Value(x))});
-  }
-  return PwlFunction(std::move(pts));
+  PwlFunction out;
+  LowerEnvelopeInto(f, g, &out);
+  return out;
 }
 
 bool PwlFunction::DominatesOrEqual(const PwlFunction& f, const PwlFunction& g,
-                                   double tol) {
+                                   double tol, PwlArena* arena) {
   CheckSameDomain(f, g);
-  for (double x : UnionXs(f, g)) {
-    if (f.Value(x) < g.Value(x) - tol) return false;
+  ScratchDoubles xs_scratch(arena);
+  std::vector<double>& xs = *xs_scratch;
+  UnionXsInto(f, g, &xs);
+  PwlCursor cf(f);
+  PwlCursor cg(g);
+  for (double x : xs) {
+    if (cf.Value(x) < cg.Value(x) - tol) return false;
   }
   return true;
 }
@@ -274,7 +387,9 @@ bool PwlFunction::ApproxEqual(const PwlFunction& f, const PwlFunction& g,
                               double tol) {
   if (std::fabs(f.domain_lo() - g.domain_lo()) > tol) return false;
   if (std::fabs(f.domain_hi() - g.domain_hi()) > tol) return false;
-  for (double x : UnionXs(f, g)) {
+  std::vector<double> xs;
+  UnionXsInto(f, g, &xs);
+  for (double x : xs) {
     if (std::fabs(f.Value(x) - g.Value(x)) > tol) return false;
   }
   return true;

@@ -10,25 +10,29 @@
 // y axis is travel time in minutes. Functions are defined on a closed
 // interval [domain_lo, domain_hi] and represented by their breakpoints;
 // between consecutive breakpoints the function is linear.
+//
+// Storage is a small-buffer BreakpointVec, optionally bound to a PwlArena
+// that recycles spilled blocks across operations (see pwl_arena.h for the
+// memory model and the copy/move binding rules). The hot operations come in
+// two forms: an allocating form returning a fresh function, and a *Into
+// form writing into a caller-owned destination. The *Into form is the
+// single implementation; the allocating form is an exact wrapper, so the
+// two produce breakpoint-for-breakpoint identical results.
 #ifndef CAPEFP_TDF_PWL_FUNCTION_H_
 #define CAPEFP_TDF_PWL_FUNCTION_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/tdf/pwl_arena.h"
 #include "src/util/status.h"
 
 namespace capefp::tdf {
 
 // Absolute tolerance for time comparisons, in minutes (~60 ns).
 inline constexpr double kTimeEps = 1e-9;
-
-// A breakpoint (x, f(x)) of a piecewise-linear function.
-struct Breakpoint {
-  double x = 0.0;
-  double y = 0.0;
-};
 
 // A linear piece y = slope * x + intercept.
 struct LinearPiece {
@@ -40,15 +44,25 @@ struct LinearPiece {
 
 // Continuous piecewise-linear function on a closed interval.
 //
-// Immutable after construction. Construction normalizes the representation:
-// breakpoints are strictly increasing in x and collinear interior
-// breakpoints are merged, so NumPieces() is minimal.
+// Immutable through the const interface. Construction (and FinishRebuild)
+// normalizes the representation: breakpoints are strictly increasing in x
+// and collinear interior breakpoints are merged, so NumPieces() is minimal.
 class PwlFunction {
  public:
   // Constructs from breakpoints. Requires at least one breakpoint and
   // strictly increasing x values; a single breakpoint denotes a function on
   // the degenerate domain [x, x].
-  explicit PwlFunction(std::vector<Breakpoint> breakpoints);
+  explicit PwlFunction(const std::vector<Breakpoint>& breakpoints);
+
+  // The degenerate zero function on [0, 0]; a placeholder to rebuild into.
+  PwlFunction() : PwlFunction(static_cast<PwlArena*>(nullptr)) {}
+
+  // Same placeholder, with breakpoint storage bound to `arena` (may be
+  // null for plain heap). See pwl_arena.h for binding semantics under
+  // copy/move.
+  explicit PwlFunction(PwlArena* arena) : points_(arena) {
+    points_.push_back({0.0, 0.0});
+  }
 
   // The constant function `value` on [lo, hi]. Requires lo <= hi.
   static PwlFunction Constant(double lo, double hi, double value);
@@ -57,7 +71,7 @@ class PwlFunction {
   double domain_lo() const { return points_.front().x; }
   double domain_hi() const { return points_.back().x; }
 
-  const std::vector<Breakpoint>& breakpoints() const { return points_; }
+  const BreakpointVec& breakpoints() const { return points_; }
   size_t NumPieces() const {
     return points_.size() <= 1 ? 0 : points_.size() - 1;
   }
@@ -77,27 +91,60 @@ class PwlFunction {
   // right, except at domain_hi where it is the piece to the left).
   LinearPiece PieceAt(double x) const;
 
-  // f + c.
+  // f + c. The Into form writes into `out` (must not alias this).
   PwlFunction Shifted(double dy) const;
+  void ShiftedInto(double dy, PwlFunction* out) const;
+  void ShiftInPlace(double dy);
 
   // Restriction to [lo, hi] ⊆ domain (endpoints get interpolated
-  // breakpoints).
+  // breakpoints). The Into form writes into `out` (must not alias this).
   PwlFunction Restricted(double lo, double hi) const;
+  void RestrictedInto(double lo, double hi, PwlFunction* out) const;
 
-  // Pointwise sum. Domains must coincide (within kTimeEps).
+  // Pointwise sum. Domains must coincide (within kTimeEps). `out` must not
+  // alias either operand.
   static PwlFunction Sum(const PwlFunction& f, const PwlFunction& g);
+  static void SumInto(const PwlFunction& f, const PwlFunction& g,
+                      PwlFunction* out);
 
-  // Pointwise minimum (lower envelope). Domains must coincide.
+  // n-way pointwise sum over `fs` (at least one function, coinciding
+  // domains). One shared grid instead of a chain of pairwise Sums, so the
+  // cost is O(total breakpoints · (log + n)) rather than quadratic in n.
+  // `out` must not alias any element of `fs`.
+  static PwlFunction SumMany(std::span<const PwlFunction> fs);
+  static void SumManyInto(std::span<const PwlFunction> fs, PwlFunction* out);
+
+  // Pointwise minimum (lower envelope). Domains must coincide. `out` must
+  // not alias either operand.
   static PwlFunction Min(const PwlFunction& f, const PwlFunction& g);
+  static void LowerEnvelopeInto(const PwlFunction& f, const PwlFunction& g,
+                                PwlFunction* out);
 
   // True if f(x) >= g(x) - tol for every x in the common domain. Domains
-  // must coincide.
+  // must coincide. `arena` (optional) supplies the comparison grid scratch.
   static bool DominatesOrEqual(const PwlFunction& f, const PwlFunction& g,
-                               double tol = kTimeEps);
+                               double tol = kTimeEps,
+                               PwlArena* arena = nullptr);
 
   // True if the functions have (approximately) equal domains and values.
   static bool ApproxEqual(const PwlFunction& f, const PwlFunction& g,
                           double tol = 1e-7);
+
+  // Streaming reconstruction, used by the *Into kernels (travel_time.cc):
+  // StartRebuild clears the breakpoint storage (keeping its capacity and
+  // arena binding), AppendBreakpoint pushes breakpoints in strictly
+  // increasing x order (kTimeEps-deduplicated by the caller), and
+  // FinishRebuild renormalizes exactly like the breakpoint constructor.
+  // Between Start and Finish the object is not a valid function.
+  void StartRebuild(size_t reserve_hint = 0) {
+    points_.clear();
+    if (reserve_hint > 0) points_.reserve(reserve_hint);
+  }
+  void AppendBreakpoint(double x, double y) { points_.push_back({x, y}); }
+  void FinishRebuild() { NormalizeInPlace(); }
+
+  // The arena this function's storage is bound to (null when unbound).
+  PwlArena* arena() const { return points_.arena(); }
 
   // "pwl{(x0,y0),(x1,y1),...}" for diagnostics.
   std::string ToString() const;
@@ -130,17 +177,24 @@ class PwlFunction {
 
  private:
   struct UnsafeTag {};
-  PwlFunction(UnsafeTag, std::vector<Breakpoint> breakpoints)
-      : points_(std::move(breakpoints)) {}
+  PwlFunction(UnsafeTag, const std::vector<Breakpoint>& breakpoints)
+      : points_(breakpoints) {}
 
-  std::vector<Breakpoint> points_;
+  // Constructor normalization over the current points_ contents: CHECKs
+  // strictly increasing x, merges collinear interior breakpoints in place.
+  void NormalizeInPlace();
+
+  BreakpointVec points_;
 };
 
 // Merged, sorted union of the two functions' breakpoint x values plus all
 // interior intersection points of their pieces. Evaluating both functions
 // on this grid suffices to compute Sum/Min exactly. Exposed for the
-// annotated lower border (core/lower_border).
+// annotated lower border (core/lower_border). The Into form reuses `out`
+// and draws its internal scratch from `arena` (optional).
 std::vector<double> MergedGrid(const PwlFunction& f, const PwlFunction& g);
+void MergedGridInto(const PwlFunction& f, const PwlFunction& g,
+                    std::vector<double>* out, PwlArena* arena = nullptr);
 
 }  // namespace capefp::tdf
 

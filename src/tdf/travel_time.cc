@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/tdf/pwl_cursor.h"
 #include "src/util/check.h"
 
 namespace capefp::tdf {
@@ -94,16 +95,20 @@ double DepartureForArrival(const EdgeSpeedView& speed, double distance_miles,
   return 0.0;
 }
 
-PwlFunction EdgeTravelTimeFunction(const EdgeSpeedView& speed,
-                                   double distance_miles, double lo,
-                                   double hi) {
+void EdgeTravelTimeFunctionInto(const EdgeSpeedView& speed,
+                                double distance_miles, double lo, double hi,
+                                PwlFunction* out) {
   CAPEFP_CHECK_LE(lo, hi + kTimeEps);
   if (hi - lo <= kTimeEps) {
     const double tt = TravelTime(speed, distance_miles, lo);
-    return PwlFunction({{lo, tt}});
+    out->StartRebuild(1);
+    out->AppendBreakpoint(lo, tt);
+    out->FinishRebuild();
+    return;
   }
 
-  std::vector<double> candidates;
+  ScratchDoubles candidates_scratch(out->arena());
+  std::vector<double>& candidates = *candidates_scratch;
   candidates.reserve(16);
   candidates.push_back(lo);
   candidates.push_back(hi);
@@ -123,16 +128,26 @@ PwlFunction EdgeTravelTimeFunction(const EdgeSpeedView& speed,
   }
 
   std::sort(candidates.begin(), candidates.end());
-  std::vector<Breakpoint> pts;
-  pts.reserve(candidates.size());
+  out->StartRebuild(candidates.size());
+  bool have_last = false;
+  double last_x = 0.0;
   for (double x : candidates) {
-    if (!pts.empty() && x <= pts.back().x + kTimeEps) continue;
-    pts.push_back({x, TravelTime(speed, distance_miles, x)});
+    if (have_last && x <= last_x + kTimeEps) continue;
+    out->AppendBreakpoint(x, TravelTime(speed, distance_miles, x));
+    last_x = x;
+    have_last = true;
   }
-  PwlFunction result(std::move(pts));
+  out->FinishRebuild();
   CAPEFP_DCHECK_OK(
-      result.ValidateInvariants(PwlFunction::Kind::kForwardTravelTime));
-  return result;
+      out->ValidateInvariants(PwlFunction::Kind::kForwardTravelTime));
+}
+
+PwlFunction EdgeTravelTimeFunction(const EdgeSpeedView& speed,
+                                   double distance_miles, double lo,
+                                   double hi) {
+  PwlFunction out;
+  EdgeTravelTimeFunctionInto(speed, distance_miles, lo, hi, &out);
+  return out;
 }
 
 namespace {
@@ -143,13 +158,16 @@ namespace {
 // A(l) = l + T1(l)) and −1 for reverse composition (the map is the
 // departure-at-intermediate function D(a) = a − R(a)); both maps are
 // non-decreasing under FIFO.
-PwlFunction ComposeWithMap(const PwlFunction& path_tt,
-                           const PwlFunction& edge_tt, double sign) {
+void ComposeWithMapInto(const PwlFunction& path_tt, const PwlFunction& edge_tt,
+                        double sign, PwlFunction* out) {
+  CAPEFP_CHECK(out != &path_tt && out != &edge_tt);
   const double lo = path_tt.domain_lo();
   const double hi = path_tt.domain_hi();
   const auto& path_pts = path_tt.breakpoints();
 
-  std::vector<double> arrivals(path_pts.size());
+  ScratchDoubles arrivals_scratch(out->arena());
+  std::vector<double>& arrivals = *arrivals_scratch;
+  arrivals.resize(path_pts.size());
   for (size_t i = 0; i < path_pts.size(); ++i) {
     arrivals[i] = path_pts[i].x + sign * path_pts[i].y;
     if (i > 0) {
@@ -162,7 +180,8 @@ PwlFunction ComposeWithMap(const PwlFunction& path_tt,
   CAPEFP_CHECK_LE(arrivals.back(), edge_tt.domain_hi() + 1e-6)
       << "edge function does not cover the arrival interval (high)";
 
-  std::vector<double> candidates;
+  ScratchDoubles candidates_scratch(out->arena());
+  std::vector<double>& candidates = *candidates_scratch;
   candidates.reserve(path_pts.size() + edge_tt.breakpoints().size());
   for (const Breakpoint& p : path_pts) candidates.push_back(p.x);
   // Pre-images of the edge function's breakpoints under A.
@@ -190,50 +209,75 @@ PwlFunction ComposeWithMap(const PwlFunction& path_tt,
   }
 
   std::sort(candidates.begin(), candidates.end());
-  std::vector<Breakpoint> pts;
-  pts.reserve(candidates.size());
+  out->StartRebuild(candidates.size());
+  PwlCursor path_cursor(path_tt);
+  PwlCursor edge_cursor(edge_tt);
+  bool have_last = false;
+  double last_x = 0.0;
   for (double x : candidates) {
-    if (!pts.empty() && x <= pts.back().x + kTimeEps) continue;
-    const double t1 = path_tt.Value(x);
+    if (have_last && x <= last_x + kTimeEps) continue;
+    const double t1 = path_cursor.Value(x);
     const double arrive =
         std::clamp(x + sign * t1, edge_tt.domain_lo(), edge_tt.domain_hi());
-    pts.push_back({x, t1 + edge_tt.Value(arrive)});
+    out->AppendBreakpoint(x, t1 + edge_cursor.Value(arrive));
+    last_x = x;
+    have_last = true;
   }
-  PwlFunction result(std::move(pts));
-  CAPEFP_DCHECK_OK(result.ValidateInvariants(
+  out->FinishRebuild();
+  CAPEFP_DCHECK_OK(out->ValidateInvariants(
       sign > 0 ? PwlFunction::Kind::kForwardTravelTime
                : PwlFunction::Kind::kReverseTravelTime));
-  return result;
 }
 
 }  // namespace
 
+void ComposePathWithEdgeInto(const PwlFunction& path_tt,
+                             const PwlFunction& edge_tt, PwlFunction* out) {
+  ComposeWithMapInto(path_tt, edge_tt, +1.0, out);
+}
+
 PwlFunction ComposePathWithEdge(const PwlFunction& path_tt,
                                 const PwlFunction& edge_tt) {
-  return ComposeWithMap(path_tt, edge_tt, +1.0);
+  PwlFunction out;
+  ComposePathWithEdgeInto(path_tt, edge_tt, &out);
+  return out;
+}
+
+void ExpandPathInto(const PwlFunction& path_tt, const EdgeSpeedView& speed,
+                    double distance_miles, PwlFunction* edge_scratch,
+                    PwlFunction* out) {
+  CAPEFP_CHECK(edge_scratch != out && edge_scratch != &path_tt);
+  const double arrive_lo = path_tt.domain_lo() + path_tt.Value(path_tt.domain_lo());
+  const double arrive_hi = path_tt.domain_hi() + path_tt.Value(path_tt.domain_hi());
+  EdgeTravelTimeFunctionInto(speed, distance_miles, arrive_lo, arrive_hi,
+                             edge_scratch);
+  ComposePathWithEdgeInto(path_tt, *edge_scratch, out);
 }
 
 PwlFunction ExpandPath(const PwlFunction& path_tt, const EdgeSpeedView& speed,
                        double distance_miles) {
-  const double arrive_lo = path_tt.domain_lo() + path_tt.Value(path_tt.domain_lo());
-  const double arrive_hi = path_tt.domain_hi() + path_tt.Value(path_tt.domain_hi());
-  const PwlFunction edge_tt =
-      EdgeTravelTimeFunction(speed, distance_miles, arrive_lo, arrive_hi);
-  return ComposePathWithEdge(path_tt, edge_tt);
+  PwlFunction edge_tt;
+  PwlFunction out;
+  ExpandPathInto(path_tt, speed, distance_miles, &edge_tt, &out);
+  return out;
 }
 
-PwlFunction EdgeReverseTravelTimeFunction(const EdgeSpeedView& speed,
-                                          double distance_miles, double lo,
-                                          double hi) {
+void EdgeReverseTravelTimeFunctionInto(const EdgeSpeedView& speed,
+                                       double distance_miles, double lo,
+                                       double hi, PwlFunction* out) {
   CAPEFP_CHECK_LE(lo, hi + kTimeEps);
   auto reverse_tt = [&](double arrival) {
     return arrival - DepartureForArrival(speed, distance_miles, arrival);
   };
   if (hi - lo <= kTimeEps) {
-    return PwlFunction({{lo, reverse_tt(lo)}});
+    out->StartRebuild(1);
+    out->AppendBreakpoint(lo, reverse_tt(lo));
+    out->FinishRebuild();
+    return;
   }
 
-  std::vector<double> candidates;
+  ScratchDoubles candidates_scratch(out->arena());
+  std::vector<double>& candidates = *candidates_scratch;
   candidates.reserve(16);
   candidates.push_back(lo);
   candidates.push_back(hi);
@@ -255,28 +299,48 @@ PwlFunction EdgeReverseTravelTimeFunction(const EdgeSpeedView& speed,
   }
 
   std::sort(candidates.begin(), candidates.end());
-  std::vector<Breakpoint> pts;
-  pts.reserve(candidates.size());
+  out->StartRebuild(candidates.size());
+  bool have_last = false;
+  double last_x = 0.0;
   for (double x : candidates) {
-    if (!pts.empty() && x <= pts.back().x + kTimeEps) continue;
-    pts.push_back({x, reverse_tt(x)});
+    if (have_last && x <= last_x + kTimeEps) continue;
+    out->AppendBreakpoint(x, reverse_tt(x));
+    last_x = x;
+    have_last = true;
   }
-  PwlFunction result(std::move(pts));
+  out->FinishRebuild();
   CAPEFP_DCHECK_OK(
-      result.ValidateInvariants(PwlFunction::Kind::kReverseTravelTime));
-  return result;
+      out->ValidateInvariants(PwlFunction::Kind::kReverseTravelTime));
+}
+
+PwlFunction EdgeReverseTravelTimeFunction(const EdgeSpeedView& speed,
+                                          double distance_miles, double lo,
+                                          double hi) {
+  PwlFunction out;
+  EdgeReverseTravelTimeFunctionInto(speed, distance_miles, lo, hi, &out);
+  return out;
+}
+
+void ExpandPathReverseInto(const PwlFunction& path_rt,
+                           const EdgeSpeedView& speed, double distance_miles,
+                           PwlFunction* edge_scratch, PwlFunction* out) {
+  CAPEFP_CHECK(edge_scratch != out && edge_scratch != &path_rt);
+  const double alo = path_rt.domain_lo();
+  const double ahi = path_rt.domain_hi();
+  const double arrive_at_mid_lo = alo - path_rt.Value(alo);
+  const double arrive_at_mid_hi = ahi - path_rt.Value(ahi);
+  EdgeReverseTravelTimeFunctionInto(speed, distance_miles, arrive_at_mid_lo,
+                                    arrive_at_mid_hi, edge_scratch);
+  ComposeWithMapInto(path_rt, *edge_scratch, -1.0, out);
 }
 
 PwlFunction ExpandPathReverse(const PwlFunction& path_rt,
                               const EdgeSpeedView& speed,
                               double distance_miles) {
-  const double alo = path_rt.domain_lo();
-  const double ahi = path_rt.domain_hi();
-  const double arrive_at_mid_lo = alo - path_rt.Value(alo);
-  const double arrive_at_mid_hi = ahi - path_rt.Value(ahi);
-  const PwlFunction edge_rt = EdgeReverseTravelTimeFunction(
-      speed, distance_miles, arrive_at_mid_lo, arrive_at_mid_hi);
-  return ComposeWithMap(path_rt, edge_rt, -1.0);
+  PwlFunction edge_rt;
+  PwlFunction out;
+  ExpandPathReverseInto(path_rt, speed, distance_miles, &edge_rt, &out);
+  return out;
 }
 
 }  // namespace capefp::tdf

@@ -52,9 +52,18 @@ double DepartureForArrival(const EdgeSpeedView& speed, double distance_miles,
 
 // The travel-time function τ(l) for leaving times l in [lo, hi]
 // (lo == hi yields a single-point function).
+//
+// Throughout this header, each allocating form is an exact wrapper around
+// its *Into counterpart (the single implementation), so the two produce
+// breakpoint-for-breakpoint identical results; the Into form rebuilds the
+// caller-owned `out` in place (reusing its storage and arena binding) and
+// must not alias any input function.
 PwlFunction EdgeTravelTimeFunction(const EdgeSpeedView& speed,
                                    double distance_miles, double lo,
                                    double hi);
+void EdgeTravelTimeFunctionInto(const EdgeSpeedView& speed,
+                                double distance_miles, double lo, double hi,
+                                PwlFunction* out);
 
 // §4.4 path expansion: given T1 = travel time of path s ⇒ n as a function of
 // the leaving time l at s, and `edge_tt` = travel-time function of edge
@@ -66,11 +75,18 @@ PwlFunction EdgeTravelTimeFunction(const EdgeSpeedView& speed,
 // Fig. 5.
 PwlFunction ComposePathWithEdge(const PwlFunction& path_tt,
                                 const PwlFunction& edge_tt);
+void ComposePathWithEdgeInto(const PwlFunction& path_tt,
+                             const PwlFunction& edge_tt, PwlFunction* out);
 
 // Convenience: expands `path_tt` across an edge described by a speed view
-// and distance (computes the needed edge function internally).
+// and distance (computes the needed edge function internally). The Into
+// form derives the edge function into `*edge_scratch` (a distinct reusable
+// buffer) before composing into `*out`.
 PwlFunction ExpandPath(const PwlFunction& path_tt, const EdgeSpeedView& speed,
                        double distance_miles);
+void ExpandPathInto(const PwlFunction& path_tt, const EdgeSpeedView& speed,
+                    double distance_miles, PwlFunction* edge_scratch,
+                    PwlFunction* out);
 
 // --- Reverse (arrival-anchored) forms, for arrival-interval queries
 // (§2.1 allows the query interval to constrain the arrival at e). ---
@@ -81,6 +97,9 @@ PwlFunction ExpandPath(const PwlFunction& path_tt, const EdgeSpeedView& speed,
 PwlFunction EdgeReverseTravelTimeFunction(const EdgeSpeedView& speed,
                                           double distance_miles, double lo,
                                           double hi);
+void EdgeReverseTravelTimeFunctionInto(const EdgeSpeedView& speed,
+                                       double distance_miles, double lo,
+                                       double hi, PwlFunction* out);
 
 // Reverse path expansion: given R = travel time of a path n ⇒ e as a
 // function of the arrival time a at e, and an edge u → n, returns
@@ -90,6 +109,9 @@ PwlFunction EdgeReverseTravelTimeFunction(const EdgeSpeedView& speed,
 PwlFunction ExpandPathReverse(const PwlFunction& path_rt,
                               const EdgeSpeedView& speed,
                               double distance_miles);
+void ExpandPathReverseInto(const PwlFunction& path_rt,
+                           const EdgeSpeedView& speed, double distance_miles,
+                           PwlFunction* edge_scratch, PwlFunction* out);
 
 }  // namespace capefp::tdf
 

@@ -1,0 +1,116 @@
+// Acceptance check of the arena refactor: a warm query loop on one Scratch
+// reaches a steady state with zero fresh heap allocations from the PWL
+// kernel — the arena's spill counter stops moving once every buffer has
+// grown to its working-set size.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/profile_search.h"
+#include "src/core/reverse_profile_search.h"
+#include "src/gen/suffolk_generator.h"
+#include "src/network/accessor.h"
+#include "src/tdf/speed_pattern.h"
+
+namespace capefp::core {
+namespace {
+
+using network::NodeId;
+using tdf::HhMm;
+
+class ArenaSteadyStateTest : public ::testing::Test {
+ protected:
+  ArenaSteadyStateTest()
+      : sn_(gen::GenerateSuffolkNetwork(gen::SuffolkOptions::Small())),
+        accessor_(&sn_.network) {}
+
+  std::vector<ProfileQuery> Queries() const {
+    const auto n = static_cast<NodeId>(sn_.network.num_nodes());
+    std::vector<ProfileQuery> queries;
+    for (NodeId s = 0; s < n; s += n / 5) {
+      queries.push_back({s, static_cast<NodeId>(n - 1 - s), HhMm(7, 0),
+                         HhMm(8, 0)});
+    }
+    return queries;
+  }
+
+  gen::SuffolkNetwork sn_;
+  network::InMemoryAccessor accessor_;
+};
+
+TEST_F(ArenaSteadyStateTest, WarmForwardSearchStopsSpilling) {
+  ProfileSearch::Scratch scratch;
+  ZeroEstimator estimator;
+  const std::vector<ProfileQuery> queries = Queries();
+
+  auto run_all = [&] {
+    for (const ProfileQuery& q : queries) {
+      ProfileSearch search(&accessor_, &estimator, {}, &scratch);
+      const AllFpResult result = search.RunAllFp(q);
+      ASSERT_TRUE(result.found);
+    }
+  };
+
+  run_all();  // Cold pass: buffers grow, spills accumulate.
+  const uint64_t cold_spills = scratch.arena.stats().spills;
+  EXPECT_GT(cold_spills, 0u);
+
+  run_all();  // Warm pass: identical workload, everything recycled.
+  EXPECT_EQ(scratch.arena.stats().spills, cold_spills)
+      << "a warm ProfileSearch pass must make zero fresh heap allocations "
+         "through the arena";
+  // Note: block_reuses may legitimately stay 0 here — on this small
+  // workload every label function fits the 8-breakpoint inline buffer and
+  // only the pooled scratch vectors cycle through the arena.
+}
+
+TEST_F(ArenaSteadyStateTest, WarmReverseSearchStopsSpilling) {
+  ReverseProfileSearch::Scratch scratch;
+  ZeroEstimator estimator;
+
+  auto run_all = [&] {
+    const auto n = static_cast<NodeId>(sn_.network.num_nodes());
+    for (NodeId s = 0; s < n; s += n / 5) {
+      ReverseProfileSearch search(&sn_.network, &estimator, {}, &scratch);
+      const ReverseAllFpResult result = search.RunAllFp(
+          {s, static_cast<NodeId>(n - 1 - s), HhMm(8, 0), HhMm(9, 0)});
+      ASSERT_TRUE(result.found);
+    }
+  };
+
+  run_all();
+  const uint64_t cold_spills = scratch.arena.stats().spills;
+  run_all();
+  EXPECT_EQ(scratch.arena.stats().spills, cold_spills)
+      << "a warm ReverseProfileSearch pass must make zero fresh heap "
+         "allocations through the arena";
+}
+
+// The scratch path and the scratch-free path must produce bit-identical
+// results (the determinism contract the parallel batch relies on).
+TEST_F(ArenaSteadyStateTest, ScratchDoesNotChangeResults) {
+  ProfileSearch::Scratch scratch;
+  ZeroEstimator estimator;
+  for (const ProfileQuery& q : Queries()) {
+    ProfileSearch with_scratch(&accessor_, &estimator, {}, &scratch);
+    ProfileSearch without(&accessor_, &estimator, {});
+    const AllFpResult a = with_scratch.RunAllFp(q);
+    const AllFpResult b = without.RunAllFp(q);
+    ASSERT_EQ(a.found, b.found);
+    ASSERT_TRUE(a.found);
+    ASSERT_EQ(a.pieces.size(), b.pieces.size());
+    for (size_t i = 0; i < a.pieces.size(); ++i) {
+      EXPECT_EQ(a.pieces[i].leave_lo, b.pieces[i].leave_lo);
+      EXPECT_EQ(a.pieces[i].leave_hi, b.pieces[i].leave_hi);
+      EXPECT_EQ(a.pieces[i].path, b.pieces[i].path);
+    }
+    ASSERT_EQ(a.border->breakpoints().size(), b.border->breakpoints().size());
+    for (size_t i = 0; i < a.border->breakpoints().size(); ++i) {
+      EXPECT_EQ(a.border->breakpoints()[i].x, b.border->breakpoints()[i].x);
+      EXPECT_EQ(a.border->breakpoints()[i].y, b.border->breakpoints()[i].y);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace capefp::core

@@ -1,0 +1,186 @@
+#include "src/tdf/pwl_arena.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tdf/pwl_function.h"
+
+namespace capefp::tdf {
+namespace {
+
+Breakpoint Bp(double x, double y) { return {x, y}; }
+
+void FillRamp(BreakpointVec* v, size_t n) {
+  v->clear();
+  for (size_t i = 0; i < n; ++i) {
+    v->push_back(Bp(static_cast<double>(i), static_cast<double>(2 * i)));
+  }
+}
+
+TEST(BreakpointVecTest, StaysInlineUpToCapacity) {
+  BreakpointVec v;
+  FillRamp(&v, BreakpointVec::kInlineBreakpoints);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), BreakpointVec::kInlineBreakpoints);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].x, static_cast<double>(i));
+    EXPECT_EQ(v[i].y, static_cast<double>(2 * i));
+  }
+}
+
+TEST(BreakpointVecTest, SpillsBeyondInlineCapacityAndKeepsContents) {
+  BreakpointVec v;
+  FillRamp(&v, 3 * BreakpointVec::kInlineBreakpoints);
+  EXPECT_FALSE(v.is_inline());
+  ASSERT_EQ(v.size(), 3 * BreakpointVec::kInlineBreakpoints);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].x, static_cast<double>(i));
+  }
+  // clear() keeps the spilled storage for reuse.
+  const size_t capacity = v.capacity();
+  v.clear();
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), capacity);
+  EXPECT_FALSE(v.is_inline());
+}
+
+TEST(BreakpointVecTest, CopyConstructionDropsArenaBinding) {
+  PwlArena arena;
+  BreakpointVec bound(&arena);
+  FillRamp(&bound, 20);
+  ASSERT_EQ(bound.arena(), &arena);
+
+  BreakpointVec copy(bound);
+  EXPECT_EQ(copy.arena(), nullptr);
+  ASSERT_EQ(copy.size(), bound.size());
+  for (size_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(copy[i].x, bound[i].x);
+    EXPECT_EQ(copy[i].y, bound[i].y);
+  }
+}
+
+TEST(BreakpointVecTest, CopyAssignmentKeepsDestinationBinding) {
+  PwlArena arena;
+  BreakpointVec bound(&arena);
+  BreakpointVec unbound;
+  FillRamp(&unbound, 20);
+
+  bound = unbound;
+  EXPECT_EQ(bound.arena(), &arena);
+  EXPECT_EQ(bound.size(), 20u);
+  // The spilled block came from the arena, so the arena saw the allocation.
+  EXPECT_GE(arena.stats().spills, 1u);
+  EXPECT_GT(arena.stats().in_use_bytes, 0u);
+}
+
+TEST(BreakpointVecTest, MoveCarriesStorageAndBinding) {
+  PwlArena arena;
+  BreakpointVec source(&arena);
+  FillRamp(&source, 20);
+  const Breakpoint* block = source.data();
+
+  BreakpointVec moved(std::move(source));
+  EXPECT_EQ(moved.arena(), &arena);
+  EXPECT_EQ(moved.data(), block);  // No copy: same block.
+  EXPECT_EQ(moved.size(), 20u);
+  // Moved-from: empty, inline, still bound to its arena (reusable scratch).
+  EXPECT_EQ(source.size(), 0u);
+  EXPECT_TRUE(source.is_inline());
+  EXPECT_EQ(source.arena(), &arena);
+  FillRamp(&source, 20);  // Still usable.
+  EXPECT_EQ(source.size(), 20u);
+}
+
+TEST(BreakpointVecTest, MoveAssignReleasesOldStorageToArena) {
+  PwlArena arena;
+  BreakpointVec a(&arena);
+  BreakpointVec b(&arena);
+  FillRamp(&a, 20);
+  FillRamp(&b, 20);
+  const uint64_t in_use_before = arena.stats().in_use_bytes;
+  a = std::move(b);
+  // a's old block went back to the freelist; only one block is lent out.
+  EXPECT_LT(arena.stats().in_use_bytes, in_use_before);
+  FillRamp(&b, 20);  // Reallocates from the freelist, not the heap.
+  EXPECT_EQ(arena.stats().in_use_bytes, in_use_before);
+}
+
+TEST(PwlArenaTest, WarmAllocationsComeFromFreelist) {
+  PwlArena arena;
+  const uint64_t cold_spills = [&] {
+    BreakpointVec v(&arena);
+    FillRamp(&v, 100);
+    return arena.stats().spills;
+  }();  // v destroyed: its block returns to the freelist.
+  EXPECT_GE(cold_spills, 1u);
+  EXPECT_EQ(arena.stats().in_use_bytes, 0u);
+
+  for (int round = 0; round < 5; ++round) {
+    BreakpointVec v(&arena);
+    FillRamp(&v, 100);
+  }
+  EXPECT_EQ(arena.stats().spills, cold_spills) << "warm rounds must not spill";
+  EXPECT_GE(arena.stats().block_reuses, 5u);
+  EXPECT_GT(arena.stats().high_water_bytes, 0u);
+}
+
+TEST(PwlArenaTest, ScratchDoublesRecyclesAndDetectsGrowth) {
+  PwlArena arena;
+  {
+    ScratchDoubles s(&arena);
+    s.get().resize(1000);  // Growth while borrowed.
+  }
+  const uint64_t spills_after_growth = arena.stats().spills;
+  EXPECT_GE(spills_after_growth, 2u);  // Fresh vector + growth.
+  for (int round = 0; round < 5; ++round) {
+    ScratchDoubles s(&arena);
+    s.get().resize(1000);  // Capacity retained: no further growth.
+  }
+  EXPECT_EQ(arena.stats().spills, spills_after_growth);
+}
+
+TEST(PwlArenaTest, ScratchDoublesWithoutArenaIsLocal) {
+  ScratchDoubles s(nullptr);
+  s.get().push_back(1.0);
+  EXPECT_EQ(s.get().size(), 1u);
+}
+
+TEST(PwlFunctionArenaTest, CopiedResultSurvivesArenaDestruction) {
+  PwlFunction escaped;
+  {
+    PwlArena arena;
+    PwlFunction bound(&arena);
+    bound.StartRebuild(/*reserve_hint=*/32);
+    for (int i = 0; i < 32; ++i) {
+      bound.AppendBreakpoint(static_cast<double>(i),
+                             (i % 2 == 0) ? 1.0 : 2.0);
+    }
+    bound.FinishRebuild();
+    ASSERT_EQ(bound.arena(), &arena);
+    escaped = bound;  // Copy into an unbound function: plain heap.
+    EXPECT_EQ(escaped.arena(), nullptr);
+  }
+  EXPECT_EQ(escaped.breakpoints().size(), 32u);
+  EXPECT_EQ(escaped.Value(1.0), 2.0);
+}
+
+TEST(PwlFunctionArenaTest, ArenaBoundOpsMatchUnboundExactly) {
+  PwlArena arena;
+  const PwlFunction f({Bp(0, 5), Bp(10, 3), Bp(20, 7)});
+  const PwlFunction g({Bp(0, 4), Bp(5, 6), Bp(20, 2)});
+
+  PwlFunction bound_out(&arena);
+  PwlFunction unbound_out;
+  PwlFunction::LowerEnvelopeInto(f, g, &bound_out);
+  PwlFunction::LowerEnvelopeInto(f, g, &unbound_out);
+  ASSERT_EQ(bound_out.breakpoints().size(), unbound_out.breakpoints().size());
+  for (size_t i = 0; i < bound_out.breakpoints().size(); ++i) {
+    EXPECT_EQ(bound_out.breakpoints()[i].x, unbound_out.breakpoints()[i].x);
+    EXPECT_EQ(bound_out.breakpoints()[i].y, unbound_out.breakpoints()[i].y);
+  }
+}
+
+}  // namespace
+}  // namespace capefp::tdf

@@ -1,0 +1,171 @@
+// Satellite property test of the arena refactor: every *Into operation must
+// be exactly equal — breakpoint for breakpoint, bit-for-bit on the doubles —
+// to its allocating counterpart, on randomized CapeCod-derived travel-time
+// functions, with and without an arena binding, cold and warm (reused
+// destination). The allocating forms are thin wrappers over the Into forms,
+// so any divergence here means a destination buffer leaked state between
+// operations.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tdf/pwl_function.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/tdf/travel_time.h"
+#include "src/util/random.h"
+
+namespace capefp::tdf {
+namespace {
+
+void ExpectExactlyEqual(const PwlFunction& a, const PwlFunction& b,
+                        const char* what) {
+  ASSERT_EQ(a.breakpoints().size(), b.breakpoints().size()) << what;
+  for (size_t i = 0; i < a.breakpoints().size(); ++i) {
+    EXPECT_EQ(a.breakpoints()[i].x, b.breakpoints()[i].x)
+        << what << " breakpoint " << i;
+    EXPECT_EQ(a.breakpoints()[i].y, b.breakpoints()[i].y)
+        << what << " breakpoint " << i;
+  }
+}
+
+// A random daily pattern with 1-5 speed changes at random instants.
+CapeCodPattern RandomPattern(util::Rng& rng) {
+  std::vector<SpeedPiece> pieces;
+  pieces.push_back({0.0, rng.NextDouble(0.1, 1.5)});
+  const int changes = static_cast<int>(rng.NextBounded(5));
+  double at = 0.0;
+  for (int i = 0; i < changes; ++i) {
+    at += rng.NextDouble(30.0, 400.0);
+    if (at >= 1439.0) break;
+    pieces.push_back({at, rng.NextDouble(0.1, 1.5)});
+  }
+  return CapeCodPattern({DailySpeedPattern(pieces)});
+}
+
+class PwlIntoTest : public ::testing::Test {
+ protected:
+  PwlIntoTest() : calendar_(Calendar::SingleCategory()) {}
+
+  Calendar calendar_;
+};
+
+// One exhaustive randomized sweep covering every op, repeated for unbound
+// and arena-bound destinations. Windows include midnight-spanning ones
+// (crossing the day-0/day-1 boundary at minute 1440) and the degenerate
+// single-instant window lo == hi.
+TEST_F(PwlIntoTest, IntoFormsExactlyMatchAllocatingForms) {
+  for (const bool use_arena : {false, true}) {
+    PwlArena arena_storage;
+    PwlArena* arena = use_arena ? &arena_storage : nullptr;
+    // Reused destinations: a warm buffer must produce the same bits as a
+    // fresh allocation.
+    PwlFunction out(arena), edge_scratch(arena), out2(arena);
+
+    util::Rng rng(20260807);
+    for (int trial = 0; trial < 60; ++trial) {
+      const CapeCodPattern pattern_a = RandomPattern(rng);
+      const CapeCodPattern pattern_b = RandomPattern(rng);
+      const EdgeSpeedView speed_a(&pattern_a, &calendar_);
+      const EdgeSpeedView speed_b(&pattern_b, &calendar_);
+      const double dist_a = rng.NextDouble(0.2, 8.0);
+      const double dist_b = rng.NextDouble(0.2, 8.0);
+
+      double lo, hi;
+      switch (trial % 3) {
+        case 0:  // Plain in-day window.
+          lo = rng.NextDouble(0.0, 1000.0);
+          hi = lo + rng.NextDouble(1.0, 400.0);
+          break;
+        case 1:  // Midnight-spanning window.
+          lo = rng.NextDouble(1300.0, 1439.0);
+          hi = rng.NextDouble(1441.0, 1600.0);
+          break;
+        default:  // Degenerate single instant.
+          lo = hi = rng.NextDouble(0.0, 1440.0);
+          break;
+      }
+
+      // --- Edge TTF derivation.
+      const PwlFunction f = EdgeTravelTimeFunction(speed_a, dist_a, lo, hi);
+      EdgeTravelTimeFunctionInto(speed_a, dist_a, lo, hi, &out);
+      ExpectExactlyEqual(out, f, "EdgeTravelTimeFunctionInto");
+
+      const PwlFunction g = EdgeTravelTimeFunction(speed_b, dist_b, lo, hi);
+
+      // --- Shift.
+      const double dy = rng.NextDouble(-5.0, 5.0);
+      f.ShiftedInto(dy, &out);
+      ExpectExactlyEqual(out, f.Shifted(dy), "ShiftedInto");
+
+      // --- Restriction (interior window; skip the degenerate case).
+      if (hi - lo > 2.0) {
+        const double rl = lo + rng.NextDouble(0.0, (hi - lo) / 3.0);
+        const double rh = hi - rng.NextDouble(0.0, (hi - lo) / 3.0);
+        f.RestrictedInto(rl, rh, &out);
+        ExpectExactlyEqual(out, f.Restricted(rl, rh), "RestrictedInto");
+      }
+
+      // --- Sum and lower envelope (same domain by construction).
+      PwlFunction::SumInto(f, g, &out);
+      ExpectExactlyEqual(out, PwlFunction::Sum(f, g), "SumInto");
+      PwlFunction::LowerEnvelopeInto(f, g, &out);
+      ExpectExactlyEqual(out, PwlFunction::Min(f, g), "LowerEnvelopeInto");
+
+      // --- n-way sum.
+      const std::vector<PwlFunction> many = {f, g, PwlFunction::Sum(f, g)};
+      PwlFunction::SumManyInto(many, &out);
+      ExpectExactlyEqual(out, PwlFunction::SumMany(many), "SumManyInto");
+      // SumMany must agree with the pairwise chain as a function (the
+      // grids differ, so breakpoints may not be bitwise identical).
+      EXPECT_TRUE(PwlFunction::ApproxEqual(
+          PwlFunction::SumMany(many),
+          PwlFunction::Sum(PwlFunction::Sum(f, g), many[2]), 1e-9));
+
+      // --- Path expansion (forward), including the explicit compose form.
+      ExpandPathInto(f, speed_b, dist_b, &edge_scratch, &out);
+      ExpectExactlyEqual(out, ExpandPath(f, speed_b, dist_b),
+                         "ExpandPathInto");
+      const double arrive_lo = f.domain_lo() + f.Value(f.domain_lo());
+      const double arrive_hi = f.domain_hi() + f.Value(f.domain_hi());
+      const PwlFunction edge_tt =
+          EdgeTravelTimeFunction(speed_b, dist_b, arrive_lo, arrive_hi);
+      ComposePathWithEdgeInto(f, edge_tt, &out);
+      ExpectExactlyEqual(out, ComposePathWithEdge(f, edge_tt),
+                         "ComposePathWithEdgeInto");
+
+      // --- Reverse forms.
+      const PwlFunction rf =
+          EdgeReverseTravelTimeFunction(speed_a, dist_a, lo, hi);
+      EdgeReverseTravelTimeFunctionInto(speed_a, dist_a, lo, hi, &out);
+      ExpectExactlyEqual(out, rf, "EdgeReverseTravelTimeFunctionInto");
+      ExpandPathReverseInto(rf, speed_b, dist_b, &edge_scratch, &out);
+      ExpectExactlyEqual(out, ExpandPathReverse(rf, speed_b, dist_b),
+                         "ExpandPathReverseInto");
+
+      // --- Warm-destination determinism: running the op again into the
+      // (now dirty) buffer and into a second buffer must agree bitwise.
+      PwlFunction::SumInto(f, g, &out);
+      PwlFunction::SumInto(f, g, &out2);
+      ExpectExactlyEqual(out, out2, "warm reuse");
+    }
+  }
+}
+
+TEST_F(PwlIntoTest, ArenaBoundResultsMatchUnboundResults) {
+  PwlArena arena;
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CapeCodPattern pattern = RandomPattern(rng);
+    const EdgeSpeedView speed(&pattern, &calendar_);
+    const double lo = rng.NextDouble(0.0, 1400.0);
+    const double hi = lo + rng.NextDouble(1.0, 300.0);
+    PwlFunction bound(&arena);
+    PwlFunction unbound;
+    EdgeTravelTimeFunctionInto(speed, 2.5, lo, hi, &bound);
+    EdgeTravelTimeFunctionInto(speed, 2.5, lo, hi, &unbound);
+    ExpectExactlyEqual(bound, unbound, "arena vs heap");
+  }
+}
+
+}  // namespace
+}  // namespace capefp::tdf

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regression.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CURRENT.json [--series NAME ...]
+      [--threshold 0.15]
+  tools/bench_compare.py --selftest
+
+Semantics:
+  * A series is a benchmark name as emitted by google-benchmark
+    (e.g. `BM_PwlMinEnvelope/64`).
+  * If a file contains aggregate rows (``--benchmark_repetitions``), the
+    *median* aggregate is used; otherwise the median of the per-iteration
+    rows with that name (a single plain run is its own median). Medians
+    keep the comparison stable under scheduler noise.
+  * With ``--series``, exactly those series are compared and each must be
+    present in both files. Without it, the intersection of series is
+    compared and an empty intersection is an error.
+  * The check fails (exit 1) when ``current > baseline * (1 + threshold)``
+    for any compared series. Default threshold: 0.15 (15%), per the
+    bench-smoke contract in DESIGN.md §8.
+
+Exit codes: 0 ok, 1 regression/missing series, 2 usage or bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+from pathlib import Path
+
+
+def load_series(path: Path) -> dict[str, float]:
+    """Map series name -> representative real_time (ns-agnostic; the unit
+    cancels in the ratio as long as both files use the same one)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench_compare: cannot read {path}: {exc}")
+    rows = doc.get("benchmarks")
+    if not isinstance(rows, list):
+        raise SystemExit(f"bench_compare: {path} has no 'benchmarks' array "
+                         "(is it google-benchmark JSON?)")
+    medians: dict[str, float] = {}
+    iterations: dict[str, list[float]] = {}
+    for row in rows:
+        name = row.get("name")
+        t = row.get("real_time")
+        if not isinstance(name, str) or not isinstance(t, (int, float)):
+            continue
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                medians[row.get("run_name", name)] = float(t)
+        else:
+            iterations.setdefault(name, []).append(float(t))
+    out = {name: statistics.median(ts) for name, ts in iterations.items()}
+    out.update(medians)  # Aggregate medians win over raw repetition rows.
+    return out
+
+
+def compare(baseline: dict[str, float], current: dict[str, float],
+            series: list[str], threshold: float,
+            out=sys.stdout) -> list[str]:
+    """Return a list of failure messages (empty == pass) and print a report."""
+    if series:
+        names = series
+    else:
+        names = sorted(set(baseline) & set(current))
+        if not names:
+            return ["no common series between baseline and current"]
+    failures: list[str] = []
+    width = max(len(n) for n in names)
+    print(f"{'series':<{width}}  {'baseline':>12}  {'current':>12}  ratio",
+          file=out)
+    for name in names:
+        if name not in baseline:
+            failures.append(f"series {name!r} missing from baseline")
+            continue
+        if name not in current:
+            failures.append(f"series {name!r} missing from current run")
+            continue
+        base, cur = baseline[name], current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if cur > base * (1.0 + threshold):
+            flag = f"  REGRESSION (> +{threshold:.0%})"
+            failures.append(
+                f"{name}: {base:.1f} -> {cur:.1f} ({ratio:.2f}x) exceeds "
+                f"+{threshold:.0%} budget")
+        print(f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  "
+              f"{ratio:5.2f}x{flag}", file=out)
+    return failures
+
+
+# --- selftest -------------------------------------------------------------
+
+def _doc(rows):
+    return {"context": {}, "benchmarks": rows}
+
+
+def _iter_row(name, t):
+    return {"name": name, "run_type": "iteration", "real_time": t,
+            "time_unit": "ns"}
+
+
+def _median_row(name, t):
+    return {"name": f"{name}_median", "run_name": name,
+            "run_type": "aggregate", "aggregate_name": "median",
+            "real_time": t, "time_unit": "ns"}
+
+
+def selftest() -> int:
+    import io
+
+    def run(base_rows, cur_rows, series, threshold=0.15):
+        with tempfile.TemporaryDirectory() as d:
+            b, c = Path(d, "b.json"), Path(d, "c.json")
+            b.write_text(json.dumps(_doc(base_rows)))
+            c.write_text(json.dumps(_doc(cur_rows)))
+            return compare(load_series(b), load_series(c), series,
+                           threshold, out=io.StringIO())
+
+    checks = []
+
+    # 1. A >15% regression on a named series fails.
+    fails = run([_iter_row("BM_A", 100.0)], [_iter_row("BM_A", 120.0)],
+                ["BM_A"])
+    checks.append(("regression detected", len(fails) == 1
+                   and "BM_A" in fails[0]))
+
+    # 2. Within-threshold drift passes.
+    fails = run([_iter_row("BM_A", 100.0)], [_iter_row("BM_A", 114.0)],
+                ["BM_A"])
+    checks.append(("within threshold passes", fails == []))
+
+    # 3. An improvement passes.
+    fails = run([_iter_row("BM_A", 100.0)], [_iter_row("BM_A", 50.0)],
+                ["BM_A"])
+    checks.append(("improvement passes", fails == []))
+
+    # 4. A named series missing from the current run fails.
+    fails = run([_iter_row("BM_A", 100.0)], [_iter_row("BM_B", 100.0)],
+                ["BM_A"])
+    checks.append(("missing series fails", len(fails) == 1
+                   and "missing" in fails[0]))
+
+    # 5. Median aggregates shadow raw repetition rows: the median (102)
+    #    is inside budget even though one noisy repetition (200) is not.
+    fails = run([_iter_row("BM_A", 100.0)],
+                [_iter_row("BM_A", 200.0), _iter_row("BM_A", 101.0),
+                 _median_row("BM_A", 102.0)],
+                ["BM_A"])
+    checks.append(("median aggregate wins", fails == []))
+
+    # 6. Without --series, the common subset is compared.
+    fails = run([_iter_row("BM_A", 100.0), _iter_row("BM_B", 100.0)],
+                [_iter_row("BM_B", 300.0), _iter_row("BM_C", 10.0)], [])
+    checks.append(("intersection compared", len(fails) == 1
+                   and "BM_B" in fails[0]))
+
+    ok = True
+    for label, passed in checks:
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+        ok &= passed
+    print("bench_compare selftest:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", type=Path)
+    parser.add_argument("current", nargs="?", type=Path)
+    parser.add_argument("--series", action="append", default=[],
+                        help="series name to compare (repeatable; "
+                             "comma-separated lists accepted)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional slowdown (default 0.15)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in behavioural checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current JSON files are required")
+
+    series = [s for chunk in args.series for s in chunk.split(",") if s]
+    failures = compare(load_series(args.baseline), load_series(args.current),
+                       series, args.threshold)
+    for msg in failures:
+        print(f"bench_compare: FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -27,6 +27,15 @@ Runs as a ctest (label `lint`) and in tools/run_checks.sh. Rules:
                        compile because of include-order luck).
   no-relative-include  Project includes in src/ are always repo-rooted
                        ("src/..."), never "../" or "./".
+  alloc-in-hot-loop    Allocating PWL forms (PwlFunction::Sum/SumMany/Min,
+                       ComposePathWithEdge, ExpandPath[Reverse],
+                       Edge[Reverse]TravelTimeFunction, MergedGrid,
+                       .Shifted(, .Restricted() inside the core search
+                       loops (profile_search.cc, reverse_profile_search.cc,
+                       td_astar.cc, lower_border.cc). These run per edge
+                       expansion; use the *Into variants with the
+                       per-query arena scratch so a warm search makes zero
+                       heap allocations (DESIGN.md §8).
 
 Suppression: append `// capefp-lint: allow(<rule-id>)` to the offending
 line. Every allow is a documented exception — keep a reason next to it.
@@ -60,6 +69,26 @@ IO_TOKEN_RE = re.compile(
 )
 
 DCHECK_RE = re.compile(r"\bCAPEFP_DCHECK(?:_OK|_EQ|_NE|_LT|_LE|_GT|_GE)?\s*\(")
+
+# Files containing the per-expansion search loops, where the allocating PWL
+# forms are forbidden (the *Into variants recycle arena storage instead).
+HOT_LOOP_FILES = {
+    "src/core/profile_search.cc",
+    "src/core/reverse_profile_search.cc",
+    "src/core/td_astar.cc",
+    "src/core/lower_border.cc",
+}
+
+# Allocating forms. The *Into variants never match: each name must be
+# followed directly by "(" (SumInto, ComposePathWithEdgeInto etc. continue
+# with "I" and fall through).
+HOT_ALLOC_RE = re.compile(
+    r"\bPwlFunction::(?:Sum|SumMany|Min)\s*\(|"
+    r"\b(?:ComposePathWithEdge|ExpandPathReverse|ExpandPath|"
+    r"EdgeTravelTimeFunction|EdgeReverseTravelTimeFunction|MergedGrid)"
+    r"\s*\(|"
+    r"\.(?:Shifted|Restricted)\s*\("
+)
 
 # ++/-- or an assignment that is not ==, !=, <=, >= (compound assignments
 # included). Lookbehind keeps comparison operators out.
@@ -207,6 +236,15 @@ def lint_file(root: Path, path: Path) -> list[Finding]:
                     "util::Status / obs instead (stdout/stderr belong to "
                     "tools/ and bench/)",
                 )
+        if rel.as_posix() in HOT_LOOP_FILES:
+            for m in HOT_ALLOC_RE.finditer(line):
+                report(
+                    "alloc-in-hot-loop",
+                    line_no,
+                    f"allocating PWL form {m.group(0).strip('( ')} in a "
+                    "search hot loop; use the *Into variant with arena "
+                    "scratch (DESIGN.md §8)",
+                )
 
     for m in DCHECK_RE.finditer(code):
         line_no = code.count("\n", 0, m.start()) + 1
@@ -322,7 +360,34 @@ SELFTEST_CASES = {
         "#include <vector>\n"
         '#include "src/core/bad_order.h"\n',
     ),
+    "alloc-in-hot-loop": (
+        "src/core/profile_search.cc",
+        '#include "src/core/profile_search.h"\n'
+        "void f() {\n"
+        "  auto s = PwlFunction::Sum(a, b);\n"
+        "  auto c = ComposePathWithEdge(a, b);\n"
+        "  auto d = a.Shifted(1.0);\n"
+        "}\n",
+    ),
 }
+
+# A hot-loop file using only the Into forms, plus one documented escape:
+# must produce no alloc-in-hot-loop findings.
+HOT_CLEAN_FILE = (
+    "src/core/lower_border.cc",
+    '#include "src/core/lower_border.h"\n'
+    "void ok() {\n"
+    "  PwlFunction::SumInto(a, b, &out);\n"
+    "  PwlFunction::LowerEnvelopeInto(a, b, &out);\n"
+    "  ComposePathWithEdgeInto(a, b, &out);\n"
+    "  a.ShiftedInto(1.0, &out);\n"
+    "  a.RestrictedInto(0.0, 1.0, &out);\n"
+    "  MergedGridInto(a, b, &grid, arena);\n"
+    "  // one-shot setup outside the loop:\n"
+    "  auto s = PwlFunction::Sum(a, b);"
+    "  // capefp-lint: allow(alloc-in-hot-loop)\n"
+    "}\n",
+)
 
 CLEAN_FILE = (
     "src/core/clean.cc",
@@ -361,6 +426,13 @@ def selftest() -> int:
             "#ifndef CAPEFP_CORE_CLEAN_H_\n#define CAPEFP_CORE_CLEAN_H_\n"
             "#endif  // CAPEFP_CORE_CLEAN_H_\n"
         )
+        hot_clean_rel, hot_clean_contents = HOT_CLEAN_FILE
+        hot_clean = root / hot_clean_rel
+        hot_clean.write_text(hot_clean_contents)
+        guard = expected_guard(hot_clean.with_suffix(".h").relative_to(root))
+        hot_clean.with_suffix(".h").write_text(
+            f"#ifndef {guard}\n#define {guard}\n#endif  // {guard}\n"
+        )
 
         findings = lint_tree(root)
         fired = {(f.rule, f.path.as_posix()) for f in findings}
@@ -372,6 +444,10 @@ def selftest() -> int:
                 failures.append(f"false positive on clean file: {f}")
             if f.path.as_posix().endswith("clean.h"):
                 failures.append(f"false positive on clean header: {f}")
+            if (f.path.as_posix() == hot_clean_rel
+                    and f.rule == "alloc-in-hot-loop"):
+                failures.append(
+                    f"false positive on Into-only hot-loop file: {f}")
 
         # The seeded tree must fail as a whole (exit-1 contract).
         if not findings:
