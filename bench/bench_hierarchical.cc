@@ -1,19 +1,35 @@
-// Extension bench: two-level hierarchical search (the scaling strategy
-// §6.1 sketches) vs the flat IntAllFastestPaths, on a mid-size city.
+// Two-phase hierarchical query mode (DESIGN.md §9) vs the flat engine on
+// the Fig. 9 workload recipe: morning-rush interval queries with
+// source/target pairs spread across Euclidean distance buckets.
 //
-// The hierarchical index precomputes within-fragment transit functions
-// once; each query then explores the boundary-node overlay instead of the
-// full road graph. Borders are identical (property-tested); this bench
-// measures what that costs and saves.
+// Both sides run through FastestPathEngine — only query_mode differs — and
+// every border is CHECKed bit-identical, so the numbers compare exactly
+// equivalent answers. Per-phase latency (corridor vs exact refinement)
+// comes from the engine's own capefp.hier.* metrics.
 //
-// Flags: --queries=N (default 10), --seed=S, --grid=G (default 4).
+// Flags:
+//   --network=small|mid|full|xl  Suffolk scale (default mid); "full" is
+//                      the paper-scale network, "xl" a 4x-area variant for
+//                      the hierarchical scaling story (§6.1)
+//   --queries=N        query pairs (default 12)
+//   --repeats=R        timed repetitions per query; min is kept (default 3)
+//   --seed=S           workload seed (default 1)
+//   --grid=G           fragment grid dimension (default 6)
+//   --eps=E            corridor simplification eps, minutes (default 0.5)
+//   --leave=M          per-query leave-interval length in minutes (default
+//                      30); intervals are staggered across the 3h rush so
+//                      the workload still covers all of 07:00-10:00. 180
+//                      makes every query span the whole rush.
+//   --json=PATH        write the JSON report (benchmarks array is
+//                      google-benchmark-shaped for tools/bench_compare.py)
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
-#include "src/core/estimator.h"
-#include "src/core/hierarchical.h"
-#include "src/core/profile_search.h"
-#include "src/network/accessor.h"
+#include "src/core/engine.h"
+#include "src/obs/metrics.h"
 #include "src/tdf/speed_pattern.h"
 #include "src/util/check.h"
 #include "src/util/stats.h"
@@ -21,97 +37,310 @@
 namespace capefp::bench {
 namespace {
 
+double Median(std::vector<double> v) {
+  CAPEFP_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+void BenchRow(JsonWriter* w, const std::string& name, double value,
+              const char* unit) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(name);
+  w->Key("run_type");
+  w->String("iteration");
+  w->Key("iterations");
+  w->Int(1);
+  w->Key("real_time");
+  w->Double(value);
+  w->Key("cpu_time");
+  w->Double(value);
+  w->Key("time_unit");
+  w->String(unit);
+  w->EndObject();
+}
+
 int Main(int argc, char** argv) {
-  const Flags flags(argc, argv, {"queries", "seed", "grid"});
-  const int queries = static_cast<int>(flags.GetInt("queries", 10));
-  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 13));
-  const int grid = static_cast<int>(flags.GetInt("grid", 4));
+  const Flags flags(
+      argc, argv,
+      {"network", "queries", "repeats", "seed", "grid", "eps", "leave"});
+  const std::string network_kind = flags.GetString("network", "mid");
+  const int queries = static_cast<int>(flags.GetInt("queries", 12));
+  const int repeats = std::max(1, static_cast<int>(flags.GetInt("repeats", 3)));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int grid = static_cast<int>(flags.GetInt("grid", 6));
+  const double eps = flags.GetDouble("eps", 0.5);
+  const std::string json_path = flags.json_path();
 
-  gen::SuffolkOptions options;
-  options.seed = 7;
-  options.extent_miles = 7.0;
-  options.city_radius_miles = 1.6;
-  options.suburb_spacing_miles = 0.2;
-  options.target_segments = 0;
-  options.num_highways = 6;
-  const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(options);
+  gen::SuffolkOptions net_options;  // "full": the paper-scale network.
+  if (network_kind == "small") {
+    net_options = gen::SuffolkOptions::Small();
+  } else if (network_kind == "mid") {
+    net_options.extent_miles = 6.0;
+    net_options.city_radius_miles = 1.4;
+    net_options.suburb_spacing_miles = 0.2;
+    net_options.target_segments = 0;
+    net_options.num_highways = 6;
+  } else if (network_kind == "xl") {
+    net_options.extent_miles = 24.0;
+    net_options.city_radius_miles = 5.0;
+    net_options.target_segments = 4 * 20461;
+    net_options.num_highways = 10;
+  } else {
+    CAPEFP_CHECK(network_kind == "full")
+        << "--network must be small|mid|full|xl, got " << network_kind;
+  }
+  const gen::SuffolkNetwork sn = gen::GenerateSuffolkNetwork(net_options);
 
-  PrintHeader("Extension: hierarchical (two-level) vs flat profile search",
-              {{"network nodes", std::to_string(sn.network.num_nodes())},
-               {"fragment grid", std::to_string(grid) + "x" +
-                                     std::to_string(grid)},
-               {"queries", std::to_string(queries)},
-               {"query interval", "07:00-09:00 workday"}});
-
-  network::InMemoryAccessor accessor(&sn.network);
-  core::HierarchicalOptions hier_options;
-  hier_options.grid_dim = grid;
-  // Cover the morning query window plus generous arrival slack; a narrower
-  // window makes both the precompute and the per-query stubs cheaper.
-  hier_options.window_lo = tdf::HhMm(6, 0);
-  hier_options.window_hi = tdf::HhMm(13, 0);
-  core::HierarchicalIndex index(&sn.network, hier_options);
-  const auto& build = index.build_stats();
-  std::printf("precompute: %.2f s, %d fragments, %zu transit functions "
-              "(%zu breakpoints, ~%.1f per function)\n\n",
-              build.build_seconds, build.fragments_used,
-              build.transit_functions, build.transit_breakpoints,
-              static_cast<double>(build.transit_breakpoints) /
-                  static_cast<double>(build.transit_functions));
-
-  const auto pairs = SampleQueryPairs(
-      sn.network, 0.35 * options.extent_miles, 0.8 * options.extent_miles,
-      queries, seed);
-  const double lo = tdf::HhMm(7, 0);
-  const double hi = tdf::HhMm(9, 0);
-
-  util::Summary flat_exp;
-  util::Summary hier_exp;
-  util::Summary flat_ms;
-  util::Summary hier_ms;
-  util::Summary flat_single_ms;
-  util::Summary hier_single_ms;
-  for (const QueryPair& pair : pairs) {
-    const core::ProfileQuery query{pair.source, pair.target, lo, hi};
-    util::WallTimer timer;
-    core::EuclideanEstimator flat_est(&accessor, pair.target);
-    core::ProfileSearch flat(&accessor, &flat_est);
-    const core::AllFpResult expected = flat.RunAllFp(query);
-    flat_ms.Add(timer.ElapsedMillis());
-    flat_exp.Add(static_cast<double>(expected.stats.expansions));
-
-    timer.Restart();
-    core::EuclideanEstimator hier_est(&accessor, pair.target);
-    auto actual = index.RunAllFp(query, &hier_est);
-    hier_ms.Add(timer.ElapsedMillis());
-    CAPEFP_CHECK(actual.ok()) << actual.status().ToString();
-    CAPEFP_CHECK_EQ(actual->found, expected.found);
-    if (expected.found) {
-      CAPEFP_CHECK(tdf::PwlFunction::ApproxEqual(*actual->border,
-                                                 *expected.border, 1e-6));
-    }
-    hier_exp.Add(static_cast<double>(actual->stats.expansions));
-
-    timer.Restart();
-    core::EuclideanEstimator flat_est2(&accessor, pair.target);
-    core::ProfileSearch flat2(&accessor, &flat_est2);
-    (void)flat2.RunSingleFp(query);
-    flat_single_ms.Add(timer.ElapsedMillis());
-    timer.Restart();
-    core::EuclideanEstimator hier_est2(&accessor, pair.target);
-    (void)index.RunSingleFp(query, &hier_est2);
-    hier_single_ms.Add(timer.ElapsedMillis());
+  // Fig. 9 recipe: morning-rush interval queries, pairs across distance
+  // buckets from short hops to cross-network trips. Each query asks allFP
+  // over a `--leave`-minute interval; the intervals are staggered so the
+  // workload as a whole covers the full 07:00-10:00 rush.
+  const double rush_lo = tdf::HhMm(7, 0);
+  const double rush_hi = tdf::HhMm(10, 0);
+  const double leave_minutes = std::clamp(
+      flags.GetDouble("leave", 30.0), 1.0, rush_hi - rush_lo);
+  const double pair_lo = 0.2 * net_options.extent_miles;
+  const double pair_hi = 0.8 * net_options.extent_miles;
+  const auto pairs =
+      SampleQueryPairs(sn.network, pair_lo, pair_hi, queries, seed);
+  std::vector<std::pair<double, double>> intervals;
+  for (int i = 0; i < queries; ++i) {
+    const double span = rush_hi - rush_lo - leave_minutes;
+    const double start =
+        rush_lo + (queries > 1 ? span * i / (queries - 1) : 0.0);
+    intervals.emplace_back(start, start + leave_minutes);
   }
 
-  std::printf("%-24s %14s %12s\n", "metric", "flat", "hierarchical");
-  std::printf("%-24s %14.0f %12.0f\n", "allFP expansions (mean)",
-              flat_exp.mean(), hier_exp.mean());
-  std::printf("%-24s %14.1f %12.1f\n", "allFP ms (mean)", flat_ms.mean(),
-              hier_ms.mean());
-  std::printf("%-24s %14.1f %12.1f\n", "singleFP ms (mean)",
-              flat_single_ms.mean(), hier_single_ms.mean());
-  std::printf("\n(identical lower borders asserted per query; hierarchical "
-              "query cost includes the per-query source/target stubs)\n");
+  PrintHeader(
+      "Two-phase hierarchical engine vs flat (Fig. 9 workload recipe)",
+      {{"network", network_kind + " (" +
+                       std::to_string(sn.network.num_nodes()) + " nodes, " +
+                       std::to_string(sn.network.num_edges() / 2) +
+                       " segments)"},
+       {"fragment grid / eps",
+        std::to_string(grid) + "x" + std::to_string(grid) + " / " +
+            std::to_string(eps) + " min"},
+       {"queries x repeats",
+        std::to_string(queries) + " x " + std::to_string(repeats)},
+       {"query interval",
+        std::to_string(static_cast<int>(leave_minutes)) +
+            " min leave windows staggered over 07:00-10:00 workday rush"}});
+
+  core::EngineOptions flat_opts;
+  auto flat = core::FastestPathEngine::Create(&sn.network, flat_opts);
+  CAPEFP_CHECK(flat.ok()) << flat.status().ToString();
+
+  core::EngineOptions hier_opts;
+  hier_opts.query_mode = core::EngineOptions::QueryMode::kHierarchicalTwoPhase;
+  hier_opts.hierarchical.grid_dim = grid;
+  hier_opts.hierarchical.simplify_eps = eps;
+  hier_opts.hierarchical.window_lo = tdf::HhMm(5, 0);
+  hier_opts.hierarchical.window_hi = tdf::HhMm(14, 0);
+  util::WallTimer build_timer;
+  auto hier = core::FastestPathEngine::Create(&sn.network, hier_opts);
+  CAPEFP_CHECK(hier.ok()) << hier.status().ToString();
+  const double engine_build_s = build_timer.ElapsedSeconds();
+
+  const auto& build = (*hier)->hierarchical_index()->build_stats();
+  std::printf(
+      "index build: %.2f s (engine create %.2f s), %d fragments, %zu "
+      "transit functions, %zu -> %zu breakpoints (exact -> eps-simplified), "
+      "%.1f KiB\n\n",
+      build.build_seconds, engine_build_s, build.fragments_used,
+      build.transit_functions, build.transit_breakpoints,
+      build.approx_breakpoints,
+      static_cast<double>(build.index_bytes) / 1024.0);
+
+  // Warm pass: populates the TTF caches on both engines and CHECKs the
+  // golden contract (bit-identical borders) on every pair before anything
+  // is timed.
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const QueryPair& pair = pairs[i];
+    const core::ProfileQuery query{pair.source, pair.target,
+                                   intervals[i].first, intervals[i].second};
+    const core::AllFpResult expected = (*flat)->AllFastestPaths(query);
+    const core::AllFpResult actual = (*hier)->AllFastestPaths(query);
+    CAPEFP_CHECK_EQ(actual.found, expected.found)
+        << "s=" << pair.source << " t=" << pair.target;
+    if (expected.found) {
+      CAPEFP_CHECK(tdf::PwlFunction::ApproxEqual(*actual.border,
+                                                 *expected.border, 0.0))
+          << "two-phase border differs from flat; s=" << pair.source
+          << " t=" << pair.target;
+      CAPEFP_CHECK_EQ(actual.pieces.size(), expected.pieces.size());
+    }
+  }
+
+  // Timed pass: per query keep the min over repeats (robust to scheduler
+  // noise); the headline is the median over queries of flat/two-phase.
+  const auto hier_before = (*hier)->metrics()->Snapshot();
+  std::vector<double> flat_ms;
+  std::vector<double> two_ms;
+  std::vector<double> speedups;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const QueryPair& pair = pairs[i];
+    const core::ProfileQuery query{pair.source, pair.target,
+                                   intervals[i].first, intervals[i].second};
+    double f_best = std::numeric_limits<double>::infinity();
+    double h_best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+      util::WallTimer timer;
+      (void)(*flat)->AllFastestPaths(query);
+      f_best = std::min(f_best, timer.ElapsedMillis());
+      timer.Restart();
+      (void)(*hier)->AllFastestPaths(query);
+      h_best = std::min(h_best, timer.ElapsedMillis());
+    }
+    flat_ms.push_back(f_best);
+    two_ms.push_back(h_best);
+    speedups.push_back(f_best / h_best);
+    std::printf("  %5.1f mi  flat %8.2f ms  two-phase %8.2f ms  (%.1fx)\n",
+                pair.euclid_miles, f_best, h_best, f_best / h_best);
+  }
+  const auto hier_delta =
+      (*hier)->metrics()->Snapshot().DeltaSince(hier_before);
+
+  const double flat_med = Median(flat_ms);
+  const double two_med = Median(two_ms);
+  const double speedup_med = Median(speedups);
+  const uint64_t runs = hier_delta.counter("capefp.hier.queries");
+  CAPEFP_CHECK_EQ(runs, static_cast<uint64_t>(queries) * repeats);
+  CAPEFP_CHECK_EQ(hier_delta.counter("capefp.hier.fallbacks"), 0u);
+  const double corridor_fragments_mean =
+      static_cast<double>(hier_delta.counter("capefp.hier.corridor_fragments")) /
+      static_cast<double>(runs);
+  const double corridor_nodes_mean =
+      static_cast<double>(hier_delta.counter("capefp.hier.corridor_nodes")) /
+      static_cast<double>(runs);
+  const double corridor_expansions_mean =
+      static_cast<double>(
+          hier_delta.counter("capefp.hier.corridor_expansions")) /
+      static_cast<double>(runs);
+  const auto corridor_hist =
+      hier_delta.histograms.find("capefp.hier.corridor_ms");
+  const auto refine_hist = hier_delta.histograms.find("capefp.hier.refine_ms");
+  const double corridor_ms_mean =
+      corridor_hist != hier_delta.histograms.end() ? corridor_hist->second.mean()
+                                                   : 0.0;
+  const double refine_ms_mean =
+      refine_hist != hier_delta.histograms.end() ? refine_hist->second.mean()
+                                                 : 0.0;
+
+  std::printf("\n%-32s %10.2f ms\n", "allFP flat (median)", flat_med);
+  std::printf("%-32s %10.2f ms\n", "allFP two-phase (median)", two_med);
+  std::printf("%-32s %10.1fx\n", "speedup (median over queries)",
+              speedup_med);
+  std::printf("%-32s %10.2f ms\n", "  corridor phase (mean)",
+              corridor_ms_mean);
+  std::printf("%-32s %10.2f ms\n", "  refine phase (mean)", refine_ms_mean);
+  std::printf("%-32s %10.1f / %d\n", "corridor fragments (mean)",
+              corridor_fragments_mean, build.fragments_used);
+  std::printf("%-32s %10.1f / %zu\n", "corridor nodes (mean)",
+              corridor_nodes_mean, static_cast<size_t>(sn.network.num_nodes()));
+
+  if (!json_path.empty()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String("bench_hierarchical");
+    w.Key("workload");
+    w.BeginObject();
+    w.Key("network");
+    w.String(network_kind);
+    w.Key("nodes");
+    w.Uint(sn.network.num_nodes());
+    w.Key("segments");
+    w.Uint(sn.network.num_edges() / 2);
+    w.Key("queries");
+    w.Int(queries);
+    w.Key("repeats");
+    w.Int(repeats);
+    w.Key("seed");
+    w.Uint(seed);
+    w.Key("grid_dim");
+    w.Int(grid);
+    w.Key("simplify_eps_minutes");
+    w.Double(eps);
+    w.Key("leave_interval_minutes");
+    w.Double(leave_minutes);
+    w.Key("rush_window_minutes");
+    w.BeginArray();
+    w.Double(rush_lo);
+    w.Double(rush_hi);
+    w.EndArray();
+    w.EndObject();
+    w.Key("build");
+    w.BeginObject();
+    w.Key("build_seconds");
+    w.Double(build.build_seconds);
+    w.Key("fragments_used");
+    w.Int(build.fragments_used);
+    w.Key("transit_functions");
+    w.Uint(build.transit_functions);
+    w.Key("transit_breakpoints");
+    w.Uint(build.transit_breakpoints);
+    w.Key("approx_breakpoints");
+    w.Uint(build.approx_breakpoints);
+    w.Key("index_bytes");
+    w.Uint(build.index_bytes);
+    w.EndObject();
+    w.Key("summary");
+    w.BeginObject();
+    w.Key("allfp_flat_ms_median");
+    w.Double(flat_med);
+    w.Key("allfp_two_phase_ms_median");
+    w.Double(two_med);
+    w.Key("speedup_vs_flat_median");
+    w.Double(speedup_med);
+    w.Key("corridor_phase_ms_mean");
+    w.Double(corridor_ms_mean);
+    w.Key("refine_phase_ms_mean");
+    w.Double(refine_ms_mean);
+    w.Key("corridor_fragments_mean");
+    w.Double(corridor_fragments_mean);
+    w.Key("corridor_nodes_mean");
+    w.Double(corridor_nodes_mean);
+    w.Key("corridor_expansions_mean");
+    w.Double(corridor_expansions_mean);
+    w.EndObject();
+    // google-benchmark-shaped rows so tools/bench_compare.py can gate on
+    // them. The counter-derived series are deterministic in (network,
+    // seed, grid, eps); the *_seconds/_ms/slowdown series are wall-clock
+    // and gated with a loose threshold (see hier_regression.cmake).
+    w.Key("context");
+    w.BeginObject();
+    w.Key("executable");
+    w.String("bench_hierarchical");
+    w.EndObject();
+    w.Key("benchmarks");
+    w.BeginArray();
+    BenchRow(&w, "hier/index_bytes",
+             static_cast<double>(build.index_bytes), "bytes");
+    BenchRow(&w, "hier/transit_breakpoints",
+             static_cast<double>(build.transit_breakpoints), "count");
+    BenchRow(&w, "hier/approx_breakpoints",
+             static_cast<double>(build.approx_breakpoints), "count");
+    BenchRow(&w, "hier/corridor_fragments_mean", corridor_fragments_mean,
+             "count");
+    BenchRow(&w, "hier/corridor_nodes_mean", corridor_nodes_mean, "count");
+    BenchRow(&w, "hier/corridor_expansions_mean", corridor_expansions_mean,
+             "count");
+    BenchRow(&w, "hier/build_seconds", build.build_seconds, "s");
+    BenchRow(&w, "hier/allfp_flat_ms_median", flat_med, "ms");
+    BenchRow(&w, "hier/allfp_two_phase_ms_median", two_med, "ms");
+    BenchRow(&w, "hier/corridor_phase_ms_mean", corridor_ms_mean, "ms");
+    BenchRow(&w, "hier/refine_phase_ms_mean", refine_ms_mean, "ms");
+    // two-phase/flat: smaller is better, so bench_compare's "current >
+    // baseline" direction catches the speedup eroding.
+    BenchRow(&w, "hier/allfp_slowdown_vs_flat", two_med / flat_med, "ratio");
+    w.EndArray();
+    w.EndObject();
+    WriteFileOrDie(json_path, w.str() + "\n");
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }
 

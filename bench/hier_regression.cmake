@@ -1,0 +1,49 @@
+# ctest driver for the two-phase hierarchical regression gate (label
+# bench-smoke). Runs bench_hierarchical's committed-baseline workload once
+# with JSON output, then gates twice with tools/bench_compare.py:
+#
+#  * the deterministic series (index size, breakpoint counts, corridor
+#    size) at the default threshold — these are exact counts, so any
+#    meaningful growth is a real pruning/size regression, not noise;
+#  * the timing series at a loose threshold — the two-phase/flat ratio
+#    cancels machine speed but still jitters with load, so only a gross
+#    regression (ratio more than double the baseline) fails.
+#
+# Inputs (all -D): BENCH_BIN, PYTHON, COMPARE, BASELINE, OUT_JSON,
+# DET_SERIES, TIME_SERIES (semicolon lists), TIME_THRESHOLD.
+
+string(REPLACE ";" "," det_csv "${DET_SERIES}")
+string(REPLACE ";" "," time_csv "${TIME_SERIES}")
+
+execute_process(
+  COMMAND ${BENCH_BIN}
+          --network=full --grid=16 --eps=0.05 --leave=30
+          --queries=8 --repeats=2
+          "--json=${OUT_JSON}"
+  RESULT_VARIABLE bench_rv
+  OUTPUT_QUIET)
+if(NOT bench_rv EQUAL 0)
+  message(FATAL_ERROR "bench_hierarchical failed (exit ${bench_rv})")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${OUT_JSON}
+          --series ${det_csv}
+  RESULT_VARIABLE det_rv)
+if(NOT det_rv EQUAL 0)
+  message(FATAL_ERROR
+    "bench_compare reported a deterministic regression vs "
+    "BENCH_hierarchical.json (exit ${det_rv}); the corridor got bigger or "
+    "the index fatter — regenerate the baseline if that is intentional")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${OUT_JSON}
+          --series ${time_csv} --threshold ${TIME_THRESHOLD}
+  RESULT_VARIABLE time_rv)
+if(NOT time_rv EQUAL 0)
+  message(FATAL_ERROR
+    "bench_compare reported a timing regression vs BENCH_hierarchical.json "
+    "(exit ${time_rv}); the two-phase/flat ratio more than doubled — "
+    "regenerate the baseline if the slowdown is intentional")
+endif()

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -52,6 +53,18 @@ util::StatusOr<std::unique_ptr<FastestPathEngine>> FastestPathEngine::Create(
         std::make_unique<network::EdgeTtfCache>(options.ttf_cache_entries);
     engine->set_ttf_cache_enabled(true);
   }
+
+  if (options.query_mode == EngineOptions::QueryMode::kHierarchicalTwoPhase) {
+    if (!options.hierarchical_index_path.empty()) {
+      auto loaded =
+          HierarchicalIndex::Load(network, options.hierarchical_index_path);
+      if (!loaded.ok()) return loaded.status();
+      engine->hier_index_ = std::move(*loaded);
+    } else {
+      engine->hier_index_ =
+          std::make_unique<HierarchicalIndex>(network, options.hierarchical);
+    }
+  }
   engine->InitMetrics();
   return engine;
 }
@@ -66,7 +79,20 @@ void FastestPathEngine::InitMetrics() {
   search_pruned_dominated_ =
       metrics_.GetCounter("capefp.search.pruned_dominated");
   search_pruned_bound_ = metrics_.GetCounter("capefp.search.pruned_bound");
+  search_pruned_filtered_ =
+      metrics_.GetCounter("capefp.search.pruned_filtered");
   td_expanded_nodes_ = metrics_.GetCounter("capefp.td_astar.expanded_nodes");
+  if (hier_index_ != nullptr) {
+    hier_queries_ = metrics_.GetCounter("capefp.hier.queries");
+    hier_fallbacks_ = metrics_.GetCounter("capefp.hier.fallbacks");
+    hier_corridor_expansions_ =
+        metrics_.GetCounter("capefp.hier.corridor_expansions");
+    hier_corridor_fragments_ =
+        metrics_.GetCounter("capefp.hier.corridor_fragments");
+    hier_corridor_nodes_ = metrics_.GetCounter("capefp.hier.corridor_nodes");
+    hier_corridor_ms_ = metrics_.GetHistogram("capefp.hier.corridor_ms");
+    hier_refine_ms_ = metrics_.GetHistogram("capefp.hier.refine_ms");
+  }
   // Per-worker PWL-arena aggregates (see AccumulateArenaStats). Callbacks
   // read engine atomics only — never the arenas themselves — so they are
   // safe under the registry mutex and touch no per-worker state.
@@ -131,7 +157,7 @@ uint64_t AsU64(int64_t v) { return v < 0 ? 0 : static_cast<uint64_t>(v); }
 }  // namespace
 
 AllFpResult FastestPathEngine::RunOneAllFp(const ProfileQuery& query,
-                                           ProfileSearch::Scratch* scratch,
+                                           QueryScratch* scratch,
                                            obs::Trace* trace,
                                            double* elapsed_ms) {
   const auto start = std::chrono::steady_clock::now();
@@ -139,8 +165,9 @@ AllFpResult FastestPathEngine::RunOneAllFp(const ProfileQuery& query,
   // One-shot callers get a local scratch so the estimator memo and arena
   // metrics behave identically to the batch path (cold arena, so the first
   // allocations count as spills — warm reuse is what RunBatch measures).
-  ProfileSearch::Scratch local_scratch;
-  ProfileSearch::Scratch* s = scratch != nullptr ? scratch : &local_scratch;
+  QueryScratch local_scratch;
+  QueryScratch* q = scratch != nullptr ? scratch : &local_scratch;
+  ProfileSearch::Scratch* s = &q->search;
   const tdf::PwlArena::Stats arena_before = s->arena.stats();
 
   // Storage and cache movement is attributed by before/after deltas of the
@@ -166,11 +193,55 @@ AllFpResult FastestPathEngine::RunOneAllFp(const ProfileQuery& query,
                               &s->estimator);
   }
 
+  // Corridor phase (two-phase mode): restrict the exact search below to the
+  // fragments the approximate overlay search proves can carry an optimal
+  // departure. Identical answers either way — on any corridor failure the
+  // filter stays inactive and the query runs flat.
+  s->filter.Reset();
+  double corridor_upper_bound = std::numeric_limits<double>::infinity();
+  if (hier_index_ != nullptr) {
+    const auto corridor_start = std::chrono::steady_clock::now();
+    obs::Trace::Span corridor_span =
+        tracing ? trace->StartSpan("hier.corridor") : obs::Trace::Span();
+    auto corridor = hier_index_->ExtractCorridor(query, estimator.get(),
+                                                 q->corridor, &s->filter);
+    hier_queries_->Add(1);
+    if (corridor.ok()) {
+      corridor_upper_bound = corridor->upper_bound_max;
+      hier_corridor_expansions_->Add(AsU64(corridor->stats.expansions));
+      hier_corridor_fragments_->Add(
+          AsU64(static_cast<int64_t>(corridor->fragments_marked)));
+      hier_corridor_nodes_->Add(corridor->corridor_nodes);
+      if (corridor_span.active()) {
+        corridor_span.AddAttr(
+            "fragments", static_cast<double>(corridor->fragments_marked));
+        corridor_span.AddAttr(
+            "corridor_nodes",
+            static_cast<double>(corridor->corridor_nodes));
+        corridor_span.AddAttr(
+            "expansions", static_cast<double>(corridor->stats.expansions));
+      }
+    } else {
+      // E.g. the query interval or an approximate arrival left the build
+      // window: fall back to the flat search for this query.
+      s->filter.Reset();
+      hier_fallbacks_->Add(1);
+      if (corridor_span.active()) corridor_span.AddAttr("fallback", 1.0);
+    }
+    hier_corridor_ms_->Record(MillisSince(corridor_start));
+  }
+
   AllFpResult result;
+  const auto refine_start = std::chrono::steady_clock::now();
   {
     obs::Trace::Span search_span =
         tracing ? trace->StartSpan("search") : obs::Trace::Span();
-    ProfileSearch search(accessor(), estimator.get(), options_.search, s,
+    // The corridor's upper-bound border max is achievable over the whole
+    // leave interval; seeding it activates the refine search's bound
+    // pruning before the first target pop (no-op in flat mode: +inf).
+    ProfileSearchOptions search_options = options_.search;
+    search_options.initial_upper_bound = corridor_upper_bound;
+    ProfileSearch search(accessor(), estimator.get(), search_options, s,
                          trace);
     result = search.RunAllFp(query);
     if (tracing) {
@@ -204,6 +275,12 @@ AllFpResult FastestPathEngine::RunOneAllFp(const ProfileQuery& query,
     }
   }
 
+  if (hier_index_ != nullptr) {
+    hier_refine_ms_->Record(MillisSince(refine_start));
+    // The filter is per-query state; never leak it into a later query that
+    // might run without a corridor.
+    s->filter.Reset();
+  }
   AccumulateArenaStats(arena_before, s->arena.stats());
   const double ms = MillisSince(start);
   if (elapsed_ms != nullptr) *elapsed_ms = ms;
@@ -213,6 +290,7 @@ AllFpResult FastestPathEngine::RunOneAllFp(const ProfileQuery& query,
   search_pushes_->Add(AsU64(result.stats.pushes));
   search_pruned_dominated_->Add(AsU64(result.stats.pruned_dominated));
   search_pruned_bound_->Add(AsU64(result.stats.pruned_bound));
+  search_pruned_filtered_->Add(AsU64(result.stats.pruned_filtered));
   return result;
 }
 
@@ -249,6 +327,7 @@ SingleFpResult FastestPathEngine::SingleFastestPath(const ProfileQuery& query,
   search_pushes_->Add(AsU64(result.stats.pushes));
   search_pruned_dominated_->Add(AsU64(result.stats.pruned_dominated));
   search_pruned_bound_->Add(AsU64(result.stats.pruned_bound));
+  search_pruned_filtered_->Add(AsU64(result.stats.pruned_filtered));
   return result;
 }
 
@@ -265,7 +344,7 @@ void FastestPathEngine::RunBatchImpl(std::span<const ProfileQuery> queries,
   // pool) is immutable or internally synchronized, and a query's trace is
   // touched only by the worker that claimed it.
   auto worker = [&]() {
-    ProfileSearch::Scratch scratch;
+    QueryScratch scratch;
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < queries.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {

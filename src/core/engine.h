@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/boundary_estimator.h"
+#include "src/core/hierarchical.h"
 #include "src/core/profile_search.h"
 #include "src/core/reverse_profile_search.h"
 #include "src/core/td_astar.h"
@@ -39,6 +40,24 @@ struct EngineOptions {
   };
   EstimatorKind estimator = EstimatorKind::kBoundaryTravelTime;
   int boundary_grid_dim = 32;
+
+  // How interval (allFP) queries execute.
+  enum class QueryMode {
+    // IntAllFastestPaths over the full road graph (the paper's §4).
+    kFlat,
+    // Two-phase (DESIGN.md §9): a corridor phase over the hierarchical
+    // index's simplified transit bounds marks the fragments that can carry
+    // an optimal departure, then the flat search runs restricted to them
+    // via a NodeFilter. Results are identical to kFlat; the index is built
+    // (or loaded from hierarchical_index_path) eagerly in Create.
+    kHierarchicalTwoPhase,
+  };
+  QueryMode query_mode = QueryMode::kFlat;
+  // Index parameters for kHierarchicalTwoPhase (ignored otherwise).
+  HierarchicalOptions hierarchical;
+  // When non-empty and query_mode is kHierarchicalTwoPhase, the index is
+  // loaded from this file (see HierarchicalIndex::Save) instead of built.
+  std::string hierarchical_index_path;
 
   ProfileSearchOptions search;
 
@@ -70,8 +89,16 @@ struct BatchResult {
 
 class FastestPathEngine {
  public:
+  // Per-worker state for the full two-phase query path: the flat search
+  // scratch plus the corridor-phase scratch. Strictly per-worker, like its
+  // members.
+  struct QueryScratch {
+    ProfileSearch::Scratch search;
+    HierarchicalIndex::CorridorScratch corridor;
+  };
+
   // `network` must outlive the engine. Builds the estimator index (and the
-  // CCAM file if requested) eagerly.
+  // CCAM file and hierarchical index if requested) eagerly.
   static util::StatusOr<std::unique_ptr<FastestPathEngine>> Create(
       const network::RoadNetwork* network, const EngineOptions& options = {});
 
@@ -139,6 +166,12 @@ class FastestPathEngine {
   bool disk_backed() const { return store_ != nullptr; }
   const network::RoadNetwork& road_network() const { return *network_; }
 
+  // The hierarchical index; null unless query_mode is
+  // kHierarchicalTwoPhase.
+  const HierarchicalIndex* hierarchical_index() const {
+    return hier_index_.get();
+  }
+
  private:
   FastestPathEngine(const network::RoadNetwork* network,
                     const EngineOptions& options);
@@ -150,9 +183,8 @@ class FastestPathEngine {
   // The one traced+metered allFP path, shared by AllFastestPaths and the
   // batch workers. `scratch` and `trace` may be null; `elapsed_ms`, if
   // non-null, receives the query wall-clock time.
-  AllFpResult RunOneAllFp(const ProfileQuery& query,
-                          ProfileSearch::Scratch* scratch, obs::Trace* trace,
-                          double* elapsed_ms);
+  AllFpResult RunOneAllFp(const ProfileQuery& query, QueryScratch* scratch,
+                          obs::Trace* trace, double* elapsed_ms);
 
   // Shared worker-pool body of RunBatch / RunBatchWithMetrics. `traces`
   // (pre-sized) and `batch_latency` may be null.
@@ -188,6 +220,7 @@ class FastestPathEngine {
   std::unique_ptr<storage::CcamStore> store_;
   std::optional<storage::CcamAccessor> disk_accessor_;
   std::unique_ptr<network::EdgeTtfCache> ttf_cache_;
+  std::unique_ptr<HierarchicalIndex> hier_index_;
 
   obs::MetricsRegistry metrics_;
   // Handles cached at InitMetrics time so the per-query cost is a few
@@ -200,7 +233,16 @@ class FastestPathEngine {
   obs::Counter* search_pushes_ = nullptr;
   obs::Counter* search_pruned_dominated_ = nullptr;
   obs::Counter* search_pruned_bound_ = nullptr;
+  obs::Counter* search_pruned_filtered_ = nullptr;
   obs::Counter* td_expanded_nodes_ = nullptr;
+  // Two-phase counters/histograms; registered only when hier_index_ exists.
+  obs::Counter* hier_queries_ = nullptr;
+  obs::Counter* hier_fallbacks_ = nullptr;
+  obs::Counter* hier_corridor_expansions_ = nullptr;
+  obs::Counter* hier_corridor_fragments_ = nullptr;
+  obs::Counter* hier_corridor_nodes_ = nullptr;
+  obs::Histogram* hier_corridor_ms_ = nullptr;
+  obs::Histogram* hier_refine_ms_ = nullptr;
 
   // Engine-wide aggregates of the per-worker PWL arenas, maintained by
   // AccumulateArenaStats and exported as capefp.tdf.arena.* callback

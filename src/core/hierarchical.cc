@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
 #include <queue>
+#include <tuple>
 #include <unordered_set>
 
 #include "src/core/profile_envelope.h"
+#include "src/tdf/pwl_simplify.h"
 #include "src/tdf/travel_time.h"
 #include "src/util/check.h"
+#include "src/util/crc32.h"
 #include "src/util/stats.h"
 
 namespace capefp::core {
@@ -30,6 +36,37 @@ struct Label {
   int64_t parent;
 };
 
+// Width of the time bands for the per-edge scalar extremes. A query's
+// scalar passes take extremes over the bands overlapping its own arrival
+// window instead of the whole build window, which is what makes the
+// corridor's scalar pruning tight during rush hour (the full-window min is
+// a free-flow value, the full-window max an extreme-congestion one).
+constexpr double kScalarBandMinutes = 60.0;
+
+// Extremes of f over [lo, hi] clamped to f's domain. An empty overlap
+// falls back to the global extreme, which is still a sound bound.
+double MinValueOver(const PwlFunction& f, double lo, double hi) {
+  lo = std::max(lo, f.domain_lo());
+  hi = std::min(hi, f.domain_hi());
+  if (lo > hi) return f.MinValue();
+  double best = std::min(f.Value(lo), f.Value(hi));
+  for (const tdf::Breakpoint& bp : f.breakpoints()) {
+    if (bp.x > lo && bp.x < hi) best = std::min(best, bp.y);
+  }
+  return best;
+}
+
+double MaxValueOver(const PwlFunction& f, double lo, double hi) {
+  lo = std::max(lo, f.domain_lo());
+  hi = std::min(hi, f.domain_hi());
+  if (lo > hi) return f.MaxValue();
+  double best = std::max(f.Value(lo), f.Value(hi));
+  for (const tdf::Breakpoint& bp : f.breakpoints()) {
+    if (bp.x > lo && bp.x < hi) best = std::max(best, bp.y);
+  }
+  return best;
+}
+
 }  // namespace
 
 HierarchicalIndex::HierarchicalIndex(const network::RoadNetwork* network,
@@ -38,17 +75,34 @@ HierarchicalIndex::HierarchicalIndex(const network::RoadNetwork* network,
   CAPEFP_CHECK(network != nullptr);
   CAPEFP_CHECK_GE(options.grid_dim, 1);
   CAPEFP_CHECK_LT(options.window_lo, options.window_hi);
+  CAPEFP_CHECK_GE(options.simplify_eps, 0.0);
   util::WallTimer timer;
+  BuildPartition();
+  BuildTransit();
+  BuildApprox();
+  build_stats_.build_seconds = timer.ElapsedSeconds();
+}
 
-  const size_t n = network->num_nodes();
-  const int g = options.grid_dim;
+HierarchicalIndex::HierarchicalIndex(LoadTag,
+                                     const network::RoadNetwork* network,
+                                     const HierarchicalOptions& options)
+    : network_(network), options_(options) {
+  CAPEFP_CHECK(network != nullptr);
+  BuildPartition();
+  // The caller (Load) attaches the stored transit functions and then runs
+  // BuildApprox.
+}
+
+void HierarchicalIndex::BuildPartition() {
+  const size_t n = network_->num_nodes();
+  const int g = options_.grid_dim;
   const int num_fragments = g * g;
   fragment_of_.resize(n);
-  const geo::BoundingBox& box = network->bounding_box();
+  const geo::BoundingBox& box = network_->bounding_box();
   const double w = std::max(box.width(), 1e-12);
   const double h = std::max(box.height(), 1e-12);
   for (size_t i = 0; i < n; ++i) {
-    const geo::Point& p = network->location(static_cast<NodeId>(i));
+    const geo::Point& p = network_->location(static_cast<NodeId>(i));
     const int cx =
         std::clamp(static_cast<int>((p.x - box.lo().x) / w * g), 0, g - 1);
     const int cy =
@@ -58,21 +112,25 @@ HierarchicalIndex::HierarchicalIndex(const network::RoadNetwork* network,
 
   entries_.resize(static_cast<size_t>(num_fragments));
   exits_.resize(static_cast<size_t>(num_fragments));
+  fragment_nodes_.resize(static_cast<size_t>(num_fragments));
   fragment_mask_.assign(static_cast<size_t>(num_fragments),
                         std::vector<bool>(n, false));
   for (size_t i = 0; i < n; ++i) {
-    fragment_mask_[static_cast<size_t>(fragment_of_[i])][i] = true;
+    const auto f = static_cast<size_t>(fragment_of_[i]);
+    fragment_mask_[f][i] = true;
+    fragment_nodes_[f].push_back(static_cast<NodeId>(i));
   }
   std::vector<bool> is_entry(n, false);
   std::vector<bool> is_exit(n, false);
-  for (size_t e = 0; e < network->num_edges(); ++e) {
-    const network::Edge& edge = network->edge(static_cast<EdgeId>(e));
+  for (size_t e = 0; e < network_->num_edges(); ++e) {
+    const network::Edge& edge = network_->edge(static_cast<EdgeId>(e));
     const int ffrom = fragment_of_[static_cast<size_t>(edge.from)];
     const int fto = fragment_of_[static_cast<size_t>(edge.to)];
     if (ffrom == fto) continue;
     // Crossing edge: part of the overlay as-is.
     overlay_[edge.from].push_back(
-        {edge.to, nullptr, edge.pattern, edge.distance_miles});
+        {edge.to, nullptr, edge.pattern, edge.distance_miles, nullptr,
+         nullptr});
     if (!is_exit[static_cast<size_t>(edge.from)]) {
       is_exit[static_cast<size_t>(edge.from)] = true;
       exits_[static_cast<size_t>(ffrom)].push_back(edge.from);
@@ -82,20 +140,28 @@ HierarchicalIndex::HierarchicalIndex(const network::RoadNetwork* network,
       entries_[static_cast<size_t>(fto)].push_back(edge.to);
     }
   }
+  for (int f = 0; f < num_fragments; ++f) {
+    if (!entries_[static_cast<size_t>(f)].empty() &&
+        !exits_[static_cast<size_t>(f)].empty()) {
+      ++build_stats_.fragments_used;
+    }
+  }
+}
 
+void HierarchicalIndex::BuildTransit() {
   // Transit functions: per fragment, per entry, the within-fragment
   // envelope to each exit.
+  const int num_fragments = this->num_fragments();
   for (int f = 0; f < num_fragments; ++f) {
     const auto& entry_nodes = entries_[static_cast<size_t>(f)];
     const auto& exit_nodes = exits_[static_cast<size_t>(f)];
     if (entry_nodes.empty() || exit_nodes.empty()) continue;
-    ++build_stats_.fragments_used;
     EnvelopeOptions envelope_options;
     envelope_options.allowed = &fragment_mask_[static_cast<size_t>(f)];
     for (NodeId entry : entry_nodes) {
       const auto envelope =
-          SingleSourceProfile(*network, entry, options.window_lo,
-                              options.window_hi, envelope_options);
+          SingleSourceProfile(*network_, entry, options_.window_lo,
+                              options_.window_hi, envelope_options);
       for (NodeId exit : exit_nodes) {
         if (exit == entry) continue;
         const auto it = envelope.find(exit);
@@ -103,12 +169,163 @@ HierarchicalIndex::HierarchicalIndex(const network::RoadNetwork* network,
         transit_.push_back(std::make_unique<PwlFunction>(it->second));
         build_stats_.transit_breakpoints +=
             transit_.back()->breakpoints().size();
-        overlay_[entry].push_back({exit, transit_.back().get(), 0, 0.0});
+        overlay_[entry].push_back(
+            {exit, transit_.back().get(), 0, 0.0, nullptr, nullptr});
         ++build_stats_.transit_functions;
       }
     }
   }
-  build_stats_.build_seconds = timer.ElapsedSeconds();
+}
+
+void HierarchicalIndex::BuildApprox() {
+  const double eps = options_.simplify_eps;
+  PwlFunction edge_fn;  // Crossing-edge full-window function scratch.
+  for (auto& [from, edges] : overlay_) {
+    (void)from;
+    for (OverlayEdge& edge : edges) {
+      const PwlFunction* exact = edge.transit;
+      if (exact == nullptr) {
+        const tdf::EdgeSpeedView speed(&network_->pattern(edge.pattern),
+                                       &network_->calendar());
+        tdf::EdgeTravelTimeFunctionInto(speed, edge.distance_miles,
+                                        options_.window_lo,
+                                        options_.window_hi, &edge_fn);
+        exact = &edge_fn;
+      }
+      approx_.push_back(
+          std::make_unique<PwlFunction>(tdf::SimplifyLower(*exact, eps)));
+      edge.lower = approx_.back().get();
+      approx_.push_back(
+          std::make_unique<PwlFunction>(tdf::SimplifyUpper(*exact, eps)));
+      edge.upper = approx_.back().get();
+      edge.min_lower = edge.lower->MinValue();
+      edge.max_upper = edge.upper->MaxValue();
+      build_stats_.approx_breakpoints +=
+          edge.lower->breakpoints().size() + edge.upper->breakpoints().size();
+    }
+  }
+
+  // --- Scalar-pass CSR. ---
+  // Dense ids for every node the overlay touches, in node-id order (the
+  // overlay map iterates in hash order; sorting keeps the layout — and so
+  // the corridor's float summations — deterministic across builds).
+  const size_t n = network_->num_nodes();
+  dense_of_.assign(n, -1);
+  node_of_dense_.clear();
+  for (const auto& [from, edges] : overlay_) {
+    dense_of_[static_cast<size_t>(from)] = 0;
+    for (const OverlayEdge& edge : edges) {
+      dense_of_[static_cast<size_t>(edge.to)] = 0;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (dense_of_[i] == 0) {
+      dense_of_[i] = static_cast<int32_t>(node_of_dense_.size());
+      node_of_dense_.push_back(static_cast<NodeId>(i));
+    }
+  }
+  const auto m = static_cast<int32_t>(node_of_dense_.size());
+
+  // Forward CSR in dense-tail order, band tables filled per edge row.
+  const int nb = NumScalarBands();
+  size_t num_edges = 0;
+  for (const auto& [from, edges] : overlay_) {
+    (void)from;
+    num_edges += edges.size();
+  }
+  fwd_off_.assign(static_cast<size_t>(m) + 1, 0);
+  fwd_to_.clear();
+  fwd_to_.reserve(num_edges);
+  fwd_band_.clear();
+  fwd_band_.reserve(num_edges);
+  fwd_max_upper_.clear();
+  fwd_max_upper_.reserve(num_edges);
+  fwd_upper_fn_.clear();
+  fwd_upper_fn_.reserve(num_edges);
+  band_min_flat_.assign(num_edges * static_cast<size_t>(nb), 0.0);
+  band_max_flat_.assign(num_edges * static_cast<size_t>(nb), 0.0);
+  for (int32_t d = 0; d < m; ++d) {
+    const auto it = overlay_.find(node_of_dense_[static_cast<size_t>(d)]);
+    if (it != overlay_.end()) {
+      for (const OverlayEdge& edge : it->second) {
+        const auto row = static_cast<int32_t>(fwd_to_.size());
+        fwd_to_.push_back(dense_of_[static_cast<size_t>(edge.to)]);
+        fwd_band_.push_back(row);
+        fwd_max_upper_.push_back(edge.max_upper);
+        fwd_upper_fn_.push_back(edge.upper);
+        double* row_min = band_min_flat_.data() +
+                          static_cast<size_t>(row) * static_cast<size_t>(nb);
+        double* row_max = band_max_flat_.data() +
+                          static_cast<size_t>(row) * static_cast<size_t>(nb);
+        for (int b = 0; b < nb; ++b) {
+          const double lo = options_.window_lo + b * kScalarBandMinutes;
+          const double hi =
+              (b + 1 == nb) ? options_.window_hi : lo + kScalarBandMinutes;
+          row_min[b] = MinValueOver(*edge.lower, lo, hi);
+          row_max[b] = MaxValueOver(*edge.upper, lo, hi);
+        }
+      }
+    }
+    fwd_off_[static_cast<size_t>(d) + 1] =
+        static_cast<int32_t>(fwd_to_.size());
+  }
+
+  // Backward CSR by counting sort over the forward edges.
+  bwd_off_.assign(static_cast<size_t>(m) + 1, 0);
+  for (const int32_t head : fwd_to_) {
+    ++bwd_off_[static_cast<size_t>(head) + 1];
+  }
+  for (int32_t d = 0; d < m; ++d) {
+    bwd_off_[static_cast<size_t>(d) + 1] += bwd_off_[static_cast<size_t>(d)];
+  }
+  bwd_from_.assign(num_edges, 0);
+  bwd_band_.assign(num_edges, 0);
+  std::vector<int32_t> fill(bwd_off_.begin(), bwd_off_.end() - 1);
+  for (int32_t tail = 0; tail < m; ++tail) {
+    for (int32_t e = fwd_off_[static_cast<size_t>(tail)];
+         e < fwd_off_[static_cast<size_t>(tail) + 1]; ++e) {
+      const auto slot =
+          static_cast<size_t>(fill[static_cast<size_t>(fwd_to_[
+              static_cast<size_t>(e)])]++);
+      bwd_from_[slot] = tail;
+      bwd_band_[slot] = fwd_band_[static_cast<size_t>(e)];
+    }
+  }
+
+  // Resident-footprint accounting (dominant terms; small map/vector
+  // overheads approximated by element sizes).
+  size_t bytes = 0;
+  for (const auto& fn : transit_) {
+    bytes += sizeof(PwlFunction) + fn->breakpoints().size() * sizeof(tdf::Breakpoint);
+  }
+  for (const auto& fn : approx_) {
+    bytes += sizeof(PwlFunction) + fn->breakpoints().size() * sizeof(tdf::Breakpoint);
+  }
+  for (const auto& [node, edges] : overlay_) {
+    (void)node;
+    bytes += sizeof(NodeId) + edges.size() * sizeof(OverlayEdge);
+  }
+  bytes += dense_of_.size() * sizeof(int32_t);
+  bytes += node_of_dense_.size() * sizeof(NodeId);
+  bytes += (fwd_off_.size() + fwd_to_.size() + fwd_band_.size() +
+            bwd_off_.size() + bwd_from_.size() + bwd_band_.size()) *
+           sizeof(int32_t);
+  bytes += fwd_max_upper_.size() * sizeof(double);
+  bytes += fwd_upper_fn_.size() * sizeof(const PwlFunction*);
+  bytes += (band_min_flat_.size() + band_max_flat_.size()) * sizeof(double);
+  bytes += fragment_of_.size() * sizeof(int);
+  bytes += fragment_mask_.size() * (n / 8 + 1);
+  for (const auto& v : fragment_nodes_) bytes += v.size() * sizeof(NodeId);
+  for (const auto& v : entries_) bytes += v.size() * sizeof(NodeId);
+  for (const auto& v : exits_) bytes += v.size() * sizeof(NodeId);
+  build_stats_.index_bytes = bytes;
+}
+
+int HierarchicalIndex::NumScalarBands() const {
+  return std::max(
+      1, static_cast<int>(std::ceil((options_.window_hi - options_.window_lo) /
+                                        kScalarBandMinutes -
+                                    1e-9)));
 }
 
 int HierarchicalIndex::FragmentOf(NodeId node) const {
@@ -145,7 +362,8 @@ util::StatusOr<HierarchicalIndex::RunOutput> HierarchicalIndex::Run(
         *network_, s, query.leave_lo, query.leave_hi, s_options);
     auto add_stub = [&](NodeId from, NodeId to, const PwlFunction& fn) {
       local_functions.push_back(std::make_unique<PwlFunction>(fn));
-      stubs[from].push_back({to, local_functions.back().get(), 0, 0.0});
+      stubs[from].push_back(
+          {to, local_functions.back().get(), 0, 0.0, nullptr, nullptr});
     };
     for (NodeId exit : exits_[static_cast<size_t>(fs)]) {
       if (exit == s) continue;
@@ -193,6 +411,14 @@ util::StatusOr<HierarchicalIndex::RunOutput> HierarchicalIndex::Run(
     return waypoints;
   };
 
+  // Reusable destinations for the inner-loop Into operations (the overlay
+  // search is not per-expansion hot like ProfileSearch, but it shares the
+  // same no-allocating-forms discipline so capefp_lint covers it).
+  PwlFunction restricted_buf;
+  PwlFunction combined_buf;
+  PwlFunction edge_scratch;
+  PwlFunction envelope_buf;
+
   util::Status failure = util::Status::Ok();
   while (!queue.empty()) {
     const QueueEntry top = queue.top();
@@ -223,7 +449,8 @@ util::StatusOr<HierarchicalIndex::RunOutput> HierarchicalIndex::Run(
           ++out.stats.pruned_dominated;
           continue;
         }
-        env->second = PwlFunction::Min(env->second, fn);
+        PwlFunction::LowerEnvelopeInto(env->second, fn, &envelope_buf);
+        env->second = std::move(envelope_buf);
       } else {
         expanded_envelope.emplace(node, fn);
       }
@@ -233,7 +460,6 @@ util::StatusOr<HierarchicalIndex::RunOutput> HierarchicalIndex::Run(
 
     auto relax = [&](const OverlayEdge& edge) {
       const PwlFunction& fn = labels[static_cast<size_t>(top.label)].fn;
-      PwlFunction combined = fn;  // Replaced below.
       if (edge.transit != nullptr) {
         const double a_lo = fn.domain_lo() + fn.Value(fn.domain_lo());
         const double a_hi = fn.domain_hi() + fn.Value(fn.domain_hi());
@@ -244,23 +470,24 @@ util::StatusOr<HierarchicalIndex::RunOutput> HierarchicalIndex::Run(
               "wider window");
           return;
         }
-        const PwlFunction restricted = edge.transit->Restricted(
+        edge.transit->RestrictedInto(
             std::max(a_lo, edge.transit->domain_lo()),
-            std::min(a_hi, edge.transit->domain_hi()));
-        combined = tdf::ComposePathWithEdge(fn, restricted);
+            std::min(a_hi, edge.transit->domain_hi()), &restricted_buf);
+        tdf::ComposePathWithEdgeInto(fn, restricted_buf, &combined_buf);
       } else {
         const tdf::EdgeSpeedView speed(&network_->pattern(edge.pattern),
                                        &network_->calendar());
-        combined = tdf::ExpandPath(fn, speed, edge.distance_miles);
+        tdf::ExpandPathInto(fn, speed, edge.distance_miles, &edge_scratch,
+                            &combined_buf);
       }
       const double key =
-          combined.MinValue() + estimator->Estimate(edge.to);
+          combined_buf.MinValue() + estimator->Estimate(edge.to);
       if (!out.border.empty() &&
           key >= out.border.MaxValue() - tdf::kTimeEps) {
         ++out.stats.pruned_bound;
         return;
       }
-      labels.push_back({std::move(combined), edge.to, top.label});
+      labels.push_back({std::move(combined_buf), edge.to, top.label});
       queue.push({key, static_cast<int64_t>(labels.size()) - 1});
       ++out.stats.pushes;
     };
@@ -329,6 +556,611 @@ util::StatusOr<HierarchicalSingleFpResult> HierarchicalIndex::RunSingleFp(
   result.best_leave_time = run->best_leave;
   result.best_travel_minutes = run->best_travel;
   return result;
+}
+
+// --- Corridor phase (two-phase mode; see DESIGN.md §9). ---
+//
+// Label-setting scalar A* over the overlay, bracketed by the simplified
+// PWL bounds. (An earlier function-level per-node envelope search was
+// abandoned: overlay graphs have exponentially many near-tied paths, and
+// every sub-eps improvement of a node's lower envelope re-queues it, so
+// the search degenerates into a re-expansion cascade on grid-like
+// networks. Scalar Dijkstra is label-setting — each node settles once.)
+//
+// Passes, all over scalar extremes of the simplified PWL brackets:
+//  1. Forward A* from s over full-window per-edge UPPER maxima:
+//     dist_hi(t) = ub0, the worst case of a real path — achievable at
+//     every leaving instant. ub0 defines the query's arrival window
+//     W = [leave_lo, leave_hi + ub0]: a path prefix whose arrival leaves W
+//     already costs more than ub0, so only W-banded extremes matter.
+//  2. Forward A* from s over W-banded UPPER maxima with parent tracking:
+//     a tighter achievable cap ub <= ub0, then tightened again by
+//     composing the simplified upper brackets exactly along the argmin
+//     path (a real path, so the composed max stays achievable).
+//  3. Backward Dijkstra from t over W-banded LOWER minima, truncated at
+//     the cap: h_lo(v) lower-bounds every in-contention overlay path
+//     v -> t at every departure (an admissible, congestion-aware
+//     heuristic for pass 4).
+//  4. Forward Dijkstra from s over W-banded LOWER minima, pruned at push
+//     against ub via max(h_lo, estimator): every settled node v has
+//     dist_lo(v) + guide(v) <= ub + kTimeEps and marks its fragment.
+//
+// Soundness of the marking: for a node v on an exact optimal path at some
+// leaving time tau, dist_lo(v) lower-bounds the prefix, and h_lo(v) and
+// the estimator both lower-bound the suffix, so their sum is at most
+// opt(tau) <= max(opt) <= ub — v always survives the pruning rule (the
+// h_lo potential satisfies the triangle inequality, so no predecessor on
+// v's shortest scalar path is pruned either). The corridor is therefore a
+// superset of the overlay nodes of every path that can carry an optimal
+// departure, and the restricted exact phase returns the flat answer
+// bit-identically.
+util::StatusOr<CorridorResult> HierarchicalIndex::ExtractCorridor(
+    const ProfileQuery& query, TravelTimeEstimator* estimator,
+    CorridorScratch& s, NodeFilter* filter) const {
+  CAPEFP_CHECK(estimator != nullptr);
+  CAPEFP_CHECK(filter != nullptr);
+  CAPEFP_CHECK_LE(query.leave_lo, query.leave_hi);
+  if (query.leave_lo < options_.window_lo - tdf::kTimeEps ||
+      query.leave_hi > options_.window_hi + tdf::kTimeEps) {
+    return util::Status::OutOfRange(
+        "query interval outside the index build window");
+  }
+
+  CorridorResult out;
+  out.upper_bound_max = std::numeric_limits<double>::infinity();
+  const NodeId sn = query.source;
+  const NodeId tn = query.target;
+  const size_t n = network_->num_nodes();
+  const auto num_frags = static_cast<size_t>(num_fragments());
+  if (s.fragment_stamp.size() < num_frags) {
+    s.fragment_stamp.resize(num_frags, 0);
+  }
+  ++s.fragment_epoch;
+  filter->BeginCorridor(n);
+  s.heap.clear();
+  s.t_stubs.clear();
+
+  // The scalar passes run over the dense CSR ids; a non-boundary endpoint
+  // gets a virtual slot past the dense range (m for s, m+1 for t).
+  const auto m = static_cast<int32_t>(node_of_dense_.size());
+  const int32_t sd =
+      dense_of_[static_cast<size_t>(sn)] >= 0
+          ? dense_of_[static_cast<size_t>(sn)] : m;
+  const int32_t td =
+      dense_of_[static_cast<size_t>(tn)] >= 0
+          ? dense_of_[static_cast<size_t>(tn)] : m + 1;
+  const auto num_slots = static_cast<size_t>(m) + 2;
+  const auto node_at = [&](int32_t d) {
+    if (d < m) return node_of_dense_[static_cast<size_t>(d)];
+    return d == m ? sn : tn;
+  };
+  if (s.scalar_parent.size() < num_slots) s.scalar_parent.resize(num_slots);
+
+  auto mark_fragment = [&](int f) {
+    uint64_t& stamp = s.fragment_stamp[static_cast<size_t>(f)];
+    if (stamp == s.fragment_epoch) return;
+    stamp = s.fragment_epoch;
+    ++out.fragments_marked;
+    for (NodeId nd : fragment_nodes_[static_cast<size_t>(f)]) {
+      filter->Allow(nd);
+    }
+    out.corridor_nodes += fragment_nodes_[static_cast<size_t>(f)].size();
+  };
+  const int fs = FragmentOf(sn);
+  const int ft = FragmentOf(tn);
+  // The endpoint fragments always belong to the corridor: the exact phase
+  // recomputes the s/t stubs itself from the road graph.
+  mark_fragment(fs);
+  mark_fragment(ft);
+  if (sn == tn) {
+    out.found = true;
+    out.upper_bound_max = 0.0;
+    return out;
+  }
+
+  const double eps = options_.simplify_eps;
+
+  // --- Per-query stub brackets. ---
+  // s-side: simplified bounds of the within-fragment envelopes s -> exit
+  // (plus s -> t when t shares the fragment), relaxed when s pops. Exits
+  // head crossing edges, so they always carry a dense id.
+  std::vector<std::pair<int32_t, StubBound>> s_stubs;
+  {
+    EnvelopeOptions s_options;
+    s_options.allowed = &fragment_mask_[static_cast<size_t>(fs)];
+    const auto s_envelope = SingleSourceProfile(
+        *network_, sn, query.leave_lo, query.leave_hi, s_options);
+    auto add_s_stub = [&](int32_t to, const PwlFunction& fn) {
+      StubBound stub{tdf::SimplifyLower(fn, eps), tdf::SimplifyUpper(fn, eps),
+                     0.0, 0.0};
+      stub.min_lower = stub.lower.MinValue();
+      stub.max_upper = stub.upper.MaxValue();
+      s_stubs.emplace_back(to, std::move(stub));
+    };
+    for (NodeId exit : exits_[static_cast<size_t>(fs)]) {
+      if (exit == sn) continue;
+      const auto it = s_envelope.find(exit);
+      if (it == s_envelope.end()) continue;
+      add_s_stub(dense_of_[static_cast<size_t>(exit)], it->second);
+    }
+    if (ft == fs) {
+      const auto it = s_envelope.find(tn);
+      if (it != s_envelope.end()) add_s_stub(td, it->second);
+    }
+  }
+  // t-side: simplified bounds of the departure-anchored within-fragment
+  // envelopes entry -> t, relaxed when an ft entry pops. Entries tail
+  // crossing edges, so they always carry a dense id.
+  s.t_stub_at.BeginQuery(num_slots);
+  {
+    EnvelopeOptions t_options;
+    t_options.allowed = &fragment_mask_[static_cast<size_t>(ft)];
+    const auto t_envelope = SingleTargetProfile(
+        *network_, tn, options_.window_lo, options_.window_hi, t_options);
+    for (NodeId entry : entries_[static_cast<size_t>(ft)]) {
+      if (entry == tn || entry == sn) continue;
+      const auto it = t_envelope.find(entry);
+      if (it == t_envelope.end()) continue;
+      const auto departure_fn = DepartureFunctionFromArrival(it->second);
+      if (!departure_fn.has_value()) continue;
+      StubBound stub{tdf::SimplifyLower(*departure_fn, eps),
+                     tdf::SimplifyUpper(*departure_fn, eps), 0.0, 0.0};
+      stub.min_lower = stub.lower.MinValue();
+      stub.max_upper = stub.upper.MaxValue();
+      const int32_t entry_d = dense_of_[static_cast<size_t>(entry)];
+      s.t_stub_at.Improve(entry_d, static_cast<double>(s.t_stubs.size()));
+      s.t_stubs.emplace_back(entry_d, std::move(stub));
+    }
+  }
+  // --- Scalar passes (see the algorithm comment above). ---
+  // Forward all-upper-bounds A* from s (passes 1 and 2). The estimator
+  // lower-bounds the exact remaining travel, which lower-bounds the
+  // remaining upper-weight sum, and free-flow bounds are consistent — so
+  // the first t pop carries the exact scalar distance while the search
+  // explores an ellipse instead of a ball.
+  auto forward_upper_pass = [&](auto&& edge_max_of, bool track_parents) {
+    s.dist_hi.BeginQuery(num_slots);
+    s.heap.clear();
+    s.dist_hi.Improve(sd, 0.0);
+    s.heap.push_back({estimator->Estimate(sn), static_cast<int64_t>(sd)});
+    ++out.stats.pushes;
+    while (!s.heap.empty()) {
+      const HeapEntry top = s.heap.front();
+      std::pop_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+      s.heap.pop_back();
+      const auto d = static_cast<int32_t>(top.label);
+      const double g = s.dist_hi.Get(d);
+      const double est_d = estimator->Estimate(node_at(d));
+      if (top.key > g + est_d) continue;  // Stale.
+      if (d == td) break;
+      ++out.stats.expansions;
+      auto relax_hi = [&](int32_t to, double weight,
+                          const PwlFunction* upper) {
+        const double cand = g + weight;
+        if (s.dist_hi.Improve(to, cand)) {
+          if (track_parents) {
+            s.scalar_parent[static_cast<size_t>(to)] = {d, upper};
+          }
+          s.heap.push_back({cand + estimator->Estimate(node_at(to)),
+                            static_cast<int64_t>(to)});
+          std::push_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+          ++out.stats.pushes;
+        }
+      };
+      if (d == sd) {
+        for (const auto& [to, stub] : s_stubs) {
+          relax_hi(to, stub.max_upper, &stub.upper);
+        }
+      }
+      if (d < m) {
+        for (int32_t e = fwd_off_[static_cast<size_t>(d)];
+             e < fwd_off_[static_cast<size_t>(d) + 1]; ++e) {
+          relax_hi(fwd_to_[static_cast<size_t>(e)], edge_max_of(e),
+                   fwd_upper_fn_[static_cast<size_t>(e)]);
+        }
+        const double stub_at = s.t_stub_at.Get(d);
+        if (std::isfinite(stub_at)) {
+          const StubBound& stub =
+              s.t_stubs[static_cast<size_t>(stub_at)].second;
+          relax_hi(td, stub.max_upper, &stub.upper);
+        }
+      }
+    }
+    s.heap.clear();
+    return s.dist_hi.Get(td);
+  };
+  const double ub0 = forward_upper_pass(
+      [&](int32_t e) { return fwd_max_upper_[static_cast<size_t>(e)]; },
+      /*track_parents=*/false);
+
+  // The query's arrival window W = [leave_lo, leave_hi + ub0]: a path that
+  // is still in contention has travel time <= ub0 somewhere, and any
+  // prefix whose arrival leaves W already costs more than the achievable
+  // cap — so scalar extremes over W's bands bound every path that matters
+  // while excluding the off-peak extremes of the rest of the build window.
+  const double w_lo = query.leave_lo;
+  const double w_hi = std::isfinite(ub0)
+                          ? std::min(options_.window_hi, query.leave_hi + ub0)
+                          : options_.window_hi;
+  const int nb = NumScalarBands();
+  const auto band_of = [&](double x) {
+    return std::clamp(
+        static_cast<int>((x - options_.window_lo) / kScalarBandMinutes), 0,
+        nb - 1);
+  };
+  const int band_lo = band_of(w_lo);
+  const int band_hi = band_of(w_hi);
+  auto band_row_min = [&](int32_t row) {
+    const double* bands = band_min_flat_.data() +
+                          static_cast<size_t>(row) * static_cast<size_t>(nb);
+    double v = std::numeric_limits<double>::infinity();
+    for (int b = band_lo; b <= band_hi; ++b) v = std::min(v, bands[b]);
+    return v;
+  };
+  auto edge_min = [&](int32_t e) {
+    return band_row_min(fwd_band_[static_cast<size_t>(e)]);
+  };
+  auto edge_max = [&](int32_t e) {
+    const double* bands =
+        band_max_flat_.data() +
+        static_cast<size_t>(fwd_band_[static_cast<size_t>(e)]) *
+            static_cast<size_t>(nb);
+    double v = -std::numeric_limits<double>::infinity();
+    for (int b = band_lo; b <= band_hi; ++b) v = std::max(v, bands[b]);
+    return v;
+  };
+  // Tighten the t-stub scalars to W (the s-stub domains already equal the
+  // leave interval, so their extremes are tight as built).
+  for (auto& [entry_d, stub] : s.t_stubs) {
+    (void)entry_d;
+    stub.min_lower = MinValueOver(stub.lower, w_lo, w_hi);
+    stub.max_upper = MaxValueOver(stub.upper, w_lo, w_hi);
+  }
+
+  // Pass 2: the achievable cap — W-banded upper pass with parent tracking
+  // (<= ub0 along the pass-1 optimum), tightened by composing the
+  // simplified upper brackets exactly along the argmin path. The composed
+  // function describes a REAL path, so its max stays achievable, yet it is
+  // far tighter than the scalar cap on long paths (the scalar cap pays the
+  // worst band of every hop; the composition pays each hop at its actual
+  // arrival time).
+  double ub = std::min(
+      ub0, forward_upper_pass(edge_max, /*track_parents=*/true));
+  if (std::isfinite(ub)) {
+    out.found = true;
+    s.path_uppers.clear();
+    bool have_path = true;
+    for (int32_t at = td; at != sd;) {
+      const ScalarParent& parent = s.scalar_parent[static_cast<size_t>(at)];
+      if (parent.from < 0 || parent.upper == nullptr ||
+          s.path_uppers.size() > num_slots) {
+        have_path = false;
+        break;
+      }
+      s.path_uppers.push_back(parent.upper);
+      at = parent.from;
+    }
+    if (have_path) {
+      s.envelope_tmp =
+          PwlFunction::Constant(query.leave_lo, query.leave_hi, 0.0);
+      bool composed = true;
+      for (auto it = s.path_uppers.rbegin(); it != s.path_uppers.rend();
+           ++it) {
+        const PwlFunction& hop = **it;
+        const PwlFunction& path_fn = s.envelope_tmp;
+        const double a_lo =
+            path_fn.domain_lo() + path_fn.Value(path_fn.domain_lo());
+        const double a_hi =
+            path_fn.domain_hi() + path_fn.Value(path_fn.domain_hi());
+        if (a_lo < hop.domain_lo() - 1e-6 || a_hi > hop.domain_hi() + 1e-6) {
+          // Arrival left the index build window; keep the scalar cap.
+          composed = false;
+          break;
+        }
+        hop.RestrictedInto(std::max(a_lo, hop.domain_lo()),
+                           std::min(a_hi, hop.domain_hi()), &s.restricted);
+        tdf::ComposePathWithEdgeInto(path_fn, s.restricted, &s.combined);
+        tdf::SimplifyUpperInto(s.combined, eps, &s.envelope_tmp);
+      }
+      if (composed) ub = std::min(ub, s.envelope_tmp.MaxValue());
+    }
+  }
+  out.upper_bound_max = ub;
+
+  // Pass 3: backward banded-lower Dijkstra from t, truncated at the cap:
+  // h_lo(v) lower-bounds the travel time of every in-contention overlay
+  // path v -> t at every departure, so max(h_lo, estimator) is an
+  // admissible, overlay-aware heuristic for the marking pass. A node left
+  // unreached at truncation has scalar distance > ub, so (dist_lo >= 0) it
+  // could never pass the marking test — reading its h_lo as +inf is exact.
+  s.h_lo.BeginQuery(num_slots);
+  s.heap.clear();
+  s.h_lo.Improve(td, 0.0);
+  s.heap.push_back({0.0, static_cast<int64_t>(td)});
+  for (const auto& [entry_d, stub] : s.t_stubs) {
+    if (s.h_lo.Improve(entry_d, stub.min_lower)) {
+      s.heap.push_back({stub.min_lower, static_cast<int64_t>(entry_d)});
+      std::push_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+    }
+  }
+  while (!s.heap.empty()) {
+    const HeapEntry top = s.heap.front();
+    std::pop_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+    s.heap.pop_back();
+    if (top.key > ub + tdf::kTimeEps) break;  // Beyond the cap: see above.
+    const auto d = static_cast<int32_t>(top.label);
+    if (top.key > s.h_lo.Get(d)) continue;  // Stale.
+    if (d >= m) continue;  // Virtual endpoints have no overlay in-edges.
+    for (int32_t e = bwd_off_[static_cast<size_t>(d)];
+         e < bwd_off_[static_cast<size_t>(d) + 1]; ++e) {
+      const double cand =
+          top.key + band_row_min(bwd_band_[static_cast<size_t>(e)]);
+      const int32_t from = bwd_from_[static_cast<size_t>(e)];
+      if (s.h_lo.Improve(from, cand)) {
+        s.heap.push_back({cand, static_cast<int64_t>(from)});
+        std::push_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+      }
+    }
+  }
+  s.heap.clear();
+
+  // Pass 4: forward banded-lower Dijkstra from s, pruned at push against
+  // the achievable cap via the overlay-aware admissible heuristic. Every
+  // settled node can carry an optimal departure (see the algorithm comment
+  // above); its fragment joins the corridor. Label-setting: each node is
+  // expanded exactly once, so no re-expansion cascade is possible.
+  s.dist_lo.BeginQuery(num_slots);
+  s.heap.clear();
+  s.dist_lo.Improve(sd, 0.0);
+  s.heap.push_back({0.0, static_cast<int64_t>(sd)});
+  ++out.stats.pushes;
+  while (!s.heap.empty()) {
+    const HeapEntry top = s.heap.front();
+    std::pop_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+    s.heap.pop_back();
+    const auto d = static_cast<int32_t>(top.label);
+    if (top.key > s.dist_lo.Get(d)) continue;  // Stale.
+    ++out.stats.expansions;
+    ++out.stats.distinct_nodes;
+    mark_fragment(FragmentOf(node_at(d)));
+    // Fastest paths visit t once, at the end (FIFO): not expanding t can
+    // only shrink dist_lo along s->v prefixes that never pass t, which are
+    // the only prefixes the marking rule needs.
+    if (d == td) continue;
+    auto relax_lo = [&](int32_t to, double weight) {
+      const double cand = top.key + weight;
+      const double guide =
+          std::max(estimator->Estimate(node_at(to)), s.h_lo.Get(to));
+      if (cand + guide > ub + tdf::kTimeEps) {
+        ++out.stats.pruned_bound;
+        return;
+      }
+      if (s.dist_lo.Improve(to, cand)) {
+        s.heap.push_back({cand, static_cast<int64_t>(to)});
+        std::push_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+        ++out.stats.pushes;
+      }
+    };
+    if (d == sd) {
+      for (const auto& [to, stub] : s_stubs) relax_lo(to, stub.min_lower);
+    }
+    if (d < m) {
+      for (int32_t e = fwd_off_[static_cast<size_t>(d)];
+           e < fwd_off_[static_cast<size_t>(d) + 1]; ++e) {
+        relax_lo(fwd_to_[static_cast<size_t>(e)], edge_min(e));
+      }
+      const double stub_at = s.t_stub_at.Get(d);
+      if (std::isfinite(stub_at)) {
+        relax_lo(td, s.t_stubs[static_cast<size_t>(stub_at)].second.min_lower);
+      }
+    }
+  }
+  s.heap.clear();
+  return out;
+}
+
+// --- Serialization. ---
+//
+// Only the expensive build product — the transit functions — is stored;
+// the partition, crossing edges and simplified bounds are rebuilt
+// deterministically from the network at load. Host-endian binary:
+//   "CFH1" | u32 version | u32 crc32c(payload) | u64 payload_size | payload
+// payload:
+//   i32 grid_dim | f64 window_lo | f64 window_hi | f64 simplify_eps
+//   u64 num_nodes | u64 num_edges | f64 build_seconds | u64 num_transit
+//   num_transit × { i32 entry | i32 exit | u64 nbp | nbp × (f64 x, f64 y) }
+
+namespace {
+
+constexpr char kIndexMagic[4] = {'C', 'F', 'H', '1'};
+constexpr uint32_t kIndexFormatVersion = 1;
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+struct PayloadReader {
+  const char* data;
+  size_t size;
+  size_t at = 0;
+
+  template <typename T>
+  bool Pod(T* value) {
+    if (at + sizeof(T) > size) return false;
+    std::memcpy(value, data + at, sizeof(T));
+    at += sizeof(T);
+    return true;
+  }
+};
+
+}  // namespace
+
+util::Status HierarchicalIndex::Save(const std::string& path) const {
+  std::string payload;
+  AppendPod<int32_t>(&payload, options_.grid_dim);
+  AppendPod<double>(&payload, options_.window_lo);
+  AppendPod<double>(&payload, options_.window_hi);
+  AppendPod<double>(&payload, options_.simplify_eps);
+  AppendPod<uint64_t>(&payload, network_->num_nodes());
+  AppendPod<uint64_t>(&payload, network_->num_edges());
+  AppendPod<double>(&payload, build_stats_.build_seconds);
+
+  // Deterministic record order regardless of the overlay map's iteration.
+  std::vector<std::tuple<NodeId, NodeId, const PwlFunction*>> records;
+  for (const auto& [from, edges] : overlay_) {
+    for (const OverlayEdge& edge : edges) {
+      if (edge.transit != nullptr) {
+        records.emplace_back(from, edge.to, edge.transit);
+      }
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  AppendPod<uint64_t>(&payload, records.size());
+  for (const auto& [entry, exit, fn] : records) {
+    AppendPod<int32_t>(&payload, entry);
+    AppendPod<int32_t>(&payload, exit);
+    AppendPod<uint64_t>(&payload, fn->breakpoints().size());
+    for (const tdf::Breakpoint& bp : fn->breakpoints()) {
+      AppendPod<double>(&payload, bp.x);
+      AppendPod<double>(&payload, bp.y);
+    }
+  }
+
+  const uint32_t crc = util::Crc32c(payload.data(), payload.size());
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path + " for writing");
+  }
+  bool ok = std::fwrite(kIndexMagic, 1, sizeof(kIndexMagic), f) ==
+            sizeof(kIndexMagic);
+  ok = ok && std::fwrite(&kIndexFormatVersion, sizeof(uint32_t), 1, f) == 1;
+  ok = ok && std::fwrite(&crc, sizeof(uint32_t), 1, f) == 1;
+  const uint64_t payload_size = payload.size();
+  ok = ok && std::fwrite(&payload_size, sizeof(uint64_t), 1, f) == 1;
+  ok = ok && std::fwrite(payload.data(), 1, payload.size(), f) ==
+                 payload.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return util::Status::IoError("short write to " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::unique_ptr<HierarchicalIndex>> HierarchicalIndex::Load(
+    const network::RoadNetwork* network, const std::string& path) {
+  CAPEFP_CHECK(network != nullptr);
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t crc = 0;
+  uint64_t payload_size = 0;
+  bool ok = std::fread(magic, 1, sizeof(magic), f) == sizeof(magic);
+  ok = ok && std::fread(&version, sizeof(uint32_t), 1, f) == 1;
+  ok = ok && std::fread(&crc, sizeof(uint32_t), 1, f) == 1;
+  ok = ok && std::fread(&payload_size, sizeof(uint64_t), 1, f) == 1;
+  if (!ok || std::memcmp(magic, kIndexMagic, sizeof(magic)) != 0) {
+    std::fclose(f);
+    return util::Status::Corruption(path + ": not a hierarchical index file");
+  }
+  if (version != kIndexFormatVersion) {
+    std::fclose(f);
+    return util::Status::Corruption(path + ": unsupported index version");
+  }
+  std::string payload(payload_size, '\0');
+  ok = std::fread(payload.data(), 1, payload_size, f) == payload_size;
+  std::fclose(f);
+  if (!ok) return util::Status::Corruption(path + ": truncated index file");
+  if (util::Crc32c(payload.data(), payload.size()) != crc) {
+    return util::Status::Corruption(path + ": payload checksum mismatch");
+  }
+
+  PayloadReader r{payload.data(), payload.size()};
+  HierarchicalOptions options;
+  int32_t grid_dim = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  double build_seconds = 0.0;
+  uint64_t num_transit = 0;
+  if (!r.Pod(&grid_dim) || !r.Pod(&options.window_lo) ||
+      !r.Pod(&options.window_hi) || !r.Pod(&options.simplify_eps) ||
+      !r.Pod(&num_nodes) || !r.Pod(&num_edges) || !r.Pod(&build_seconds) ||
+      !r.Pod(&num_transit)) {
+    return util::Status::Corruption(path + ": truncated index header");
+  }
+  options.grid_dim = grid_dim;
+  if (grid_dim < 1 || options.window_lo >= options.window_hi ||
+      options.simplify_eps < 0.0) {
+    return util::Status::Corruption(path + ": invalid index parameters");
+  }
+  if (num_nodes != network->num_nodes() ||
+      num_edges != network->num_edges()) {
+    return util::Status::InvalidArgument(
+        path + ": index was built for a different network (node/edge "
+               "counts differ)");
+  }
+
+  auto index = std::unique_ptr<HierarchicalIndex>(
+      new HierarchicalIndex(LoadTag{}, network, options));
+  index->build_stats_.build_seconds = build_seconds;
+  std::vector<tdf::Breakpoint> points;
+  for (uint64_t rec = 0; rec < num_transit; ++rec) {
+    int32_t entry = 0;
+    int32_t exit = 0;
+    uint64_t nbp = 0;
+    if (!r.Pod(&entry) || !r.Pod(&exit) || !r.Pod(&nbp) || nbp == 0) {
+      return util::Status::Corruption(path + ": truncated transit record");
+    }
+    if (entry < 0 || exit < 0 ||
+        static_cast<uint64_t>(entry) >= num_nodes ||
+        static_cast<uint64_t>(exit) >= num_nodes || entry == exit) {
+      return util::Status::Corruption(path + ": transit record node ids");
+    }
+    const int frag = index->fragment_of_[static_cast<size_t>(entry)];
+    if (index->fragment_of_[static_cast<size_t>(exit)] != frag) {
+      return util::Status::Corruption(
+          path + ": transit record crosses fragments");
+    }
+    const auto& frag_entries = index->entries_[static_cast<size_t>(frag)];
+    const auto& frag_exits = index->exits_[static_cast<size_t>(frag)];
+    if (std::find(frag_entries.begin(), frag_entries.end(), entry) ==
+            frag_entries.end() ||
+        std::find(frag_exits.begin(), frag_exits.end(), exit) ==
+            frag_exits.end()) {
+      return util::Status::Corruption(
+          path + ": transit record endpoints are not boundary nodes");
+    }
+    points.clear();
+    points.reserve(nbp);
+    double prev_x = -std::numeric_limits<double>::infinity();
+    for (uint64_t i = 0; i < nbp; ++i) {
+      tdf::Breakpoint bp{0.0, 0.0};
+      if (!r.Pod(&bp.x) || !r.Pod(&bp.y)) {
+        return util::Status::Corruption(path + ": truncated breakpoints");
+      }
+      if (!std::isfinite(bp.x) || !std::isfinite(bp.y) || bp.x <= prev_x) {
+        return util::Status::Corruption(path + ": malformed breakpoints");
+      }
+      prev_x = bp.x;
+      points.push_back(bp);
+    }
+    index->transit_.push_back(std::make_unique<PwlFunction>(points));
+    index->build_stats_.transit_breakpoints +=
+        index->transit_.back()->breakpoints().size();
+    index->overlay_[entry].push_back({exit, index->transit_.back().get(), 0,
+                                      0.0, nullptr, nullptr});
+    ++index->build_stats_.transit_functions;
+  }
+  if (r.at != r.size) {
+    return util::Status::Corruption(path + ": trailing bytes");
+  }
+  index->BuildApprox();
+  return index;
 }
 
 }  // namespace capefp::core

@@ -21,6 +21,16 @@
 // overlay border equals the flat IntAllFastestPaths border exactly
 // (property-tested against the flat search).
 //
+// On top of the exact overlay search, the index supports the *two-phase*
+// query mode (DESIGN.md §9): ExtractCorridor runs a fast approximate
+// profile search over bounded-error simplified transit bounds
+// (tdf/pwl_simplify.h) — every label carries a lower AND an upper bound on
+// its exact travel-time function — and marks the fragments that can
+// possibly carry an optimal departure. The engine then reruns the exact
+// flat ProfileSearch restricted to those fragments via a NodeFilter, so the
+// final border is the exact one while the exact search touches only a small
+// slice of the graph.
+//
 // The index trades memory for query effort (|entries|·|exits| functions per
 // fragment); it targets mid-size networks or fragment sizes tuned so each
 // fragment stays small — see bench_hierarchical.
@@ -28,11 +38,15 @@
 #define CAPEFP_CORE_HIERARCHICAL_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/estimator.h"
+#include "src/core/node_filter.h"
 #include "src/core/profile_search.h"
 #include "src/network/road_network.h"
 #include "src/tdf/pwl_function.h"
@@ -48,12 +62,25 @@ struct HierarchicalOptions {
   // needing more returns OutOfRange.
   double window_lo = 0.0;
   double window_hi = 2.0 * tdf::kMinutesPerDay;
+  // Maximum absolute error, in minutes, of each simplified transit bound
+  // the corridor phase searches over (tdf/pwl_simplify.h). Larger values
+  // shrink the overlay functions (faster corridor phase) but loosen the
+  // bracket, growing the corridor the exact phase must re-search. Per-hop:
+  // a corridor path of k overlay edges carries up to k·eps slack between
+  // its lower and upper bound beyond the exact spread.
+  double simplify_eps = 0.5;
 };
 
 struct HierarchicalBuildStats {
   int fragments_used = 0;
   size_t transit_functions = 0;
   size_t transit_breakpoints = 0;
+  // Breakpoints across all simplified lower/upper bound pairs (transit and
+  // crossing edges), for the corridor phase.
+  size_t approx_breakpoints = 0;
+  // Total resident footprint of the index (functions, bounds, adjacency,
+  // fragment tables).
+  size_t index_bytes = 0;
   double build_seconds = 0.0;
 };
 
@@ -80,15 +107,122 @@ struct HierarchicalSingleFpResult {
   SearchStats stats;
 };
 
+// ExtractCorridor's answer: the corridor itself is delivered through the
+// NodeFilter passed in; this reports its size and the phase's work.
+struct CorridorResult {
+  // Target reached at the overlay level. When false the corridor holds
+  // just the s/t fragments and the exact phase will confirm "not found".
+  bool found = false;
+  int fragments_marked = 0;
+  // Road-graph nodes admitted by the filter.
+  size_t corridor_nodes = 0;
+  // Max over the leaving interval of the overlay upper-bound border
+  // (infinity when the target was never reached).
+  double upper_bound_max = 0.0;
+  SearchStats stats;
+};
+
+// Dense epoch-stamped node -> double map for the corridor phase's scalar
+// passes (same stamping scheme as NodeEpochSet). Absent reads as +inf,
+// matching Dijkstra-relaxation semantics.
+struct NodeScalarMap {
+  std::vector<uint64_t> stamp;
+  std::vector<double> value;
+  uint64_t epoch = 0;
+
+  void BeginQuery(size_t num_nodes) {
+    if (stamp.size() < num_nodes) {
+      stamp.resize(num_nodes, 0);
+      value.resize(num_nodes, 0.0);
+    }
+    ++epoch;
+  }
+
+  double Get(network::NodeId node) const {
+    const auto i = static_cast<size_t>(node);
+    return stamp[i] == epoch ? value[i]
+                             : std::numeric_limits<double>::infinity();
+  }
+
+  // True when `v` improves (or first sets) the node's value.
+  bool Improve(network::NodeId node, double v) {
+    const auto i = static_cast<size_t>(node);
+    if (stamp[i] == epoch && value[i] <= v) return false;
+    stamp[i] = epoch;
+    value[i] = v;
+    return true;
+  }
+};
+
 class HierarchicalIndex {
  public:
-  // Precomputes fragments and transit functions. `network` must outlive
-  // the index.
+  // A per-query stub bound: simplified bracket of a within-fragment
+  // envelope, plus its scalar extremes for the corridor's scalar passes.
+  struct StubBound {
+    tdf::PwlFunction lower;
+    tdf::PwlFunction upper;
+    double min_lower = 0.0;
+    double max_upper = 0.0;
+  };
+
+  // One hop of the scalar upper pass's argmin path: the predecessor (a
+  // dense overlay id, see dense_of_) and the hop's simplified upper bound
+  // (borrowed from the index or the per-query stubs, both stable for the
+  // query's duration).
+  struct ScalarParent {
+    int32_t from = -1;
+    const tdf::PwlFunction* upper = nullptr;
+  };
+
+  // Reusable per-worker state of ExtractCorridor; same ownership rules as
+  // ProfileSearch::Scratch (arena first, strictly per-worker).
+  struct CorridorScratch {
+    tdf::PwlArena arena;
+    std::vector<HeapEntry> heap;
+    // Scalar passes (see the algorithm comment in hierarchical.cc): h_lo
+    // is the backward banded-lower distance to t (an admissible
+    // overlay-aware heuristic); dist_hi the forward banded-upper distance
+    // from s (the achievable cap); dist_lo the forward banded-lower
+    // distance from s (the marking pass).
+    NodeScalarMap h_lo;
+    NodeScalarMap dist_hi;
+    NodeScalarMap dist_lo;
+    // Predecessor tree of the parent-tracked dist_hi pass, walked to
+    // compose the exact upper bracket along the scalar argmin path. Never
+    // cleared: the walk starts at the target only when the pass reached it
+    // this query, so every entry it follows was written this query.
+    std::vector<ScalarParent> scalar_parent;
+    std::vector<const tdf::PwlFunction*> path_uppers;
+    // Epoch-stamped per-fragment corridor marks.
+    std::vector<uint64_t> fragment_stamp;
+    uint64_t fragment_epoch = 0;
+    // Per-query t-side stub bounds, (dense entry id, bracket), plus an
+    // epoch-stamped dense-id -> stub index lookup (value is the index into
+    // t_stubs; +inf means none).
+    std::vector<std::pair<int32_t, StubBound>> t_stubs;
+    NodeScalarMap t_stub_at;
+    // Arena-bound destinations for the upper-path composition.
+    tdf::PwlFunction restricted{&arena};
+    tdf::PwlFunction combined{&arena};
+    tdf::PwlFunction envelope_tmp{&arena};
+  };
+
+  // Precomputes fragments, transit functions and their simplified bounds.
+  // `network` must outlive the index.
   HierarchicalIndex(const network::RoadNetwork* network,
                     const HierarchicalOptions& options = {});
 
   const HierarchicalBuildStats& build_stats() const { return build_stats_; }
+  const HierarchicalOptions& options() const { return options_; }
+  int num_fragments() const {
+    return options_.grid_dim * options_.grid_dim;
+  }
   int FragmentOf(network::NodeId node) const;
+  // Exact transit functions (diagnostics: `capefp_cli hier stats`).
+  const std::vector<std::unique_ptr<tdf::PwlFunction>>& transit_functions()
+      const {
+    return transit_;
+  }
 
   // Exact allFP border over the overlay. `estimator` must be anchored at
   // query.target (any admissible TravelTimeEstimator; pass ZeroEstimator to
@@ -101,6 +235,25 @@ class HierarchicalIndex {
   util::StatusOr<HierarchicalSingleFpResult> RunSingleFp(
       const ProfileQuery& query, TravelTimeEstimator* estimator);
 
+  // Phase 1 of the two-phase mode: approximate overlay profile search over
+  // the simplified bounds, marking into `filter` every node of every
+  // fragment that can possibly carry an optimal departure (plus the s/t
+  // fragments). `estimator` must be anchored at query.target and
+  // admissible. Thread-safe for concurrent callers with distinct scratches.
+  // Returns OutOfRange when an approximate arrival leaves the build window
+  // (callers fall back to the flat search).
+  util::StatusOr<CorridorResult> ExtractCorridor(const ProfileQuery& query,
+                                                 TravelTimeEstimator* estimator,
+                                                 CorridorScratch& scratch,
+                                                 NodeFilter* filter) const;
+
+  // Serialization of the expensive build products (the transit functions;
+  // the partition is rebuilt deterministically from the network at load).
+  // The format is host-endian binary with a CRC32 payload check.
+  util::Status Save(const std::string& path) const;
+  static util::StatusOr<std::unique_ptr<HierarchicalIndex>> Load(
+      const network::RoadNetwork* network, const std::string& path);
+
  private:
   struct OverlayEdge {
     network::NodeId to = network::kInvalidNode;
@@ -109,6 +262,14 @@ class HierarchicalIndex {
     const tdf::PwlFunction* transit = nullptr;  // Borrowed from transit_.
     network::PatternId pattern = 0;
     double distance_miles = 0.0;
+    // Simplified bracket of this edge's exact travel-time function over the
+    // build window (borrowed from approx_; set by BuildApprox), plus its
+    // full-window scalar extremes. The per-band extremes the corridor's
+    // scalar passes consume live in the flat CSR tables below.
+    const tdf::PwlFunction* lower = nullptr;
+    const tdf::PwlFunction* upper = nullptr;
+    double min_lower = 0.0;
+    double max_upper = 0.0;
   };
 
   struct RunOutput {
@@ -121,6 +282,24 @@ class HierarchicalIndex {
     std::vector<network::NodeId> first_waypoints;
   };
 
+  struct LoadTag {};
+  HierarchicalIndex(LoadTag, const network::RoadNetwork* network,
+                    const HierarchicalOptions& options);
+
+  // Fragment assignment, boundary detection, crossing-edge overlay
+  // adjacency, per-fragment node lists/masks.
+  void BuildPartition();
+  // Per-(fragment, entry, exit) transit functions via within-fragment
+  // envelope searches (the expensive build step).
+  void BuildTransit();
+  // Simplified lower/upper bounds for every overlay edge (transit and
+  // crossing) plus the final index_bytes accounting.
+  void BuildApprox();
+
+  // Number of fixed-width time bands the per-edge scalar extremes are
+  // computed over (see kScalarBandMinutes in hierarchical.cc).
+  int NumScalarBands() const;
+
   util::StatusOr<RunOutput> Run(const ProfileQuery& query,
                                 TravelTimeEstimator* estimator,
                                 bool stop_at_first_target);
@@ -132,10 +311,33 @@ class HierarchicalIndex {
   std::vector<std::vector<network::NodeId>> entries_;  // Per fragment.
   std::vector<std::vector<network::NodeId>> exits_;
   std::vector<std::vector<bool>> fragment_mask_;       // Per fragment.
+  std::vector<std::vector<network::NodeId>> fragment_nodes_;
   // Static overlay adjacency: transit + crossing edges per boundary node.
+  // Used by the exact overlay search (Run); the corridor's scalar passes
+  // use the CSR mirror below instead.
   std::unordered_map<network::NodeId, std::vector<OverlayEdge>> overlay_;
+  // Scalar-pass CSR (built by BuildApprox, frozen afterwards): every node
+  // that appears in the overlay gets a dense id so the corridor's four
+  // scalar sweeps run over flat arrays instead of hash adjacency. Edge e's
+  // per-band extremes occupy row e of the flattened band tables
+  // (row-major, NumScalarBands() doubles per row; shared between the
+  // forward and backward directions via the band row index).
+  std::vector<int32_t> dense_of_;               // node -> dense id, or -1.
+  std::vector<network::NodeId> node_of_dense_;  // dense id -> node.
+  std::vector<int32_t> fwd_off_;                // size m+1.
+  std::vector<int32_t> fwd_to_;                 // dense head.
+  std::vector<int32_t> fwd_band_;               // band-table row.
+  std::vector<double> fwd_max_upper_;           // full-window max (pass 1).
+  std::vector<const tdf::PwlFunction*> fwd_upper_fn_;
+  std::vector<int32_t> bwd_off_;                // size m+1.
+  std::vector<int32_t> bwd_from_;               // dense tail.
+  std::vector<int32_t> bwd_band_;               // band-table row.
+  std::vector<double> band_min_flat_;           // [edge][band] min lower.
+  std::vector<double> band_max_flat_;           // [edge][band] max upper.
   // Owns the transit functions the overlay points into.
   std::vector<std::unique_ptr<tdf::PwlFunction>> transit_;
+  // Owns the simplified bound functions the overlay points into.
+  std::vector<std::unique_ptr<tdf::PwlFunction>> approx_;
 };
 
 }  // namespace capefp::core

@@ -1,0 +1,63 @@
+// Corridor restriction shared by the query searches.
+//
+// The two-phase hierarchical mode (core/hierarchical, DESIGN.md §9) first
+// extracts a corridor — the set of nodes that can possibly carry an optimal
+// departure — and then reruns the exact search restricted to it. The
+// restriction is this NodeFilter: a dense epoch-stamped allow-set living in
+// each search's scratch state (ProfileSearch::Scratch, the reverse search's
+// shared Scratch, and TdAStarScratch), consulted once per relaxed edge.
+//
+// Inactive (the default) admits every node at the cost of one branch, so
+// flat searches are unaffected. Strictly per-worker, like the rest of the
+// scratch state.
+#ifndef CAPEFP_CORE_NODE_FILTER_H_
+#define CAPEFP_CORE_NODE_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/network/road_network.h"
+
+namespace capefp::core {
+
+class NodeFilter {
+ public:
+  // Back to admit-everything (flat searches).
+  void Reset() { active_ = false; }
+
+  // Starts an empty corridor over a graph of `num_nodes` nodes; only nodes
+  // subsequently Allow()ed pass until the next BeginCorridor/Reset. The
+  // stamp storage is reused across queries without clearing.
+  void BeginCorridor(size_t num_nodes) {
+    if (stamp_.size() < num_nodes) stamp_.resize(num_nodes, 0);
+    ++epoch_;
+    active_ = true;
+  }
+
+  void Allow(network::NodeId node) {
+    stamp_[static_cast<size_t>(node)] = epoch_;
+  }
+
+  bool active() const { return active_; }
+
+  bool Allows(network::NodeId node) const {
+    return !active_ || stamp_[static_cast<size_t>(node)] == epoch_;
+  }
+
+  // Allowed nodes this epoch (linear scan; diagnostics only).
+  size_t CountAllowed() const {
+    if (!active_) return 0;
+    size_t count = 0;
+    for (const uint64_t s : stamp_) count += (s == epoch_) ? 1 : 0;
+    return count;
+  }
+
+ private:
+  std::vector<uint64_t> stamp_;
+  uint64_t epoch_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace capefp::core
+
+#endif  // CAPEFP_CORE_NODE_FILTER_H_

@@ -82,8 +82,13 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
     std::pop_heap(heap.begin(), heap.end(), std::greater<>());
     heap.pop_back();
     // Termination (§4.6 step 5): the cheapest remaining path cannot improve
-    // the border anywhere.
+    // the border anywhere. The externally proven bound uses a strict
+    // margin, so it never cuts a label the border-based rule would keep
+    // alive into the final border (see ProfileSearchOptions).
     if (!border.empty() && top.key >= border.MaxValue() - tdf::kTimeEps) {
+      break;
+    }
+    if (top.key > options_.initial_upper_bound + tdf::kTimeEps) {
       break;
     }
     const Label& label = labels[static_cast<size_t>(top.label)];
@@ -124,6 +129,12 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
 
     accessor_->GetSuccessors(node, &s.neighbors);
     for (const NeighborEdge& edge : s.neighbors) {
+      // Corridor restriction (two-phase hierarchical mode): an edge leaving
+      // the corridor is skipped before any function work.
+      if (!s.filter.Allows(edge.to)) {
+        ++stats->pruned_filtered;
+        continue;
+      }
       // NOTE: label may dangle after labels.push_back below; re-read.
       const PwlFunction& path_tt =
           labels[static_cast<size_t>(top.label)].travel_time;
@@ -145,6 +156,10 @@ LowerBorder ProfileSearch::Run(const ProfileQuery& query,
       const double estimate = estimator_->Estimate(edge.to);
       const double key = s.combined.MinValue() + estimate;
       if (!border.empty() && key >= border.MaxValue() - tdf::kTimeEps) {
+        ++stats->pruned_bound;
+        continue;
+      }
+      if (key > options_.initial_upper_bound + tdf::kTimeEps) {
         ++stats->pruned_bound;
         continue;
       }

@@ -19,11 +19,13 @@
 #define CAPEFP_CORE_PROFILE_SEARCH_H_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
 #include "src/core/estimator.h"
 #include "src/core/lower_border.h"
+#include "src/core/node_filter.h"
 #include "src/network/accessor.h"
 #include "src/tdf/pwl_arena.h"
 #include "src/tdf/pwl_function.h"
@@ -122,6 +124,13 @@ struct ProfileSearchOptions {
   // Hard cap on path expansions; guards against pathological inputs when
   // pruning is disabled. <= 0 means unlimited.
   int64_t max_expansions = 0;
+  // An externally proven achievable travel-time bound over the whole leave
+  // interval (e.g. the corridor phase's upper-bound border max). Activates
+  // bound pruning before the first target pop. Labels are discarded only
+  // STRICTLY above bound + kTimeEps: such a label exceeds the final border
+  // everywhere by more than the merge tolerance, so the returned border is
+  // bit-identical to an unbounded run. +inf disables.
+  double initial_upper_bound = std::numeric_limits<double>::infinity();
 };
 
 struct SearchStats {
@@ -135,6 +144,9 @@ struct SearchStats {
   int64_t pruned_dominated = 0;
   // Labels discarded because they could not beat the border.
   int64_t pruned_bound = 0;
+  // Edges skipped because their head fell outside the active NodeFilter
+  // corridor (always 0 for flat searches).
+  int64_t pruned_filtered = 0;
   bool hit_expansion_cap = false;
 };
 
@@ -196,6 +208,9 @@ class ProfileSearch {
     NodeFunctionMap envelope;
     NodeEpochSet seen;
     EstimatorScratch estimator;
+    // Optional corridor restriction (see NodeFilter). Inactive by default;
+    // the hierarchical two-phase engine mode populates it per query.
+    NodeFilter filter;
     // Reusable arena-bound destinations for the inner-loop Into operations.
     tdf::PwlFunction edge_fn{&arena};
     tdf::PwlFunction combined{&arena};

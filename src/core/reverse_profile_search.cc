@@ -106,6 +106,11 @@ LowerBorder ReverseProfileSearch::Run(const ReverseProfileQuery& query,
 
     for (EdgeId edge_id : network_->InEdges(node)) {
       const network::Edge& edge = network_->edge(edge_id);
+      // Corridor restriction (shared NodeFilter hook; see profile_search.h).
+      if (!s.filter.Allows(edge.from)) {
+        ++stats->pruned_filtered;
+        continue;
+      }
       // NOTE: path_rt may dangle after labels.push_back below; re-read.
       const PwlFunction& path_rt =
           labels[static_cast<size_t>(top.label)].travel_time;

@@ -71,6 +71,8 @@ TdAStarResult TdAStar(network::NetworkAccessor* accessor, NodeId source,
     }
     accessor->GetSuccessors(top.node, &s.neighbors);
     for (const NeighborEdge& edge : s.neighbors) {
+      // Corridor restriction (shared NodeFilter hook; see node_filter.h).
+      if (!s.filter.Allows(edge.to)) continue;
       const tdf::EdgeSpeedView speed = accessor->SpeedView(edge.pattern);
       const double arrival =
           top.arrival +

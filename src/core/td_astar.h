@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/core/estimator.h"
+#include "src/core/node_filter.h"
 #include "src/network/accessor.h"
 
 namespace capefp::obs {
@@ -40,6 +41,8 @@ struct TdAStarScratch {
   std::vector<network::NodeId> parent;
   std::vector<network::NeighborEdge> neighbors;
   std::vector<TdAStarQueueEntry> heap;
+  // Optional corridor restriction (see node_filter.h); inactive by default.
+  NodeFilter filter;
   uint64_t epoch = 0;
 
   void BeginQuery(size_t num_nodes) {

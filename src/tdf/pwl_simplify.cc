@@ -1,0 +1,112 @@
+#include "src/tdf/pwl_simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace capefp::tdf {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shared greedy cone walk. `lower` selects the corridor side: the lower
+// variant keeps the output in [f - eps, f] and hugs the corridor's top (the
+// tightest under-approximation a single segment from the anchor allows);
+// the upper variant keeps it in [f, f + eps] and hugs the bottom, clamped
+// to slope >= -1 so simplified travel-time functions stay FIFO-composable.
+void SimplifyInto(const PwlFunction& f, double eps, bool lower,
+                  PwlFunction* out) {
+  CAPEFP_CHECK(out != &f);
+  CAPEFP_CHECK_GE(eps, 0.0);
+  const BreakpointVec& pts = f.breakpoints();
+  const size_t n = pts.size();
+  out->StartRebuild(/*reserve_hint=*/8);
+  if (n <= 2 || eps <= 0.0) {
+    for (size_t i = 0; i < n; ++i) out->AppendBreakpoint(pts[i].x, pts[i].y);
+    out->FinishRebuild();
+    return;
+  }
+  // Corridor offsets around f at each breakpoint.
+  const double off_lo = lower ? -eps : 0.0;
+  const double off_hi = lower ? 0.0 : eps;
+  auto pick_slope = [lower](double s_lo, double s_hi) {
+    return lower ? s_hi : std::min(s_hi, std::max(s_lo, -1.0));
+  };
+
+  Breakpoint anchor = pts[0];
+  out->AppendBreakpoint(anchor.x, anchor.y);
+  double s_lo = -kInf;
+  double s_hi = kInf;
+  size_t span_end = 0;  // Last breakpoint the current cone satisfies.
+  size_t i = 1;
+  while (i < n) {
+    const double dx = pts[i].x - anchor.x;
+    const double new_lo =
+        std::max(s_lo, (pts[i].y + off_lo - anchor.y) / dx);
+    const double new_hi =
+        std::min(s_hi, (pts[i].y + off_hi - anchor.y) / dx);
+    if (new_lo <= new_hi) {
+      s_lo = new_lo;
+      s_hi = new_hi;
+      span_end = i;
+      ++i;
+      continue;
+    }
+    // Cone emptied at pts[i]: finalize the segment at pts[span_end] and
+    // restart from there. (The restarted cone toward pts[i] is never empty:
+    // a fresh anchor reaches any value at pts[i].x with some slope.)
+    double y = anchor.y +
+               pick_slope(s_lo, s_hi) * (pts[span_end].x - anchor.x);
+    // Clamp away floating-point drift so the vertex itself stays inside the
+    // corridor at its own abscissa.
+    y = std::clamp(y, pts[span_end].y + off_lo, pts[span_end].y + off_hi);
+    anchor = {pts[span_end].x, y};
+    out->AppendBreakpoint(anchor.x, anchor.y);
+    s_lo = -kInf;
+    s_hi = kInf;
+    // i is intentionally not advanced: its constraints are recomputed
+    // against the new anchor on the next iteration.
+  }
+  double y_end =
+      anchor.y + pick_slope(s_lo, s_hi) * (pts[n - 1].x - anchor.x);
+  y_end = std::clamp(y_end, pts[n - 1].y + off_lo, pts[n - 1].y + off_hi);
+  out->AppendBreakpoint(pts[n - 1].x, y_end);
+  out->FinishRebuild();
+}
+
+}  // namespace
+
+void SimplifyLowerInto(const PwlFunction& f, double eps, PwlFunction* out) {
+  SimplifyInto(f, eps, /*lower=*/true, out);
+}
+
+PwlFunction SimplifyLower(const PwlFunction& f, double eps) {
+  PwlFunction out;
+  SimplifyLowerInto(f, eps, &out);
+  return out;
+}
+
+void SimplifyUpperInto(const PwlFunction& f, double eps, PwlFunction* out) {
+  SimplifyInto(f, eps, /*lower=*/false, out);
+}
+
+PwlFunction SimplifyUpper(const PwlFunction& f, double eps) {
+  PwlFunction out;
+  SimplifyUpperInto(f, eps, &out);
+  return out;
+}
+
+double MaxAbsDifference(const PwlFunction& f, const PwlFunction& g) {
+  CAPEFP_CHECK_LE(std::abs(f.domain_lo() - g.domain_lo()), kTimeEps);
+  CAPEFP_CHECK_LE(std::abs(f.domain_hi() - g.domain_hi()), kTimeEps);
+  double worst = 0.0;
+  for (const double x : MergedGrid(f, g)) {
+    worst = std::max(worst, std::abs(f.Value(x) - g.Value(x)));
+  }
+  return worst;
+}
+
+}  // namespace capefp::tdf

@@ -1,0 +1,52 @@
+// Bounded-error simplification of piecewise-linear functions.
+//
+// The two-phase hierarchical search (core/hierarchical) runs its corridor
+// phase over *approximate* transit functions: every exact PWL is replaced
+// by a pair of simplified functions that bracket it,
+//
+//   SimplifyLowerInto:  f(x) - eps <= g(x) <= f(x)        for all x,
+//   SimplifyUpperInto:  f(x)       <= g(x) <= f(x) + eps  for all x,
+//
+// with (usually far) fewer breakpoints. The algorithm is the classic greedy
+// slope-cone walk (Imai–Iri style): starting from an anchor vertex it keeps
+// the interval of segment slopes that stay inside the corridor at every
+// following breakpoint of f, and emits a vertex and restarts the cone when
+// the interval empties. Because both f and the corridor bounds are PWL,
+// checking the corridor at f's breakpoints suffices.
+//
+// Guarantees beyond the bracket:
+//  * The domain is preserved exactly and g(domain_lo) = f(domain_lo).
+//  * When f satisfies the forward-FIFO invariant (all slopes >= -1), so
+//    does g: the lower variant hugs the corridor's top, whose cone is
+//    provably never steeper than -1 for FIFO input; the upper variant
+//    clamps its picked slope to >= -1 (always corridor-feasible).
+//  * eps == 0 (or <= 2 breakpoints) degenerates to a normalized copy.
+//
+// The *Into forms rebuild the caller-owned `out` in place (reusing its
+// storage and arena binding — no allocations beyond `out`'s own growth) and
+// must not alias `f`. The bracket holds in exact arithmetic; floating-point
+// evaluation can violate it by a few ulps, far below kTimeEps, which the
+// corridor search's pruning slack absorbs.
+#ifndef CAPEFP_TDF_PWL_SIMPLIFY_H_
+#define CAPEFP_TDF_PWL_SIMPLIFY_H_
+
+#include "src/tdf/pwl_function.h"
+
+namespace capefp::tdf {
+
+// g with f - eps <= g <= f everywhere; requires eps >= 0.
+void SimplifyLowerInto(const PwlFunction& f, double eps, PwlFunction* out);
+PwlFunction SimplifyLower(const PwlFunction& f, double eps);
+
+// g with f <= g <= f + eps everywhere; requires eps >= 0.
+void SimplifyUpperInto(const PwlFunction& f, double eps, PwlFunction* out);
+PwlFunction SimplifyUpper(const PwlFunction& f, double eps);
+
+// max_x |f(x) - g(x)| over the common domain (domains must coincide within
+// kTimeEps). Exact for PWL operands: evaluates on the merged grid. Used by
+// the simplification tests and the hier index stats.
+double MaxAbsDifference(const PwlFunction& f, const PwlFunction& g);
+
+}  // namespace capefp::tdf
+
+#endif  // CAPEFP_TDF_PWL_SIMPLIFY_H_

@@ -1,8 +1,11 @@
 #include "src/core/hierarchical.h"
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
 #include "src/core/boundary_estimator.h"
+#include "src/core/engine.h"
 #include "src/core/estimator.h"
 #include "src/core/profile_search.h"
 #include "src/gen/random_network.h"
@@ -177,7 +180,290 @@ TEST(HierarchicalTest, BuildStatsPopulated) {
   EXPECT_GT(stats.fragments_used, 1);
   EXPECT_GT(stats.transit_functions, 0u);
   EXPECT_GE(stats.transit_breakpoints, stats.transit_functions);
+  EXPECT_GT(stats.approx_breakpoints, 0u);
+  EXPECT_GT(stats.index_bytes, 0u);
   EXPECT_GE(stats.build_seconds, 0.0);
+}
+
+// --- Corridor phase (two-phase mode). ---
+
+class TwoPhasePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The two-phase contract: with the corridor filter installed, the exact
+// search returns the flat search's border bit-for-bit (the corridor only
+// removes nodes the optimum provably never needs).
+TEST_P(TwoPhasePropertyTest, FilteredSearchBorderIsBitIdenticalToFlat) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 70;
+  opt.extra_edge_fraction = 0.9;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  HierarchicalOptions options;
+  options.grid_dim = 3;
+  options.simplify_eps = 0.5;
+  HierarchicalIndex index(&net, options);
+
+  HierarchicalIndex::CorridorScratch corridor_scratch;
+  ProfileSearch::Scratch scratch;
+  util::Rng rng(GetParam() ^ 0xabc);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto s = static_cast<NodeId>(rng.NextBounded(70));
+    const auto t = static_cast<NodeId>(rng.NextBounded(70));
+    const ProfileQuery query{s, t, HhMm(6, 0), HhMm(8, 0)};
+
+    EuclideanEstimator flat_est(&acc, t);
+    ProfileSearch flat(&acc, &flat_est);
+    const AllFpResult expected = flat.RunAllFp(query);
+
+    EuclideanEstimator est(&acc, t);
+    auto corridor =
+        index.ExtractCorridor(query, &est, corridor_scratch, &scratch.filter);
+    ASSERT_TRUE(corridor.ok()) << corridor.status().ToString();
+    ProfileSearch filtered(&acc, &est, {}, &scratch);
+    const AllFpResult actual = filtered.RunAllFp(query);
+    scratch.filter.Reset();
+
+    ASSERT_EQ(actual.found, expected.found) << "s=" << s << " t=" << t;
+    if (!expected.found) continue;
+    // Bit-identical: the filtered search expands a subset of nodes but must
+    // pop the same optimal labels in the same order.
+    ASSERT_TRUE(
+        PwlFunction::ApproxEqual(*actual.border, *expected.border, 0.0))
+        << "s=" << s << " t=" << t
+        << "\n  two-phase: " << actual.border->ToString()
+        << "\n  flat:      " << expected.border->ToString();
+    ASSERT_EQ(actual.pieces.size(), expected.pieces.size());
+    for (size_t i = 0; i < actual.pieces.size(); ++i) {
+      EXPECT_EQ(actual.pieces[i].path, expected.pieces[i].path);
+    }
+    // The corridor did restrict something (or covered everything: both are
+    // legal; just check the stats are coherent).
+    EXPECT_GE(corridor->fragments_marked, 1);
+    EXPECT_LE(corridor->fragments_marked, index.num_fragments());
+  }
+}
+
+// Same contract end-to-end through the engine's query mode.
+TEST_P(TwoPhasePropertyTest, EngineModeMatchesFlatEngine) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = GetParam() ^ 0x77;
+  opt.num_nodes = 60;
+  opt.extra_edge_fraction = 0.7;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+
+  EngineOptions flat_opts;
+  auto flat_engine = FastestPathEngine::Create(&net, flat_opts);
+  ASSERT_TRUE(flat_engine.ok());
+
+  EngineOptions hier_opts;
+  hier_opts.query_mode = EngineOptions::QueryMode::kHierarchicalTwoPhase;
+  hier_opts.hierarchical.grid_dim = 3;
+  auto hier_engine = FastestPathEngine::Create(&net, hier_opts);
+  ASSERT_TRUE(hier_engine.ok());
+  ASSERT_NE((*hier_engine)->hierarchical_index(), nullptr);
+
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto s = static_cast<NodeId>(rng.NextBounded(60));
+    const auto t = static_cast<NodeId>(rng.NextBounded(60));
+    const ProfileQuery query{s, t, HhMm(7, 0), HhMm(9, 0)};
+    const AllFpResult expected = (*flat_engine)->AllFastestPaths(query);
+    const AllFpResult actual = (*hier_engine)->AllFastestPaths(query);
+    ASSERT_EQ(actual.found, expected.found) << "s=" << s << " t=" << t;
+    if (!expected.found) continue;
+    EXPECT_TRUE(
+        PwlFunction::ApproxEqual(*actual.border, *expected.border, 0.0))
+        << "s=" << s << " t=" << t;
+    ASSERT_EQ(actual.pieces.size(), expected.pieces.size());
+    for (size_t i = 0; i < actual.pieces.size(); ++i) {
+      EXPECT_EQ(actual.pieces[i].path, expected.pieces[i].path);
+    }
+  }
+  // The mode published its per-phase metrics.
+  const auto snapshot = (*hier_engine)->metrics()->Snapshot();
+  EXPECT_GE(snapshot.counter("capefp.hier.queries"), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoPhasePropertyTest,
+                         ::testing::Values(5u, 21u, 101u, 203u));
+
+TEST(TwoPhaseTest, QueryOutsideWindowFallsBackToFlat) {
+  // The engine must answer (via flat fallback), not error, when the query
+  // interval leaves the index build window.
+  gen::RandomNetworkOptions opt;
+  opt.num_nodes = 40;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  EngineOptions hier_opts;
+  hier_opts.query_mode = EngineOptions::QueryMode::kHierarchicalTwoPhase;
+  hier_opts.hierarchical.grid_dim = 2;
+  hier_opts.hierarchical.window_lo = HhMm(6, 0);
+  hier_opts.hierarchical.window_hi = HhMm(10, 0);
+  auto engine = FastestPathEngine::Create(&net, hier_opts);
+  ASSERT_TRUE(engine.ok());
+
+  EngineOptions flat_opts;
+  auto flat = FastestPathEngine::Create(&net, flat_opts);
+  ASSERT_TRUE(flat.ok());
+
+  const ProfileQuery query{0, 17, HhMm(4, 0), HhMm(5, 0)};
+  const AllFpResult expected = (*flat)->AllFastestPaths(query);
+  const AllFpResult actual = (*engine)->AllFastestPaths(query);
+  ASSERT_EQ(actual.found, expected.found);
+  if (expected.found) {
+    EXPECT_TRUE(
+        PwlFunction::ApproxEqual(*actual.border, *expected.border, 0.0));
+  }
+  const auto snapshot = (*engine)->metrics()->Snapshot();
+  EXPECT_EQ(snapshot.counter("capefp.hier.fallbacks"), 1u);
+}
+
+TEST(TwoPhaseTest, CorridorUnreachableTargetConfirmedByExactPhase) {
+  RoadNetwork net{tdf::Calendar::SingleCategory()};
+  net.AddPattern(tdf::CapeCodPattern::ConstantSpeed(1.0));
+  net.AddNode({0, 0});
+  net.AddNode({10, 10});
+  net.AddNode({0.1, 0.1});
+  net.AddEdge(0, 2, 0.5, 0, network::RoadClass::kLocalInCity);
+  net.AddEdge(1, 0, 15.0, 0, network::RoadClass::kLocalInCity);
+  EngineOptions hier_opts;
+  hier_opts.query_mode = EngineOptions::QueryMode::kHierarchicalTwoPhase;
+  hier_opts.hierarchical.grid_dim = 2;
+  auto engine = FastestPathEngine::Create(&net, hier_opts);
+  ASSERT_TRUE(engine.ok());
+  const AllFpResult result = (*engine)->AllFastestPaths({0, 1, 0.0, 60.0});
+  EXPECT_FALSE(result.found);
+}
+
+TEST(TwoPhaseTest, BatchMatchesSequentialBitIdentical) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 404;
+  opt.num_nodes = 50;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  EngineOptions hier_opts;
+  hier_opts.query_mode = EngineOptions::QueryMode::kHierarchicalTwoPhase;
+  hier_opts.hierarchical.grid_dim = 2;
+  auto engine = FastestPathEngine::Create(&net, hier_opts);
+  ASSERT_TRUE(engine.ok());
+  std::vector<ProfileQuery> queries;
+  util::Rng rng(404);
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back({static_cast<NodeId>(rng.NextBounded(50)),
+                       static_cast<NodeId>(rng.NextBounded(50)), HhMm(7, 0),
+                       HhMm(8, 30)});
+  }
+  const auto batch = (*engine)->RunBatch(queries, /*threads=*/4);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const AllFpResult sequential = (*engine)->AllFastestPaths(queries[i]);
+    ASSERT_EQ(batch[i].found, sequential.found) << "query " << i;
+    if (!sequential.found) continue;
+    EXPECT_TRUE(PwlFunction::ApproxEqual(*batch[i].border,
+                                         *sequential.border, 0.0));
+  }
+}
+
+// --- Serialization. ---
+
+TEST(HierarchicalSerializationTest, SaveLoadRoundTripsTransitFunctions) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 11;
+  opt.num_nodes = 60;
+  opt.extra_edge_fraction = 0.8;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  InMemoryAccessor acc(&net);
+  HierarchicalOptions options;
+  options.grid_dim = 3;
+  HierarchicalIndex built(&net, options);
+
+  const std::string path = ::testing::TempDir() + "/hier_index.cfh";
+  ASSERT_TRUE(built.Save(path).ok());
+  auto loaded = HierarchicalIndex::Load(&net, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ((*loaded)->build_stats().transit_functions,
+            built.build_stats().transit_functions);
+  EXPECT_EQ((*loaded)->build_stats().transit_breakpoints,
+            built.build_stats().transit_breakpoints);
+  EXPECT_EQ((*loaded)->build_stats().approx_breakpoints,
+            built.build_stats().approx_breakpoints);
+  EXPECT_EQ((*loaded)->options().simplify_eps, options.simplify_eps);
+
+  // Same answers from the loaded index.
+  const ProfileQuery query{3, 42, HhMm(7, 0), HhMm(9, 0)};
+  EuclideanEstimator est1(&acc, 42);
+  auto from_built = built.RunAllFp(query, &est1);
+  EuclideanEstimator est2(&acc, 42);
+  auto from_loaded = (*loaded)->RunAllFp(query, &est2);
+  ASSERT_TRUE(from_built.ok());
+  ASSERT_TRUE(from_loaded.ok());
+  ASSERT_EQ(from_built->found, from_loaded->found);
+  if (from_built->found) {
+    EXPECT_TRUE(PwlFunction::ApproxEqual(*from_built->border,
+                                         *from_loaded->border, 0.0));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HierarchicalSerializationTest, LoadRejectsCorruptionAndWrongNetwork) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 12;
+  opt.num_nodes = 40;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  HierarchicalIndex built(&net, {.grid_dim = 2});
+  const std::string path = ::testing::TempDir() + "/hier_corrupt.cfh";
+  ASSERT_TRUE(built.Save(path).ok());
+
+  // Flip a payload byte: CRC must catch it.
+  {
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 64, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, 64, SEEK_SET);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+  auto corrupt = HierarchicalIndex::Load(&net, path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), util::StatusCode::kCorruption);
+
+  // A different network (node count mismatch) is rejected up front.
+  ASSERT_TRUE(built.Save(path).ok());
+  gen::RandomNetworkOptions other_opt;
+  other_opt.seed = 13;
+  other_opt.num_nodes = 41;
+  const RoadNetwork other = gen::MakeRandomNetwork(other_opt);
+  auto mismatched = HierarchicalIndex::Load(&other, path);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), util::StatusCode::kInvalidArgument);
+
+  auto missing = HierarchicalIndex::Load(&net, path + ".does-not-exist");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(HierarchicalSerializationTest, EngineLoadsIndexFromPath) {
+  gen::RandomNetworkOptions opt;
+  opt.seed = 14;
+  opt.num_nodes = 50;
+  const RoadNetwork net = gen::MakeRandomNetwork(opt);
+  HierarchicalIndex built(&net, {.grid_dim = 2});
+  const std::string path = ::testing::TempDir() + "/hier_engine.cfh";
+  ASSERT_TRUE(built.Save(path).ok());
+
+  EngineOptions opts;
+  opts.query_mode = EngineOptions::QueryMode::kHierarchicalTwoPhase;
+  opts.hierarchical_index_path = path;
+  auto engine = FastestPathEngine::Create(&net, opts);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_NE((*engine)->hierarchical_index(), nullptr);
+  EXPECT_EQ((*engine)->hierarchical_index()->build_stats().transit_functions,
+            built.build_stats().transit_functions);
+  const AllFpResult result =
+      (*engine)->AllFastestPaths({1, 30, HhMm(7, 0), HhMm(8, 0)});
+  (void)result;  // Smoke: the loaded index serves queries without error.
+  std::remove(path.c_str());
 }
 
 }  // namespace

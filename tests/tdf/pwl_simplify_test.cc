@@ -1,0 +1,230 @@
+// Property tests for the bounded-error PWL simplification kernels
+// (tdf/pwl_simplify.h), the corridor phase's workhorse. The load-bearing
+// contracts, checked on randomized FIFO travel-time functions plus
+// midnight-spanning and degenerate shapes:
+//
+//   SimplifyLower: f - eps <= g <= f everywhere (g never exceeds f);
+//   SimplifyUpper: f <= g <= f + eps everywhere (g never undercuts f);
+//   both: domain preserved, breakpoints never increase, FIFO preserved,
+//   eps == 0 and <= 2-breakpoint inputs reproduce f exactly.
+//
+// Checking at the merged grid of f's and g's breakpoints suffices: both
+// are piecewise linear, so extrema of f - g occur at grid points.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tdf/pwl_function.h"
+#include "src/tdf/pwl_simplify.h"
+#include "src/tdf/speed_pattern.h"
+#include "src/util/random.h"
+
+namespace capefp::tdf {
+namespace {
+
+// Absolute slack for the bracket checks: the kernels clamp every emitted
+// vertex into the corridor, so only ulp-level drift from the slope
+// arithmetic remains.
+constexpr double kBracketTol = 1e-9;
+
+// Max over the merged breakpoint grid of g - f (signed); the max of a
+// piecewise-linear difference is attained at a grid point.
+double MaxSignedExcess(const PwlFunction& f, const PwlFunction& g) {
+  const std::vector<double> grid = MergedGrid(f, g);
+  double worst = -std::numeric_limits<double>::infinity();
+  for (double x : grid) worst = std::max(worst, g.Value(x) - f.Value(x));
+  return worst;
+}
+
+double MinSignedExcess(const PwlFunction& f, const PwlFunction& g) {
+  const std::vector<double> grid = MergedGrid(f, g);
+  double worst = std::numeric_limits<double>::infinity();
+  for (double x : grid) worst = std::min(worst, g.Value(x) - f.Value(x));
+  return worst;
+}
+
+void ExpectLowerBracket(const PwlFunction& f, const PwlFunction& g,
+                        double eps) {
+  EXPECT_LE(MaxSignedExcess(f, g), kBracketTol)
+      << "lower simplification exceeds f\n  f: " << f.ToString()
+      << "\n  g: " << g.ToString();
+  EXPECT_GE(MinSignedExcess(f, g), -eps - kBracketTol)
+      << "lower simplification drops below f - eps\n  f: " << f.ToString()
+      << "\n  g: " << g.ToString();
+}
+
+void ExpectUpperBracket(const PwlFunction& f, const PwlFunction& g,
+                        double eps) {
+  EXPECT_GE(MinSignedExcess(f, g), -kBracketTol)
+      << "upper simplification undercuts f\n  f: " << f.ToString()
+      << "\n  g: " << g.ToString();
+  EXPECT_LE(MaxSignedExcess(f, g), eps + kBracketTol)
+      << "upper simplification exceeds f + eps\n  f: " << f.ToString()
+      << "\n  g: " << g.ToString();
+}
+
+// A random FIFO forward travel-time function on [lo, lo + span]: positive
+// values, every segment slope > -1.
+PwlFunction RandomFifoFunction(util::Rng& rng, double lo, double span,
+                               int max_points) {
+  const int n = 2 + static_cast<int>(rng.NextBounded(
+                        static_cast<uint64_t>(max_points - 1)));
+  std::vector<double> xs;
+  xs.push_back(lo);
+  xs.push_back(lo + span);
+  for (int i = 2; i < n; ++i) xs.push_back(lo + rng.NextDouble() * span);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  std::vector<Breakpoint> pts;
+  double y = 1.0 + rng.NextDouble() * 30.0;
+  pts.push_back({xs[0], y});
+  for (size_t i = 1; i < xs.size(); ++i) {
+    const double dx = xs[i] - xs[i - 1];
+    // Slope in (-1, 3], keeping y positive: FIFO and travel-time-shaped.
+    const double max_drop = std::min(0.999 * dx, y - 0.01);
+    const double delta = -max_drop + rng.NextDouble() * (max_drop + 3.0 * dx);
+    y += delta;
+    pts.push_back({xs[i], y});
+  }
+  return PwlFunction(pts);
+}
+
+class SimplifyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifyPropertyTest, BracketsHoldOnRandomFifoFunctions) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const double lo = rng.NextDouble() * 1000.0;
+    const double span = 10.0 + rng.NextDouble() * 1400.0;
+    const PwlFunction f = RandomFifoFunction(rng, lo, span, 40);
+    for (double eps : {0.01, 0.5, 5.0}) {
+      const PwlFunction glo = SimplifyLower(f, eps);
+      const PwlFunction ghi = SimplifyUpper(f, eps);
+      ExpectLowerBracket(f, glo, eps);
+      ExpectUpperBracket(f, ghi, eps);
+      // Simplification must not grow the representation.
+      EXPECT_LE(glo.breakpoints().size(), f.breakpoints().size());
+      EXPECT_LE(ghi.breakpoints().size(), f.breakpoints().size());
+      // Domain and left endpoint are preserved exactly.
+      EXPECT_EQ(glo.domain_lo(), f.domain_lo());
+      EXPECT_EQ(glo.domain_hi(), f.domain_hi());
+      EXPECT_EQ(ghi.domain_lo(), f.domain_lo());
+      EXPECT_EQ(ghi.domain_hi(), f.domain_hi());
+    }
+  }
+}
+
+TEST_P(SimplifyPropertyTest, FifoIsPreserved) {
+  // The corridor search composes simplified bounds with
+  // ComposePathWithEdge, which requires FIFO inputs — both kernels must
+  // keep every output slope >= -1 when the input is FIFO.
+  util::Rng rng(GetParam() ^ 0xf1f0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const PwlFunction f = RandomFifoFunction(rng, 0.0, 500.0, 30);
+    ASSERT_TRUE(
+        f.ValidateInvariants(PwlFunction::Kind::kForwardTravelTime).ok());
+    for (double eps : {0.25, 2.0}) {
+      const PwlFunction glo = SimplifyLower(f, eps);
+      const PwlFunction ghi = SimplifyUpper(f, eps);
+      EXPECT_TRUE(
+          glo.ValidateInvariants(PwlFunction::Kind::kForwardTravelTime).ok())
+          << glo.ToString();
+      EXPECT_TRUE(
+          ghi.ValidateInvariants(PwlFunction::Kind::kForwardTravelTime).ok())
+          << ghi.ToString();
+    }
+  }
+}
+
+TEST_P(SimplifyPropertyTest, ErrorNeverExceedsEpsButOftenCompresses) {
+  util::Rng rng(GetParam() ^ 0xc0);
+  size_t total_in = 0;
+  size_t total_out = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const PwlFunction f = RandomFifoFunction(rng, 0.0, 1440.0, 60);
+    const double eps = 1.0;
+    const PwlFunction g = SimplifyLower(f, eps);
+    EXPECT_LE(MaxAbsDifference(f, g), eps + kBracketTol);
+    total_in += f.breakpoints().size();
+    total_out += g.breakpoints().size();
+  }
+  // Not a tight guarantee, but the greedy cone must be doing *something*
+  // across 20 random 60-point functions.
+  EXPECT_LT(total_out, total_in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest,
+                         ::testing::Values(3u, 17u, 99u, 2024u));
+
+TEST(SimplifyTest, MidnightSpanningFunction) {
+  // Domain straddling the day boundary (minute 1440), as produced for
+  // windows like [23:00, 25:00): nothing in the kernel may assume
+  // same-day abscissae.
+  const double kDay = kMinutesPerDay;
+  const PwlFunction f({{kDay - 60.0, 12.0},
+                       {kDay - 10.0, 30.0},
+                       {kDay, 31.0},
+                       {kDay + 5.0, 30.5},
+                       {kDay + 90.0, 8.0}});
+  for (double eps : {0.1, 2.0}) {
+    const PwlFunction glo = SimplifyLower(f, eps);
+    const PwlFunction ghi = SimplifyUpper(f, eps);
+    ExpectLowerBracket(f, glo, eps);
+    ExpectUpperBracket(f, ghi, eps);
+  }
+}
+
+TEST(SimplifyTest, DegenerateInputsCopiedExactly) {
+  const PwlFunction single({{100.0, 7.0}});
+  const PwlFunction segment({{0.0, 5.0}, {60.0, 9.0}});
+  for (const PwlFunction* f : {&single, &segment}) {
+    const PwlFunction glo = SimplifyLower(*f, 10.0);
+    const PwlFunction ghi = SimplifyUpper(*f, 10.0);
+    EXPECT_TRUE(PwlFunction::ApproxEqual(glo, *f, 0.0)) << glo.ToString();
+    EXPECT_TRUE(PwlFunction::ApproxEqual(ghi, *f, 0.0)) << ghi.ToString();
+  }
+}
+
+TEST(SimplifyTest, EpsZeroIsIdentity) {
+  const PwlFunction f(
+      {{0.0, 5.0}, {10.0, 8.0}, {20.0, 2.0}, {30.0, 2.5}, {40.0, 11.0}});
+  EXPECT_TRUE(PwlFunction::ApproxEqual(SimplifyLower(f, 0.0), f, 0.0));
+  EXPECT_TRUE(PwlFunction::ApproxEqual(SimplifyUpper(f, 0.0), f, 0.0));
+}
+
+TEST(SimplifyTest, CollapsesNearCollinearRuns) {
+  // A 1-unit-amplitude zigzag around a line: eps = 2.5 must collapse it
+  // to (close to) a single segment.
+  std::vector<Breakpoint> pts;
+  for (int i = 0; i <= 20; ++i) {
+    pts.push_back({10.0 * i, 100.0 + 0.2 * i + ((i % 2 == 0) ? 1.0 : -1.0)});
+  }
+  const PwlFunction f(pts);
+  const PwlFunction g = SimplifyLower(f, 2.5);
+  EXPECT_LE(g.breakpoints().size(), 3u) << g.ToString();
+  ExpectLowerBracket(f, g, 2.5);
+}
+
+TEST(SimplifyTest, IntoFormsReuseDestination) {
+  const PwlFunction f(
+      {{0.0, 5.0}, {10.0, 8.0}, {20.0, 2.0}, {30.0, 2.5}, {40.0, 11.0}});
+  PwlArena arena;
+  PwlFunction dest(&arena);
+  SimplifyLowerInto(f, 0.5, &dest);
+  ExpectLowerBracket(f, dest, 0.5);
+  // Second fill of the same destination (the hot-loop usage pattern).
+  SimplifyUpperInto(f, 0.5, &dest);
+  ExpectUpperBracket(f, dest, 0.5);
+}
+
+TEST(SimplifyTest, MaxAbsDifferenceIsExactOnKnownPair) {
+  const PwlFunction f({{0.0, 0.0}, {10.0, 10.0}});
+  const PwlFunction g({{0.0, 0.0}, {5.0, 2.0}, {10.0, 10.0}});
+  EXPECT_NEAR(MaxAbsDifference(f, g), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace capefp::tdf

@@ -5,8 +5,13 @@
 //   build-ccam convert a network text file into a CCAM page file
 //   inspect    print statistics about a CCAM page file
 //   query      run allFP / singleFP / arrival queries on a network
-//              (--trace prints the query's span tree)
+//              (--trace prints the query's span tree; --mode=two-phase
+//              routes interval queries through the hierarchical corridor,
+//              --index=FILE reuses a prebuilt index)
 //   stats      run a sampled query batch and print the engine metrics
+//   hier       build/inspect a two-phase hierarchical index
+//              (hier build --net=... --out=...)
+//              (hier stats --net=... --index=...)
 //   geojson    export a network as GeoJSON for map visualization
 //   selftest   run the whole pipeline end-to-end in a temp directory
 //
@@ -177,6 +182,22 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   core::EngineOptions engine_options;
   engine_options.boundary_grid_dim =
       static_cast<int>(std::stol(GetFlag(flags, "grid", "16")));
+  const std::string mode = GetFlag(flags, "mode", "flat");
+  if (mode == "two-phase") {
+    engine_options.query_mode =
+        core::EngineOptions::QueryMode::kHierarchicalTwoPhase;
+    engine_options.hierarchical.grid_dim =
+        static_cast<int>(std::stol(GetFlag(flags, "hier-grid", "8")));
+    engine_options.hierarchical.simplify_eps =
+        std::stod(GetFlag(flags, "hier-eps", "0.5"));
+    // A prebuilt index (capefp_cli hier build) skips the eager build; its
+    // stored grid/eps/window override the flags above.
+    engine_options.hierarchical_index_path = GetFlag(flags, "index", "");
+  } else if (mode != "flat") {
+    std::fprintf(stderr, "--mode must be flat or two-phase, got %s\n",
+                 mode.c_str());
+    return 2;
+  }
   auto engine = core::FastestPathEngine::Create(&*net, engine_options);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine failed: %s\n",
@@ -311,6 +332,72 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+void PrintHierStats(const core::HierarchicalIndex& index) {
+  const core::HierarchicalBuildStats& stats = index.build_stats();
+  const core::HierarchicalOptions& options = index.options();
+  std::printf("  grid:                %dx%d (%d fragments, %d non-empty)\n",
+              options.grid_dim, options.grid_dim, index.num_fragments(),
+              stats.fragments_used);
+  std::printf("  build window:        [%s, %s]\n",
+              FormatClock(options.window_lo).c_str(),
+              FormatClock(options.window_hi).c_str());
+  std::printf("  simplify eps:        %.3f min\n", options.simplify_eps);
+  std::printf("  transit functions:   %zu (%zu breakpoints)\n",
+              stats.transit_functions, stats.transit_breakpoints);
+  std::printf("  simplified bounds:   %zu breakpoints\n",
+              stats.approx_breakpoints);
+  std::printf("  index size:          %.1f KiB\n",
+              static_cast<double>(stats.index_bytes) / 1024.0);
+  std::printf("  build time:          %.2f s\n", stats.build_seconds);
+}
+
+// `hier build`: precompute a two-phase index and serialize it; `hier
+// stats`: reload a serialized index and print its footprint. The index
+// format keys on the network, so both take --net.
+int CmdHier(const std::string& verb,
+            const std::map<std::string, std::string>& flags) {
+  const std::string net_path = RequireFlag(flags, "net");
+  auto net = network::ReadNetworkFile(net_path);
+  if (!net.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+
+  if (verb == "build") {
+    const std::string out = RequireFlag(flags, "out");
+    core::HierarchicalOptions options;
+    options.grid_dim = static_cast<int>(std::stol(GetFlag(flags, "grid", "8")));
+    options.simplify_eps = std::stod(GetFlag(flags, "eps", "0.5"));
+    options.window_lo = ParseClock(GetFlag(flags, "window-lo", "0:00"));
+    options.window_hi = ParseClock(GetFlag(flags, "window-hi", "24:00"));
+    const core::HierarchicalIndex index(&*net, options);
+    const util::Status status = index.Save(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s:\n", out.c_str());
+    PrintHierStats(index);
+    return 0;
+  }
+
+  if (verb == "stats") {
+    const std::string index_path = RequireFlag(flags, "index");
+    auto index = core::HierarchicalIndex::Load(&*net, index_path);
+    if (!index.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s:\n", index_path.c_str());
+    PrintHierStats(**index);
+    return 0;
+  }
+
+  std::fprintf(stderr, "usage: capefp_cli hier <build|stats> [--flags]\n");
+  return 2;
+}
+
 int CmdGeoJson(const std::map<std::string, std::string>& flags) {
   const std::string net_path = RequireFlag(flags, "net");
   const std::string out = RequireFlag(flags, "out");
@@ -377,13 +464,18 @@ int CmdSelftest(const std::map<std::string, std::string>& flags) {
 int Usage() {
   std::fprintf(stderr,
                "usage: capefp_cli <generate|build-ccam|inspect|query|stats|"
-               "geojson|selftest> [--flags]\n");
+               "hier|geojson|selftest> [--flags]\n");
   return 2;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "hier") {
+    // hier takes a verb before its flags: capefp_cli hier build --net=...
+    const std::string verb = argc >= 3 ? argv[2] : "";
+    return CmdHier(verb, ParseFlags(argc, argv, 3));
+  }
   const auto flags = ParseFlags(argc, argv, 2);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build-ccam") return CmdBuildCcam(flags);

@@ -77,6 +77,9 @@ HOT_LOOP_FILES = {
     "src/core/reverse_profile_search.cc",
     "src/core/td_astar.cc",
     "src/core/lower_border.cc",
+    # The hierarchical index's corridor/overlay search loops (two-phase
+    # query mode) share the flat searches' zero-allocation discipline.
+    "src/core/hierarchical.cc",
 }
 
 # Allocating forms. The *Into variants never match: each name must be
@@ -371,6 +374,20 @@ SELFTEST_CASES = {
     ),
 }
 
+# Additional hot-loop seeds beyond the one in SELFTEST_CASES: each file
+# must fire alloc-in-hot-loop at least once (guards the HOT_LOOP_FILES set
+# itself — a path dropped from the set shows up here as a missing finding).
+EXTRA_HOT_LOOP_CASES = [
+    (
+        "src/core/hierarchical.cc",
+        '#include "src/core/hierarchical.h"\n'
+        "void corridor() {\n"
+        "  const PwlFunction restricted = edge.transit->Restricted(a, b);\n"
+        "  auto combined = ComposePathWithEdge(fn, restricted);\n"
+        "}\n",
+    ),
+]
+
 # A hot-loop file using only the Into forms, plus one documented escape:
 # must produce no alloc-in-hot-loop findings.
 HOT_CLEAN_FILE = (
@@ -419,6 +436,16 @@ def selftest() -> int:
                 header.write_text(
                     f"#ifndef {guard}\n#define {guard}\n#endif  // {guard}\n"
                 )
+        for rel, contents in EXTRA_HOT_LOOP_CASES:
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(contents)
+            header = target.with_suffix(".h")
+            if not header.exists():
+                guard = expected_guard(header.relative_to(root))
+                header.write_text(
+                    f"#ifndef {guard}\n#define {guard}\n#endif  // {guard}\n"
+                )
         clean_rel, clean_contents = CLEAN_FILE
         clean = root / clean_rel
         clean.write_text(clean_contents)
@@ -439,6 +466,10 @@ def selftest() -> int:
         for rule, (rel, _) in SELFTEST_CASES.items():
             if (rule, rel) not in fired:
                 failures.append(f"rule {rule} did NOT fire on seeded {rel}")
+        for rel, _ in EXTRA_HOT_LOOP_CASES:
+            if ("alloc-in-hot-loop", rel) not in fired:
+                failures.append(
+                    f"alloc-in-hot-loop did NOT fire on seeded {rel}")
         for f in findings:
             if f.path.as_posix() == clean_rel:
                 failures.append(f"false positive on clean file: {f}")

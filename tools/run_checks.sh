@@ -43,6 +43,14 @@ if [[ ${#STAGES[@]} -eq 0 ]]; then
   STAGES=(asan tsan tidy lint)
 fi
 
+# Route compiles through ccache when it is installed (CI caches the ccache
+# directory across runs); harmless no-op otherwise.
+CCACHE_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  CCACHE_ARGS=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+               -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 # Skip-or-fail for tool-dependent stages: under --require-tools a missing
 # tool is a gate failure, otherwise a notice.
 missing_tool() {
@@ -74,7 +82,8 @@ run_sanitizer_stage() {
   shift
   local ctest_args=("$@")
   echo "==> [${preset}] configure"
-  cmake --preset "${preset}" -DCAPEFP_EXTRA_WARNINGS=ON >/dev/null
+  cmake --preset "${preset}" -DCAPEFP_EXTRA_WARNINGS=ON \
+        "${CCACHE_ARGS[@]}" >/dev/null
   echo "==> [${preset}] build"
   cmake --build --preset "${preset}" -j "${JOBS}"
   echo "==> [${preset}] ctest ${ctest_args[*]:-<all>}"
